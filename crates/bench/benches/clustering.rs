@@ -1,0 +1,115 @@
+//! Ablation: the §5.2 clustering rule.
+//!
+//! "If the system supports clustering, clustering should be done along
+//! the 1-N relationship-hierarchy." This bench loads the same database
+//! into the disk backend twice — once with the parent placement hint
+//! (clustered) and once ignoring it (unclustered) — and measures cold 1-N
+//! closures against both. The clustered layout should fault fewer pages
+//! and run faster; this is the design choice the DESIGN.md ablation list
+//! calls out.
+
+use bench::{bench_db_path, cleanup_db};
+use criterion::{criterion_group, criterion_main, Criterion};
+use disk_backend::DiskStore;
+use hypermodel::config::GenConfig;
+use hypermodel::generate::TestDatabase;
+use hypermodel::load::load_database;
+use hypermodel::model::Oid;
+use hypermodel::rng::Rng;
+use hypermodel::store::HyperStore;
+use std::hint::black_box;
+
+const LEVEL: u32 = 4;
+
+/// Load ignoring clustering hints (plain `create_node` in spec order).
+fn load_unclustered(store: &mut DiskStore, db: &TestDatabase) -> Vec<Oid> {
+    let mut oids = Vec::with_capacity(db.len());
+    // Interleave creation order pseudo-randomly so heap placement carries
+    // no accidental tree locality either.
+    let mut order: Vec<usize> = (0..db.len()).collect();
+    let mut rng = Rng::new(0xDEAD);
+    for i in (1..order.len()).rev() {
+        let j = rng.range_usize(0, i);
+        order.swap(i, j);
+    }
+    let mut oid_by_index = vec![Oid(0); db.len()];
+    for &i in &order {
+        let oid = store.create_node(&db.nodes[i].value).unwrap();
+        oid_by_index[i] = oid;
+    }
+    for (i, kids) in db.children.iter().enumerate() {
+        for &k in kids {
+            store
+                .add_child(oid_by_index[i], oid_by_index[k as usize])
+                .unwrap();
+        }
+    }
+    for (i, ps) in db.parts.iter().enumerate() {
+        for &p in ps {
+            store
+                .add_part(oid_by_index[i], oid_by_index[p as usize])
+                .unwrap();
+        }
+    }
+    for (i, &(t, f, o)) in db.refs.iter().enumerate() {
+        store
+            .add_ref(oid_by_index[i], oid_by_index[t as usize], f, o)
+            .unwrap();
+    }
+    store.commit().unwrap();
+    oids.extend(oid_by_index);
+    oids
+}
+
+fn clustering_ablation(c: &mut Criterion) {
+    let db = TestDatabase::generate(&GenConfig::level(LEVEL));
+
+    let path_c = bench_db_path("clustered");
+    let mut clustered = DiskStore::create(&path_c, 4096).unwrap();
+    let oids_c = load_database(&mut clustered, &db).unwrap().oids;
+
+    let path_u = bench_db_path("unclustered");
+    let mut unclustered = DiskStore::create(&path_u, 4096).unwrap();
+    let oids_u = load_unclustered(&mut unclustered, &db);
+
+    let level3: Vec<u32> = db.level_indices(3).collect();
+
+    let mut g = c.benchmark_group("clustering_ablation_cold_closure1n");
+    g.sample_size(10);
+    g.warm_up_time(std::time::Duration::from_millis(500));
+    g.measurement_time(std::time::Duration::from_secs(2));
+    g.bench_function("clustered_along_1n", |b| {
+        let mut rng = Rng::new(11);
+        b.iter(|| {
+            clustered.cold_restart().unwrap();
+            let idx = *rng.choose(&level3) as usize;
+            black_box(clustered.closure_1n(oids_c[idx]).unwrap().len())
+        })
+    });
+    g.bench_function("unclustered_random_placement", |b| {
+        let mut rng = Rng::new(11);
+        b.iter(|| {
+            unclustered.cold_restart().unwrap();
+            let idx = *rng.choose(&level3) as usize;
+            black_box(unclustered.closure_1n(oids_u[idx]).unwrap().len())
+        })
+    });
+    g.finish();
+
+    // Report the page-fault counts once, as a sanity signal in bench logs.
+    clustered.cold_restart().unwrap();
+    let _ = clustered.closure_1n(oids_c[level3[0] as usize]).unwrap();
+    let misses_c = clustered.pool_stats().misses;
+    unclustered.cold_restart().unwrap();
+    let _ = unclustered.closure_1n(oids_u[level3[0] as usize]).unwrap();
+    let misses_u = unclustered.pool_stats().misses;
+    eprintln!("clustering ablation: cold page misses clustered={misses_c} unclustered={misses_u}");
+
+    drop(clustered);
+    drop(unclustered);
+    cleanup_db(&path_c);
+    cleanup_db(&path_u);
+}
+
+criterion_group!(benches, clustering_ablation);
+criterion_main!(benches);

@@ -1,0 +1,93 @@
+//! T-ops cold columns (paper §6 run protocol): the cold/warm asymmetry.
+//!
+//! Cold iterations drop the page cache before each measurement (the §6
+//! "close the database" step); warm iterations reuse a hot cache. The
+//! paper's expected shape: the disk backends pay a large cold penalty,
+//! the memory image pays none.
+
+use bench::{bench_db_path, cleanup_db};
+use criterion::{criterion_group, criterion_main, Criterion};
+use hypermodel::config::GenConfig;
+use hypermodel::generate::TestDatabase;
+use hypermodel::load::load_database;
+use hypermodel::model::Oid;
+use hypermodel::rng::Rng;
+use hypermodel::store::HyperStore;
+use std::hint::black_box;
+
+const LEVEL: u32 = 4;
+
+fn cold_vs_warm(c: &mut Criterion) {
+    let db = TestDatabase::generate(&GenConfig::level(LEVEL));
+    let path = bench_db_path("coldwarm");
+    let mut store = disk_backend::DiskStore::create(&path, 4096).unwrap();
+    let report = load_database(&mut store, &db).unwrap();
+    let oids = report.oids;
+    let level3: Vec<Oid> = db.level_indices(3).map(|i| oids[i as usize]).collect();
+
+    let mut g = c.benchmark_group("disk_cold_vs_warm");
+    g.sample_size(10);
+    g.warm_up_time(std::time::Duration::from_millis(500));
+    g.measurement_time(std::time::Duration::from_secs(2));
+
+    // O1 cold: every iteration starts with an empty buffer pool.
+    g.bench_function("O1_name_lookup_cold", |b| {
+        let mut rng = Rng::new(5);
+        b.iter(|| {
+            store.cold_restart().unwrap();
+            let uid = rng.range_u64(1, db.len() as u64);
+            let oid = store.lookup_unique(uid).unwrap();
+            black_box(store.hundred_of(oid).unwrap())
+        })
+    });
+    g.bench_function("O1_name_lookup_warm", |b| {
+        let mut rng = Rng::new(5);
+        // Pre-warm.
+        for uid in 1..=db.len() as u64 {
+            let oid = store.lookup_unique(uid).unwrap();
+            let _ = store.hundred_of(oid).unwrap();
+        }
+        b.iter(|| {
+            let uid = rng.range_u64(1, db.len() as u64);
+            let oid = store.lookup_unique(uid).unwrap();
+            black_box(store.hundred_of(oid).unwrap())
+        })
+    });
+
+    // O10 closure1N cold vs warm: the clustering payoff shows cold.
+    g.bench_function("O10_closure_1n_cold", |b| {
+        let mut rng = Rng::new(6);
+        b.iter(|| {
+            store.cold_restart().unwrap();
+            let start = *rng.choose(&level3);
+            black_box(store.closure_1n(start).unwrap().len())
+        })
+    });
+    g.bench_function("O10_closure_1n_warm", |b| {
+        let mut rng = Rng::new(6);
+        for &s in &level3 {
+            let _ = store.closure_1n(s).unwrap();
+        }
+        b.iter(|| {
+            let start = *rng.choose(&level3);
+            black_box(store.closure_1n(start).unwrap().len())
+        })
+    });
+
+    // O14 closureMN cold: unclustered traversal for comparison with O10.
+    g.bench_function("O14_closure_mn_cold", |b| {
+        let mut rng = Rng::new(7);
+        b.iter(|| {
+            store.cold_restart().unwrap();
+            let start = *rng.choose(&level3);
+            black_box(store.closure_mn(start).unwrap().len())
+        })
+    });
+
+    g.finish();
+    drop(store);
+    cleanup_db(&path);
+}
+
+criterion_group!(benches, cold_vs_warm);
+criterion_main!(benches);

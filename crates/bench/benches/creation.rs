@@ -1,0 +1,86 @@
+//! T-create (paper §5.3): database creation time per backend.
+//!
+//! Measures the full five-phase load (internal nodes, leaf nodes, 1-N
+//! relationships, M-N relationships, attributed references — each with
+//! its commit) at level 3, plus test-database *generation* itself
+//! (Figures 2–4) at levels 3–5.
+
+use bench::{bench_db_path, cleanup_db};
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use hypermodel::config::GenConfig;
+use hypermodel::generate::TestDatabase;
+use hypermodel::load::load_database;
+use std::hint::black_box;
+
+fn generation(c: &mut Criterion) {
+    let mut g = c.benchmark_group("generate_figures_2_to_4");
+    g.sample_size(10);
+    g.warm_up_time(std::time::Duration::from_millis(500));
+    g.measurement_time(std::time::Duration::from_secs(2));
+    for level in [3u32, 4, 5] {
+        g.bench_function(format!("level_{level}"), |b| {
+            let cfg = GenConfig::level(level);
+            b.iter(|| black_box(TestDatabase::generate(&cfg).len()))
+        });
+    }
+    g.finish();
+}
+
+fn creation(c: &mut Criterion) {
+    let mut g = c.benchmark_group("creation_5_phase_load");
+    g.sample_size(10);
+    g.warm_up_time(std::time::Duration::from_millis(500));
+    g.measurement_time(std::time::Duration::from_secs(2));
+    let db = TestDatabase::generate(&GenConfig::level(3));
+
+    g.bench_function("mem", |b| {
+        b.iter_batched(
+            mem_backend::MemStore::new,
+            |mut store| {
+                let report = load_database(&mut store, &db).unwrap();
+                black_box(report.oids.len())
+            },
+            BatchSize::SmallInput,
+        )
+    });
+
+    g.bench_function("disk", |b| {
+        b.iter_batched(
+            || {
+                let path = bench_db_path("create-disk");
+                let store = disk_backend::DiskStore::create(&path, 2048).unwrap();
+                (store, path)
+            },
+            |(mut store, path)| {
+                let report = load_database(&mut store, &db).unwrap();
+                let n = report.oids.len();
+                drop(store);
+                cleanup_db(&path);
+                black_box(n)
+            },
+            BatchSize::SmallInput,
+        )
+    });
+
+    g.bench_function("rel", |b| {
+        b.iter_batched(
+            || {
+                let path = bench_db_path("create-rel");
+                let store = rel_backend::RelStore::create(&path, 2048).unwrap();
+                (store, path)
+            },
+            |(mut store, path)| {
+                let report = load_database(&mut store, &db).unwrap();
+                let n = report.oids.len();
+                drop(store);
+                cleanup_db(&path);
+                black_box(n)
+            },
+            BatchSize::SmallInput,
+        )
+    });
+    g.finish();
+}
+
+criterion_group!(benches, generation, creation);
+criterion_main!(benches);

@@ -1,0 +1,225 @@
+//! T-ops (paper §6): warm-path time of every operation category, per
+//! backend, on the level-4 database.
+//!
+//! The paper's warm columns answer "how fast is the operation once the
+//! working set is cached"; cold behaviour is covered by the `cold_warm`
+//! bench. Each Criterion group is one §6 category; each function within a
+//! group is one backend.
+
+use bench::{cleanup_db, loaded_backend, BACKENDS};
+use criterion::{criterion_group, criterion_main, Criterion};
+use hypermodel::model::Oid;
+use hypermodel::ops::OpId;
+use hypermodel::rng::Rng;
+use hypermodel::store::HyperStore;
+use std::hint::black_box;
+
+const LEVEL: u32 = 4;
+
+struct Ctx {
+    store: Box<dyn HyperStore>,
+    oids: Vec<Oid>,
+    level3: Vec<Oid>,
+    texts: Vec<Oid>,
+    forms: Vec<Oid>,
+    total: u64,
+    path: Option<std::path::PathBuf>,
+}
+
+fn ctx(backend: &str) -> Ctx {
+    let (store, db, oids, path) = loaded_backend(backend, LEVEL, 4096);
+    let level3 = db.level_indices(3).map(|i| oids[i as usize]).collect();
+    let texts = db
+        .text_indices()
+        .iter()
+        .map(|&i| oids[i as usize])
+        .collect();
+    let forms = db
+        .form_indices()
+        .iter()
+        .map(|&i| oids[i as usize])
+        .collect();
+    Ctx {
+        store,
+        total: db.len() as u64,
+        oids,
+        level3,
+        texts,
+        forms,
+        path,
+    }
+}
+
+fn drop_ctx(c: Ctx) {
+    drop(c.store);
+    if let Some(p) = c.path {
+        cleanup_db(&p);
+    }
+}
+
+fn bench_backend<F>(c: &mut Criterion, group: &str, mut f: F)
+where
+    F: FnMut(&mut Ctx, &mut Rng) -> u64,
+{
+    let mut g = c.benchmark_group(group);
+    g.sample_size(20);
+    g.warm_up_time(std::time::Duration::from_millis(500));
+    g.measurement_time(std::time::Duration::from_secs(2));
+    for backend in BACKENDS {
+        let mut context = ctx(backend);
+        // Warm the cache once.
+        let mut warm_rng = Rng::new(1);
+        f(&mut context, &mut warm_rng);
+        g.bench_function(backend, |b| {
+            let mut rng = Rng::new(42);
+            b.iter(|| black_box(f(&mut context, &mut rng)))
+        });
+        drop_ctx(context);
+    }
+    g.finish();
+}
+
+fn name_lookup(c: &mut Criterion) {
+    bench_backend(c, "O1_name_lookup", |ctx, rng| {
+        let uid = rng.range_u64(1, ctx.total);
+        let oid = ctx.store.lookup_unique(uid).unwrap();
+        ctx.store.hundred_of(oid).unwrap() as u64
+    });
+    bench_backend(c, "O2_name_oid_lookup", |ctx, rng| {
+        let oid = *rng.choose(&ctx.oids);
+        ctx.store.hundred_of(oid).unwrap() as u64
+    });
+}
+
+fn range_lookup(c: &mut Criterion) {
+    bench_backend(c, "O3_range_hundred_10pct", |ctx, rng| {
+        let x = rng.range_u32(1, 90);
+        ctx.store.range_hundred(x, x + 9).unwrap().len() as u64
+    });
+    bench_backend(c, "O4_range_million_1pct", |ctx, rng| {
+        let x = rng.range_u32(1, 990_000);
+        ctx.store.range_million(x, x + 9999).unwrap().len() as u64
+    });
+}
+
+fn group_lookup(c: &mut Criterion) {
+    bench_backend(c, "O5A_group_1n", |ctx, rng| {
+        // Internal nodes are the first `total - leaves` oids.
+        let idx = rng.range_usize(0, ctx.oids.len() - 626); // level-4 leaves = 625
+        ctx.store.children(ctx.oids[idx]).unwrap().len() as u64
+    });
+    bench_backend(c, "O5B_group_mn", |ctx, rng| {
+        let idx = rng.range_usize(0, ctx.oids.len() - 626);
+        ctx.store.parts(ctx.oids[idx]).unwrap().len() as u64
+    });
+    bench_backend(c, "O6_group_mnatt", |ctx, rng| {
+        let oid = *rng.choose(&ctx.oids);
+        ctx.store.refs_to(oid).unwrap().len() as u64
+    });
+}
+
+fn reference_lookup(c: &mut Criterion) {
+    bench_backend(c, "O7A_ref_1n_parent", |ctx, rng| {
+        let idx = rng.range_usize(1, ctx.oids.len() - 1);
+        u64::from(ctx.store.parent(ctx.oids[idx]).unwrap().is_some())
+    });
+    bench_backend(c, "O7B_ref_mn_partof", |ctx, rng| {
+        let idx = rng.range_usize(1, ctx.oids.len() - 1);
+        ctx.store.part_of(ctx.oids[idx]).unwrap().len() as u64
+    });
+    bench_backend(c, "O8_ref_mnatt", |ctx, rng| {
+        let oid = *rng.choose(&ctx.oids);
+        ctx.store.refs_from(oid).unwrap().len() as u64
+    });
+}
+
+fn seq_scan(c: &mut Criterion) {
+    bench_backend(c, "O9_seq_scan", |ctx, _| ctx.store.seq_scan_ten().unwrap());
+}
+
+fn closures(c: &mut Criterion) {
+    bench_backend(c, "O10_closure_1n", |ctx, rng| {
+        let start = *rng.choose(&ctx.level3);
+        ctx.store.closure_1n(start).unwrap().len() as u64
+    });
+    bench_backend(c, "O11_closure_1n_att_sum", |ctx, rng| {
+        let start = *rng.choose(&ctx.level3);
+        ctx.store.closure_1n_att_sum(start).unwrap().0
+    });
+    bench_backend(c, "O13_closure_1n_pred", |ctx, rng| {
+        let start = *rng.choose(&ctx.level3);
+        let lo = rng.range_u32(1, 990_000);
+        ctx.store
+            .closure_1n_pred(start, lo, lo + 9999)
+            .unwrap()
+            .len() as u64
+    });
+    bench_backend(c, "O14_closure_mn", |ctx, rng| {
+        let start = *rng.choose(&ctx.level3);
+        ctx.store.closure_mn(start).unwrap().len() as u64
+    });
+    bench_backend(c, "O15_closure_mnatt_depth25", |ctx, rng| {
+        let start = *rng.choose(&ctx.level3);
+        ctx.store
+            .closure_mnatt(start, OpId::MNATT_DEPTH)
+            .unwrap()
+            .len() as u64
+    });
+    bench_backend(c, "O18_closure_mnatt_linksum", |ctx, rng| {
+        let start = *rng.choose(&ctx.level3);
+        ctx.store
+            .closure_mnatt_linksum(start, OpId::MNATT_DEPTH)
+            .unwrap()
+            .len() as u64
+    });
+}
+
+fn updates(c: &mut Criterion) {
+    // O12: toggle is self-inverse over two iterations, so the database
+    // keeps cycling through two states — steady-state behaviour.
+    bench_backend(c, "O12_closure_1n_att_set", |ctx, rng| {
+        let start = *rng.choose(&ctx.level3);
+        let n = ctx.store.closure_1n_att_set(start).unwrap() as u64;
+        ctx.store.commit().unwrap();
+        n
+    });
+    bench_backend(c, "O16_text_node_edit", |ctx, rng| {
+        let oid = *rng.choose(&ctx.texts);
+        // Forward then backward inside one iteration keeps state stable.
+        ctx.store
+            .text_node_edit(
+                oid,
+                hypermodel::text::VERSION_1,
+                hypermodel::text::VERSION_2,
+            )
+            .unwrap();
+        ctx.store.commit().unwrap();
+        ctx.store
+            .text_node_edit(
+                oid,
+                hypermodel::text::VERSION_2,
+                hypermodel::text::VERSION_1,
+            )
+            .unwrap();
+        ctx.store.commit().unwrap();
+        2
+    });
+    bench_backend(c, "O17_form_node_edit", |ctx, rng| {
+        let oid = *rng.choose(&ctx.forms);
+        ctx.store.form_node_edit(oid, 25, 25, 50, 50).unwrap();
+        ctx.store.commit().unwrap();
+        1
+    });
+}
+
+criterion_group!(
+    benches,
+    name_lookup,
+    range_lookup,
+    group_lookup,
+    reference_lookup,
+    seq_scan,
+    closures,
+    updates
+);
+criterion_main!(benches);

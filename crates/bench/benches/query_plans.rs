@@ -1,0 +1,48 @@
+//! R12 ablation: the ad-hoc query planner's index choice.
+//!
+//! Compares the planner's chosen access path against forced alternatives
+//! for a conjunctive query, demonstrating the index-vs-scan crossover the
+//! planner's selectivity model encodes.
+
+use bench::{cleanup_db, loaded_backend};
+use criterion::{criterion_group, criterion_main, Criterion};
+use query::{execute_plan, plan, Expr, Plan};
+use std::hint::black_box;
+
+fn query_planner(c: &mut Criterion) {
+    let (mut store, _db, _oids, path) = loaded_backend("disk", 4, 4096);
+
+    // A query where the million index (1%) beats the hundred index (10%)
+    // which beats a full scan.
+    let q = Expr::hundred_between(1, 10).and(Expr::million_between(1, 10_000));
+    let chosen = plan(&q);
+    assert!(matches!(chosen, Plan::IndexMillion { .. }));
+    let forced_hundred = Plan::IndexHundred {
+        lo: 1,
+        hi: 10,
+        residual: Some(Expr::million_between(1, 10_000)),
+    };
+    let forced_scan = Plan::FullScan(q.clone());
+
+    let mut g = c.benchmark_group("query_plan_choice");
+    g.sample_size(20);
+    g.warm_up_time(std::time::Duration::from_millis(500));
+    g.measurement_time(std::time::Duration::from_secs(2));
+    g.bench_function("planner_choice_million_index", |b| {
+        b.iter(|| black_box(execute_plan(store.as_mut(), &chosen).unwrap().len()))
+    });
+    g.bench_function("forced_hundred_index", |b| {
+        b.iter(|| black_box(execute_plan(store.as_mut(), &forced_hundred).unwrap().len()))
+    });
+    g.bench_function("forced_full_scan", |b| {
+        b.iter(|| black_box(execute_plan(store.as_mut(), &forced_scan).unwrap().len()))
+    });
+    g.finish();
+    drop(store);
+    if let Some(p) = path {
+        cleanup_db(&p);
+    }
+}
+
+criterion_group!(benches, query_planner);
+criterion_main!(benches);

@@ -1,0 +1,88 @@
+//! T-simple (paper §4): the seven Rubenstein/Kubicar/Cattell operations.
+
+use bench::{bench_db_path, cleanup_db};
+use criterion::{criterion_group, criterion_main, Criterion};
+use hypermodel::rng::Rng;
+use simple_ops::{SimpleConfig, SimpleDb};
+use std::hint::black_box;
+
+fn simple_ops_bench(c: &mut Criterion) {
+    let cfg = SimpleConfig {
+        persons: 5_000,
+        documents: 1_250,
+        authors_per_doc: 3,
+        seed: 0x5349_4D50,
+    };
+    let path = bench_db_path("simple");
+    let mut db = SimpleDb::create(&path, 2048, cfg).unwrap();
+
+    let mut g = c.benchmark_group("simple_ops_sigmod87");
+    g.sample_size(20);
+    g.warm_up_time(std::time::Duration::from_millis(500));
+    g.measurement_time(std::time::Duration::from_secs(2));
+
+    g.bench_function("1_name_lookup", |b| {
+        let mut rng = Rng::new(1);
+        b.iter(|| black_box(db.name_lookup(rng.range_u64(1, cfg.persons)).unwrap()))
+    });
+    g.bench_function("2_range_lookup_10pct", |b| {
+        let mut rng = Rng::new(2);
+        b.iter(|| {
+            let x = rng.range_u32(1, 90);
+            black_box(db.range_lookup(x, x + 9).unwrap().len())
+        })
+    });
+    g.bench_function("3_group_lookup", |b| {
+        let mut rng = Rng::new(3);
+        b.iter(|| {
+            black_box(
+                db.group_lookup(rng.range_u64(1, cfg.documents))
+                    .unwrap()
+                    .len(),
+            )
+        })
+    });
+    g.bench_function("4_reference_lookup", |b| {
+        let mut rng = Rng::new(4);
+        b.iter(|| {
+            black_box(
+                db.reference_lookup(rng.range_u64(1, cfg.persons))
+                    .unwrap()
+                    .len(),
+            )
+        })
+    });
+    g.bench_function("5_record_insert", |b| {
+        let mut rng = Rng::new(5);
+        b.iter(|| {
+            black_box(
+                db.record_insert(rng.range_u32(1, 100), "bench-person")
+                    .unwrap(),
+            )
+        })
+    });
+    g.bench_function("6_seq_scan", |b| {
+        b.iter(|| black_box(db.seq_scan().unwrap()))
+    });
+    g.finish();
+    // Close the writer cleanly (checkpoint + empty WAL) before measuring
+    // operation 7, which opens the file fresh each iteration.
+    db.cold_restart().unwrap();
+    drop(db);
+
+    let mut g = c.benchmark_group("simple_ops_sigmod87_open");
+    g.sample_size(20);
+    g.warm_up_time(std::time::Duration::from_millis(500));
+    g.measurement_time(std::time::Duration::from_secs(2));
+    g.bench_function("7_database_open", |b| {
+        b.iter(|| {
+            let reopened = SimpleDb::open(&path, 2048).unwrap();
+            black_box(reopened.config().persons)
+        })
+    });
+    g.finish();
+    cleanup_db(&path);
+}
+
+criterion_group!(benches, simple_ops_bench);
+criterion_main!(benches);

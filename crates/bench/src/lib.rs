@@ -1,0 +1,70 @@
+//! Shared helpers for the Criterion benchmark targets.
+//!
+//! Each bench target regenerates one of the paper's tables (see
+//! `DESIGN.md`, experiment index):
+//!
+//! | bench target   | paper artifact |
+//! |----------------|----------------|
+//! | `creation`     | §5.3 creation-time table (T-create) |
+//! | `ops`          | §6 operation table, warm columns (T-ops) |
+//! | `cold_warm`    | §6 operation table, cold vs warm (T-ops) |
+//! | `clustering`   | §5.2 clustering effect (ablation called out in DESIGN.md) |
+//! | `simple`       | §4 simple-operations baseline (T-simple) |
+//! | `query_plans`  | R12 ad-hoc query planner (index vs scan crossover) |
+
+use std::path::PathBuf;
+
+use hypermodel::config::GenConfig;
+use hypermodel::generate::TestDatabase;
+use hypermodel::load::load_database;
+use hypermodel::model::Oid;
+use hypermodel::store::HyperStore;
+
+/// A unique temp path for a benchmark database.
+pub fn bench_db_path(tag: &str) -> PathBuf {
+    let mut p = std::env::temp_dir();
+    p.push(format!("hm-bench-{}-{tag}.db", std::process::id()));
+    cleanup_db(&p);
+    p
+}
+
+/// Remove a benchmark database and its log.
+pub fn cleanup_db(p: &PathBuf) {
+    let _ = std::fs::remove_file(p);
+    let mut w = p.clone().into_os_string();
+    w.push(".wal");
+    let _ = std::fs::remove_file(PathBuf::from(w));
+}
+
+/// Generate + load a database into a fresh store of the given backend.
+/// Returns the store, the spec, the oid map and the db path (if any).
+pub fn loaded_backend(
+    backend: &str,
+    level: u32,
+    pool_frames: usize,
+) -> (Box<dyn HyperStore>, TestDatabase, Vec<Oid>, Option<PathBuf>) {
+    let db = TestDatabase::generate(&GenConfig::level(level));
+    match backend {
+        "mem" => {
+            let mut store = mem_backend::MemStore::new();
+            let report = load_database(&mut store, &db).expect("load mem");
+            (Box::new(store), db, report.oids, None)
+        }
+        "disk" => {
+            let path = bench_db_path(&format!("disk-{level}"));
+            let mut store = disk_backend::DiskStore::create(&path, pool_frames).expect("create");
+            let report = load_database(&mut store, &db).expect("load disk");
+            (Box::new(store), db, report.oids, Some(path))
+        }
+        "rel" => {
+            let path = bench_db_path(&format!("rel-{level}"));
+            let mut store = rel_backend::RelStore::create(&path, pool_frames).expect("create");
+            let report = load_database(&mut store, &db).expect("load rel");
+            (Box::new(store), db, report.oids, Some(path))
+        }
+        other => panic!("unknown backend {other}"),
+    }
+}
+
+/// The three backend names.
+pub const BACKENDS: [&str; 3] = ["mem", "disk", "rel"];

@@ -1,0 +1,26 @@
+//! # `concurrency` — transactions, cooperation and conflict
+//!
+//! The mechanisms behind requirements R8 (concurrency control) and R9
+//! (cooperation between users), plus the substrate for the paper's §7
+//! multi-user experiment:
+//!
+//! * [`lock`] — a strict two-phase-locking lock manager with waits-for
+//!   deadlock detection, for short transactions (R8);
+//! * [`occ`] — optimistic concurrency control with backward validation,
+//!   matching the "optimistic concurrency control" of the paper's
+//!   systems; the §7 observation that concurrent updates conflict under
+//!   OCC is reproduced in the harness's multi-user mode;
+//! * [`workspace`] — private/shared workspaces over any
+//!   [`hypermodel::store::HyperStore`] (R9): edits stay private until
+//!   `publish`, which validates through OCC.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod lock;
+pub mod occ;
+pub mod workspace;
+
+pub use lock::{LockError, LockManager, LockMode};
+pub use occ::{OccError, OccManager, OccTxn};
+pub use workspace::{PendingEdit, Workspace};

@@ -1,0 +1,238 @@
+//! Private/shared workspaces (requirement R9).
+//!
+//! "Long transactions should support cooperation, as opposed to
+//! competition, between users. … A notion of private and shared
+//! workspaces is desirable. … When one user decides to make his updates
+//! shareable, they should be easily accessible for other users."
+//!
+//! A [`Workspace`] buffers a user's edits privately; nothing reaches the
+//! shared store until [`Workspace::publish`], which validates the
+//! workspace's reads through the [`OccManager`] and then applies the
+//! buffered edits to the store in one short transaction. Two users editing
+//! *different* nodes of the same structure publish without conflict — the
+//! paper's R9 scenario; overlapping edits surface as a validation failure
+//! on publish, and the loser rebases.
+
+use hypermodel::error::{HmError, Result};
+use hypermodel::model::Oid;
+use hypermodel::store::HyperStore;
+use hypermodel::Bitmap;
+
+use crate::occ::{OccManager, OccTxn};
+
+/// One buffered edit.
+#[derive(Debug, Clone)]
+pub enum PendingEdit {
+    /// Overwrite the `hundred` attribute.
+    SetHundred(Oid, u32),
+    /// Replace a text node's content.
+    SetText(Oid, String),
+    /// Replace a form node's content.
+    SetForm(Oid, Bitmap),
+}
+
+impl PendingEdit {
+    fn oid(&self) -> Oid {
+        match self {
+            PendingEdit::SetHundred(oid, _)
+            | PendingEdit::SetText(oid, _)
+            | PendingEdit::SetForm(oid, _) => *oid,
+        }
+    }
+}
+
+/// A private workspace over a shared store.
+#[derive(Debug)]
+pub struct Workspace {
+    user: String,
+    txn: OccTxn,
+    edits: Vec<PendingEdit>,
+}
+
+impl Workspace {
+    /// Open a private workspace for `user`.
+    pub fn new(user: &str) -> Workspace {
+        Workspace {
+            user: user.to_string(),
+            txn: OccTxn::new(),
+            edits: Vec::new(),
+        }
+    }
+
+    /// The owning user.
+    pub fn user(&self) -> &str {
+        &self.user
+    }
+
+    /// Number of buffered edits.
+    pub fn pending(&self) -> usize {
+        self.edits.len()
+    }
+
+    /// Read `hundred` through the workspace: buffered value if edited,
+    /// otherwise the shared value (recording the read for validation).
+    pub fn hundred_of<S: HyperStore + ?Sized>(
+        &mut self,
+        store: &mut S,
+        occ: &OccManager,
+        oid: Oid,
+    ) -> Result<u32> {
+        for e in self.edits.iter().rev() {
+            if let PendingEdit::SetHundred(o, v) = e {
+                if *o == oid {
+                    return Ok(*v);
+                }
+            }
+        }
+        occ.record_read(&mut self.txn, oid.0);
+        store.hundred_of(oid)
+    }
+
+    /// Read text through the workspace.
+    pub fn text_of<S: HyperStore + ?Sized>(
+        &mut self,
+        store: &mut S,
+        occ: &OccManager,
+        oid: Oid,
+    ) -> Result<String> {
+        for e in self.edits.iter().rev() {
+            if let PendingEdit::SetText(o, s) = e {
+                if *o == oid {
+                    return Ok(s.clone());
+                }
+            }
+        }
+        occ.record_read(&mut self.txn, oid.0);
+        store.text_of(oid)
+    }
+
+    /// Buffer an edit (visible only inside this workspace until publish).
+    pub fn stage(&mut self, occ: &OccManager, edit: PendingEdit) {
+        occ.record_write(&mut self.txn, edit.oid().0);
+        self.edits.push(edit);
+    }
+
+    /// Make the buffered updates shareable: validate, then apply to the
+    /// shared store and commit. On conflict returns
+    /// [`HmError::Conflict`] and the workspace keeps its edits so the
+    /// user can rebase (re-open a workspace and re-stage).
+    pub fn publish<S: HyperStore + ?Sized>(self, store: &mut S, occ: &OccManager) -> Result<usize> {
+        let n = self.edits.len();
+        occ.validate_and_commit(self.txn)
+            .map_err(|e| HmError::Conflict(format!("publish by {} failed: {e}", self.user)))?;
+        for edit in self.edits {
+            match edit {
+                PendingEdit::SetHundred(oid, v) => store.set_hundred(oid, v)?,
+                PendingEdit::SetText(oid, s) => store.set_text(oid, &s)?,
+                PendingEdit::SetForm(oid, bm) => store.set_form(oid, &bm)?,
+            }
+        }
+        store.commit()?;
+        Ok(n)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hypermodel::config::GenConfig;
+    use hypermodel::generate::TestDatabase;
+    use hypermodel::load::load_database;
+    use mem_backend::MemStore;
+
+    fn setup() -> (MemStore, Vec<Oid>, OccManager) {
+        let db = TestDatabase::generate(&GenConfig::tiny());
+        let mut store = MemStore::new();
+        let report = load_database(&mut store, &db).unwrap();
+        (store, report.oids, OccManager::new())
+    }
+
+    #[test]
+    fn private_edits_are_invisible_until_publish() {
+        let (mut store, oids, occ) = setup();
+        let oid = oids[3];
+        let shared_before = store.hundred_of(oid).unwrap();
+        let mut ws = Workspace::new("alice");
+        ws.stage(&occ, PendingEdit::SetHundred(oid, 77));
+        // Workspace sees its own edit...
+        assert_eq!(ws.hundred_of(&mut store, &occ, oid).unwrap(), 77);
+        // ...but the shared store does not.
+        assert_eq!(store.hundred_of(oid).unwrap(), shared_before);
+        let n = ws.publish(&mut store, &occ).unwrap();
+        assert_eq!(n, 1);
+        assert_eq!(store.hundred_of(oid).unwrap(), 77);
+    }
+
+    #[test]
+    fn two_users_updating_different_nodes_both_publish() {
+        // The paper's R9 scenario: "two users update different nodes in
+        // the same structure".
+        let (mut store, oids, occ) = setup();
+        let mut alice = Workspace::new("alice");
+        let mut bob = Workspace::new("bob");
+        alice.stage(&occ, PendingEdit::SetHundred(oids[6], 11));
+        bob.stage(&occ, PendingEdit::SetHundred(oids[7], 22));
+        alice.publish(&mut store, &occ).unwrap();
+        bob.publish(&mut store, &occ).unwrap();
+        assert_eq!(store.hundred_of(oids[6]).unwrap(), 11);
+        assert_eq!(store.hundred_of(oids[7]).unwrap(), 22);
+        assert_eq!(occ.commit_count(), 2);
+        assert_eq!(occ.abort_count(), 0);
+    }
+
+    #[test]
+    fn overlapping_edits_conflict_on_publish() {
+        let (mut store, oids, occ) = setup();
+        let oid = oids[9];
+        let mut alice = Workspace::new("alice");
+        let mut bob = Workspace::new("bob");
+        alice.stage(&occ, PendingEdit::SetHundred(oid, 1));
+        bob.stage(&occ, PendingEdit::SetHundred(oid, 2));
+        alice.publish(&mut store, &occ).unwrap();
+        let err = bob.publish(&mut store, &occ).unwrap_err();
+        assert!(matches!(err, HmError::Conflict(_)));
+        assert_eq!(
+            store.hundred_of(oid).unwrap(),
+            1,
+            "loser's edit not applied"
+        );
+        // Bob rebases: a fresh workspace over the new state succeeds.
+        let mut bob2 = Workspace::new("bob");
+        bob2.stage(&occ, PendingEdit::SetHundred(oid, 2));
+        bob2.publish(&mut store, &occ).unwrap();
+        assert_eq!(store.hundred_of(oid).unwrap(), 2);
+    }
+
+    #[test]
+    fn stale_read_invalidates_publish() {
+        let (mut store, oids, occ) = setup();
+        let read_oid = oids[4];
+        let write_oid = oids[5];
+        let mut alice = Workspace::new("alice");
+        // Alice reads node 4 and decides to edit node 5 based on it.
+        let seen = alice.hundred_of(&mut store, &occ, read_oid).unwrap();
+        alice.stage(&occ, PendingEdit::SetHundred(write_oid, seen + 1));
+        // Bob changes node 4 and publishes first.
+        let mut bob = Workspace::new("bob");
+        bob.stage(&occ, PendingEdit::SetHundred(read_oid, 50));
+        bob.publish(&mut store, &occ).unwrap();
+        // Alice's read is stale → conflict.
+        assert!(alice.publish(&mut store, &occ).is_err());
+    }
+
+    #[test]
+    fn text_edits_flow_through_workspaces() {
+        let db = TestDatabase::generate(&GenConfig::tiny());
+        let mut store = MemStore::new();
+        let report = load_database(&mut store, &db).unwrap();
+        let occ = OccManager::new();
+        let oid = report.oids[db.text_indices()[0] as usize];
+        let mut ws = Workspace::new("alice");
+        let original = ws.text_of(&mut store, &occ, oid).unwrap();
+        let edited = original.replace("version1", "version-2");
+        ws.stage(&occ, PendingEdit::SetText(oid, edited.clone()));
+        assert_eq!(ws.text_of(&mut store, &occ, oid).unwrap(), edited);
+        ws.publish(&mut store, &occ).unwrap();
+        assert_eq!(store.text_of(oid).unwrap(), edited);
+    }
+}

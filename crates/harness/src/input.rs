@@ -1,0 +1,223 @@
+//! Random-input generation for the 20 operations.
+//!
+//! The paper specifies, per operation, what shape of random input it
+//! consumes (a `uniqueId`, a node reference, a level-3 node, an attribute
+//! range, …). [`Workload`] owns the generated [`TestDatabase`] description
+//! and the index → [`Oid`] map from loading, and draws inputs of the
+//! right shape from a dedicated deterministic RNG stream — so every
+//! backend sees the *same* 50 inputs for every operation, making results
+//! directly comparable.
+//!
+//! §5.2 N.B. is respected: inputs are drawn from the generator's level
+//! catalogs (data), never derived from `uniqueId` arithmetic or from
+//! structural assumptions inside the operations.
+
+use hypermodel::generate::TestDatabase;
+use hypermodel::model::Oid;
+use hypermodel::ops::{InputKind, OpId};
+use hypermodel::rng::Rng;
+
+/// One concrete operation input.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum OpInput {
+    /// A `uniqueId` value (O1).
+    Uid(u64),
+    /// A node reference.
+    Node(Oid),
+    /// An inclusive attribute range (O3/O4).
+    Range(u32, u32),
+    /// No input (O9).
+    None,
+}
+
+/// A loaded test database plus input-drawing state.
+#[derive(Debug)]
+pub struct Workload {
+    /// The generated description (level catalogs etc.).
+    pub db: TestDatabase,
+    /// `oids[i]` is the object id of node index `i` in the target store.
+    pub oids: Vec<Oid>,
+    rng: Rng,
+    text_indices: Vec<u32>,
+    form_indices: Vec<u32>,
+}
+
+impl Workload {
+    /// Build a workload for a loaded database. `input_seed` controls the
+    /// random-input stream (fixed per experiment so backends see the same
+    /// inputs).
+    pub fn new(db: TestDatabase, oids: Vec<Oid>, input_seed: u64) -> Workload {
+        let text_indices = db.text_indices();
+        let form_indices = db.form_indices();
+        Workload {
+            db,
+            oids,
+            rng: Rng::new(input_seed),
+            text_indices,
+            form_indices,
+        }
+    }
+
+    /// The level closure operations start from: level 3 for the paper's
+    /// databases, clamped for shallow test configs.
+    pub fn closure_level(&self) -> u32 {
+        3.min(self.db.config.leaf_level.saturating_sub(1))
+    }
+
+    fn random_index(&mut self) -> u32 {
+        self.rng.range_u32(0, self.db.len() as u32 - 1)
+    }
+
+    fn draw(&mut self, kind: InputKind) -> OpInput {
+        match kind {
+            InputKind::UniqueId => OpInput::Uid(self.rng.range_u64(1, self.db.len() as u64)),
+            InputKind::AnyNode => {
+                let idx = self.random_index();
+                OpInput::Node(self.oids[idx as usize])
+            }
+            InputKind::InternalNode => {
+                let r = self.db.internal_indices();
+                let idx = self.rng.range_u32(r.start, r.end - 1);
+                OpInput::Node(self.oids[idx as usize])
+            }
+            InputKind::NonRootNode => {
+                let idx = self.rng.range_u32(1, self.db.len() as u32 - 1);
+                OpInput::Node(self.oids[idx as usize])
+            }
+            InputKind::Level3Node => {
+                let r = self.db.level_indices(self.closure_level());
+                let idx = self.rng.range_u32(r.start, r.end - 1);
+                OpInput::Node(self.oids[idx as usize])
+            }
+            InputKind::TextNode => {
+                let idx = *self.rng.choose(&self.text_indices);
+                OpInput::Node(self.oids[idx as usize])
+            }
+            InputKind::FormNode => {
+                let idx = *self.rng.choose(&self.form_indices);
+                OpInput::Node(self.oids[idx as usize])
+            }
+            InputKind::HundredRange => {
+                let x = self.rng.range_u32(1, 90);
+                OpInput::Range(x, x + 9)
+            }
+            InputKind::MillionRange => {
+                let x = self.rng.range_u32(1, 990_000);
+                OpInput::Range(x, x + 9999)
+            }
+            InputKind::None => OpInput::None,
+        }
+    }
+
+    /// The 50 (or `reps`) inputs for one operation run. Per §6.7 N.B.,
+    /// `formNodeEdit` uses the *same* form node for every repetition.
+    pub fn inputs_for(&mut self, op: OpId, reps: usize) -> Vec<OpInput> {
+        if op == OpId::FormNodeEdit {
+            let one = self.draw(InputKind::FormNode);
+            return vec![one; reps];
+        }
+        let kind = op.input_kind();
+        (0..reps).map(|_| self.draw(kind)).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hypermodel::config::GenConfig;
+    use hypermodel::generate::TestDatabase;
+
+    fn workload() -> Workload {
+        let db = TestDatabase::generate(&GenConfig::level(4));
+        let oids: Vec<Oid> = (1..=db.len() as u64).map(Oid).collect();
+        Workload::new(db, oids, 42)
+    }
+
+    #[test]
+    fn inputs_are_deterministic_per_seed() {
+        let mut a = workload();
+        let mut b = workload();
+        for op in OpId::ALL {
+            assert_eq!(a.inputs_for(op, 50), b.inputs_for(op, 50), "{op}");
+        }
+    }
+
+    #[test]
+    fn uid_inputs_are_in_range() {
+        let mut w = workload();
+        for input in w.inputs_for(OpId::NameLookup, 200) {
+            match input {
+                OpInput::Uid(uid) => assert!((1..=781).contains(&uid)),
+                other => panic!("{other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn ranges_respect_paper_bounds() {
+        let mut w = workload();
+        for input in w.inputs_for(OpId::RangeLookupHundred, 200) {
+            match input {
+                OpInput::Range(lo, hi) => {
+                    assert!((1..=90).contains(&lo));
+                    assert_eq!(hi, lo + 9);
+                }
+                other => panic!("{other:?}"),
+            }
+        }
+        for input in w.inputs_for(OpId::RangeLookupMillion, 200) {
+            match input {
+                OpInput::Range(lo, hi) => {
+                    assert!((1..=990_000).contains(&lo));
+                    assert_eq!(hi, lo + 9999);
+                }
+                other => panic!("{other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn closure_inputs_come_from_level_3() {
+        let mut w = workload();
+        let level3 = w.db.level_indices(3);
+        for input in w.inputs_for(OpId::Closure1N, 100) {
+            match input {
+                OpInput::Node(oid) => {
+                    let idx = oid.0 as u32 - 1; // oids are identity here
+                    assert!(level3.contains(&idx));
+                }
+                other => panic!("{other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn form_edit_repeats_one_node() {
+        let mut w = workload();
+        let inputs = w.inputs_for(OpId::FormNodeEdit, 50);
+        assert_eq!(inputs.len(), 50);
+        assert!(
+            inputs.windows(2).all(|p| p[0] == p[1]),
+            "same node each rep"
+        );
+    }
+
+    #[test]
+    fn non_root_inputs_exclude_root() {
+        let mut w = workload();
+        for input in w.inputs_for(OpId::RefLookup1N, 300) {
+            match input {
+                OpInput::Node(oid) => assert_ne!(oid.0, 1, "root excluded"),
+                other => panic!("{other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn shallow_database_clamps_closure_level() {
+        let db = TestDatabase::generate(&GenConfig::tiny());
+        let oids: Vec<Oid> = (1..=db.len() as u64).map(Oid).collect();
+        let w = Workload::new(db, oids, 1);
+        assert_eq!(w.closure_level(), 1);
+    }
+}

@@ -1,0 +1,241 @@
+//! Rendering benchmark results as paper-style tables and CSV.
+//!
+//! The companion report (/ANDE89/) presented one row per operation with
+//! cold and warm milliseconds-per-node per database level and system.
+//! [`render_ops_table`] reproduces that layout for any set of collected
+//! measurements; [`ops_csv`] emits the same data machine-readably so
+//! EXPERIMENTS.md can be regenerated.
+
+use std::fmt::Write as _;
+
+use hypermodel::load::CreationTimings;
+use hypermodel::ops::OpId;
+
+use crate::protocol::OpMeasurement;
+
+/// One benchmark cell: a backend/level pair's measurements.
+#[derive(Debug, Clone)]
+pub struct RunColumn {
+    /// Backend name ("mem", "disk", "rel").
+    pub backend: String,
+    /// Leaf level of the database (4, 5, 6 …).
+    pub level: u32,
+    /// Per-operation measurements, in [`OpId::ALL`] order.
+    pub measurements: Vec<OpMeasurement>,
+}
+
+fn fmt_ms(v: f64) -> String {
+    if v == 0.0 {
+        "0".into()
+    } else if v < 0.01 {
+        format!("{v:.4}")
+    } else if v < 1.0 {
+        format!("{v:.3}")
+    } else {
+        format!("{v:.2}")
+    }
+}
+
+/// Render the §6 operation table: one row per operation, a cold and warm
+/// column per run (ms/node, the paper's unit).
+pub fn render_ops_table(columns: &[RunColumn]) -> String {
+    let mut out = String::new();
+    let _ = write!(out, "{:<26}", "operation");
+    for c in columns {
+        let _ = write!(
+            out,
+            " | {:>9} {:>9}",
+            format!("{}/L{}", c.backend, c.level),
+            ""
+        );
+    }
+    out.push('\n');
+    let _ = write!(out, "{:<26}", "");
+    for _ in columns {
+        let _ = write!(out, " | {:>9} {:>9}", "cold", "warm");
+    }
+    out.push('\n');
+    let width = 26 + columns.len() * 23;
+    out.push_str(&"-".repeat(width));
+    out.push('\n');
+    for (i, op) in OpId::ALL.iter().enumerate() {
+        let _ = write!(out, "{:<26}", format!("{} {}", op.code(), op.name()));
+        for c in columns {
+            match c.measurements.get(i) {
+                Some(m) => {
+                    let _ = write!(
+                        out,
+                        " | {:>9} {:>9}",
+                        fmt_ms(m.cold_ms_per_node()),
+                        fmt_ms(m.warm_ms_per_node())
+                    );
+                }
+                None => {
+                    let _ = write!(out, " | {:>9} {:>9}", "-", "-");
+                }
+            }
+        }
+        out.push('\n');
+    }
+    out
+}
+
+/// CSV with one row per (backend, level, operation).
+pub fn ops_csv(columns: &[RunColumn]) -> String {
+    let mut out = String::from(
+        "backend,level,op_code,op_name,cold_ms_per_node,warm_ms_per_node,cold_nodes,warm_nodes,reps,cold_p50_ms,cold_p95_ms,warm_p50_ms,warm_p95_ms\n",
+    );
+    for c in columns {
+        for m in &c.measurements {
+            let _ = writeln!(
+                out,
+                "{},{},{},{},{:.6},{:.6},{},{},{},{:.6},{:.6},{:.6},{:.6}",
+                c.backend,
+                c.level,
+                m.op.code(),
+                m.op.name(),
+                m.cold_ms_per_node(),
+                m.warm_ms_per_node(),
+                m.cold_nodes,
+                m.warm_nodes,
+                m.reps,
+                m.cold_stats.p50.as_secs_f64() * 1e3,
+                m.cold_stats.p95.as_secs_f64() * 1e3,
+                m.warm_stats.p50.as_secs_f64() * 1e3,
+                m.warm_stats.p95.as_secs_f64() * 1e3
+            );
+        }
+    }
+    out
+}
+
+/// Render the §5.3 creation-time table.
+pub fn render_creation_table(rows: &[(String, u32, CreationTimings, u64)]) -> String {
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "{:<10} {:>5} | {:>12} {:>12} {:>12} {:>12} {:>12} | {:>10} {:>12}",
+        "backend",
+        "level",
+        "int ms/node",
+        "leaf ms/node",
+        "1N ms/rel",
+        "MN ms/rel",
+        "ref ms/rel",
+        "total s",
+        "db bytes"
+    );
+    out.push_str(&"-".repeat(124));
+    out.push('\n');
+    for (backend, level, t, bytes) in rows {
+        let _ = writeln!(
+            out,
+            "{:<10} {:>5} | {:>12} {:>12} {:>12} {:>12} {:>12} | {:>10.2} {:>12}",
+            backend,
+            level,
+            fmt_ms(t.internal_nodes.ms_per_element()),
+            fmt_ms(t.leaf_nodes.ms_per_element()),
+            fmt_ms(t.children_rels.ms_per_element()),
+            fmt_ms(t.parts_rels.ms_per_element()),
+            fmt_ms(t.refs_rels.ms_per_element()),
+            t.total().as_secs_f64(),
+            bytes
+        );
+    }
+    out
+}
+
+/// CSV for the creation table.
+pub fn creation_csv(rows: &[(String, u32, CreationTimings, u64)]) -> String {
+    let mut out = String::from(
+        "backend,level,internal_ms_per_node,leaf_ms_per_node,child_ms_per_rel,part_ms_per_rel,ref_ms_per_rel,total_s,db_bytes\n",
+    );
+    for (backend, level, t, bytes) in rows {
+        let _ = writeln!(
+            out,
+            "{},{},{:.6},{:.6},{:.6},{:.6},{:.6},{:.3},{}",
+            backend,
+            level,
+            t.internal_nodes.ms_per_element(),
+            t.leaf_nodes.ms_per_element(),
+            t.children_rels.ms_per_element(),
+            t.parts_rels.ms_per_element(),
+            t.refs_rels.ms_per_element(),
+            t.total().as_secs_f64(),
+            bytes
+        );
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::time::Duration;
+
+    fn fake_measurement(op: OpId, cold_ms: u64, warm_ms: u64) -> OpMeasurement {
+        OpMeasurement {
+            op,
+            cold_total: Duration::from_millis(cold_ms),
+            warm_total: Duration::from_millis(warm_ms),
+            cold_nodes: 50,
+            warm_nodes: 50,
+            reps: 50,
+            cold_stats: crate::protocol::PhaseStats::default(),
+            warm_stats: crate::protocol::PhaseStats::default(),
+        }
+    }
+
+    fn fake_column(backend: &str, level: u32) -> RunColumn {
+        RunColumn {
+            backend: backend.into(),
+            level,
+            measurements: OpId::ALL
+                .iter()
+                .map(|&op| fake_measurement(op, 100, 10))
+                .collect(),
+        }
+    }
+
+    #[test]
+    fn ops_table_has_all_rows_and_headers() {
+        let table = render_ops_table(&[fake_column("mem", 4), fake_column("disk", 4)]);
+        assert!(table.contains("mem/L4"));
+        assert!(table.contains("disk/L4"));
+        assert!(table.contains("O1 nameLookup"));
+        assert!(table.contains("O18 closureMNAttLinkSum"));
+        assert_eq!(table.lines().count(), 3 + 20);
+    }
+
+    #[test]
+    fn ops_csv_is_parseable() {
+        let csv = ops_csv(&[fake_column("mem", 5)]);
+        let lines: Vec<&str> = csv.lines().collect();
+        assert_eq!(lines.len(), 21);
+        assert!(lines[0].starts_with("backend,level,op_code"));
+        let fields: Vec<&str> = lines[1].split(',').collect();
+        assert_eq!(fields.len(), 13);
+        assert_eq!(fields[0], "mem");
+        assert_eq!(fields[2], "O1");
+        // cold 100ms / 50 nodes = 2 ms/node.
+        assert!((fields[4].parse::<f64>().unwrap() - 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn creation_table_renders() {
+        let t = CreationTimings::default();
+        let table = render_creation_table(&[("disk".into(), 4, t, 123_456)]);
+        assert!(table.contains("disk"));
+        assert!(table.contains("123456"));
+        let csv = creation_csv(&[("disk".into(), 4, t, 123_456)]);
+        assert_eq!(csv.lines().count(), 2);
+    }
+
+    #[test]
+    fn ms_formatting_scales() {
+        assert_eq!(fmt_ms(0.0), "0");
+        assert_eq!(fmt_ms(0.0042), "0.0042");
+        assert_eq!(fmt_ms(0.123), "0.123");
+        assert_eq!(fmt_ms(12.345), "12.35");
+    }
+}

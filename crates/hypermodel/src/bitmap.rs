@@ -1,0 +1,191 @@
+//! Bitmaps for form nodes.
+//!
+//! Paper §5.1: *"Each form-node should initially be white (all 0's), with a
+//! bitmap-size varying randomly between 100x100 and 400x400."* The
+//! `formNodeEdit` operation (O17) inverts a sub-rectangle.
+
+/// A packed 1-bit-per-pixel bitmap, row-major, LSB-first within each byte.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Bitmap {
+    width: u16,
+    height: u16,
+    bits: Vec<u8>,
+}
+
+impl Bitmap {
+    /// Bytes needed for a `w × h` bitmap.
+    pub fn byte_len(w: u16, h: u16) -> usize {
+        (w as usize * h as usize).div_ceil(8)
+    }
+
+    /// An all-white (all zero) bitmap.
+    pub fn white(width: u16, height: u16) -> Bitmap {
+        Bitmap {
+            width,
+            height,
+            bits: vec![0u8; Self::byte_len(width, height)],
+        }
+    }
+
+    /// Reconstruct from raw bits (e.g. after decoding a record).
+    pub fn from_bits(
+        width: u16,
+        height: u16,
+        bits: Vec<u8>,
+    ) -> std::result::Result<Bitmap, String> {
+        let expect = Self::byte_len(width, height);
+        if bits.len() != expect {
+            return Err(format!(
+                "bitmap {width}x{height} needs {expect} bytes, got {}",
+                bits.len()
+            ));
+        }
+        Ok(Bitmap {
+            width,
+            height,
+            bits,
+        })
+    }
+
+    /// Width in pixels.
+    pub fn width(&self) -> u16 {
+        self.width
+    }
+
+    /// Height in pixels.
+    pub fn height(&self) -> u16 {
+        self.height
+    }
+
+    /// Raw packed bits.
+    pub fn bits(&self) -> &[u8] {
+        &self.bits
+    }
+
+    /// Size of the packed representation in bytes.
+    pub fn byte_size(&self) -> usize {
+        self.bits.len()
+    }
+
+    fn index(&self, x: u16, y: u16) -> (usize, u8) {
+        debug_assert!(x < self.width && y < self.height);
+        let bit = y as usize * self.width as usize + x as usize;
+        (bit / 8, 1u8 << (bit % 8))
+    }
+
+    /// Pixel value at `(x, y)`; true = black.
+    pub fn get(&self, x: u16, y: u16) -> bool {
+        let (byte, mask) = self.index(x, y);
+        self.bits[byte] & mask != 0
+    }
+
+    /// Set pixel `(x, y)`.
+    pub fn set(&mut self, x: u16, y: u16, black: bool) {
+        let (byte, mask) = self.index(x, y);
+        if black {
+            self.bits[byte] |= mask;
+        } else {
+            self.bits[byte] &= !mask;
+        }
+    }
+
+    /// Invert the rectangle with top-left `(x0, y0)` and bottom-right
+    /// `(x1, y1)` inclusive, clamped to the bitmap — the `formNodeEdit`
+    /// primitive. Inverting the same rectangle twice is the identity,
+    /// which the benchmark relies on to leave the database unchanged
+    /// after an even number of runs.
+    pub fn invert_rect(&mut self, x0: u16, y0: u16, x1: u16, y1: u16) {
+        let x1 = x1.min(self.width.saturating_sub(1));
+        let y1 = y1.min(self.height.saturating_sub(1));
+        for y in y0..=y1 {
+            for x in x0..=x1 {
+                let (byte, mask) = self.index(x, y);
+                self.bits[byte] ^= mask;
+            }
+        }
+    }
+
+    /// Number of black pixels.
+    pub fn count_black(&self) -> usize {
+        // The final byte may contain padding bits, but they are never set
+        // because all mutation goes through coordinate-checked methods.
+        self.bits.iter().map(|b| b.count_ones() as usize).sum()
+    }
+
+    /// True if every pixel is white.
+    pub fn is_all_white(&self) -> bool {
+        self.bits.iter().all(|&b| b == 0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn white_bitmap_is_all_white() {
+        let bm = Bitmap::white(100, 100);
+        assert!(bm.is_all_white());
+        assert_eq!(bm.count_black(), 0);
+        assert_eq!(bm.byte_size(), 1250);
+    }
+
+    #[test]
+    fn set_get_round_trip() {
+        let mut bm = Bitmap::white(33, 17); // deliberately non-multiple-of-8
+        bm.set(0, 0, true);
+        bm.set(32, 16, true);
+        bm.set(15, 8, true);
+        assert!(bm.get(0, 0));
+        assert!(bm.get(32, 16));
+        assert!(bm.get(15, 8));
+        assert!(!bm.get(1, 0));
+        assert_eq!(bm.count_black(), 3);
+        bm.set(15, 8, false);
+        assert_eq!(bm.count_black(), 2);
+    }
+
+    #[test]
+    fn invert_rect_flips_exactly_the_rectangle() {
+        let mut bm = Bitmap::white(100, 100);
+        bm.invert_rect(25, 25, 50, 50);
+        assert_eq!(bm.count_black(), 26 * 26);
+        assert!(bm.get(25, 25));
+        assert!(bm.get(50, 50));
+        assert!(!bm.get(24, 25));
+        assert!(!bm.get(51, 50));
+    }
+
+    #[test]
+    fn invert_twice_is_identity() {
+        let mut bm = Bitmap::white(137, 211);
+        bm.set(5, 5, true);
+        let before = bm.clone();
+        bm.invert_rect(3, 3, 60, 80);
+        assert_ne!(bm, before);
+        bm.invert_rect(3, 3, 60, 80);
+        assert_eq!(bm, before);
+    }
+
+    #[test]
+    fn invert_rect_clamps_to_bounds() {
+        let mut bm = Bitmap::white(30, 30);
+        bm.invert_rect(25, 25, 50, 50); // extends past the edge
+        assert_eq!(bm.count_black(), 5 * 5);
+    }
+
+    #[test]
+    fn from_bits_validates_length() {
+        assert!(Bitmap::from_bits(10, 10, vec![0u8; 13]).is_ok());
+        assert!(Bitmap::from_bits(10, 10, vec![0u8; 12]).is_err());
+        assert!(Bitmap::from_bits(10, 10, vec![0u8; 14]).is_err());
+    }
+
+    #[test]
+    fn paper_size_range() {
+        // 100x100 = 1250 bytes, 400x400 = 20 000 bytes; the paper's ~7 800
+        // bytes per form node is the mean of the size distribution.
+        assert_eq!(Bitmap::white(100, 100).byte_size(), 1250);
+        assert_eq!(Bitmap::white(400, 400).byte_size(), 20_000);
+    }
+}

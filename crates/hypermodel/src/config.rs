@@ -1,0 +1,214 @@
+//! Generator configuration (paper §5.2).
+//!
+//! The numbers in the paper — fanout 5, leaf levels 4/5/6, 10–100 words,
+//! 100×100..400×400 bitmaps, one form node per 125 leaves — are defaults,
+//! not constants: §5.2 N.B. requires that *"it should be possible to
+//! increase and decrease the number of levels, the fanouts, the size of
+//! text and the size of a bitmap in any database"*. Everything is a field
+//! of [`GenConfig`].
+
+/// Parameters for test-database generation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct GenConfig {
+    /// Level of the leaf nodes (the root is level 0). The paper's three
+    /// database sizes use 4, 5 and 6.
+    pub leaf_level: u32,
+    /// Children per internal node (paper: 5).
+    pub fanout: u32,
+    /// RNG seed; equal seeds yield byte-identical databases.
+    pub seed: u64,
+    /// Word count range for text nodes, inclusive (paper: 10..=100).
+    pub text_words: (usize, usize),
+    /// Word length range, inclusive (paper: 1..=10).
+    pub word_len: (usize, usize),
+    /// Bitmap side length range, inclusive (paper: 100..=400).
+    pub bitmap_side: (u16, u16),
+    /// One out of this many leaves is a form node (paper: 125).
+    pub leaves_per_form: u32,
+    /// Parts per internal node in the M-N hierarchy (paper: 5).
+    pub parts_per_node: u32,
+}
+
+impl GenConfig {
+    /// The paper's configuration for a database with leaves on `level`.
+    pub fn level(level: u32) -> GenConfig {
+        GenConfig {
+            leaf_level: level,
+            fanout: 5,
+            seed: 0x4879_7065_724D_6F64, // "HyperMod"
+            text_words: (10, 100),
+            word_len: (1, 10),
+            bitmap_side: (100, 400),
+            leaves_per_form: 125,
+            parts_per_node: 5,
+        }
+    }
+
+    /// A deliberately tiny configuration for unit tests (level 2, 31 nodes).
+    pub fn tiny() -> GenConfig {
+        let mut c = GenConfig::level(2);
+        c.leaves_per_form = 5;
+        c
+    }
+
+    /// Use a different seed (for multi-copy databases, §6.4.1 requires the
+    /// store to host *other* node instances beside the test structure).
+    pub fn with_seed(mut self, seed: u64) -> GenConfig {
+        self.seed = seed;
+        self
+    }
+
+    /// Number of nodes on `level` (0-based; root level has 1).
+    pub fn nodes_on_level(&self, level: u32) -> u64 {
+        (self.fanout as u64).pow(level)
+    }
+
+    /// Total number of nodes in the database.
+    pub fn total_nodes(&self) -> u64 {
+        (0..=self.leaf_level).map(|l| self.nodes_on_level(l)).sum()
+    }
+
+    /// Number of leaf nodes.
+    pub fn leaf_nodes(&self) -> u64 {
+        self.nodes_on_level(self.leaf_level)
+    }
+
+    /// Number of internal (non-leaf) nodes.
+    pub fn internal_nodes(&self) -> u64 {
+        self.total_nodes() - self.leaf_nodes()
+    }
+
+    /// Number of form nodes at the leaf level.
+    pub fn form_nodes(&self) -> u64 {
+        self.leaf_nodes().div_ceil(self.leaves_per_form as u64)
+    }
+
+    /// Number of text nodes at the leaf level.
+    pub fn text_nodes(&self) -> u64 {
+        self.leaf_nodes() - self.form_nodes()
+    }
+
+    /// Expected number of nodes visited by a closure from a level-3 node
+    /// down to the leaves (paper: n-level4 = 6, n-level5 = 31,
+    /// n-level6 = 156).
+    pub fn closure_size_from_level(&self, start_level: u32) -> u64 {
+        (start_level..=self.leaf_level)
+            .map(|l| (self.fanout as u64).pow(l - start_level))
+            .sum()
+    }
+}
+
+/// Size model from paper §5.2: ~80 bytes per node, 380 per text node,
+/// 7 800 per form node and 25 per link reference, giving ≈8 MB at level 6
+/// and ×5 per added level.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SizeEstimate {
+    /// Bytes attributed to node base records.
+    pub node_bytes: u64,
+    /// Extra bytes attributed to text content.
+    pub text_bytes: u64,
+    /// Extra bytes attributed to form content.
+    pub form_bytes: u64,
+    /// Bytes attributed to relationship references.
+    pub link_bytes: u64,
+}
+
+impl SizeEstimate {
+    /// Paper-model estimate for `config`.
+    pub fn for_config(config: &GenConfig) -> SizeEstimate {
+        let per_node = 80u64;
+        let per_text = 380u64; // total per text node, per the paper
+        let per_form = 7800u64;
+        let per_link = 25u64;
+        let internal = config.internal_nodes();
+        let text = config.text_nodes();
+        let form = config.form_nodes();
+        let total = config.total_nodes();
+        // Links: 1-N (total-1) + M-N (total-1) + M-N-attributed (total).
+        let links = (total - 1) + (total - 1) + total;
+        SizeEstimate {
+            node_bytes: internal * per_node,
+            text_bytes: text * per_text,
+            form_bytes: form * per_form,
+            link_bytes: links * per_link,
+        }
+    }
+
+    /// Total estimated size in bytes.
+    pub fn total(&self) -> u64 {
+        self.node_bytes + self.text_bytes + self.form_bytes + self.link_bytes
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_node_counts() {
+        // §5.2: "0(1), 1(5), 2(25), 3(125), 4(625), 5(3125), 6(15625),
+        // and a total of 19531 nodes for level 6".
+        let c6 = GenConfig::level(6);
+        assert_eq!(c6.nodes_on_level(0), 1);
+        assert_eq!(c6.nodes_on_level(3), 125);
+        assert_eq!(c6.nodes_on_level(6), 15_625);
+        assert_eq!(c6.total_nodes(), 19_531);
+        assert_eq!(GenConfig::level(4).total_nodes(), 781);
+        assert_eq!(GenConfig::level(5).total_nodes(), 3_906);
+        // "adding one level will give a total of 97656 nodes"
+        assert_eq!(GenConfig::level(7).total_nodes(), 97_656);
+    }
+
+    #[test]
+    fn paper_leaf_composition() {
+        // §5.2: "125 form-nodes and 15500 text-nodes in the level database".
+        let c6 = GenConfig::level(6);
+        assert_eq!(c6.form_nodes(), 125);
+        assert_eq!(c6.text_nodes(), 15_500);
+        let c4 = GenConfig::level(4);
+        assert_eq!(c4.form_nodes(), 5);
+        assert_eq!(c4.text_nodes(), 620);
+    }
+
+    #[test]
+    fn paper_closure_sizes() {
+        // §6.5: n-level4 = 6, n-level5 = 31, n-level6 = 156 from level 3.
+        assert_eq!(GenConfig::level(4).closure_size_from_level(3), 6);
+        assert_eq!(GenConfig::level(5).closure_size_from_level(3), 31);
+        assert_eq!(GenConfig::level(6).closure_size_from_level(3), 156);
+    }
+
+    #[test]
+    fn paper_size_estimate_is_about_8_mb_at_level_6() {
+        let est = SizeEstimate::for_config(&GenConfig::level(6));
+        let mb = est.total() as f64 / (1024.0 * 1024.0);
+        assert!(
+            (7.0..10.0).contains(&mb),
+            "estimate {mb:.2} MB should be ≈8 MB"
+        );
+        // "Increasing the number of levels with one will increase the size
+        // of the database by 5".
+        let est7 = SizeEstimate::for_config(&GenConfig::level(7));
+        let ratio = est7.total() as f64 / est.total() as f64;
+        assert!(
+            (4.5..5.5).contains(&ratio),
+            "level 7 / level 6 ratio {ratio:.2} ≈ 5"
+        );
+    }
+
+    #[test]
+    fn configurable_fanout_changes_counts() {
+        let mut c = GenConfig::level(3);
+        c.fanout = 3;
+        assert_eq!(c.total_nodes(), 1 + 3 + 9 + 27);
+        assert_eq!(c.leaf_nodes(), 27);
+        assert_eq!(c.internal_nodes(), 13);
+    }
+
+    #[test]
+    fn tiny_config_is_small() {
+        let c = GenConfig::tiny();
+        assert_eq!(c.total_nodes(), 31);
+        assert!(c.form_nodes() >= 1);
+    }
+}

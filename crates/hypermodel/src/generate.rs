@@ -1,0 +1,454 @@
+//! Test-database generation (paper §5.2, Figures 2–4).
+//!
+//! [`TestDatabase::generate`] builds a complete, deterministic description
+//! of one HyperModel test database:
+//!
+//! * **Figure 2** — the 1-N aggregation: a strict tree with `fanout`
+//!   children per node and leaves on `leaf_level`. Children are ordered.
+//! * **Figure 3** — the M-N aggregation: every *internal* node is related
+//!   to `parts_per_node` random nodes **from the next level down**, giving
+//!   a hierarchy with shared sub-parts and (for the paper's parameters)
+//!   exactly `total_nodes - 1` relationships.
+//! * **Figure 4** — the attributed M-N association: every node references
+//!   one random node with `offsetFrom`/`offsetTo` uniform in `0..=9`,
+//!   giving `total_nodes` relationships — a directed weighted graph.
+//!
+//! The description is backend-independent: every backend loads the same
+//! `TestDatabase`, so a given seed produces semantically identical
+//! databases everywhere and operation results can be compared exactly.
+//!
+//! Nodes are indexed in breadth-first order (`0` is the root); the
+//! `uniqueId` attribute is `index + 1`. Per §5.2 N.B. operations must not
+//! exploit this — they receive level catalogs as *data* from the spec, and
+//! the harness picks random inputs from those catalogs.
+
+use crate::bitmap::Bitmap;
+use crate::config::GenConfig;
+use crate::model::{Content, NodeAttrs, NodeKind, NodeValue};
+use crate::rng::Rng;
+use crate::text::generate_text;
+
+/// One generated node.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct NodeSpec {
+    /// Level in the 1-N tree (root = 0).
+    pub level: u32,
+    /// The node's attributes and content.
+    pub value: NodeValue,
+}
+
+/// A fully generated test database description.
+#[derive(Debug, Clone)]
+pub struct TestDatabase {
+    /// The configuration it was generated from.
+    pub config: GenConfig,
+    /// All nodes in breadth-first order; `uniqueId = index + 1`.
+    pub nodes: Vec<NodeSpec>,
+    /// Ordered child indices per node (1-N, Figure 2); empty for leaves.
+    pub children: Vec<Vec<u32>>,
+    /// Parent index per node (`u32::MAX` for the root).
+    pub parent: Vec<u32>,
+    /// Part indices per node (M-N, Figure 3); empty for leaves.
+    pub parts: Vec<Vec<u32>>,
+    /// Per node: `(target index, offsetFrom, offsetTo)` (Figure 4).
+    pub refs: Vec<(u32, u8, u8)>,
+    /// Half-open index range `[start, end)` of each level.
+    pub level_ranges: Vec<(u32, u32)>,
+}
+
+/// Sentinel parent index of the root node.
+pub const NO_PARENT: u32 = u32::MAX;
+
+impl TestDatabase {
+    /// Generate the database described by `config`.
+    pub fn generate(config: &GenConfig) -> TestDatabase {
+        let total = config.total_nodes() as usize;
+        let mut seed_rng = Rng::new(config.seed);
+        let mut attr_rng = seed_rng.fork(1);
+        let mut text_rng = seed_rng.fork(2);
+        let mut form_rng = seed_rng.fork(3);
+        let mut parts_rng = seed_rng.fork(4);
+        let mut refs_rng = seed_rng.fork(5);
+
+        // Level ranges in BFS order.
+        let mut level_ranges = Vec::with_capacity(config.leaf_level as usize + 1);
+        let mut start = 0u32;
+        for level in 0..=config.leaf_level {
+            let n = config.nodes_on_level(level) as u32;
+            level_ranges.push((start, start + n));
+            start += n;
+        }
+        debug_assert_eq!(start as usize, total);
+
+        // Nodes: attributes for everyone, content for leaves.
+        let mut nodes = Vec::with_capacity(total);
+        for level in 0..=config.leaf_level {
+            let (lo, hi) = level_ranges[level as usize];
+            for idx in lo..hi {
+                let attrs = NodeAttrs {
+                    unique_id: idx as u64 + 1,
+                    ten: attr_rng.range_u32(1, 10),
+                    hundred: attr_rng.range_u32(1, 100),
+                    thousand: attr_rng.range_u32(1, 1000),
+                    million: attr_rng.range_u32(1, 1_000_000),
+                };
+                let (kind, content) = if level < config.leaf_level {
+                    (NodeKind::INTERNAL, Content::None)
+                } else {
+                    let leaf_pos = idx - lo;
+                    if leaf_pos % config.leaves_per_form == 0 {
+                        let w = form_rng
+                            .range_u32(config.bitmap_side.0 as u32, config.bitmap_side.1 as u32)
+                            as u16;
+                        let h = form_rng
+                            .range_u32(config.bitmap_side.0 as u32, config.bitmap_side.1 as u32)
+                            as u16;
+                        (NodeKind::FORM, Content::Form(Bitmap::white(w, h)))
+                    } else {
+                        (NodeKind::TEXT, Content::Text(generate_text(&mut text_rng)))
+                    }
+                };
+                nodes.push(NodeSpec {
+                    level,
+                    value: NodeValue {
+                        kind,
+                        attrs,
+                        content,
+                    },
+                });
+            }
+        }
+
+        // 1-N tree (Figure 2): node i on level l has children
+        // next_level_start + (i - level_start) * fanout .. + fanout.
+        let mut children = vec![Vec::new(); total];
+        let mut parent = vec![NO_PARENT; total];
+        for level in 0..config.leaf_level {
+            let (lo, hi) = level_ranges[level as usize];
+            let (next_lo, _) = level_ranges[level as usize + 1];
+            for idx in lo..hi {
+                let first_child = next_lo + (idx - lo) * config.fanout;
+                let kids: Vec<u32> = (first_child..first_child + config.fanout).collect();
+                for &k in &kids {
+                    parent[k as usize] = idx;
+                }
+                children[idx as usize] = kids;
+            }
+        }
+
+        // M-N parts (Figure 3): each internal node gets `parts_per_node`
+        // random nodes from the next level.
+        let mut parts = vec![Vec::new(); total];
+        for level in 0..config.leaf_level {
+            let (lo, hi) = level_ranges[level as usize];
+            let (next_lo, next_hi) = level_ranges[level as usize + 1];
+            for idx in lo..hi {
+                let mut p = Vec::with_capacity(config.parts_per_node as usize);
+                for _ in 0..config.parts_per_node {
+                    p.push(parts_rng.range_u32(next_lo, next_hi - 1));
+                }
+                parts[idx as usize] = p;
+            }
+        }
+
+        // Attributed M-N refs (Figure 4): visit each node once, create one
+        // reference to another random node with offsets in 0..=9.
+        let mut refs = Vec::with_capacity(total);
+        for _ in 0..total {
+            let target = refs_rng.range_u32(0, total as u32 - 1);
+            let off_from = refs_rng.range_u32(0, 9) as u8;
+            let off_to = refs_rng.range_u32(0, 9) as u8;
+            refs.push((target, off_from, off_to));
+        }
+
+        TestDatabase {
+            config: config.clone(),
+            nodes,
+            children,
+            parent,
+            parts,
+            refs,
+            level_ranges,
+        }
+    }
+
+    /// Number of nodes.
+    pub fn len(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// True when the database has no nodes (never for valid configs).
+    pub fn is_empty(&self) -> bool {
+        self.nodes.is_empty()
+    }
+
+    /// Indices of all nodes on `level`.
+    pub fn level_indices(&self, level: u32) -> std::ops::Range<u32> {
+        let (lo, hi) = self.level_ranges[level as usize];
+        lo..hi
+    }
+
+    /// Indices of all internal (non-leaf) nodes.
+    pub fn internal_indices(&self) -> std::ops::Range<u32> {
+        let (lo, _) = self.level_ranges[0];
+        let (leaf_lo, _) = self.level_ranges[self.config.leaf_level as usize];
+        lo..leaf_lo
+    }
+
+    /// Indices of all leaf nodes.
+    pub fn leaf_indices(&self) -> std::ops::Range<u32> {
+        let (lo, hi) = self.level_ranges[self.config.leaf_level as usize];
+        lo..hi
+    }
+
+    /// Indices of text nodes (subset of leaves).
+    pub fn text_indices(&self) -> Vec<u32> {
+        self.leaf_indices()
+            .filter(|&i| self.nodes[i as usize].value.kind == NodeKind::TEXT)
+            .collect()
+    }
+
+    /// Indices of form nodes (subset of leaves).
+    pub fn form_indices(&self) -> Vec<u32> {
+        self.leaf_indices()
+            .filter(|&i| self.nodes[i as usize].value.kind == NodeKind::FORM)
+            .collect()
+    }
+
+    /// The inverse of [`TestDatabase::parts`]: for each node, the nodes it
+    /// is a part of. Computed on demand (the generator stores only the
+    /// forward direction, like the paper's schema).
+    pub fn compute_part_of(&self) -> Vec<Vec<u32>> {
+        let mut inv = vec![Vec::new(); self.len()];
+        for (owner, ps) in self.parts.iter().enumerate() {
+            for &p in ps {
+                inv[p as usize].push(owner as u32);
+            }
+        }
+        inv
+    }
+
+    /// The inverse of [`TestDatabase::refs`]: for each node, the nodes
+    /// referencing it (with offsets).
+    pub fn compute_ref_from(&self) -> Vec<Vec<(u32, u8, u8)>> {
+        let mut inv = vec![Vec::new(); self.len()];
+        for (src, &(dst, off_from, off_to)) in self.refs.iter().enumerate() {
+            inv[dst as usize].push((src as u32, off_from, off_to));
+        }
+        inv
+    }
+
+    /// Structural self-check; used by tests and the `gen-stats` tool.
+    pub fn validate(&self) -> std::result::Result<(), String> {
+        let cfg = &self.config;
+        if self.len() as u64 != cfg.total_nodes() {
+            return Err(format!(
+                "node count {} != expected {}",
+                self.len(),
+                cfg.total_nodes()
+            ));
+        }
+        // 1-N relationship count == total - 1 (§5.2).
+        let rel_1n: usize = self.children.iter().map(|c| c.len()).sum();
+        if rel_1n as u64 != cfg.total_nodes() - 1 {
+            return Err(format!("1-N relationship count {rel_1n} != total-1"));
+        }
+        // M-N relationship count == total - 1 for the paper's parameters.
+        let rel_mn: usize = self.parts.iter().map(|p| p.len()).sum();
+        if cfg.parts_per_node == cfg.fanout && rel_mn as u64 != cfg.total_nodes() - 1 {
+            return Err(format!("M-N relationship count {rel_mn} != total-1"));
+        }
+        // Attributed M-N count == total (§5.2).
+        if self.refs.len() != self.len() {
+            return Err("refs count != node count".into());
+        }
+        // Tree structure is consistent.
+        for (i, kids) in self.children.iter().enumerate() {
+            for &k in kids {
+                if self.parent[k as usize] as usize != i {
+                    return Err(format!("child {k} does not point back to parent {i}"));
+                }
+                if self.nodes[k as usize].level != self.nodes[i].level + 1 {
+                    return Err(format!("child {k} is not one level below {i}"));
+                }
+            }
+        }
+        // Parts come from the next level down.
+        for (i, ps) in self.parts.iter().enumerate() {
+            for &p in ps {
+                if self.nodes[p as usize].level != self.nodes[i].level + 1 {
+                    return Err(format!("part {p} of {i} is not on the next level"));
+                }
+            }
+        }
+        // uniqueIds are 1..=N in index order.
+        for (i, n) in self.nodes.iter().enumerate() {
+            if n.value.attrs.unique_id != i as u64 + 1 {
+                return Err(format!("node {i} has uniqueId {}", n.value.attrs.unique_id));
+            }
+        }
+        // Attribute ranges.
+        for n in &self.nodes {
+            let a = &n.value.attrs;
+            if !(1..=10).contains(&a.ten)
+                || !(1..=100).contains(&a.hundred)
+                || !(1..=1000).contains(&a.thousand)
+                || !(1..=1_000_000).contains(&a.million)
+            {
+                return Err(format!("attributes out of range: {a:?}"));
+            }
+        }
+        // Offsets in 0..=9.
+        for &(_, f, t) in &self.refs {
+            if f > 9 || t > 9 {
+                return Err(format!("ref offsets ({f},{t}) out of range"));
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tiny_database_validates() {
+        let db = TestDatabase::generate(&GenConfig::tiny());
+        db.validate().unwrap();
+        assert_eq!(db.len(), 31);
+        assert_eq!(db.level_indices(0), 0..1);
+        assert_eq!(db.level_indices(1), 1..6);
+        assert_eq!(db.level_indices(2), 6..31);
+    }
+
+    #[test]
+    fn level_4_database_validates_with_paper_counts() {
+        let db = TestDatabase::generate(&GenConfig::level(4));
+        db.validate().unwrap();
+        assert_eq!(db.len(), 781);
+        assert_eq!(db.leaf_indices().len(), 625);
+        assert_eq!(db.form_indices().len(), 5);
+        assert_eq!(db.text_indices().len(), 620);
+        let rel_mn: usize = db.parts.iter().map(|p| p.len()).sum();
+        assert_eq!(rel_mn, 780, "M-N relationships = nodes - 1");
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        let a = TestDatabase::generate(&GenConfig::level(4));
+        let b = TestDatabase::generate(&GenConfig::level(4));
+        assert_eq!(a.nodes, b.nodes);
+        assert_eq!(a.children, b.children);
+        assert_eq!(a.parts, b.parts);
+        assert_eq!(a.refs, b.refs);
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let a = TestDatabase::generate(&GenConfig::level(4));
+        let b = TestDatabase::generate(&GenConfig::level(4).with_seed(999));
+        assert_ne!(a.refs, b.refs);
+    }
+
+    #[test]
+    fn tree_shape_is_exact() {
+        let db = TestDatabase::generate(&GenConfig::tiny());
+        assert_eq!(db.children[0], vec![1, 2, 3, 4, 5]);
+        assert_eq!(db.children[1], vec![6, 7, 8, 9, 10]);
+        assert_eq!(db.parent[0], NO_PARENT);
+        assert_eq!(db.parent[6], 1);
+        assert_eq!(db.parent[30], 5);
+        assert!(db.children[6].is_empty(), "leaves have no children");
+    }
+
+    #[test]
+    fn leaf_content_matches_kind() {
+        let db = TestDatabase::generate(&GenConfig::tiny());
+        for i in db.leaf_indices() {
+            let v = &db.nodes[i as usize].value;
+            match v.kind {
+                NodeKind::TEXT => assert!(matches!(v.content, Content::Text(_))),
+                NodeKind::FORM => assert!(matches!(v.content, Content::Form(_))),
+                k => panic!("unexpected leaf kind {k:?}"),
+            }
+        }
+        for i in db.internal_indices() {
+            assert_eq!(db.nodes[i as usize].value.content, Content::None);
+        }
+    }
+
+    #[test]
+    fn form_bitmaps_are_white_and_sized() {
+        let db = TestDatabase::generate(&GenConfig::level(4));
+        for i in db.form_indices() {
+            if let Content::Form(bm) = &db.nodes[i as usize].value.content {
+                assert!(bm.is_all_white());
+                assert!((100..=400).contains(&bm.width()));
+                assert!((100..=400).contains(&bm.height()));
+            } else {
+                panic!("form node without bitmap");
+            }
+        }
+    }
+
+    #[test]
+    fn part_of_inverse_is_consistent() {
+        let db = TestDatabase::generate(&GenConfig::tiny());
+        let inv = db.compute_part_of();
+        for (i, ps) in db.parts.iter().enumerate() {
+            for &p in ps {
+                assert!(inv[p as usize].contains(&(i as u32)));
+            }
+        }
+        let total_fwd: usize = db.parts.iter().map(|p| p.len()).sum();
+        let total_inv: usize = inv.iter().map(|p| p.len()).sum();
+        assert_eq!(total_fwd, total_inv);
+    }
+
+    #[test]
+    fn ref_from_inverse_is_consistent() {
+        let db = TestDatabase::generate(&GenConfig::tiny());
+        let inv = db.compute_ref_from();
+        let total_inv: usize = inv.iter().map(|r| r.len()).sum();
+        assert_eq!(total_inv, db.len(), "each node emits exactly one ref");
+        for (src, &(dst, f, t)) in db.refs.iter().enumerate() {
+            assert!(inv[dst as usize].contains(&(src as u32, f, t)));
+        }
+    }
+
+    #[test]
+    fn attribute_distributions_are_roughly_uniform() {
+        let db = TestDatabase::generate(&GenConfig::level(4));
+        let n = db.len() as f64;
+        let mean_hundred: f64 = db
+            .nodes
+            .iter()
+            .map(|n| n.value.attrs.hundred as f64)
+            .sum::<f64>()
+            / n;
+        assert!(
+            (40.0..60.0).contains(&mean_hundred),
+            "mean hundred {mean_hundred}"
+        );
+        let mean_ten: f64 = db
+            .nodes
+            .iter()
+            .map(|n| n.value.attrs.ten as f64)
+            .sum::<f64>()
+            / n;
+        assert!((4.5..6.5).contains(&mean_ten), "mean ten {mean_ten}");
+    }
+
+    #[test]
+    fn custom_fanout_is_respected() {
+        let mut cfg = GenConfig::level(3);
+        cfg.fanout = 3;
+        cfg.parts_per_node = 2;
+        let db = TestDatabase::generate(&cfg);
+        db.validate().unwrap();
+        assert_eq!(db.len(), 40);
+        assert_eq!(db.children[0].len(), 3);
+        assert_eq!(db.parts[0].len(), 2);
+    }
+}

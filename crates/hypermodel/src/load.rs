@@ -1,0 +1,189 @@
+//! Loading a generated [`TestDatabase`] into a backend, with the paper's
+//! creation-time measurements (§5.3).
+//!
+//! The paper splits creation time into: internal node creation, leaf node
+//! creation, and creation of each relationship type, *each including the
+//! corresponding commit* and index maintenance. [`load_database`] performs
+//! exactly those five phases, committing after each, and reports wall time
+//! and element counts per phase.
+
+use std::time::{Duration, Instant};
+
+use crate::error::Result;
+use crate::generate::TestDatabase;
+use crate::model::Oid;
+use crate::store::HyperStore;
+
+/// Wall time and element count of one creation phase.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Phase {
+    /// Total wall time including the phase's commit.
+    pub elapsed: Duration,
+    /// Number of nodes or relationships created.
+    pub count: u64,
+}
+
+impl Phase {
+    /// Milliseconds per created element — the paper's reporting unit.
+    pub fn ms_per_element(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.elapsed.as_secs_f64() * 1e3 / self.count as f64
+        }
+    }
+}
+
+/// Per-phase creation timings (§5.3 operations (a)–(e)).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct CreationTimings {
+    /// (a) Create internal nodes (with commit).
+    pub internal_nodes: Phase,
+    /// (b) Create leaf nodes (with commit).
+    pub leaf_nodes: Phase,
+    /// (c) Create the 1-N child relationships (with commit).
+    pub children_rels: Phase,
+    /// (d) Create the M-N part relationships (with commit).
+    pub parts_rels: Phase,
+    /// (e) Create the attributed M-N references (with commit).
+    pub refs_rels: Phase,
+}
+
+impl CreationTimings {
+    /// Total load wall time.
+    pub fn total(&self) -> Duration {
+        self.internal_nodes.elapsed
+            + self.leaf_nodes.elapsed
+            + self.children_rels.elapsed
+            + self.parts_rels.elapsed
+            + self.refs_rels.elapsed
+    }
+}
+
+/// Result of loading: the index → [`Oid`] map plus timings.
+#[derive(Debug, Clone)]
+pub struct LoadReport {
+    /// `oids[i]` is the object id of `db.nodes[i]`.
+    pub oids: Vec<Oid>,
+    /// Per-phase wall times.
+    pub timings: CreationTimings,
+}
+
+/// Load `db` into `store`, committing after each creation phase.
+///
+/// Nodes are created in breadth-first order with a parent placement hint,
+/// so backends that support clustering place children near their parents
+/// (the paper: clustering "should be done along the 1-N
+/// relationship-hierarchy").
+pub fn load_database<S: HyperStore + ?Sized>(
+    store: &mut S,
+    db: &TestDatabase,
+) -> Result<LoadReport> {
+    let total = db.len();
+    let mut oids: Vec<Oid> = Vec::with_capacity(total);
+    let mut timings = CreationTimings::default();
+    let leaf_start = db.leaf_indices().start as usize;
+
+    // Phase 1: internal nodes (BFS order; parents exist before children).
+    let t = Instant::now();
+    for i in 0..leaf_start {
+        let near = parent_hint(db, i, &oids);
+        oids.push(store.create_node_clustered(&db.nodes[i].value, near)?);
+    }
+    store.commit()?;
+    timings.internal_nodes = Phase {
+        elapsed: t.elapsed(),
+        count: leaf_start as u64,
+    };
+
+    // Phase 2: leaf nodes.
+    let t = Instant::now();
+    for i in leaf_start..total {
+        let near = parent_hint(db, i, &oids);
+        oids.push(store.create_node_clustered(&db.nodes[i].value, near)?);
+    }
+    store.commit()?;
+    timings.leaf_nodes = Phase {
+        elapsed: t.elapsed(),
+        count: (total - leaf_start) as u64,
+    };
+
+    // Phase 3: 1-N child relationships (ordered).
+    let t = Instant::now();
+    let mut n_children = 0u64;
+    for (i, kids) in db.children.iter().enumerate() {
+        for &k in kids {
+            store.add_child(oids[i], oids[k as usize])?;
+            n_children += 1;
+        }
+    }
+    store.commit()?;
+    timings.children_rels = Phase {
+        elapsed: t.elapsed(),
+        count: n_children,
+    };
+
+    // Phase 4: M-N part relationships.
+    let t = Instant::now();
+    let mut n_parts = 0u64;
+    for (i, ps) in db.parts.iter().enumerate() {
+        for &p in ps {
+            store.add_part(oids[i], oids[p as usize])?;
+            n_parts += 1;
+        }
+    }
+    store.commit()?;
+    timings.parts_rels = Phase {
+        elapsed: t.elapsed(),
+        count: n_parts,
+    };
+
+    // Phase 5: attributed M-N references.
+    let t = Instant::now();
+    for (i, &(target, off_from, off_to)) in db.refs.iter().enumerate() {
+        store.add_ref(oids[i], oids[target as usize], off_from, off_to)?;
+    }
+    store.commit()?;
+    timings.refs_rels = Phase {
+        elapsed: t.elapsed(),
+        count: db.refs.len() as u64,
+    };
+
+    Ok(LoadReport { oids, timings })
+}
+
+fn parent_hint(db: &TestDatabase, i: usize, oids: &[Oid]) -> Option<Oid> {
+    let p = db.parent[i];
+    if p == crate::generate::NO_PARENT {
+        None
+    } else {
+        Some(oids[p as usize])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn phase_ms_per_element() {
+        let p = Phase {
+            elapsed: Duration::from_millis(500),
+            count: 100,
+        };
+        assert!((p.ms_per_element() - 5.0).abs() < 1e-9);
+        let empty = Phase::default();
+        assert_eq!(empty.ms_per_element(), 0.0);
+    }
+
+    #[test]
+    fn timings_total_sums_phases() {
+        let mut t = CreationTimings::default();
+        t.internal_nodes.elapsed = Duration::from_millis(1);
+        t.leaf_nodes.elapsed = Duration::from_millis(2);
+        t.children_rels.elapsed = Duration::from_millis(3);
+        t.parts_rels.elapsed = Duration::from_millis(4);
+        t.refs_rels.elapsed = Duration::from_millis(5);
+        assert_eq!(t.total(), Duration::from_millis(15));
+    }
+}

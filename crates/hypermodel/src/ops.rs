@@ -1,0 +1,301 @@
+//! The benchmark operation catalog (§6).
+//!
+//! Twenty operations in seven categories. The harness iterates
+//! [`OpId::ALL`], uses [`OpId::input_kind`] to draw 50 random inputs of the
+//! right shape, and runs each operation cold and warm per the §6 protocol.
+//! The numbering (`O1`…`O18`, with `5A/5B` and `7A/7B`) follows the paper's
+//! comment tags (`/* 01 */` … `/* 18 */`).
+
+/// What kind of random input an operation consumes (paper, per-op
+/// *Input* clauses).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum InputKind {
+    /// A random integer in `1..=total_nodes` (a `uniqueId` value).
+    UniqueId,
+    /// A random node reference.
+    AnyNode,
+    /// A random internal (non-leaf) node.
+    InternalNode,
+    /// A random node except the root.
+    NonRootNode,
+    /// A random node on level 3 (closure starts).
+    Level3Node,
+    /// A random text node.
+    TextNode,
+    /// A random form node. N.B. §6.7: the *same* form node is used for all
+    /// fifty repetitions of `formNodeEdit`.
+    FormNode,
+    /// A pair `(x, x+9)` with `1 <= x <= 90` (10% selectivity on hundred).
+    HundredRange,
+    /// A pair `(x, x+9999)` with `1 <= x <= 990_000` (1% selectivity).
+    MillionRange,
+    /// No input (sequential scan).
+    None,
+}
+
+/// Operation category (§6.1–§6.7 section structure).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum OpCategory {
+    /// §6.1 Name Lookup.
+    NameLookup,
+    /// §6.2 Range Lookup.
+    RangeLookup,
+    /// §6.3 Group Lookup.
+    GroupLookup,
+    /// §6.4 Reference Lookup.
+    ReferenceLookup,
+    /// §6.4.1 Sequential Scan.
+    SequentialScan,
+    /// §6.5 Closure Traversals.
+    ClosureTraversal,
+    /// §6.6 Other closure operations.
+    ClosureComputation,
+    /// §6.7 Editing.
+    Editing,
+}
+
+impl OpCategory {
+    /// Human-readable section title.
+    pub fn title(self) -> &'static str {
+        match self {
+            OpCategory::NameLookup => "Name Lookup",
+            OpCategory::RangeLookup => "Range Lookup",
+            OpCategory::GroupLookup => "Group Lookup",
+            OpCategory::ReferenceLookup => "Reference Lookup",
+            OpCategory::SequentialScan => "Sequential Scan",
+            OpCategory::ClosureTraversal => "Closure Traversals",
+            OpCategory::ClosureComputation => "Closure Computations",
+            OpCategory::Editing => "Editing",
+        }
+    }
+}
+
+/// One benchmark operation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[allow(missing_docs)] // the variants are documented by `name()`/the paper
+pub enum OpId {
+    NameLookup,          // O1
+    NameOidLookup,       // O2
+    RangeLookupHundred,  // O3
+    RangeLookupMillion,  // O4
+    GroupLookup1N,       // O5A
+    GroupLookupMN,       // O5B
+    GroupLookupMNAtt,    // O6
+    RefLookup1N,         // O7A
+    RefLookupMN,         // O7B
+    RefLookupMNAtt,      // O8
+    SeqScan,             // O9
+    Closure1N,           // O10
+    Closure1NAttSum,     // O11
+    Closure1NAttSet,     // O12
+    Closure1NPred,       // O13
+    ClosureMN,           // O14
+    ClosureMNAtt,        // O15
+    TextNodeEdit,        // O16
+    FormNodeEdit,        // O17
+    ClosureMNAttLinkSum, // O18
+}
+
+impl OpId {
+    /// Every operation, in paper order.
+    pub const ALL: [OpId; 20] = [
+        OpId::NameLookup,
+        OpId::NameOidLookup,
+        OpId::RangeLookupHundred,
+        OpId::RangeLookupMillion,
+        OpId::GroupLookup1N,
+        OpId::GroupLookupMN,
+        OpId::GroupLookupMNAtt,
+        OpId::RefLookup1N,
+        OpId::RefLookupMN,
+        OpId::RefLookupMNAtt,
+        OpId::SeqScan,
+        OpId::Closure1N,
+        OpId::Closure1NAttSum,
+        OpId::Closure1NAttSet,
+        OpId::Closure1NPred,
+        OpId::ClosureMN,
+        OpId::ClosureMNAtt,
+        OpId::TextNodeEdit,
+        OpId::FormNodeEdit,
+        OpId::ClosureMNAttLinkSum,
+    ];
+
+    /// The paper's numeric tag (`/* 01 */` etc.).
+    pub fn code(self) -> &'static str {
+        match self {
+            OpId::NameLookup => "O1",
+            OpId::NameOidLookup => "O2",
+            OpId::RangeLookupHundred => "O3",
+            OpId::RangeLookupMillion => "O4",
+            OpId::GroupLookup1N => "O5A",
+            OpId::GroupLookupMN => "O5B",
+            OpId::GroupLookupMNAtt => "O6",
+            OpId::RefLookup1N => "O7A",
+            OpId::RefLookupMN => "O7B",
+            OpId::RefLookupMNAtt => "O8",
+            OpId::SeqScan => "O9",
+            OpId::Closure1N => "O10",
+            OpId::Closure1NAttSum => "O11",
+            OpId::Closure1NAttSet => "O12",
+            OpId::Closure1NPred => "O13",
+            OpId::ClosureMN => "O14",
+            OpId::ClosureMNAtt => "O15",
+            OpId::TextNodeEdit => "O16",
+            OpId::FormNodeEdit => "O17",
+            OpId::ClosureMNAttLinkSum => "O18",
+        }
+    }
+
+    /// The paper's operation name.
+    pub fn name(self) -> &'static str {
+        match self {
+            OpId::NameLookup => "nameLookup",
+            OpId::NameOidLookup => "nameOIDLookup",
+            OpId::RangeLookupHundred => "rangeLookupHundred",
+            OpId::RangeLookupMillion => "rangeLookupMillion",
+            OpId::GroupLookup1N => "groupLookup1N",
+            OpId::GroupLookupMN => "groupLookupMN",
+            OpId::GroupLookupMNAtt => "groupLookupMNAtt",
+            OpId::RefLookup1N => "refLookup1N",
+            OpId::RefLookupMN => "refLookupMN",
+            OpId::RefLookupMNAtt => "refLookupMNAtt",
+            OpId::SeqScan => "seqScan",
+            OpId::Closure1N => "closure1N",
+            OpId::Closure1NAttSum => "closure1NAttSum",
+            OpId::Closure1NAttSet => "closure1NAttSet",
+            OpId::Closure1NPred => "closure1NPred",
+            OpId::ClosureMN => "closureMN",
+            OpId::ClosureMNAtt => "closureMNAtt",
+            OpId::TextNodeEdit => "textNodeEdit",
+            OpId::FormNodeEdit => "formNodeEdit",
+            OpId::ClosureMNAttLinkSum => "closureMNAttLinkSum",
+        }
+    }
+
+    /// The §6 category the operation belongs to.
+    pub fn category(self) -> OpCategory {
+        match self {
+            OpId::NameLookup | OpId::NameOidLookup => OpCategory::NameLookup,
+            OpId::RangeLookupHundred | OpId::RangeLookupMillion => OpCategory::RangeLookup,
+            OpId::GroupLookup1N | OpId::GroupLookupMN | OpId::GroupLookupMNAtt => {
+                OpCategory::GroupLookup
+            }
+            OpId::RefLookup1N | OpId::RefLookupMN | OpId::RefLookupMNAtt => {
+                OpCategory::ReferenceLookup
+            }
+            OpId::SeqScan => OpCategory::SequentialScan,
+            OpId::Closure1N | OpId::ClosureMN | OpId::ClosureMNAtt => OpCategory::ClosureTraversal,
+            OpId::Closure1NAttSum
+            | OpId::Closure1NAttSet
+            | OpId::Closure1NPred
+            | OpId::ClosureMNAttLinkSum => OpCategory::ClosureComputation,
+            OpId::TextNodeEdit | OpId::FormNodeEdit => OpCategory::Editing,
+        }
+    }
+
+    /// What input the operation consumes.
+    pub fn input_kind(self) -> InputKind {
+        match self {
+            OpId::NameLookup => InputKind::UniqueId,
+            OpId::NameOidLookup => InputKind::AnyNode,
+            OpId::RangeLookupHundred => InputKind::HundredRange,
+            OpId::RangeLookupMillion => InputKind::MillionRange,
+            OpId::GroupLookup1N | OpId::GroupLookupMN => InputKind::InternalNode,
+            OpId::GroupLookupMNAtt => InputKind::AnyNode,
+            OpId::RefLookup1N | OpId::RefLookupMN => InputKind::NonRootNode,
+            OpId::RefLookupMNAtt => InputKind::AnyNode,
+            OpId::SeqScan => InputKind::None,
+            OpId::Closure1N
+            | OpId::Closure1NAttSum
+            | OpId::Closure1NAttSet
+            | OpId::Closure1NPred
+            | OpId::ClosureMN
+            | OpId::ClosureMNAtt
+            | OpId::ClosureMNAttLinkSum => InputKind::Level3Node,
+            OpId::TextNodeEdit => InputKind::TextNode,
+            OpId::FormNodeEdit => InputKind::FormNode,
+        }
+    }
+
+    /// True for operations that modify the database (and therefore need a
+    /// commit in the measured path and an even repetition count to leave
+    /// the database unchanged).
+    pub fn is_update(self) -> bool {
+        matches!(
+            self,
+            OpId::Closure1NAttSet | OpId::TextNodeEdit | OpId::FormNodeEdit
+        )
+    }
+
+    /// The depth parameter for the attributed-M-N closures ("a depth given
+    /// at run-time, here twenty-five").
+    pub const MNATT_DEPTH: u32 = 25;
+}
+
+impl std::fmt::Display for OpId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{} {}", self.code(), self.name())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_has_20_distinct_operations() {
+        let mut codes: Vec<&str> = OpId::ALL.iter().map(|o| o.code()).collect();
+        codes.sort_unstable();
+        codes.dedup();
+        assert_eq!(codes.len(), 20);
+    }
+
+    #[test]
+    fn updates_are_exactly_three() {
+        let updates: Vec<OpId> = OpId::ALL
+            .iter()
+            .copied()
+            .filter(|o| o.is_update())
+            .collect();
+        assert_eq!(
+            updates,
+            vec![
+                OpId::Closure1NAttSet,
+                OpId::TextNodeEdit,
+                OpId::FormNodeEdit
+            ]
+        );
+    }
+
+    #[test]
+    fn closure_ops_start_on_level_3() {
+        for op in [
+            OpId::Closure1N,
+            OpId::ClosureMN,
+            OpId::ClosureMNAtt,
+            OpId::Closure1NAttSum,
+            OpId::Closure1NAttSet,
+            OpId::Closure1NPred,
+            OpId::ClosureMNAttLinkSum,
+        ] {
+            assert_eq!(op.input_kind(), InputKind::Level3Node, "{op}");
+        }
+    }
+
+    #[test]
+    fn display_joins_code_and_name() {
+        assert_eq!(OpId::GroupLookup1N.to_string(), "O5A groupLookup1N");
+        assert_eq!(
+            OpId::ClosureMNAttLinkSum.to_string(),
+            "O18 closureMNAttLinkSum"
+        );
+    }
+
+    #[test]
+    fn categories_cover_paper_sections() {
+        use std::collections::HashSet;
+        let cats: HashSet<&str> = OpId::ALL.iter().map(|o| o.category().title()).collect();
+        assert_eq!(cats.len(), 8);
+    }
+}

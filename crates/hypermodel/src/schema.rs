@@ -1,0 +1,339 @@
+//! Dynamic schema support (requirement R4, extension operation §6.8(1)).
+//!
+//! The paper requires that *"it should be possible to dynamically add new
+//! types, and specialize existing ones by adding new attributes"*, with the
+//! worked example of adding a `DrawNode` consisting of circles, rectangles
+//! and ellipses. [`Schema`] is a small runtime type registry:
+//!
+//! * the built-in generalization hierarchy `Node ⟵ TextNode, FormNode` is
+//!   pre-registered,
+//! * new types are subtypes of an existing type and get a fresh
+//!   [`NodeKind`] code (≥ [`NodeKind::FIRST_DYNAMIC`]),
+//! * attributes can be added to any type at run time; nodes that predate
+//!   the attribute read its default value.
+//!
+//! Backends embed a `Schema` and persist it (the disk backends serialize
+//! it through the catalog); the core provides the registry logic and its
+//! serialization so all backends behave identically.
+
+use crate::error::{HmError, Result};
+use crate::model::NodeKind;
+
+/// Identifier of a dynamically added attribute.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct AttrId(pub u32);
+
+/// A type in the registry.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TypeDef {
+    /// The kind code nodes of this type carry.
+    pub kind: NodeKind,
+    /// Type name (`"Node"`, `"TextNode"`, `"DrawNode"`, …).
+    pub name: String,
+    /// Supertype, `None` only for the root type `Node`.
+    pub parent: Option<NodeKind>,
+}
+
+/// A dynamically added attribute.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AttrDef {
+    /// Attribute id.
+    pub id: AttrId,
+    /// Attribute name.
+    pub name: String,
+    /// The type it was added to (inherited by subtypes).
+    pub owner: NodeKind,
+    /// Value for nodes that predate the attribute.
+    pub default: i64,
+}
+
+/// A runtime type/attribute registry.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Schema {
+    types: Vec<TypeDef>,
+    attrs: Vec<AttrDef>,
+    next_kind: u16,
+}
+
+impl Schema {
+    /// The registry with the paper's built-in hierarchy.
+    pub fn builtin() -> Schema {
+        Schema {
+            types: vec![
+                TypeDef {
+                    kind: NodeKind::INTERNAL,
+                    name: "Node".into(),
+                    parent: None,
+                },
+                TypeDef {
+                    kind: NodeKind::TEXT,
+                    name: "TextNode".into(),
+                    parent: Some(NodeKind::INTERNAL),
+                },
+                TypeDef {
+                    kind: NodeKind::FORM,
+                    name: "FormNode".into(),
+                    parent: Some(NodeKind::INTERNAL),
+                },
+            ],
+            attrs: Vec::new(),
+            next_kind: NodeKind::FIRST_DYNAMIC,
+        }
+    }
+
+    /// All registered types.
+    pub fn types(&self) -> &[TypeDef] {
+        &self.types
+    }
+
+    /// All dynamically added attributes.
+    pub fn attrs(&self) -> &[AttrDef] {
+        &self.attrs
+    }
+
+    /// Look up a type by name.
+    pub fn type_by_name(&self, name: &str) -> Option<&TypeDef> {
+        self.types.iter().find(|t| t.name == name)
+    }
+
+    /// Look up a type by kind code.
+    pub fn type_by_kind(&self, kind: NodeKind) -> Option<&TypeDef> {
+        self.types.iter().find(|t| t.kind == kind)
+    }
+
+    /// R4: register a new subtype of `parent`, returning its kind code.
+    pub fn add_type(&mut self, name: &str, parent: &str) -> Result<NodeKind> {
+        if self.type_by_name(name).is_some() {
+            return Err(HmError::Schema(format!("type `{name}` already exists")));
+        }
+        let parent_kind = self
+            .type_by_name(parent)
+            .ok_or_else(|| HmError::Schema(format!("unknown supertype `{parent}`")))?
+            .kind;
+        let kind = NodeKind(self.next_kind);
+        self.next_kind = self
+            .next_kind
+            .checked_add(1)
+            .ok_or_else(|| HmError::Schema("type code space exhausted".into()))?;
+        self.types.push(TypeDef {
+            kind,
+            name: name.into(),
+            parent: Some(parent_kind),
+        });
+        Ok(kind)
+    }
+
+    /// R4: add an attribute to type `owner` with a default for existing
+    /// nodes. Returns the attribute id.
+    pub fn add_attribute(&mut self, owner: &str, name: &str, default: i64) -> Result<AttrId> {
+        let owner_kind = self
+            .type_by_name(owner)
+            .ok_or_else(|| HmError::Schema(format!("unknown type `{owner}`")))?
+            .kind;
+        if self
+            .attrs
+            .iter()
+            .any(|a| a.name == name && a.owner == owner_kind)
+        {
+            return Err(HmError::Schema(format!(
+                "attribute `{name}` already exists on `{owner}`"
+            )));
+        }
+        let id = AttrId(self.attrs.len() as u32);
+        self.attrs.push(AttrDef {
+            id,
+            name: name.into(),
+            owner: owner_kind,
+            default,
+        });
+        Ok(id)
+    }
+
+    /// Look up an attribute by owner type name and attribute name,
+    /// searching the supertype chain (attributes are inherited).
+    pub fn attr_for(&self, kind: NodeKind, name: &str) -> Option<&AttrDef> {
+        let mut current = Some(kind);
+        while let Some(k) = current {
+            if let Some(a) = self.attrs.iter().find(|a| a.owner == k && a.name == name) {
+                return Some(a);
+            }
+            current = self.type_by_kind(k).and_then(|t| t.parent);
+        }
+        None
+    }
+
+    /// True if `kind` is `ancestor` or a (transitive) subtype of it.
+    pub fn is_subtype(&self, kind: NodeKind, ancestor: NodeKind) -> bool {
+        let mut current = Some(kind);
+        while let Some(k) = current {
+            if k == ancestor {
+                return true;
+            }
+            current = self.type_by_kind(k).and_then(|t| t.parent);
+        }
+        false
+    }
+
+    // ---- serialization (for persistent backends) ----------------------
+
+    /// Serialize to a byte buffer (little-endian, length-prefixed strings).
+    pub fn encode(&self) -> Vec<u8> {
+        let mut out = Vec::new();
+        out.extend_from_slice(&self.next_kind.to_le_bytes());
+        out.extend_from_slice(&(self.types.len() as u32).to_le_bytes());
+        for t in &self.types {
+            out.extend_from_slice(&t.kind.0.to_le_bytes());
+            out.extend_from_slice(&t.parent.map_or(u16::MAX, |p| p.0).to_le_bytes());
+            out.extend_from_slice(&(t.name.len() as u32).to_le_bytes());
+            out.extend_from_slice(t.name.as_bytes());
+        }
+        out.extend_from_slice(&(self.attrs.len() as u32).to_le_bytes());
+        for a in &self.attrs {
+            out.extend_from_slice(&a.id.0.to_le_bytes());
+            out.extend_from_slice(&a.owner.0.to_le_bytes());
+            out.extend_from_slice(&a.default.to_le_bytes());
+            out.extend_from_slice(&(a.name.len() as u32).to_le_bytes());
+            out.extend_from_slice(a.name.as_bytes());
+        }
+        out
+    }
+
+    /// Deserialize a buffer produced by [`Schema::encode`].
+    pub fn decode(buf: &[u8]) -> Result<Schema> {
+        let err = |msg: &str| HmError::Schema(format!("schema decode: {msg}"));
+        let mut pos = 0usize;
+        let take = |pos: &mut usize, n: usize| -> Result<&[u8]> {
+            if *pos + n > buf.len() {
+                return Err(err("truncated"));
+            }
+            let s = &buf[*pos..*pos + n];
+            *pos += n;
+            Ok(s)
+        };
+        let next_kind = u16::from_le_bytes(take(&mut pos, 2)?.try_into().expect("2"));
+        let n_types = u32::from_le_bytes(take(&mut pos, 4)?.try_into().expect("4")) as usize;
+        let mut types = Vec::with_capacity(n_types);
+        for _ in 0..n_types {
+            let kind = NodeKind(u16::from_le_bytes(
+                take(&mut pos, 2)?.try_into().expect("2"),
+            ));
+            let parent_raw = u16::from_le_bytes(take(&mut pos, 2)?.try_into().expect("2"));
+            let parent = (parent_raw != u16::MAX).then_some(NodeKind(parent_raw));
+            let len = u32::from_le_bytes(take(&mut pos, 4)?.try_into().expect("4")) as usize;
+            let name = String::from_utf8(take(&mut pos, len)?.to_vec())
+                .map_err(|_| err("type name not utf-8"))?;
+            types.push(TypeDef { kind, name, parent });
+        }
+        let n_attrs = u32::from_le_bytes(take(&mut pos, 4)?.try_into().expect("4")) as usize;
+        let mut attrs = Vec::with_capacity(n_attrs);
+        for _ in 0..n_attrs {
+            let id = AttrId(u32::from_le_bytes(
+                take(&mut pos, 4)?.try_into().expect("4"),
+            ));
+            let owner = NodeKind(u16::from_le_bytes(
+                take(&mut pos, 2)?.try_into().expect("2"),
+            ));
+            let default = i64::from_le_bytes(take(&mut pos, 8)?.try_into().expect("8"));
+            let len = u32::from_le_bytes(take(&mut pos, 4)?.try_into().expect("4")) as usize;
+            let name = String::from_utf8(take(&mut pos, len)?.to_vec())
+                .map_err(|_| err("attr name not utf-8"))?;
+            attrs.push(AttrDef {
+                id,
+                name,
+                owner,
+                default,
+            });
+        }
+        Ok(Schema {
+            types,
+            attrs,
+            next_kind,
+        })
+    }
+}
+
+impl Default for Schema {
+    fn default() -> Self {
+        Schema::builtin()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builtin_hierarchy_matches_figure_1() {
+        let s = Schema::builtin();
+        assert_eq!(s.types().len(), 3);
+        let text = s.type_by_name("TextNode").unwrap();
+        assert_eq!(text.parent, Some(NodeKind::INTERNAL));
+        assert!(s.is_subtype(NodeKind::TEXT, NodeKind::INTERNAL));
+        assert!(s.is_subtype(NodeKind::FORM, NodeKind::INTERNAL));
+        assert!(!s.is_subtype(NodeKind::INTERNAL, NodeKind::TEXT));
+    }
+
+    #[test]
+    fn add_draw_node_type_per_r4() {
+        let mut s = Schema::builtin();
+        let draw = s.add_type("DrawNode", "Node").unwrap();
+        assert!(draw.0 >= NodeKind::FIRST_DYNAMIC);
+        assert!(s.is_subtype(draw, NodeKind::INTERNAL));
+        // "consisting of circles, rectangles and ellipses"
+        let circles = s.add_attribute("DrawNode", "circles", 0).unwrap();
+        let rects = s.add_attribute("DrawNode", "rectangles", 0).unwrap();
+        assert_ne!(circles, rects);
+        assert!(s.attr_for(draw, "circles").is_some());
+    }
+
+    #[test]
+    fn duplicate_type_and_attribute_are_rejected() {
+        let mut s = Schema::builtin();
+        s.add_type("DrawNode", "Node").unwrap();
+        assert!(s.add_type("DrawNode", "Node").is_err());
+        assert!(s.add_type("X", "NoSuchParent").is_err());
+        s.add_attribute("Node", "color", 7).unwrap();
+        assert!(s.add_attribute("Node", "color", 7).is_err());
+        assert!(s.add_attribute("Nope", "color", 7).is_err());
+    }
+
+    #[test]
+    fn attributes_are_inherited_by_subtypes() {
+        let mut s = Schema::builtin();
+        s.add_attribute("Node", "weight", 42).unwrap();
+        let a = s.attr_for(NodeKind::TEXT, "weight").unwrap();
+        assert_eq!(a.default, 42);
+        let draw = s.add_type("DrawNode", "TextNode").unwrap();
+        assert!(
+            s.attr_for(draw, "weight").is_some(),
+            "two levels of inheritance"
+        );
+        assert!(s.attr_for(draw, "missing").is_none());
+    }
+
+    #[test]
+    fn encode_decode_round_trip() {
+        let mut s = Schema::builtin();
+        s.add_type("DrawNode", "Node").unwrap();
+        s.add_attribute("DrawNode", "circles", 3).unwrap();
+        s.add_attribute("Node", "weight", -5).unwrap();
+        let decoded = Schema::decode(&s.encode()).unwrap();
+        assert_eq!(decoded, s);
+    }
+
+    #[test]
+    fn decode_rejects_truncation() {
+        let s = Schema::builtin();
+        let bytes = s.encode();
+        assert!(Schema::decode(&bytes[..bytes.len() - 1]).is_err());
+        assert!(Schema::decode(&[]).is_err());
+    }
+
+    #[test]
+    fn new_kinds_are_sequential() {
+        let mut s = Schema::builtin();
+        let a = s.add_type("A", "Node").unwrap();
+        let b = s.add_type("B", "Node").unwrap();
+        assert_eq!(b.0, a.0 + 1);
+    }
+}

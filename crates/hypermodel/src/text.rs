@@ -1,0 +1,130 @@
+//! Text content generation and the `textNodeEdit` primitive.
+//!
+//! Paper §5.1: *"Each text-node contains a text-string of a random number
+//! (10-100) of words, the words separated by a space and consisting of a
+//! random number (1-10) of random small characters. The first, middle and
+//! last word should be \"version1\"."*
+//!
+//! Operation O16 substitutes `version1` → `version-2` on the first run and
+//! back on the second (note `version-2` is one character longer, which
+//! forces the backend to handle records that grow).
+
+use crate::rng::Rng;
+
+/// The sentinel word planted at the first, middle and last positions.
+pub const VERSION_1: &str = "version1";
+/// The replacement used by `textNodeEdit` (one character longer).
+pub const VERSION_2: &str = "version-2";
+
+/// Generate a text-node string per the paper's rules.
+pub fn generate_text(rng: &mut Rng) -> String {
+    let word_count = rng.range_usize(10, 100);
+    let mut words: Vec<String> = Vec::with_capacity(word_count);
+    for _ in 0..word_count {
+        let len = rng.range_usize(1, 10);
+        let mut w = String::with_capacity(len);
+        for _ in 0..len {
+            w.push((b'a' + rng.range_u32(0, 25) as u8) as char);
+        }
+        words.push(w);
+    }
+    words[0] = VERSION_1.to_string();
+    let mid = word_count / 2;
+    words[mid] = VERSION_1.to_string();
+    words[word_count - 1] = VERSION_1.to_string();
+    words.join(" ")
+}
+
+/// Replace every occurrence of `from` with `to` — the edit primitive.
+/// Returns the new string and the number of substitutions made.
+pub fn substitute(text: &str, from: &str, to: &str) -> (String, usize) {
+    let count = text.matches(from).count();
+    (text.replace(from, to), count)
+}
+
+/// Validate that `text` satisfies the generator's invariants (used by the
+/// integrity checker and property tests).
+pub fn validate_generated(text: &str) -> std::result::Result<(), String> {
+    let words: Vec<&str> = text.split(' ').collect();
+    if !(10..=100).contains(&words.len()) {
+        return Err(format!("word count {} outside 10..=100", words.len()));
+    }
+    let mid = words.len() / 2;
+    for (label, idx) in [("first", 0), ("middle", mid), ("last", words.len() - 1)] {
+        if words[idx] != VERSION_1 {
+            return Err(format!(
+                "{label} word is {:?}, not {VERSION_1:?}",
+                words[idx]
+            ));
+        }
+    }
+    for w in &words {
+        if w.is_empty() || w.len() > 10 {
+            return Err(format!("word {w:?} has invalid length"));
+        }
+        if !w.chars().all(|c| c.is_ascii_lowercase() || *w == VERSION_1) {
+            return Err(format!("word {w:?} has invalid characters"));
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn generated_text_is_valid() {
+        let mut rng = Rng::new(11);
+        for _ in 0..200 {
+            let text = generate_text(&mut rng);
+            validate_generated(&text).unwrap();
+        }
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        let a = generate_text(&mut Rng::new(5));
+        let b = generate_text(&mut Rng::new(5));
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn sentinel_occurs_at_least_twice() {
+        // With >= 10 words, first/middle/last are distinct except that
+        // middle can never collide with first or last... for word_count
+        // >= 10, mid >= 5 and mid <= count-2, so all three are distinct.
+        let mut rng = Rng::new(17);
+        for _ in 0..100 {
+            let text = generate_text(&mut rng);
+            assert_eq!(text.matches(VERSION_1).count(), 3);
+        }
+    }
+
+    #[test]
+    fn substitute_round_trip_is_identity() {
+        let mut rng = Rng::new(23);
+        let text = generate_text(&mut rng);
+        let (edited, n1) = substitute(&text, VERSION_1, VERSION_2);
+        assert_eq!(n1, 3);
+        assert_eq!(edited.len(), text.len() + 3, "version-2 is one char longer");
+        assert!(!edited.contains(VERSION_1));
+        let (back, n2) = substitute(&edited, VERSION_2, VERSION_1);
+        assert_eq!(n2, 3);
+        assert_eq!(back, text);
+    }
+
+    #[test]
+    fn substitute_counts_zero_when_absent() {
+        let (s, n) = substitute("no sentinels here", VERSION_1, VERSION_2);
+        assert_eq!(s, "no sentinels here");
+        assert_eq!(n, 0);
+    }
+
+    #[test]
+    fn validate_rejects_bad_text() {
+        assert!(validate_generated("too few words").is_err());
+        let no_sentinel = (0..20).map(|_| "abc").collect::<Vec<_>>().join(" ");
+        assert!(validate_generated(&no_sentinel).is_err());
+    }
+}

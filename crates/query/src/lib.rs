@@ -1,0 +1,482 @@
+//! # `query` — ad-hoc queries over a HyperModel store (requirement R12)
+//!
+//! "As the amount of data grows … there might be a need for ad-hoc
+//! queries to find a set of nodes satisfying certain criteria." This
+//! crate provides a small declarative predicate language over node
+//! attributes, a rule-based planner that chooses between an index range
+//! scan and a full scan, and an executor that runs the plan against any
+//! [`HyperStore`].
+//!
+//! ```
+//! use hypermodel::config::GenConfig;
+//! use hypermodel::generate::TestDatabase;
+//! use hypermodel::load::load_database;
+//! use mem_backend::MemStore;
+//! use query::{execute, Expr};
+//!
+//! let db = TestDatabase::generate(&GenConfig::tiny());
+//! let mut store = MemStore::new();
+//! load_database(&mut store, &db).unwrap();
+//! // hundred in 1..=50 AND ten >= 5
+//! let q = Expr::hundred_between(1, 50).and(Expr::ten_at_least(5));
+//! let hits = execute(&mut store, &q).unwrap();
+//! for oid in hits {
+//!     use hypermodel::store::HyperStore;
+//!     assert!(store.hundred_of(oid).unwrap() <= 50);
+//!     assert!(store.ten_of(oid).unwrap() >= 5);
+//! }
+//! ```
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+use hypermodel::error::Result;
+use hypermodel::model::{NodeKind, Oid};
+use hypermodel::store::HyperStore;
+
+/// A predicate over a node's attributes.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Expr {
+    /// `hundred` in an inclusive range.
+    HundredBetween(u32, u32),
+    /// `million` in an inclusive range.
+    MillionBetween(u32, u32),
+    /// `ten >= n`.
+    TenAtLeast(u32),
+    /// `ten <= n`.
+    TenAtMost(u32),
+    /// The node's kind equals the given kind.
+    KindIs(NodeKind),
+    /// Both sub-predicates hold.
+    And(Box<Expr>, Box<Expr>),
+    /// Either sub-predicate holds.
+    Or(Box<Expr>, Box<Expr>),
+    /// The sub-predicate does not hold.
+    Not(Box<Expr>),
+}
+
+impl Expr {
+    /// `hundred ∈ lo..=hi`.
+    pub fn hundred_between(lo: u32, hi: u32) -> Expr {
+        Expr::HundredBetween(lo, hi)
+    }
+
+    /// `million ∈ lo..=hi`.
+    pub fn million_between(lo: u32, hi: u32) -> Expr {
+        Expr::MillionBetween(lo, hi)
+    }
+
+    /// `ten >= n`.
+    pub fn ten_at_least(n: u32) -> Expr {
+        Expr::TenAtLeast(n)
+    }
+
+    /// `ten <= n`.
+    pub fn ten_at_most(n: u32) -> Expr {
+        Expr::TenAtMost(n)
+    }
+
+    /// `kind == k`.
+    pub fn kind_is(k: NodeKind) -> Expr {
+        Expr::KindIs(k)
+    }
+
+    /// Conjunction.
+    pub fn and(self, other: Expr) -> Expr {
+        Expr::And(Box::new(self), Box::new(other))
+    }
+
+    /// Disjunction.
+    pub fn or(self, other: Expr) -> Expr {
+        Expr::Or(Box::new(self), Box::new(other))
+    }
+
+    /// Negation.
+    #[allow(clippy::should_implement_trait)]
+    pub fn not(self) -> Expr {
+        Expr::Not(Box::new(self))
+    }
+
+    /// Evaluate against one node (used for residual filtering).
+    pub fn eval<S: HyperStore + ?Sized>(&self, store: &mut S, oid: Oid) -> Result<bool> {
+        Ok(match self {
+            Expr::HundredBetween(lo, hi) => {
+                let v = store.hundred_of(oid)?;
+                (*lo..=*hi).contains(&v)
+            }
+            Expr::MillionBetween(lo, hi) => {
+                let v = store.million_of(oid)?;
+                (*lo..=*hi).contains(&v)
+            }
+            Expr::TenAtLeast(n) => store.ten_of(oid)? >= *n,
+            Expr::TenAtMost(n) => store.ten_of(oid)? <= *n,
+            Expr::KindIs(k) => store.kind_of(oid)? == *k,
+            Expr::And(a, b) => a.eval(store, oid)? && b.eval(store, oid)?,
+            Expr::Or(a, b) => a.eval(store, oid)? || b.eval(store, oid)?,
+            Expr::Not(a) => !a.eval(store, oid)?,
+        })
+    }
+
+    /// Estimated selectivity in `[0, 1]` under the generator's uniform
+    /// attribute distributions (the planner's cost model).
+    pub fn selectivity(&self) -> f64 {
+        match self {
+            Expr::HundredBetween(lo, hi) => range_fraction(*lo, *hi, 1, 100),
+            Expr::MillionBetween(lo, hi) => range_fraction(*lo, *hi, 1, 1_000_000),
+            Expr::TenAtLeast(n) => range_fraction(*n, 10, 1, 10),
+            Expr::TenAtMost(n) => range_fraction(1, *n, 1, 10),
+            // 3 of ~19531 nodes per 125 are forms; treat kinds coarsely.
+            Expr::KindIs(k) => match *k {
+                NodeKind::TEXT => 0.79,
+                NodeKind::FORM => 0.01,
+                _ => 0.20,
+            },
+            Expr::And(a, b) => a.selectivity() * b.selectivity(),
+            Expr::Or(a, b) => (a.selectivity() + b.selectivity()).min(1.0),
+            Expr::Not(a) => 1.0 - a.selectivity(),
+        }
+    }
+}
+
+fn range_fraction(lo: u32, hi: u32, domain_lo: u32, domain_hi: u32) -> f64 {
+    if hi < lo {
+        return 0.0;
+    }
+    let lo = lo.max(domain_lo);
+    let hi = hi.min(domain_hi);
+    if hi < lo {
+        return 0.0;
+    }
+    (hi - lo + 1) as f64 / (domain_hi - domain_lo + 1) as f64
+}
+
+/// An access path chosen by the planner.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Plan {
+    /// Scan the `hundred` index for `lo..=hi`, then apply the residual.
+    IndexHundred {
+        /// Range low bound.
+        lo: u32,
+        /// Range high bound.
+        hi: u32,
+        /// Remaining predicate to evaluate per candidate (`None` = done).
+        residual: Option<Expr>,
+    },
+    /// Scan the `million` index for `lo..=hi`, then apply the residual.
+    IndexMillion {
+        /// Range low bound.
+        lo: u32,
+        /// Range high bound.
+        hi: u32,
+        /// Remaining predicate to evaluate per candidate.
+        residual: Option<Expr>,
+    },
+    /// Enumerate every node and apply the full predicate.
+    FullScan(Expr),
+    /// Union of independently indexable branches (an OR of ranges):
+    /// execute each branch, merge and deduplicate.
+    Union(Vec<Plan>),
+}
+
+/// Flatten the top-level OR chain into disjuncts.
+fn disjuncts(expr: &Expr, out: &mut Vec<Expr>) {
+    match expr {
+        Expr::Or(a, b) => {
+            disjuncts(a, out);
+            disjuncts(b, out);
+        }
+        other => out.push(other.clone()),
+    }
+}
+
+/// Flatten the top-level AND chain into conjuncts.
+fn conjuncts(expr: &Expr, out: &mut Vec<Expr>) {
+    match expr {
+        Expr::And(a, b) => {
+            conjuncts(a, out);
+            conjuncts(b, out);
+        }
+        other => out.push(other.clone()),
+    }
+}
+
+fn rebuild_and(terms: &[Expr]) -> Option<Expr> {
+    let mut iter = terms.iter().cloned();
+    let first = iter.next()?;
+    Some(iter.fold(first, |acc, t| acc.and(t)))
+}
+
+/// Choose an access path for `expr`.
+///
+/// Rule-based: among the top-level conjuncts, pick the indexable range
+/// (`HundredBetween` or `MillionBetween`) with the lowest estimated
+/// selectivity as the driver; everything else becomes the residual
+/// filter. With no indexable conjunct the plan is a full scan.
+pub fn plan(expr: &Expr) -> Plan {
+    // An OR whose every disjunct is independently index-driven becomes an
+    // index union — each branch is planned recursively and none may fall
+    // back to a full scan (a union containing a full scan is just a
+    // slower full scan).
+    let mut ors = Vec::new();
+    disjuncts(expr, &mut ors);
+    if ors.len() > 1 {
+        let branches: Vec<Plan> = ors.iter().map(plan).collect();
+        if branches
+            .iter()
+            .all(|b| matches!(b, Plan::IndexHundred { .. } | Plan::IndexMillion { .. }))
+        {
+            return Plan::Union(branches);
+        }
+        return Plan::FullScan(expr.clone());
+    }
+
+    let mut terms = Vec::new();
+    conjuncts(expr, &mut terms);
+    let mut best: Option<(usize, f64)> = None;
+    for (i, t) in terms.iter().enumerate() {
+        let sel = match t {
+            Expr::HundredBetween(..) | Expr::MillionBetween(..) => t.selectivity(),
+            _ => continue,
+        };
+        if best.is_none_or(|(_, s)| sel < s) {
+            best = Some((i, sel));
+        }
+    }
+    match best {
+        Some((i, _)) => {
+            let driver = terms.remove(i);
+            let residual = rebuild_and(&terms);
+            match driver {
+                Expr::HundredBetween(lo, hi) => Plan::IndexHundred { lo, hi, residual },
+                Expr::MillionBetween(lo, hi) => Plan::IndexMillion { lo, hi, residual },
+                _ => unreachable!("driver is always an indexable range"),
+            }
+        }
+        None => Plan::FullScan(expr.clone()),
+    }
+}
+
+/// Run `expr` against `store` using the planned access path.
+pub fn execute<S: HyperStore + ?Sized>(store: &mut S, expr: &Expr) -> Result<Vec<Oid>> {
+    execute_plan(store, &plan(expr))
+}
+
+/// Run an explicit plan (exposed for plan-comparison benchmarks).
+pub fn execute_plan<S: HyperStore + ?Sized>(store: &mut S, plan: &Plan) -> Result<Vec<Oid>> {
+    match plan {
+        Plan::IndexHundred { lo, hi, residual } => {
+            let candidates = store.range_hundred(*lo, *hi)?;
+            filter_residual(store, candidates, residual.as_ref())
+        }
+        Plan::IndexMillion { lo, hi, residual } => {
+            let candidates = store.range_million(*lo, *hi)?;
+            filter_residual(store, candidates, residual.as_ref())
+        }
+        Plan::FullScan(expr) => {
+            // The extent is enumerated through the hundred index, which
+            // covers every node (hundred ∈ 1..=100 by construction).
+            let candidates = store.range_hundred(0, u32::MAX)?;
+            filter_residual(store, candidates, Some(expr))
+        }
+        Plan::Union(branches) => {
+            let mut out = Vec::new();
+            for b in branches {
+                out.extend(execute_plan(store, b)?);
+            }
+            out.sort_unstable();
+            out.dedup();
+            Ok(out)
+        }
+    }
+}
+
+fn filter_residual<S: HyperStore + ?Sized>(
+    store: &mut S,
+    candidates: Vec<Oid>,
+    residual: Option<&Expr>,
+) -> Result<Vec<Oid>> {
+    match residual {
+        None => Ok(candidates),
+        Some(expr) => {
+            let mut out = Vec::with_capacity(candidates.len() / 2);
+            for oid in candidates {
+                if expr.eval(store, oid)? {
+                    out.push(oid);
+                }
+            }
+            Ok(out)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hypermodel::config::GenConfig;
+    use hypermodel::generate::TestDatabase;
+    use hypermodel::load::load_database;
+    use mem_backend::MemStore;
+
+    fn setup() -> (MemStore, TestDatabase) {
+        let db = TestDatabase::generate(&GenConfig::level(3));
+        let mut store = MemStore::new();
+        load_database(&mut store, &db).unwrap();
+        (store, db)
+    }
+
+    fn brute_force(store: &mut MemStore, db: &TestDatabase, expr: &Expr) -> Vec<Oid> {
+        let mut out = Vec::new();
+        for uid in 1..=db.len() as u64 {
+            let oid = store.lookup_unique(uid).unwrap();
+            if expr.eval(store, oid).unwrap() {
+                out.push(oid);
+            }
+        }
+        out
+    }
+
+    fn sorted(mut v: Vec<Oid>) -> Vec<Oid> {
+        v.sort_unstable();
+        v
+    }
+
+    #[test]
+    fn planner_prefers_the_most_selective_index() {
+        // million range of 1% beats hundred range of 10%.
+        let q = Expr::hundred_between(1, 10).and(Expr::million_between(1, 10_000));
+        match plan(&q) {
+            Plan::IndexMillion {
+                lo: 1,
+                hi: 10_000,
+                residual: Some(r),
+            } => {
+                assert_eq!(r, Expr::hundred_between(1, 10));
+            }
+            other => panic!("unexpected plan {other:?}"),
+        }
+        // Reversed operand order gives the same choice.
+        let q = Expr::million_between(1, 10_000).and(Expr::hundred_between(1, 10));
+        assert!(matches!(plan(&q), Plan::IndexMillion { .. }));
+    }
+
+    #[test]
+    fn planner_uses_hundred_when_tighter() {
+        let q = Expr::hundred_between(5, 5).and(Expr::million_between(1, 900_000));
+        assert!(matches!(plan(&q), Plan::IndexHundred { lo: 5, hi: 5, .. }));
+    }
+
+    #[test]
+    fn non_indexable_predicates_full_scan() {
+        let q = Expr::ten_at_least(5).and(Expr::kind_is(NodeKind::TEXT));
+        assert!(matches!(plan(&q), Plan::FullScan(_)));
+    }
+
+    #[test]
+    fn or_of_indexable_ranges_becomes_a_union() {
+        let q = Expr::hundred_between(1, 10).or(Expr::million_between(1, 10_000));
+        match plan(&q) {
+            Plan::Union(branches) => {
+                assert_eq!(branches.len(), 2);
+                assert!(matches!(
+                    branches[0],
+                    Plan::IndexHundred { lo: 1, hi: 10, .. }
+                ));
+                assert!(matches!(
+                    branches[1],
+                    Plan::IndexMillion {
+                        lo: 1,
+                        hi: 10_000,
+                        ..
+                    }
+                ));
+            }
+            other => panic!("expected union, got {other:?}"),
+        }
+        // Three-way OR with AND-refined branches still unions.
+        let q = Expr::hundred_between(1, 5)
+            .or(Expr::hundred_between(95, 100).and(Expr::ten_at_least(5)))
+            .or(Expr::million_between(1, 1000));
+        assert!(matches!(plan(&q), Plan::Union(b) if b.len() == 3));
+    }
+
+    #[test]
+    fn or_with_unindexable_branch_falls_back_to_scan() {
+        let q = Expr::hundred_between(1, 10).or(Expr::ten_at_least(9));
+        assert!(matches!(plan(&q), Plan::FullScan(_)));
+    }
+
+    #[test]
+    fn union_execution_deduplicates_overlaps() {
+        let (mut store, db) = setup();
+        // Overlapping ranges: 1..=20 OR 10..=30 must not double-report.
+        let q = Expr::hundred_between(1, 20).or(Expr::hundred_between(10, 30));
+        let got = sorted(execute(&mut store, &q).unwrap());
+        let want = sorted(brute_force(&mut store, &db, &q));
+        assert_eq!(got, want);
+        let mut dedup_check = got.clone();
+        dedup_check.dedup();
+        assert_eq!(dedup_check.len(), got.len(), "no duplicates");
+    }
+
+    #[test]
+    fn execute_matches_brute_force_across_plans() {
+        let (mut store, db) = setup();
+        let queries = vec![
+            Expr::hundred_between(1, 10),
+            Expr::million_between(1, 100_000),
+            Expr::hundred_between(20, 60).and(Expr::ten_at_least(5)),
+            Expr::hundred_between(1, 50).and(Expr::million_between(1, 500_000)),
+            Expr::ten_at_most(3),
+            Expr::kind_is(NodeKind::FORM),
+            Expr::hundred_between(1, 100).and(Expr::kind_is(NodeKind::TEXT).not()),
+            Expr::hundred_between(1, 30).or(Expr::hundred_between(70, 100)),
+        ];
+        for q in queries {
+            let planned = sorted(execute(&mut store, &q).unwrap());
+            let brute = sorted(brute_force(&mut store, &db, &q));
+            assert_eq!(planned, brute, "query {q:?}");
+        }
+    }
+
+    #[test]
+    fn empty_and_full_ranges() {
+        let (mut store, db) = setup();
+        let none = execute(&mut store, &Expr::million_between(2_000_000, 3_000_000)).unwrap();
+        assert!(none.is_empty());
+        let all = execute(&mut store, &Expr::hundred_between(1, 100)).unwrap();
+        assert_eq!(all.len(), db.len());
+    }
+
+    #[test]
+    fn selectivity_estimates() {
+        assert!((Expr::hundred_between(1, 10).selectivity() - 0.1).abs() < 1e-9);
+        assert!((Expr::million_between(1, 10_000).selectivity() - 0.01).abs() < 1e-9);
+        assert!((Expr::ten_at_least(6).selectivity() - 0.5).abs() < 1e-9);
+        let and = Expr::hundred_between(1, 10).and(Expr::ten_at_least(6));
+        assert!((and.selectivity() - 0.05).abs() < 1e-9);
+        assert_eq!(Expr::hundred_between(50, 10).selectivity(), 0.0);
+        let not = Expr::hundred_between(1, 10).not();
+        assert!((not.selectivity() - 0.9).abs() < 1e-9);
+    }
+
+    #[test]
+    fn works_against_the_disk_backend_too() {
+        let mut path = std::env::temp_dir();
+        path.push(format!("hm-query-{}.db", std::process::id()));
+        let _ = std::fs::remove_file(&path);
+        let mut wal = path.clone().into_os_string();
+        wal.push(".wal");
+        let _ = std::fs::remove_file(std::path::PathBuf::from(&wal));
+        let db = TestDatabase::generate(&GenConfig::tiny());
+        let mut store = disk_backend::DiskStore::create(&path, 512).unwrap();
+        load_database(&mut store, &db).unwrap();
+        let q = Expr::hundred_between(1, 50).and(Expr::ten_at_least(5));
+        let hits = execute(&mut store, &q).unwrap();
+        for oid in hits {
+            assert!(store.hundred_of(oid).unwrap() <= 50);
+            assert!(store.ten_of(oid).unwrap() >= 5);
+        }
+        let _ = std::fs::remove_file(&path);
+        let _ = std::fs::remove_file(std::path::PathBuf::from(&wal));
+    }
+}

@@ -1,0 +1,283 @@
+//! Binary encoding primitives for the wire protocol.
+//!
+//! Little-endian, length-prefixed, no external dependencies — the same
+//! conventions as the storage engine's record formats, so the whole
+//! system speaks one dialect.
+
+use hypermodel::error::{HmError, Result};
+use hypermodel::model::{NodeValue, Oid, RefEdge};
+use hypermodel::Bitmap;
+
+/// Append-only byte writer.
+#[derive(Debug, Default)]
+pub struct Writer {
+    buf: Vec<u8>,
+}
+
+impl Writer {
+    /// A fresh writer.
+    pub fn new() -> Writer {
+        Writer::default()
+    }
+
+    /// Take the encoded bytes.
+    pub fn finish(self) -> Vec<u8> {
+        self.buf
+    }
+
+    /// Write one byte.
+    pub fn u8(&mut self, v: u8) {
+        self.buf.push(v);
+    }
+
+    /// Write a little-endian `u16`.
+    pub fn u16(&mut self, v: u16) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    /// Write a little-endian `u32`.
+    pub fn u32(&mut self, v: u32) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    /// Write a little-endian `u64`.
+    pub fn u64(&mut self, v: u64) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    /// Write an object id.
+    pub fn oid(&mut self, v: Oid) {
+        self.u64(v.0);
+    }
+
+    /// Write a length-prefixed byte string.
+    pub fn bytes(&mut self, v: &[u8]) {
+        self.u32(v.len() as u32);
+        self.buf.extend_from_slice(v);
+    }
+
+    /// Write a length-prefixed UTF-8 string.
+    pub fn string(&mut self, v: &str) {
+        self.bytes(v.as_bytes());
+    }
+
+    /// Write a vector of oids.
+    pub fn oids(&mut self, v: &[Oid]) {
+        self.u32(v.len() as u32);
+        for o in v {
+            self.oid(*o);
+        }
+    }
+
+    /// Write a vector of reference edges.
+    pub fn edges(&mut self, v: &[RefEdge]) {
+        self.u32(v.len() as u32);
+        for e in v {
+            self.oid(e.target);
+            self.u8(e.offset_from);
+            self.u8(e.offset_to);
+        }
+    }
+
+    /// Write a bitmap.
+    pub fn bitmap(&mut self, bm: &Bitmap) {
+        self.u16(bm.width());
+        self.u16(bm.height());
+        self.bytes(bm.bits());
+    }
+
+    /// Write an encoded node value.
+    pub fn node_value(&mut self, v: &NodeValue) {
+        self.bytes(&v.encode());
+    }
+}
+
+/// Sequential byte reader with bounds checking.
+#[derive(Debug)]
+pub struct Reader<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+fn short() -> HmError {
+    HmError::Backend("wire message truncated".into())
+}
+
+impl<'a> Reader<'a> {
+    /// Wrap a message.
+    pub fn new(buf: &'a [u8]) -> Reader<'a> {
+        Reader { buf, pos: 0 }
+    }
+
+    /// True when every byte has been consumed.
+    pub fn is_exhausted(&self) -> bool {
+        self.pos == self.buf.len()
+    }
+
+    fn take(&mut self, n: usize) -> Result<&'a [u8]> {
+        if self.pos + n > self.buf.len() {
+            return Err(short());
+        }
+        let s = &self.buf[self.pos..self.pos + n];
+        self.pos += n;
+        Ok(s)
+    }
+
+    /// Read one byte.
+    pub fn u8(&mut self) -> Result<u8> {
+        Ok(self.take(1)?[0])
+    }
+
+    /// Read a `u16`.
+    pub fn u16(&mut self) -> Result<u16> {
+        Ok(u16::from_le_bytes(self.take(2)?.try_into().expect("2")))
+    }
+
+    /// Read a `u32`.
+    pub fn u32(&mut self) -> Result<u32> {
+        Ok(u32::from_le_bytes(self.take(4)?.try_into().expect("4")))
+    }
+
+    /// Read a `u64`.
+    pub fn u64(&mut self) -> Result<u64> {
+        Ok(u64::from_le_bytes(self.take(8)?.try_into().expect("8")))
+    }
+
+    /// Read an object id.
+    pub fn oid(&mut self) -> Result<Oid> {
+        Ok(Oid(self.u64()?))
+    }
+
+    /// Read a length-prefixed byte string.
+    pub fn bytes(&mut self) -> Result<Vec<u8>> {
+        let n = self.u32()? as usize;
+        Ok(self.take(n)?.to_vec())
+    }
+
+    /// Read a length-prefixed UTF-8 string.
+    pub fn string(&mut self) -> Result<String> {
+        String::from_utf8(self.bytes()?)
+            .map_err(|_| HmError::Backend("wire string is not utf-8".into()))
+    }
+
+    /// Read a vector of oids.
+    pub fn oids(&mut self) -> Result<Vec<Oid>> {
+        let n = self.u32()? as usize;
+        let mut v = Vec::with_capacity(n.min(1 << 20));
+        for _ in 0..n {
+            v.push(self.oid()?);
+        }
+        Ok(v)
+    }
+
+    /// Read a vector of reference edges.
+    pub fn edges(&mut self) -> Result<Vec<RefEdge>> {
+        let n = self.u32()? as usize;
+        let mut v = Vec::with_capacity(n.min(1 << 20));
+        for _ in 0..n {
+            v.push(RefEdge {
+                target: self.oid()?,
+                offset_from: self.u8()?,
+                offset_to: self.u8()?,
+            });
+        }
+        Ok(v)
+    }
+
+    /// Read a bitmap.
+    pub fn bitmap(&mut self) -> Result<Bitmap> {
+        let w = self.u16()?;
+        let h = self.u16()?;
+        let bits = self.bytes()?;
+        Bitmap::from_bits(w, h, bits).map_err(HmError::Backend)
+    }
+
+    /// Read an encoded node value.
+    pub fn node_value(&mut self) -> Result<NodeValue> {
+        let bytes = self.bytes()?;
+        NodeValue::decode(&bytes)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hypermodel::model::{Content, NodeAttrs, NodeKind};
+
+    #[test]
+    fn scalar_round_trip() {
+        let mut w = Writer::new();
+        w.u8(7);
+        w.u16(300);
+        w.u32(70_000);
+        w.u64(u64::MAX - 1);
+        w.string("hello wire");
+        let bytes = w.finish();
+        let mut r = Reader::new(&bytes);
+        assert_eq!(r.u8().unwrap(), 7);
+        assert_eq!(r.u16().unwrap(), 300);
+        assert_eq!(r.u32().unwrap(), 70_000);
+        assert_eq!(r.u64().unwrap(), u64::MAX - 1);
+        assert_eq!(r.string().unwrap(), "hello wire");
+        assert!(r.is_exhausted());
+    }
+
+    #[test]
+    fn collections_round_trip() {
+        let mut w = Writer::new();
+        w.oids(&[Oid(1), Oid(99), Oid(12345)]);
+        w.edges(&[RefEdge {
+            target: Oid(5),
+            offset_from: 3,
+            offset_to: 9,
+        }]);
+        let bm = {
+            let mut b = Bitmap::white(20, 10);
+            b.set(3, 3, true);
+            b
+        };
+        w.bitmap(&bm);
+        let bytes = w.finish();
+        let mut r = Reader::new(&bytes);
+        assert_eq!(r.oids().unwrap(), vec![Oid(1), Oid(99), Oid(12345)]);
+        let e = r.edges().unwrap();
+        assert_eq!(e.len(), 1);
+        assert_eq!(
+            (e[0].target, e[0].offset_from, e[0].offset_to),
+            (Oid(5), 3, 9)
+        );
+        assert_eq!(r.bitmap().unwrap(), bm);
+        assert!(r.is_exhausted());
+    }
+
+    #[test]
+    fn node_value_round_trip() {
+        let v = NodeValue {
+            kind: NodeKind::TEXT,
+            attrs: NodeAttrs {
+                unique_id: 9,
+                ten: 1,
+                hundred: 2,
+                thousand: 3,
+                million: 4,
+            },
+            content: Content::Text("version1 words version1 tail version1".into()),
+        };
+        let mut w = Writer::new();
+        w.node_value(&v);
+        let bytes = w.finish();
+        let mut r = Reader::new(&bytes);
+        assert_eq!(r.node_value().unwrap(), v);
+    }
+
+    #[test]
+    fn truncation_is_detected() {
+        let mut w = Writer::new();
+        w.string("0123456789");
+        let bytes = w.finish();
+        let mut r = Reader::new(&bytes[..bytes.len() - 2]);
+        assert!(r.string().is_err());
+        let mut r = Reader::new(&bytes[..2]);
+        assert!(r.u32().is_err() || r.string().is_err());
+    }
+}

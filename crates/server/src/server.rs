@@ -1,0 +1,170 @@
+//! The serving loop: dispatch decoded requests against a local store.
+
+use hypermodel::error::Result;
+use hypermodel::store::HyperStore;
+
+use crate::protocol::{Request, Response};
+use crate::transport::Transport;
+
+/// Per-session statistics, returned when the loop ends.
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+pub struct SessionStats {
+    /// Requests served (excluding the shutdown message).
+    pub requests: u64,
+    /// Requests that returned an error response.
+    pub errors: u64,
+}
+
+fn dispatch<S: HyperStore + ?Sized>(store: &mut S, req: Request) -> Response {
+    fn ok_or_err<T>(r: Result<T>, f: impl FnOnce(T) -> Response) -> Response {
+        match r {
+            Ok(v) => f(v),
+            Err(e) => Response::Err(e.to_string()),
+        }
+    }
+    match req {
+        Request::LookupUnique(uid) => ok_or_err(store.lookup_unique(uid), Response::Oid),
+        Request::UniqueIdOf(o) => ok_or_err(store.unique_id_of(o), Response::U64),
+        Request::KindOf(o) => ok_or_err(store.kind_of(o), |k| Response::U16(k.0)),
+        Request::TenOf(o) => ok_or_err(store.ten_of(o), Response::U32),
+        Request::HundredOf(o) => ok_or_err(store.hundred_of(o), Response::U32),
+        Request::MillionOf(o) => ok_or_err(store.million_of(o), Response::U32),
+        Request::SetHundred(o, v) => ok_or_err(store.set_hundred(o, v), |_| Response::Unit),
+        Request::RangeHundred(lo, hi) => ok_or_err(store.range_hundred(lo, hi), Response::Oids),
+        Request::RangeMillion(lo, hi) => ok_or_err(store.range_million(lo, hi), Response::Oids),
+        Request::Children(o) => ok_or_err(store.children(o), Response::Oids),
+        Request::Parent(o) => ok_or_err(store.parent(o), Response::OptOid),
+        Request::Parts(o) => ok_or_err(store.parts(o), Response::Oids),
+        Request::PartOf(o) => ok_or_err(store.part_of(o), Response::Oids),
+        Request::RefsTo(o) => ok_or_err(store.refs_to(o), Response::Edges),
+        Request::RefsFrom(o) => ok_or_err(store.refs_from(o), Response::Edges),
+        Request::SeqScanTen => ok_or_err(store.seq_scan_ten(), Response::U64),
+        Request::TextOf(o) => ok_or_err(store.text_of(o), Response::Text),
+        Request::SetText(o, s) => ok_or_err(store.set_text(o, &s), |_| Response::Unit),
+        Request::FormOf(o) => ok_or_err(store.form_of(o), Response::Form),
+        Request::SetForm(o, bm) => ok_or_err(store.set_form(o, &bm), |_| Response::Unit),
+        Request::CreateNode(v) => ok_or_err(store.create_node(&v), Response::Oid),
+        Request::CreateNodeClustered(v, near) => {
+            ok_or_err(store.create_node_clustered(&v, near), Response::Oid)
+        }
+        Request::AddChild(a, b) => ok_or_err(store.add_child(a, b), |_| Response::Unit),
+        Request::AddPart(a, b) => ok_or_err(store.add_part(a, b), |_| Response::Unit),
+        Request::AddRef(a, b, f, t) => ok_or_err(store.add_ref(a, b, f, t), |_| Response::Unit),
+        Request::InsertExtraNode(v) => ok_or_err(store.insert_extra_node(&v), Response::Oid),
+        Request::Commit => ok_or_err(store.commit(), |_| Response::Unit),
+        Request::ColdRestart => ok_or_err(store.cold_restart(), |_| Response::Unit),
+        // Server-side conceptual operations: one round trip each.
+        Request::Closure1N(o) => ok_or_err(store.closure_1n(o), Response::Oids),
+        Request::Closure1NAttSum(o) => ok_or_err(store.closure_1n_att_sum(o), |(s, c)| {
+            Response::SumCount(s, c as u64)
+        }),
+        Request::Closure1NAttSet(o) => {
+            ok_or_err(store.closure_1n_att_set(o), |n| Response::U64(n as u64))
+        }
+        Request::Closure1NPred(o, lo, hi) => {
+            ok_or_err(store.closure_1n_pred(o, lo, hi), Response::Oids)
+        }
+        Request::ClosureMN(o) => ok_or_err(store.closure_mn(o), Response::Oids),
+        Request::ClosureMNAtt(o, d) => ok_or_err(store.closure_mnatt(o, d), Response::Oids),
+        Request::ClosureMNAttLinkSum(o, d) => {
+            ok_or_err(store.closure_mnatt_linksum(o, d), Response::Pairs)
+        }
+        Request::TextNodeEdit(o, from, to) => ok_or_err(store.text_node_edit(o, &from, &to), |n| {
+            Response::U64(n as u64)
+        }),
+        Request::FormNodeEdit(o, x0, y0, x1, y1) => {
+            ok_or_err(store.form_node_edit(o, x0, y0, x1, y1), |_| Response::Unit)
+        }
+        Request::Shutdown => unreachable!("handled by the serve loop"),
+    }
+}
+
+/// Serve requests from `transport` against `store` until the client sends
+/// [`Request::Shutdown`] or disconnects.
+pub fn serve<S: HyperStore + ?Sized>(
+    store: &mut S,
+    transport: &mut dyn Transport,
+) -> Result<SessionStats> {
+    let mut stats = SessionStats::default();
+    loop {
+        let Some(frame) = transport.recv()? else {
+            return Ok(stats); // clean disconnect
+        };
+        let req = match Request::decode(&frame) {
+            Ok(r) => r,
+            Err(e) => {
+                transport.send(&Response::Err(e.to_string()).encode())?;
+                stats.errors += 1;
+                continue;
+            }
+        };
+        if req == Request::Shutdown {
+            transport.send(&Response::Unit.encode())?;
+            return Ok(stats);
+        }
+        let resp = dispatch(store, req);
+        if matches!(resp, Response::Err(_)) {
+            stats.errors += 1;
+        }
+        stats.requests += 1;
+        transport.send(&resp.encode())?;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::transport::ChannelTransport;
+    use hypermodel::config::GenConfig;
+    use hypermodel::generate::TestDatabase;
+    use hypermodel::load::load_database;
+    use hypermodel::model::Oid;
+    use mem_backend::MemStore;
+    use std::time::Duration;
+
+    #[test]
+    fn serve_dispatches_and_shuts_down() {
+        let db = TestDatabase::generate(&GenConfig::tiny());
+        let mut store = MemStore::new();
+        let report = load_database(&mut store, &db).unwrap();
+        let (mut client, mut server_end) = ChannelTransport::pair(Duration::ZERO);
+        let handle = std::thread::spawn(move || serve(&mut store, &mut server_end).unwrap());
+
+        client.send(&Request::LookupUnique(1).encode()).unwrap();
+        let resp = Response::decode(&client.recv().unwrap().unwrap()).unwrap();
+        assert_eq!(resp, Response::Oid(report.oids[0]));
+
+        client.send(&Request::SeqScanTen.encode()).unwrap();
+        let resp = Response::decode(&client.recv().unwrap().unwrap()).unwrap();
+        assert_eq!(resp, Response::U64(31));
+
+        // An error surfaces as Response::Err, not a dead session.
+        client
+            .send(&Request::HundredOf(Oid(999_999)).encode())
+            .unwrap();
+        let resp = Response::decode(&client.recv().unwrap().unwrap()).unwrap();
+        assert!(matches!(resp, Response::Err(_)));
+
+        // Garbage frame also keeps the session alive.
+        client.send(&[250, 1, 2]).unwrap();
+        let resp = Response::decode(&client.recv().unwrap().unwrap()).unwrap();
+        assert!(matches!(resp, Response::Err(_)));
+
+        client.send(&Request::Shutdown.encode()).unwrap();
+        let resp = Response::decode(&client.recv().unwrap().unwrap()).unwrap();
+        assert_eq!(resp, Response::Unit);
+        let stats = handle.join().unwrap();
+        assert_eq!(stats.requests, 3);
+        assert_eq!(stats.errors, 2);
+    }
+
+    #[test]
+    fn client_disconnect_ends_serve_cleanly() {
+        let mut store = MemStore::new();
+        let (client, mut server_end) = ChannelTransport::pair(Duration::ZERO);
+        let handle = std::thread::spawn(move || serve(&mut store, &mut server_end).unwrap());
+        drop(client);
+        let stats = handle.join().unwrap();
+        assert_eq!(stats, SessionStats::default());
+    }
+}

@@ -1,0 +1,185 @@
+//! Message transports: in-process channels and TCP.
+//!
+//! Both carry length-prefixed frames (`u32` length + payload) so the
+//! marshalling cost is identical; the channel transport adds an optional
+//! simulated one-way latency per frame, letting experiments model the
+//! paper's local-area-network workstation/server setups without real
+//! network variance.
+
+use std::io::{Read, Write};
+use std::net::TcpStream;
+use std::time::Duration;
+
+use crossbeam::channel::{unbounded, Receiver, Sender};
+use hypermodel::error::{HmError, Result};
+
+/// A bidirectional, framed message pipe.
+pub trait Transport: Send {
+    /// Send one frame.
+    fn send(&mut self, frame: &[u8]) -> Result<()>;
+    /// Receive one frame (blocking). `Ok(None)` means the peer closed.
+    fn recv(&mut self) -> Result<Option<Vec<u8>>>;
+}
+
+/// One end of an in-process channel transport.
+pub struct ChannelTransport {
+    tx: Sender<Vec<u8>>,
+    rx: Receiver<Vec<u8>>,
+    /// Simulated one-way latency applied before each send.
+    pub latency: Duration,
+}
+
+impl ChannelTransport {
+    /// A connected pair of endpoints with the given simulated one-way
+    /// latency (applied on both directions, so a request/response round
+    /// trip costs `2 × latency`).
+    pub fn pair(latency: Duration) -> (ChannelTransport, ChannelTransport) {
+        let (tx_a, rx_b) = unbounded();
+        let (tx_b, rx_a) = unbounded();
+        (
+            ChannelTransport {
+                tx: tx_a,
+                rx: rx_a,
+                latency,
+            },
+            ChannelTransport {
+                tx: tx_b,
+                rx: rx_b,
+                latency,
+            },
+        )
+    }
+}
+
+impl Transport for ChannelTransport {
+    fn send(&mut self, frame: &[u8]) -> Result<()> {
+        if !self.latency.is_zero() {
+            std::thread::sleep(self.latency);
+        }
+        self.tx
+            .send(frame.to_vec())
+            .map_err(|_| HmError::Backend("peer disconnected".into()))
+    }
+
+    fn recv(&mut self) -> Result<Option<Vec<u8>>> {
+        match self.rx.recv() {
+            Ok(frame) => Ok(Some(frame)),
+            Err(_) => Ok(None), // peer dropped: clean shutdown
+        }
+    }
+}
+
+/// A TCP transport (length-prefixed frames over a stream socket).
+pub struct TcpTransport {
+    stream: TcpStream,
+}
+
+impl TcpTransport {
+    /// Wrap a connected stream. Disables Nagle so request/response
+    /// round trips are not delayed.
+    pub fn new(stream: TcpStream) -> Result<TcpTransport> {
+        stream
+            .set_nodelay(true)
+            .map_err(|e| HmError::Backend(format!("set_nodelay: {e}")))?;
+        Ok(TcpTransport { stream })
+    }
+}
+
+impl Transport for TcpTransport {
+    fn send(&mut self, frame: &[u8]) -> Result<()> {
+        let len = (frame.len() as u32).to_le_bytes();
+        self.stream
+            .write_all(&len)
+            .and_then(|_| self.stream.write_all(frame))
+            .map_err(|e| HmError::Backend(format!("tcp send: {e}")))
+    }
+
+    fn recv(&mut self) -> Result<Option<Vec<u8>>> {
+        let mut len_buf = [0u8; 4];
+        match self.stream.read_exact(&mut len_buf) {
+            Ok(()) => {}
+            Err(e) if e.kind() == std::io::ErrorKind::UnexpectedEof => return Ok(None),
+            Err(e) => return Err(HmError::Backend(format!("tcp recv: {e}"))),
+        }
+        let len = u32::from_le_bytes(len_buf) as usize;
+        if len > 64 << 20 {
+            return Err(HmError::Backend(format!("oversized frame: {len} bytes")));
+        }
+        let mut frame = vec![0u8; len];
+        self.stream
+            .read_exact(&mut frame)
+            .map_err(|e| HmError::Backend(format!("tcp recv body: {e}")))?;
+        Ok(Some(frame))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn channel_pair_round_trips() {
+        let (mut a, mut b) = ChannelTransport::pair(Duration::ZERO);
+        a.send(b"hello").unwrap();
+        assert_eq!(b.recv().unwrap().unwrap(), b"hello");
+        b.send(b"world").unwrap();
+        assert_eq!(a.recv().unwrap().unwrap(), b"world");
+    }
+
+    #[test]
+    fn channel_close_reads_as_none() {
+        let (mut a, b) = ChannelTransport::pair(Duration::ZERO);
+        drop(b);
+        assert!(a.send(b"x").is_err());
+        let (a2, mut b2) = ChannelTransport::pair(Duration::ZERO);
+        drop(a2);
+        assert_eq!(b2.recv().unwrap(), None);
+    }
+
+    #[test]
+    fn channel_latency_is_applied() {
+        let (mut a, mut b) = ChannelTransport::pair(Duration::from_millis(5));
+        let t = std::time::Instant::now();
+        a.send(b"slow").unwrap();
+        b.recv().unwrap().unwrap();
+        assert!(t.elapsed() >= Duration::from_millis(5));
+    }
+
+    #[test]
+    fn tcp_round_trip_on_loopback() {
+        let listener = std::net::TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let server = std::thread::spawn(move || {
+            let (stream, _) = listener.accept().unwrap();
+            let mut t = TcpTransport::new(stream).unwrap();
+            let frame = t.recv().unwrap().unwrap();
+            t.send(&frame).unwrap(); // echo
+            assert_eq!(t.recv().unwrap(), None, "client closed");
+        });
+        {
+            let stream = TcpStream::connect(addr).unwrap();
+            let mut t = TcpTransport::new(stream).unwrap();
+            t.send(b"ping over tcp").unwrap();
+            assert_eq!(t.recv().unwrap().unwrap(), b"ping over tcp");
+        }
+        server.join().unwrap();
+    }
+
+    #[test]
+    fn tcp_large_frame() {
+        let listener = std::net::TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let payload: Vec<u8> = (0..100_000u32).map(|i| (i % 251) as u8).collect();
+        let expect = payload.clone();
+        let server = std::thread::spawn(move || {
+            let (stream, _) = listener.accept().unwrap();
+            let mut t = TcpTransport::new(stream).unwrap();
+            assert_eq!(t.recv().unwrap().unwrap(), expect);
+        });
+        let stream = TcpStream::connect(addr).unwrap();
+        let mut t = TcpTransport::new(stream).unwrap();
+        t.send(&payload).unwrap();
+        drop(t);
+        server.join().unwrap();
+    }
+}

@@ -1,0 +1,267 @@
+//! End-to-end tests of the workstation/server architecture: a remote
+//! client must be indistinguishable from a local store, in both closure
+//! modes, over both transports — and the round-trip economics must match
+//! the paper's §4 claim about conceptual operations.
+
+use hypermodel::config::GenConfig;
+use hypermodel::generate::TestDatabase;
+use hypermodel::load::load_database;
+use hypermodel::model::Oid;
+use hypermodel::oracle::Oracle;
+use hypermodel::store::HyperStore;
+use mem_backend::MemStore;
+use server::client::{ClosureMode, RemoteStore};
+use server::server::serve;
+use server::transport::{ChannelTransport, TcpTransport};
+use std::time::Duration;
+
+/// Spin up a server thread over a loaded MemStore; returns the connected
+/// remote client and the oid map.
+fn remote_over_channel(
+    cfg: &GenConfig,
+    mode: ClosureMode,
+    latency: Duration,
+) -> (
+    RemoteStore,
+    TestDatabase,
+    Vec<Oid>,
+    std::thread::JoinHandle<()>,
+) {
+    let db = TestDatabase::generate(cfg);
+    let mut store = MemStore::new();
+    let report = load_database(&mut store, &db).unwrap();
+    let (client_end, mut server_end) = ChannelTransport::pair(latency);
+    let handle = std::thread::spawn(move || {
+        serve(&mut store, &mut server_end).unwrap();
+    });
+    (
+        RemoteStore::new(Box::new(client_end), mode),
+        db,
+        report.oids,
+        handle,
+    )
+}
+
+fn uids(store: &mut RemoteStore, oids: &[Oid]) -> Vec<u32> {
+    oids.iter()
+        .map(|&o| (store.unique_id_of(o).unwrap() - 1) as u32)
+        .collect()
+}
+
+#[test]
+fn remote_matches_oracle_in_both_modes() {
+    for mode in [ClosureMode::ClientSide, ClosureMode::ServerSide] {
+        let (mut remote, db, oids, handle) =
+            remote_over_channel(&GenConfig::tiny(), mode, Duration::ZERO);
+        let oracle = Oracle::new(&db);
+
+        for uid in 1..=db.len() as u64 {
+            let oid = remote.lookup_unique(uid).unwrap();
+            assert_eq!(
+                remote.hundred_of(oid).unwrap(),
+                oracle.hundred(uid as u32 - 1)
+            );
+        }
+        let start_idx = db.level_indices(1).start;
+        let start = oids[start_idx as usize];
+        let c = remote.closure_1n(start).unwrap();
+        assert_eq!(
+            uids(&mut remote, &c),
+            oracle.closure_1n(start_idx),
+            "{mode:?}"
+        );
+        let c = remote.closure_mn(start).unwrap();
+        assert_eq!(
+            uids(&mut remote, &c),
+            oracle.closure_mn(start_idx),
+            "{mode:?}"
+        );
+        let c = remote.closure_mnatt(start, 25).unwrap();
+        assert_eq!(
+            uids(&mut remote, &c),
+            oracle.closure_mnatt(start_idx, 25),
+            "{mode:?}"
+        );
+        let (sum, count) = remote.closure_1n_att_sum(start).unwrap();
+        assert_eq!(
+            (sum, count),
+            oracle.closure_1n_att_sum(start_idx),
+            "{mode:?}"
+        );
+        let pairs = remote.closure_mnatt_linksum(start, 10).unwrap();
+        let pairs_u: Vec<(u32, u64)> = pairs
+            .iter()
+            .map(|&(o, d)| ((remote.unique_id_of(o).unwrap() - 1) as u32, d))
+            .collect();
+        assert_eq!(
+            pairs_u,
+            oracle.closure_mnatt_linksum(start_idx, 10),
+            "{mode:?}"
+        );
+
+        // Edits round-trip remotely.
+        let text_oid = oids[db.text_indices()[0] as usize];
+        let before = remote.text_of(text_oid).unwrap();
+        let n = remote
+            .text_node_edit(text_oid, "version1", "version-2")
+            .unwrap();
+        assert_eq!(n, 3, "{mode:?}");
+        remote.commit().unwrap();
+        remote
+            .text_node_edit(text_oid, "version-2", "version1")
+            .unwrap();
+        remote.commit().unwrap();
+        assert_eq!(remote.text_of(text_oid).unwrap(), before, "{mode:?}");
+
+        let form_oid = oids[db.form_indices()[0] as usize];
+        remote.form_node_edit(form_oid, 25, 25, 50, 50).unwrap();
+        remote.form_node_edit(form_oid, 25, 25, 50, 50).unwrap();
+        assert!(remote.form_of(form_oid).unwrap().is_all_white(), "{mode:?}");
+
+        // att_set twice restores, remotely.
+        remote.closure_1n_att_set(start).unwrap();
+        remote.closure_1n_att_set(start).unwrap();
+        for idx in 0..db.len() as u32 {
+            assert_eq!(
+                remote.hundred_of(oids[idx as usize]).unwrap(),
+                oracle.hundred(idx),
+                "{mode:?}"
+            );
+        }
+
+        remote.shutdown().unwrap();
+        handle.join().unwrap();
+    }
+}
+
+#[test]
+fn server_side_closures_save_round_trips() {
+    // Paper §4: conceptual operations beat navigational round trips.
+    let (mut naive, db, oids, handle1) =
+        remote_over_channel(&GenConfig::tiny(), ClosureMode::ClientSide, Duration::ZERO);
+    let (mut smart, _, _, handle2) =
+        remote_over_channel(&GenConfig::tiny(), ClosureMode::ServerSide, Duration::ZERO);
+    let root = oids[0];
+
+    naive.reset_round_trips();
+    let c1 = naive.closure_1n(root).unwrap();
+    let naive_trips = naive.round_trips();
+
+    smart.reset_round_trips();
+    let c2 = smart.closure_1n(root).unwrap();
+    let smart_trips = smart.round_trips();
+
+    assert_eq!(c1, c2, "same answer either way");
+    assert_eq!(smart_trips, 1, "conceptual op = one round trip");
+    assert_eq!(
+        naive_trips,
+        db.len() as u64,
+        "navigational closure = one children() call per node"
+    );
+
+    naive.shutdown().unwrap();
+    smart.shutdown().unwrap();
+    handle1.join().unwrap();
+    handle2.join().unwrap();
+}
+
+#[test]
+fn latency_dominates_client_side_traversal() {
+    // With 1 ms one-way latency, a 31-node client-side closure costs
+    // >= 62 ms while the server-side one costs ~2 ms: the R7 performance
+    // requirement is unreachable without conceptual operations or
+    // caching, which is the paper's architectural argument.
+    let latency = Duration::from_millis(1);
+    let (mut naive, _, oids, h1) =
+        remote_over_channel(&GenConfig::tiny(), ClosureMode::ClientSide, latency);
+    let (mut smart, _, _, h2) =
+        remote_over_channel(&GenConfig::tiny(), ClosureMode::ServerSide, latency);
+    let root = oids[0];
+
+    let t = std::time::Instant::now();
+    naive.closure_1n(root).unwrap();
+    let naive_time = t.elapsed();
+    let t = std::time::Instant::now();
+    smart.closure_1n(root).unwrap();
+    let smart_time = t.elapsed();
+
+    assert!(
+        naive_time >= Duration::from_millis(50),
+        "31 round trips at 2 ms each, got {naive_time:?}"
+    );
+    assert!(
+        smart_time < naive_time / 5,
+        "server-side must be far faster ({smart_time:?} vs {naive_time:?})"
+    );
+    naive.shutdown().unwrap();
+    smart.shutdown().unwrap();
+    h1.join().unwrap();
+    h2.join().unwrap();
+}
+
+#[test]
+fn tcp_end_to_end_with_disk_backend() {
+    // Full stack: generated db → disk backend → TCP server → remote
+    // client runs operations and matches the oracle.
+    let mut path = std::env::temp_dir();
+    path.push(format!("hm-tcp-{}.db", std::process::id()));
+    let _ = std::fs::remove_file(&path);
+    let wal = {
+        let mut w = path.clone().into_os_string();
+        w.push(".wal");
+        std::path::PathBuf::from(w)
+    };
+    let _ = std::fs::remove_file(&wal);
+
+    let db = TestDatabase::generate(&GenConfig::tiny());
+    let mut store = disk_backend::DiskStore::create(&path, 1024).unwrap();
+    let report = load_database(&mut store, &db).unwrap();
+    let oids = report.oids;
+
+    let listener = std::net::TcpListener::bind("127.0.0.1:0").unwrap();
+    let addr = listener.local_addr().unwrap();
+    let handle = std::thread::spawn(move || {
+        let (stream, _) = listener.accept().unwrap();
+        let mut transport = TcpTransport::new(stream).unwrap();
+        serve(&mut store, &mut transport).unwrap();
+    });
+
+    let stream = std::net::TcpStream::connect(addr).unwrap();
+    let transport = TcpTransport::new(stream).unwrap();
+    let mut remote = RemoteStore::new(Box::new(transport), ClosureMode::ServerSide);
+
+    let oracle = Oracle::new(&db);
+    assert_eq!(remote.seq_scan_ten().unwrap(), db.len() as u64);
+    for uid in [1u64, 7, 31] {
+        let oid = remote.lookup_unique(uid).unwrap();
+        assert_eq!(
+            remote.hundred_of(oid).unwrap(),
+            oracle.hundred(uid as u32 - 1)
+        );
+    }
+    // A bitmap crosses the wire intact (overflow pages on the server).
+    let form_oid = oids[db.form_indices()[0] as usize];
+    let bm = remote.form_of(form_oid).unwrap();
+    assert!(bm.is_all_white());
+    // Cold restart through the protocol.
+    remote.commit().unwrap();
+    remote.cold_restart().unwrap();
+    assert_eq!(remote.seq_scan_ten().unwrap(), db.len() as u64);
+
+    remote.shutdown().unwrap();
+    handle.join().unwrap();
+    let _ = std::fs::remove_file(&path);
+    let _ = std::fs::remove_file(&wal);
+}
+
+#[test]
+fn errors_cross_the_wire_without_killing_the_session() {
+    let (mut remote, _, _, handle) =
+        remote_over_channel(&GenConfig::tiny(), ClosureMode::ServerSide, Duration::ZERO);
+    let err = remote.hundred_of(Oid(123_456)).unwrap_err();
+    assert!(err.to_string().contains("not found"), "{err}");
+    // The session is still usable.
+    assert_eq!(remote.seq_scan_ten().unwrap(), 31);
+    remote.shutdown().unwrap();
+    handle.join().unwrap();
+}

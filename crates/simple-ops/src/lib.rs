@@ -1,0 +1,463 @@
+//! # `simple-ops` — the Rubenstein/Kubicar/Cattell baseline benchmark
+//!
+//! Paper §4 reviews *Benchmarking Simple Database Operations* (SIGMOD-87)
+//! and states that "the HyperModel benchmark incorporates the same 7
+//! operations, but uses an example model with a more complex structure".
+//! This crate implements that baseline so the reproduction can report both
+//! benchmarks side by side and show exactly what the HyperModel adds
+//! (traversals, closures, clustering effects).
+//!
+//! The baseline schema is the paper's "Documents and Persons with a
+//! many-to-many relationship between them":
+//!
+//! * `PERSON(id PK, age, name)` — heap + PK B+Tree + secondary index on
+//!   `age`,
+//! * `DOCUMENT(id PK, title)` — heap + PK B+Tree,
+//! * `AUTHOR(doc, seq → person)` with inverse `(person, seq → doc)`.
+//!
+//! The seven operations:
+//!
+//! 1. **Name lookup** — fetch one person by key ([`SimpleDb::name_lookup`])
+//! 2. **Range lookup** — persons with `age` in a range
+//!    ([`SimpleDb::range_lookup`])
+//! 3. **Group lookup** — the authors of a document
+//!    ([`SimpleDb::group_lookup`])
+//! 4. **Reference lookup** — the documents of a person
+//!    ([`SimpleDb::reference_lookup`])
+//! 5. **Record insert** — insert a person, maintain indexes, commit
+//!    ([`SimpleDb::record_insert`])
+//! 6. **Sequential scan** — read every person's age
+//!    ([`SimpleDb::seq_scan`])
+//! 7. **Database open** — [`SimpleDb::open`] itself is the measured
+//!    operation.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+use std::path::Path;
+
+use hypermodel::rng::Rng;
+use storage::btree::{BTree, Key};
+use storage::engine::Engine;
+use storage::heap::{HeapFile, RecordId};
+use storage::{PageId, Result};
+
+/// Generation parameters for the baseline database.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SimpleConfig {
+    /// Number of persons (the SIGMOD-87 scale used 20 000).
+    pub persons: u64,
+    /// Number of documents.
+    pub documents: u64,
+    /// Authors per document.
+    pub authors_per_doc: u32,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl SimpleConfig {
+    /// The scale used by the original study.
+    pub fn standard() -> SimpleConfig {
+        SimpleConfig {
+            persons: 20_000,
+            documents: 5_000,
+            authors_per_doc: 3,
+            seed: 0x5349_4D50,
+        }
+    }
+
+    /// A small configuration for tests.
+    pub fn small() -> SimpleConfig {
+        SimpleConfig {
+            persons: 500,
+            documents: 120,
+            authors_per_doc: 3,
+            seed: 0x5349_4D50,
+        }
+    }
+}
+
+fn encode_person(id: u64, age: u32, name: &str) -> Vec<u8> {
+    let mut v = Vec::with_capacity(13 + name.len());
+    v.extend_from_slice(&id.to_le_bytes());
+    v.extend_from_slice(&age.to_le_bytes());
+    v.push(name.len() as u8);
+    v.extend_from_slice(name.as_bytes());
+    v
+}
+
+fn decode_person(bytes: &[u8]) -> (u64, u32, String) {
+    let id = u64::from_le_bytes(bytes[0..8].try_into().expect("8"));
+    let age = u32::from_le_bytes(bytes[8..12].try_into().expect("4"));
+    let len = bytes[12] as usize;
+    let name = String::from_utf8_lossy(&bytes[13..13 + len]).into_owned();
+    (id, age, name)
+}
+
+fn encode_document(id: u64, title: &str) -> Vec<u8> {
+    let mut v = Vec::with_capacity(9 + title.len());
+    v.extend_from_slice(&id.to_le_bytes());
+    v.push(title.len() as u8);
+    v.extend_from_slice(title.as_bytes());
+    v
+}
+
+fn random_name(rng: &mut Rng, len: usize) -> String {
+    (0..len)
+        .map(|_| (b'a' + rng.range_u32(0, 25) as u8) as char)
+        .collect()
+}
+
+/// The baseline Person/Document database.
+pub struct SimpleDb {
+    engine: Engine,
+    persons: HeapFile,
+    documents: HeapFile,
+    person_pk: BTree,
+    doc_pk: BTree,
+    age_idx: BTree,
+    author_tab: BTree,   // (doc, seq) -> person
+    authored_tab: BTree, // (person, seq) -> doc
+    config: SimpleConfig,
+    next_person: u64,
+    seq: u64,
+}
+
+impl SimpleDb {
+    /// Create and populate a baseline database at `path`.
+    pub fn create(path: &Path, pool_frames: usize, config: SimpleConfig) -> Result<SimpleDb> {
+        let mut engine = Engine::create(path, pool_frames)?;
+        let persons = HeapFile::create(engine.pool())?;
+        let documents = HeapFile::create(engine.pool())?;
+        let person_pk = BTree::create(engine.pool())?;
+        let doc_pk = BTree::create(engine.pool())?;
+        let age_idx = BTree::create(engine.pool())?;
+        let author_tab = BTree::create(engine.pool())?;
+        let authored_tab = BTree::create(engine.pool())?;
+        let mut db = SimpleDb {
+            engine,
+            persons,
+            documents,
+            person_pk,
+            doc_pk,
+            age_idx,
+            author_tab,
+            authored_tab,
+            config,
+            next_person: 1,
+            seq: 1,
+        };
+        db.populate()?;
+        db.save_catalog()?;
+        db.engine.commit()?;
+        db.engine.checkpoint()?;
+        Ok(db)
+    }
+
+    fn populate(&mut self) -> Result<()> {
+        let mut rng = Rng::new(self.config.seed);
+        let mut attr = rng.fork(1);
+        let mut names = rng.fork(2);
+        let mut authors = rng.fork(3);
+        for id in 1..=self.config.persons {
+            let age = attr.range_u32(1, 100);
+            let name = random_name(&mut names, 16);
+            self.insert_person_raw(id, age, &name)?;
+        }
+        self.next_person = self.config.persons + 1;
+        for id in 1..=self.config.documents {
+            let title = random_name(&mut names, 24);
+            let rid = self
+                .documents
+                .insert(self.engine.pool(), &encode_document(id, &title))?;
+            self.doc_pk
+                .insert(self.engine.pool(), Key::from_pair(id, 0), rid.pack())?;
+            for _ in 0..self.config.authors_per_doc {
+                let person = authors.range_u64(1, self.config.persons);
+                let s = self.seq;
+                self.seq += 1;
+                self.author_tab
+                    .insert(self.engine.pool(), Key::from_pair(id, s), person)?;
+                self.authored_tab
+                    .insert(self.engine.pool(), Key::from_pair(person, s), id)?;
+            }
+        }
+        Ok(())
+    }
+
+    fn insert_person_raw(&mut self, id: u64, age: u32, name: &str) -> Result<RecordId> {
+        let rid = self
+            .persons
+            .insert(self.engine.pool(), &encode_person(id, age, name))?;
+        self.person_pk
+            .insert(self.engine.pool(), Key::from_pair(id, 0), rid.pack())?;
+        self.age_idx
+            .insert(self.engine.pool(), Key::from_pair(age as u64, id), id)?;
+        Ok(rid)
+    }
+
+    fn save_catalog(&mut self) -> Result<()> {
+        let pairs = [
+            ("persons", self.persons.first_page().0),
+            ("documents", self.documents.first_page().0),
+            ("person_pk", self.person_pk.root().0),
+            ("doc_pk", self.doc_pk.root().0),
+            ("age_idx", self.age_idx.root().0),
+            ("author", self.author_tab.root().0),
+            ("authored", self.authored_tab.root().0),
+            ("next_person", self.next_person),
+            ("seq", self.seq),
+            ("cfg_persons", self.config.persons),
+            ("cfg_documents", self.config.documents),
+            ("cfg_authors", self.config.authors_per_doc as u64),
+            ("cfg_seed", self.config.seed),
+        ];
+        for (name, value) in pairs {
+            self.engine.catalog_set(name, value)?;
+        }
+        Ok(())
+    }
+
+    /// Operation 7: open an existing database. The caller times this call.
+    pub fn open(path: &Path, pool_frames: usize) -> Result<SimpleDb> {
+        let (mut engine, _) = Engine::open(path, pool_frames)?;
+        let persons = HeapFile::open(PageId(engine.catalog_get("persons")?));
+        let documents = HeapFile::open(PageId(engine.catalog_get("documents")?));
+        let person_pk = BTree::open(PageId(engine.catalog_get("person_pk")?));
+        let doc_pk = BTree::open(PageId(engine.catalog_get("doc_pk")?));
+        let age_idx = BTree::open(PageId(engine.catalog_get("age_idx")?));
+        let author_tab = BTree::open(PageId(engine.catalog_get("author")?));
+        let authored_tab = BTree::open(PageId(engine.catalog_get("authored")?));
+        let config = SimpleConfig {
+            persons: engine.catalog_get("cfg_persons")?,
+            documents: engine.catalog_get("cfg_documents")?,
+            authors_per_doc: engine.catalog_get("cfg_authors")? as u32,
+            seed: engine.catalog_get("cfg_seed")?,
+        };
+        let next_person = engine.catalog_get("next_person")?;
+        let seq = engine.catalog_get("seq")?;
+        Ok(SimpleDb {
+            engine,
+            persons,
+            documents,
+            person_pk,
+            doc_pk,
+            age_idx,
+            author_tab,
+            authored_tab,
+            config,
+            next_person,
+            seq,
+        })
+    }
+
+    /// The generation parameters.
+    pub fn config(&self) -> SimpleConfig {
+        self.config
+    }
+
+    /// Drop the page cache (cold-run boundary).
+    pub fn cold_restart(&mut self) -> Result<()> {
+        self.engine.close_for_cold_run()
+    }
+
+    /// On-disk size in bytes.
+    pub fn file_size(&self) -> u64 {
+        self.engine.file_size()
+    }
+
+    /// Buffer pool statistics.
+    pub fn pool_stats(&self) -> storage::PoolStats {
+        self.engine.pool_ref().stats()
+    }
+
+    /// Operation 1: fetch a person's age by primary key.
+    pub fn name_lookup(&mut self, person: u64) -> Result<Option<u32>> {
+        let Some(packed) = self
+            .person_pk
+            .get(self.engine.pool(), Key::from_pair(person, 0))?
+        else {
+            return Ok(None);
+        };
+        let bytes = self
+            .persons
+            .get(self.engine.pool(), RecordId::unpack(packed))?;
+        Ok(Some(decode_person(&bytes).1))
+    }
+
+    /// Operation 2: person ids with `age` in `lo..=hi` (indexed).
+    pub fn range_lookup(&mut self, lo: u32, hi: u32) -> Result<Vec<u64>> {
+        self.age_idx
+            .range_vec(
+                self.engine.pool(),
+                Key::from_pair(lo as u64, 0),
+                Key::from_pair(hi as u64, u64::MAX),
+            )
+            .map(|v| v.into_iter().map(|(_, id)| id).collect())
+    }
+
+    /// Operation 3: the authors of a document.
+    pub fn group_lookup(&mut self, doc: u64) -> Result<Vec<u64>> {
+        self.author_tab
+            .range_vec(
+                self.engine.pool(),
+                Key::from_pair(doc, 0),
+                Key::from_pair(doc, u64::MAX),
+            )
+            .map(|v| v.into_iter().map(|(_, p)| p).collect())
+    }
+
+    /// Operation 4: the documents authored by a person.
+    pub fn reference_lookup(&mut self, person: u64) -> Result<Vec<u64>> {
+        self.authored_tab
+            .range_vec(
+                self.engine.pool(),
+                Key::from_pair(person, 0),
+                Key::from_pair(person, u64::MAX),
+            )
+            .map(|v| v.into_iter().map(|(_, d)| d).collect())
+    }
+
+    /// Operation 5: insert one person (indexes maintained) and commit.
+    pub fn record_insert(&mut self, age: u32, name: &str) -> Result<u64> {
+        let id = self.next_person;
+        self.next_person += 1;
+        self.insert_person_raw(id, age, name)?;
+        self.save_catalog()?;
+        self.engine.commit()?;
+        Ok(id)
+    }
+
+    /// Operation 6: scan every person record, touching the age attribute.
+    /// Returns the number of records visited.
+    pub fn seq_scan(&mut self) -> Result<u64> {
+        let mut n = 0u64;
+        let persons = self.persons;
+        persons.scan(self.engine.pool(), |_, bytes| {
+            let (_, age, _) = decode_person(bytes);
+            std::hint::black_box(age);
+            n += 1;
+            true
+        })?;
+        Ok(n)
+    }
+}
+
+impl std::fmt::Debug for SimpleDb {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("SimpleDb")
+            .field("persons", &self.config.persons)
+            .field("documents", &self.config.documents)
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::path::PathBuf;
+
+    fn dbpath(name: &str) -> PathBuf {
+        let mut p = std::env::temp_dir();
+        p.push(format!("hm-simple-{}-{}.db", std::process::id(), name));
+        let _ = std::fs::remove_file(&p);
+        let mut w = p.clone().into_os_string();
+        w.push(".wal");
+        let _ = std::fs::remove_file(PathBuf::from(w));
+        p
+    }
+
+    fn cleanup(p: &Path) {
+        let _ = std::fs::remove_file(p);
+        let mut w = p.to_path_buf().into_os_string();
+        w.push(".wal");
+        let _ = std::fs::remove_file(PathBuf::from(w));
+    }
+
+    #[test]
+    fn create_and_lookup() {
+        let path = dbpath("lookup");
+        let mut db = SimpleDb::create(&path, 512, SimpleConfig::small()).unwrap();
+        for id in [1u64, 250, 500] {
+            let age = db.name_lookup(id).unwrap().unwrap();
+            assert!((1..=100).contains(&age));
+        }
+        assert_eq!(db.name_lookup(501).unwrap(), None);
+        cleanup(&path);
+    }
+
+    #[test]
+    fn range_lookup_selectivity() {
+        let path = dbpath("range");
+        let mut db = SimpleDb::create(&path, 512, SimpleConfig::small()).unwrap();
+        let hits = db.range_lookup(1, 10).unwrap();
+        // ~10% of 500 persons.
+        assert!((20..=90).contains(&hits.len()), "got {}", hits.len());
+        let all = db.range_lookup(1, 100).unwrap();
+        assert_eq!(all.len(), 500);
+        cleanup(&path);
+    }
+
+    #[test]
+    fn group_and_reference_lookups_are_inverse() {
+        let path = dbpath("authors");
+        let mut db = SimpleDb::create(&path, 512, SimpleConfig::small()).unwrap();
+        let mut total_authorships = 0usize;
+        for doc in 1..=120u64 {
+            let authors = db.group_lookup(doc).unwrap();
+            assert_eq!(authors.len(), 3);
+            total_authorships += authors.len();
+            for a in authors {
+                assert!(db.reference_lookup(a).unwrap().contains(&doc));
+            }
+        }
+        assert_eq!(total_authorships, 360);
+        cleanup(&path);
+    }
+
+    #[test]
+    fn record_insert_is_immediately_visible() {
+        let path = dbpath("insert");
+        let mut db = SimpleDb::create(&path, 512, SimpleConfig::small()).unwrap();
+        let before = db.seq_scan().unwrap();
+        let id = db.record_insert(42, "newperson").unwrap();
+        assert_eq!(db.name_lookup(id).unwrap(), Some(42));
+        assert!(db.range_lookup(42, 42).unwrap().contains(&id));
+        assert_eq!(db.seq_scan().unwrap(), before + 1);
+        cleanup(&path);
+    }
+
+    #[test]
+    fn seq_scan_counts_all_persons() {
+        let path = dbpath("scan");
+        let mut db = SimpleDb::create(&path, 512, SimpleConfig::small()).unwrap();
+        assert_eq!(db.seq_scan().unwrap(), 500);
+        cleanup(&path);
+    }
+
+    #[test]
+    fn database_open_round_trip() {
+        let path = dbpath("open");
+        {
+            SimpleDb::create(&path, 512, SimpleConfig::small()).unwrap();
+        }
+        let mut db = SimpleDb::open(&path, 512).unwrap();
+        assert_eq!(db.config().persons, 500);
+        assert_eq!(db.seq_scan().unwrap(), 500);
+        assert!(db.name_lookup(123).unwrap().is_some());
+        // Inserts continue from the persisted counter.
+        let id = db.record_insert(7, "after-reopen").unwrap();
+        assert_eq!(id, 501);
+        cleanup(&path);
+    }
+
+    #[test]
+    fn cold_restart_forces_disk_reads() {
+        let path = dbpath("cold");
+        let mut db = SimpleDb::create(&path, 512, SimpleConfig::small()).unwrap();
+        db.cold_restart().unwrap();
+        db.name_lookup(1).unwrap();
+        assert!(db.pool_stats().misses > 0);
+        cleanup(&path);
+    }
+}

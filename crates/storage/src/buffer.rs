@@ -1,0 +1,482 @@
+//! Buffer pool: an LRU cache of pages between the engine and the disk.
+//!
+//! The pool is the mechanism behind the benchmark's cold/warm distinction
+//! (paper §6, run protocol): a *cold* run starts with an empty pool so every
+//! page access is a disk read; a *warm* run re-touches pages already cached.
+//!
+//! # Pinning
+//!
+//! [`BufferPool::fetch`] returns a [`PageHandle`] — a cheap clone of an
+//! `Arc` around the frame. A frame is *pinned* while any handle to it is
+//! alive and will not be evicted. Drop the handle to unpin.
+//!
+//! # Write policy
+//!
+//! The pool is **no-steal**: dirty frames are never written back by
+//! eviction. Dirtied pages stay resident until [`BufferPool::flush_all`]
+//! (called by the engine's commit). If every frame is dirty or pinned,
+//! `fetch` reports [`StorageError::PoolExhausted`] — the transaction's write
+//! set exceeded the pool, which the engine surfaces as "commit more often or
+//! enlarge the pool". No-steal means uncommitted data never reaches the
+//! database file, so the write-ahead log only ever needs *redo*.
+
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use parking_lot::Mutex;
+
+use crate::disk::{DiskManager, IoStats};
+use crate::error::{Result, StorageError};
+use crate::page::{Page, PageId, PageKind};
+
+/// Shared, lockable reference to a cached page. Holding one pins the frame.
+pub type PageHandle = Arc<Mutex<Page>>;
+
+struct Frame {
+    id: PageId,
+    page: PageHandle,
+    dirty: bool,
+    last_used: u64,
+}
+
+/// Cache statistics, used by the harness to demonstrate warm-run behaviour.
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+pub struct PoolStats {
+    /// Fetches satisfied from the cache.
+    pub hits: u64,
+    /// Fetches that had to read from disk.
+    pub misses: u64,
+    /// Frames evicted to make room.
+    pub evictions: u64,
+}
+
+/// An LRU page cache over a [`DiskManager`].
+pub struct BufferPool {
+    disk: DiskManager,
+    frames: Vec<Frame>,
+    map: HashMap<u64, usize>,
+    capacity: usize,
+    tick: u64,
+    stats: PoolStats,
+}
+
+impl BufferPool {
+    /// Wrap `disk` with a pool of at most `capacity` frames.
+    ///
+    /// `capacity` must be at least 8; tiny pools deadlock real workloads
+    /// (a single B+Tree descent pins several pages).
+    pub fn new(disk: DiskManager, capacity: usize) -> BufferPool {
+        BufferPool {
+            disk,
+            frames: Vec::new(),
+            map: HashMap::new(),
+            capacity: capacity.max(8),
+            tick: 0,
+            stats: PoolStats::default(),
+        }
+    }
+
+    /// Number of frames currently resident.
+    pub fn resident(&self) -> usize {
+        self.frames.len()
+    }
+
+    /// Configured capacity in frames.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Cache statistics snapshot.
+    pub fn stats(&self) -> PoolStats {
+        self.stats
+    }
+
+    /// Disk-level I/O statistics snapshot.
+    pub fn io_stats(&self) -> IoStats {
+        self.disk.stats()
+    }
+
+    /// Reset both cache and disk counters (between benchmark phases).
+    pub fn reset_stats(&mut self) {
+        self.stats = PoolStats::default();
+        self.disk.reset_stats();
+    }
+
+    /// Borrow the underlying disk manager (e.g. for size reporting).
+    pub fn disk(&self) -> &DiskManager {
+        &self.disk
+    }
+
+    /// Mutable access to the underlying disk manager. Intended for recovery,
+    /// which writes page images below the cache; the caller must ensure the
+    /// pool is empty (see [`BufferPool::drop_all`]).
+    pub fn disk_mut(&mut self) -> &mut DiskManager {
+        &mut self.disk
+    }
+
+    fn touch(&mut self, idx: usize) {
+        self.tick += 1;
+        self.frames[idx].last_used = self.tick;
+    }
+
+    /// Fetch page `id`, reading it from disk on a miss.
+    pub fn fetch(&mut self, id: PageId) -> Result<PageHandle> {
+        if let Some(&idx) = self.map.get(&id.0) {
+            self.stats.hits += 1;
+            self.touch(idx);
+            return Ok(Arc::clone(&self.frames[idx].page));
+        }
+        self.stats.misses += 1;
+        let page = self.disk.read_page(id)?;
+        self.install(id, page, false)
+    }
+
+    /// Fetch page `id` and mark it dirty (the caller intends to modify it).
+    pub fn fetch_mut(&mut self, id: PageId) -> Result<PageHandle> {
+        let handle = self.fetch(id)?;
+        let idx = self.map[&id.0];
+        self.frames[idx].dirty = true;
+        Ok(handle)
+    }
+
+    /// Allocate a page: pop the persistent free list if non-empty, else
+    /// extend the file. The page enters the pool dirty and zeroed.
+    pub fn allocate(&mut self) -> Result<(PageId, PageHandle)> {
+        // The free-list head lives in a fixed slot of the meta page so it
+        // participates in commit/recovery like any other page content.
+        let head = self.freelist_head()?;
+        if head != 0 {
+            let id = PageId(head);
+            let handle = self.fetch_mut(id)?;
+            let next = {
+                let mut page = handle.lock();
+                if page.kind()? != PageKind::Free {
+                    return Err(StorageError::Corruption {
+                        page: Some(id.0),
+                        detail: "free-list entry is not a free page".into(),
+                    });
+                }
+                let next = page.read_u64(crate::page::FREE_NEXT_OFFSET);
+                page.clear_payload();
+                next
+            };
+            self.set_freelist_head(next)?;
+            return Ok((id, handle));
+        }
+        let id = self.disk.allocate()?;
+        let handle = self.install(id, Page::new(id), true)?;
+        Ok((id, handle))
+    }
+
+    /// Return `id` to the persistent free list. The caller must ensure no
+    /// live structure references the page.
+    pub fn free_page(&mut self, id: PageId) -> Result<()> {
+        debug_assert_ne!(id, PageId::META, "cannot free the meta page");
+        let head = self.freelist_head()?;
+        let handle = self.fetch_mut(id)?;
+        {
+            let mut page = handle.lock();
+            page.clear_payload();
+            page.set_kind(PageKind::Free);
+            page.write_u64(crate::page::FREE_NEXT_OFFSET, head);
+        }
+        self.set_freelist_head(id.0)
+    }
+
+    /// Number of pages currently on the free list (walks the chain; for
+    /// tests and stats).
+    pub fn free_page_count(&mut self) -> Result<usize> {
+        let mut n = 0usize;
+        let mut cur = self.freelist_head()?;
+        while cur != 0 {
+            let handle = self.fetch(PageId(cur))?;
+            cur = handle.lock().read_u64(crate::page::FREE_NEXT_OFFSET);
+            n += 1;
+        }
+        Ok(n)
+    }
+
+    fn freelist_head(&mut self) -> Result<u64> {
+        let handle = self.fetch(PageId::META)?;
+        let head = handle.lock().read_u64(crate::page::META_FREELIST_OFFSET);
+        Ok(head)
+    }
+
+    fn set_freelist_head(&mut self, head: u64) -> Result<()> {
+        let handle = self.fetch_mut(PageId::META)?;
+        handle
+            .lock()
+            .write_u64(crate::page::META_FREELIST_OFFSET, head);
+        Ok(())
+    }
+
+    /// Explicitly mark a resident page dirty.
+    pub fn mark_dirty(&mut self, id: PageId) {
+        if let Some(&idx) = self.map.get(&id.0) {
+            self.frames[idx].dirty = true;
+        } else {
+            debug_assert!(false, "mark_dirty on non-resident page {id}");
+        }
+    }
+
+    fn install(&mut self, id: PageId, page: Page, dirty: bool) -> Result<PageHandle> {
+        if self.frames.len() >= self.capacity {
+            self.evict_one()?;
+        }
+        let handle = Arc::new(Mutex::new(page));
+        self.tick += 1;
+        let frame = Frame {
+            id,
+            page: Arc::clone(&handle),
+            dirty,
+            last_used: self.tick,
+        };
+        let idx = self.frames.len();
+        self.frames.push(frame);
+        self.map.insert(id.0, idx);
+        Ok(handle)
+    }
+
+    /// Evict the least-recently-used clean, unpinned frame.
+    fn evict_one(&mut self) -> Result<()> {
+        let mut victim: Option<usize> = None;
+        for (i, f) in self.frames.iter().enumerate() {
+            // strong_count == 1 means only the pool itself holds the Arc.
+            if !f.dirty
+                && Arc::strong_count(&f.page) == 1
+                && victim.is_none_or(|v| f.last_used < self.frames[v].last_used)
+            {
+                victim = Some(i);
+            }
+        }
+        let idx = victim.ok_or(StorageError::PoolExhausted)?;
+        let frame = self.frames.swap_remove(idx);
+        self.map.remove(&frame.id.0);
+        // Fix the index of the frame that swap_remove moved into `idx`.
+        if idx < self.frames.len() {
+            let moved_id = self.frames[idx].id;
+            self.map.insert(moved_id.0, idx);
+        }
+        self.stats.evictions += 1;
+        Ok(())
+    }
+
+    /// Write every dirty frame to the database file and clear its flag.
+    /// Returns the ids that were written. Does **not** fsync; callers pair
+    /// this with [`BufferPool::sync`] according to their durability protocol.
+    pub fn flush_all(&mut self) -> Result<Vec<PageId>> {
+        let mut written = Vec::new();
+        for i in 0..self.frames.len() {
+            if self.frames[i].dirty {
+                let id = self.frames[i].id;
+                let handle = Arc::clone(&self.frames[i].page);
+                {
+                    let mut page = handle.lock();
+                    self.disk.write_page(&mut page)?;
+                }
+                self.frames[i].dirty = false;
+                written.push(id);
+            }
+        }
+        Ok(written)
+    }
+
+    /// Ids and page-image copies of all currently dirty frames, in id order.
+    /// Used by commit to build write-ahead log records.
+    pub fn dirty_snapshot(&self) -> Vec<(PageId, Page)> {
+        let mut v: Vec<(PageId, Page)> = self
+            .frames
+            .iter()
+            .filter(|f| f.dirty)
+            .map(|f| (f.id, f.page.lock().clone()))
+            .collect();
+        v.sort_by_key(|(id, _)| id.0);
+        v
+    }
+
+    /// Number of dirty frames.
+    pub fn dirty_count(&self) -> usize {
+        self.frames.iter().filter(|f| f.dirty).count()
+    }
+
+    /// fsync the database file.
+    pub fn sync(&mut self) -> Result<()> {
+        self.disk.sync()
+    }
+
+    /// Drop every cached frame. Pinned or dirty frames make this an error;
+    /// it is used to simulate a database close/open cycle (cold runs).
+    pub fn drop_all(&mut self) -> Result<()> {
+        if let Some(f) = self.frames.iter().find(|f| f.dirty) {
+            return Err(StorageError::InvalidArgument(format!(
+                "drop_all with dirty page {}",
+                f.id
+            )));
+        }
+        if let Some(f) = self.frames.iter().find(|f| Arc::strong_count(&f.page) > 1) {
+            return Err(StorageError::InvalidArgument(format!(
+                "drop_all with pinned page {}",
+                f.id
+            )));
+        }
+        self.frames.clear();
+        self.map.clear();
+        Ok(())
+    }
+}
+
+impl std::fmt::Debug for BufferPool {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("BufferPool")
+            .field("capacity", &self.capacity)
+            .field("resident", &self.frames.len())
+            .field("dirty", &self.dirty_count())
+            .field("stats", &self.stats)
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::path::PathBuf;
+
+    fn pool(name: &str, cap: usize) -> (BufferPool, PathBuf) {
+        let mut p = std::env::temp_dir();
+        p.push(format!("hm-pool-{}-{}", std::process::id(), name));
+        let _ = std::fs::remove_file(&p);
+        let dm = DiskManager::create(&p).unwrap();
+        (BufferPool::new(dm, cap), p)
+    }
+
+    #[test]
+    fn fetch_caches_pages() {
+        let (mut bp, path) = pool("cache", 16);
+        let (id, h) = bp.allocate().unwrap();
+        h.lock().write_u64(100, 5);
+        drop(h);
+        bp.flush_all().unwrap();
+        let h1 = bp.fetch(id).unwrap();
+        assert_eq!(h1.lock().read_u64(100), 5);
+        drop(h1);
+        let before = bp.stats();
+        bp.fetch(id).unwrap();
+        let after = bp.stats();
+        assert_eq!(after.hits, before.hits + 1);
+        assert_eq!(after.misses, before.misses);
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn eviction_prefers_lru_and_skips_pinned() {
+        let (mut bp, path) = pool("lru", 8);
+        let mut ids = Vec::new();
+        for _ in 0..8 {
+            let (id, h) = bp.allocate().unwrap();
+            drop(h);
+            ids.push(id);
+        }
+        bp.flush_all().unwrap();
+        // Pin the LRU page (ids[0]); eviction must pick ids[1] instead.
+        let pinned = bp.fetch(ids[0]).unwrap();
+        bp.allocate().unwrap(); // forces one eviction
+        assert!(bp.map.contains_key(&ids[0].0), "pinned page must stay");
+        assert!(!bp.map.contains_key(&ids[1].0), "LRU unpinned page evicted");
+        drop(pinned);
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn dirty_pages_are_never_evicted() {
+        let (mut bp, path) = pool("nosteal", 8);
+        // Fill the pool with dirty pages, then demand one more frame.
+        for _ in 0..8 {
+            let (_, h) = bp.allocate().unwrap();
+            drop(h);
+        }
+        let err = bp.allocate().unwrap_err();
+        assert!(matches!(err, StorageError::PoolExhausted));
+        // After a flush, eviction succeeds.
+        bp.flush_all().unwrap();
+        bp.allocate().unwrap();
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn flush_all_persists_and_cleans() {
+        let (mut bp, path) = pool("flush", 8);
+        let (id, h) = bp.allocate().unwrap();
+        h.lock().write_u64(200, 99);
+        drop(h);
+        assert_eq!(bp.dirty_count(), 1);
+        let written = bp.flush_all().unwrap();
+        assert_eq!(written, vec![id]);
+        assert_eq!(bp.dirty_count(), 0);
+        bp.drop_all().unwrap();
+        let h = bp.fetch(id).unwrap();
+        assert_eq!(h.lock().read_u64(200), 99);
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn drop_all_refuses_dirty_or_pinned() {
+        let (mut bp, path) = pool("dropall", 8);
+        let (id, h) = bp.allocate().unwrap();
+        drop(h);
+        assert!(bp.drop_all().is_err()); // dirty
+        bp.flush_all().unwrap();
+        let h = bp.fetch(id).unwrap();
+        assert!(bp.drop_all().is_err()); // pinned
+        drop(h);
+        bp.drop_all().unwrap();
+        assert_eq!(bp.resident(), 0);
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn dirty_snapshot_is_sorted_copies() {
+        let (mut bp, path) = pool("snap", 8);
+        let (id2, h2) = bp.allocate().unwrap();
+        let (id1, h1) = bp.allocate().unwrap();
+        h1.lock().write_u64(64, 1);
+        h2.lock().write_u64(64, 2);
+        drop(h1);
+        drop(h2);
+        let snap = bp.dirty_snapshot();
+        assert_eq!(snap.len(), 2);
+        assert!(snap[0].0 .0 < snap[1].0 .0);
+        assert_eq!(
+            snap.iter().find(|(i, _)| *i == id1).unwrap().1.read_u64(64),
+            1
+        );
+        assert_eq!(
+            snap.iter().find(|(i, _)| *i == id2).unwrap().1.read_u64(64),
+            2
+        );
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn cold_reload_misses_then_hits() {
+        let (mut bp, path) = pool("coldwarm", 32);
+        let mut ids = Vec::new();
+        for _ in 0..10 {
+            let (id, h) = bp.allocate().unwrap();
+            drop(h);
+            ids.push(id);
+        }
+        bp.flush_all().unwrap();
+        bp.drop_all().unwrap();
+        bp.reset_stats();
+        for &id in &ids {
+            drop(bp.fetch(id).unwrap());
+        }
+        assert_eq!(bp.stats().misses, 10);
+        assert_eq!(bp.stats().hits, 0);
+        for &id in &ids {
+            drop(bp.fetch(id).unwrap());
+        }
+        assert_eq!(bp.stats().hits, 10);
+        std::fs::remove_file(&path).unwrap();
+    }
+}

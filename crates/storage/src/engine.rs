@@ -1,0 +1,457 @@
+//! The storage engine facade: pool + log + catalog + transactions.
+//!
+//! An [`Engine`] owns one database file and its write-ahead log. Backends
+//! build heaps and B+Trees on top and persist their root page ids in the
+//! engine's **catalog** — a name → `u64` map stored on the meta page.
+//!
+//! # Transactions
+//!
+//! The engine exposes coarse *engine transactions*: mutate pages through
+//! the pool, then [`Engine::commit`]. Commit logs the after-image of every
+//! dirty page plus a commit marker, fsyncs the log, and flushes the pages.
+//! The benchmark measures commit time as part of update operations, as the
+//! paper requires ("database-commit-time should be included").
+//!
+//! Higher-level concurrency (locking, optimistic validation, workspaces)
+//! lives in the `concurrency` crate; the engine itself is single-writer.
+
+use std::path::{Path, PathBuf};
+
+use crate::buffer::BufferPool;
+use crate::disk::DiskManager;
+use crate::error::{Result, StorageError};
+use crate::page::{PageId, HEADER_SIZE, PAGE_SIZE};
+use crate::recovery::{recover, RecoveryReport};
+use crate::wal::Wal;
+
+const CATALOG_MAGIC: u32 = 0x4859_4D43; // "HYMC"
+                                        // The first 8 payload bytes of the meta page hold the free-list head
+                                        // (see `page::META_FREELIST_OFFSET`); the catalog follows it.
+const CAT_MAGIC_OFF: usize = HEADER_SIZE + 8;
+const CAT_COUNT_OFF: usize = HEADER_SIZE + 12;
+const CAT_ENTRIES_OFF: usize = HEADER_SIZE + 14;
+
+/// Statistics returned by [`Engine::commit`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CommitStats {
+    /// Pages whose images were logged and flushed.
+    pub pages: usize,
+    /// Bytes appended to the log for this commit.
+    pub wal_bytes: u64,
+}
+
+/// Failure-injection points for crash tests. See [`Engine::commit_with_crash`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CrashPoint {
+    /// Crash after logging page images but *before* the commit marker:
+    /// recovery must discard the transaction.
+    BeforeCommitRecord,
+    /// Crash after the commit marker is durable but before any database
+    /// file write: recovery must redo the transaction.
+    AfterWalSync,
+}
+
+/// A single-file storage engine with page cache, redo log and catalog.
+pub struct Engine {
+    pool: BufferPool,
+    wal: Wal,
+    db_path: PathBuf,
+    wal_path: PathBuf,
+    txn_counter: u64,
+    commits: u64,
+}
+
+fn wal_path_for(db_path: &Path) -> PathBuf {
+    let mut p = db_path.as_os_str().to_os_string();
+    p.push(".wal");
+    PathBuf::from(p)
+}
+
+impl Engine {
+    /// Create a new database at `db_path` with a pool of `pool_frames`.
+    pub fn create(db_path: &Path, pool_frames: usize) -> Result<Engine> {
+        let wal_path = wal_path_for(db_path);
+        let _ = std::fs::remove_file(&wal_path); // stale log from a deleted db
+        let disk = DiskManager::create(db_path)?;
+        let mut engine = Engine {
+            pool: BufferPool::new(disk, pool_frames),
+            wal: Wal::open(&wal_path)?,
+            db_path: db_path.to_path_buf(),
+            wal_path,
+            txn_counter: 0,
+            commits: 0,
+        };
+        engine.init_catalog()?;
+        Ok(engine)
+    }
+
+    /// Open an existing database, running crash recovery first if the log
+    /// is non-empty. Returns the engine and the recovery report.
+    pub fn open(db_path: &Path, pool_frames: usize) -> Result<(Engine, RecoveryReport)> {
+        let wal_path = wal_path_for(db_path);
+        let report = recover(db_path, &wal_path)?;
+        let disk = DiskManager::open(db_path)?;
+        let mut engine = Engine {
+            pool: BufferPool::new(disk, pool_frames),
+            wal: Wal::open(&wal_path)?,
+            db_path: db_path.to_path_buf(),
+            wal_path,
+            txn_counter: 0,
+            commits: 0,
+        };
+        engine.read_catalog()?; // validates the catalog magic
+        Ok((engine, report))
+    }
+
+    /// Path of the database file.
+    pub fn db_path(&self) -> &Path {
+        &self.db_path
+    }
+
+    /// Path of the write-ahead log.
+    pub fn wal_path(&self) -> &Path {
+        &self.wal_path
+    }
+
+    /// The buffer pool, through which all page access flows.
+    pub fn pool(&mut self) -> &mut BufferPool {
+        &mut self.pool
+    }
+
+    /// Immutable pool access (stats).
+    pub fn pool_ref(&self) -> &BufferPool {
+        &self.pool
+    }
+
+    /// Number of commits performed by this handle.
+    pub fn commit_count(&self) -> u64 {
+        self.commits
+    }
+
+    /// Total database file size in bytes.
+    pub fn file_size(&self) -> u64 {
+        self.pool.disk().file_size()
+    }
+
+    // ---- catalog -------------------------------------------------------
+
+    fn init_catalog(&mut self) -> Result<()> {
+        let handle = self.pool.fetch_mut(PageId::META)?;
+        let mut page = handle.lock();
+        page.write_u32(CAT_MAGIC_OFF, CATALOG_MAGIC);
+        page.write_u16(CAT_COUNT_OFF, 0);
+        Ok(())
+    }
+
+    fn read_catalog(&mut self) -> Result<Vec<(String, u64)>> {
+        let handle = self.pool.fetch(PageId::META)?;
+        let page = handle.lock();
+        if page.read_u32(CAT_MAGIC_OFF) != CATALOG_MAGIC {
+            return Err(StorageError::Corruption {
+                page: Some(0),
+                detail: "bad catalog magic".into(),
+            });
+        }
+        let count = page.read_u16(CAT_COUNT_OFF) as usize;
+        let mut entries = Vec::with_capacity(count);
+        let mut off = CAT_ENTRIES_OFF;
+        for _ in 0..count {
+            let name_len = page.bytes()[off] as usize;
+            off += 1;
+            let name =
+                String::from_utf8(page.read_bytes(off, name_len).to_vec()).map_err(|_| {
+                    StorageError::Corruption {
+                        page: Some(0),
+                        detail: "catalog name is not utf-8".into(),
+                    }
+                })?;
+            off += name_len;
+            let value = page.read_u64(off);
+            off += 8;
+            entries.push((name, value));
+        }
+        Ok(entries)
+    }
+
+    fn write_catalog(&mut self, entries: &[(String, u64)]) -> Result<()> {
+        let needed: usize =
+            CAT_ENTRIES_OFF + entries.iter().map(|(n, _)| 1 + n.len() + 8).sum::<usize>();
+        if needed > PAGE_SIZE {
+            return Err(StorageError::InvalidArgument(
+                "catalog overflow: too many named roots".into(),
+            ));
+        }
+        let handle = self.pool.fetch_mut(PageId::META)?;
+        let mut page = handle.lock();
+        page.write_u16(CAT_COUNT_OFF, entries.len() as u16);
+        let mut off = CAT_ENTRIES_OFF;
+        for (name, value) in entries {
+            if name.len() > 255 {
+                return Err(StorageError::InvalidArgument(
+                    "catalog name too long".into(),
+                ));
+            }
+            page.bytes_mut()[off] = name.len() as u8;
+            off += 1;
+            page.write_bytes(off, name.as_bytes());
+            off += name.len();
+            page.write_u64(off, *value);
+            off += 8;
+        }
+        Ok(())
+    }
+
+    /// Set (insert or replace) catalog entry `name = value`. Becomes
+    /// durable at the next commit.
+    pub fn catalog_set(&mut self, name: &str, value: u64) -> Result<()> {
+        let mut entries = self.read_catalog()?;
+        match entries.iter_mut().find(|(n, _)| n == name) {
+            Some(e) => e.1 = value,
+            None => entries.push((name.to_string(), value)),
+        }
+        self.write_catalog(&entries)
+    }
+
+    /// Look up catalog entry `name`.
+    pub fn catalog_get(&mut self, name: &str) -> Result<u64> {
+        self.read_catalog()?
+            .into_iter()
+            .find(|(n, _)| n == name)
+            .map(|(_, v)| v)
+            .ok_or_else(|| StorageError::CatalogMissing(name.to_string()))
+    }
+
+    /// Look up catalog entry `name`, returning `None` when absent.
+    pub fn catalog_try_get(&mut self, name: &str) -> Result<Option<u64>> {
+        Ok(self
+            .read_catalog()?
+            .into_iter()
+            .find(|(n, _)| n == name)
+            .map(|(_, v)| v))
+    }
+
+    /// All catalog entries (for tooling / debugging).
+    pub fn catalog_entries(&mut self) -> Result<Vec<(String, u64)>> {
+        self.read_catalog()
+    }
+
+    // ---- transactions --------------------------------------------------
+
+    /// Commit all dirty pages: log images + commit marker, fsync the log,
+    /// then flush pages to the database file.
+    pub fn commit(&mut self) -> Result<CommitStats> {
+        let dirty = self.pool.dirty_snapshot();
+        if dirty.is_empty() {
+            return Ok(CommitStats::default());
+        }
+        let before = self.wal.appended_bytes();
+        for (_, page) in &dirty {
+            self.wal.append_page_image(page)?;
+        }
+        self.txn_counter += 1;
+        self.wal.append_commit(self.txn_counter)?;
+        self.wal.sync()?;
+        self.pool.flush_all()?;
+        self.commits += 1;
+        Ok(CommitStats {
+            pages: dirty.len(),
+            wal_bytes: self.wal.appended_bytes() - before,
+        })
+    }
+
+    /// Failure-injection variant of [`Engine::commit`]: performs the commit
+    /// protocol up to `point` and then *stops*, leaving the engine in a
+    /// state that must be abandoned (as if the process died). Tests reopen
+    /// the database afterwards and assert on recovery behaviour.
+    pub fn commit_with_crash(mut self, point: CrashPoint) -> Result<()> {
+        let dirty = self.pool.dirty_snapshot();
+        for (_, page) in &dirty {
+            self.wal.append_page_image(page)?;
+        }
+        match point {
+            CrashPoint::BeforeCommitRecord => {
+                self.wal.sync()?;
+                // "crash": drop without commit marker or page flush.
+            }
+            CrashPoint::AfterWalSync => {
+                self.txn_counter += 1;
+                self.wal.append_commit(self.txn_counter)?;
+                self.wal.sync()?;
+                // "crash": drop without flushing pages to the db file.
+            }
+        }
+        std::mem::forget(self.pool); // do not let Drop paths touch the file
+        Ok(())
+    }
+
+    /// Flush everything and truncate the log. After a checkpoint the
+    /// database file alone is a consistent, durable image.
+    pub fn checkpoint(&mut self) -> Result<()> {
+        self.pool.flush_all()?;
+        self.pool.sync()?;
+        self.wal.truncate()?;
+        Ok(())
+    }
+
+    /// Checkpoint and drop the page cache — the benchmark's "close the
+    /// database" step between operation sequences (§6 step e). The engine
+    /// remains usable; subsequent reads are cold.
+    pub fn close_for_cold_run(&mut self) -> Result<()> {
+        self.checkpoint()?;
+        self.pool.drop_all()?;
+        self.pool.reset_stats();
+        Ok(())
+    }
+}
+
+impl std::fmt::Debug for Engine {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Engine")
+            .field("db", &self.db_path)
+            .field("commits", &self.commits)
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::heap::HeapFile;
+    use std::path::PathBuf;
+
+    fn dbpath(name: &str) -> PathBuf {
+        let mut p = std::env::temp_dir();
+        p.push(format!("hm-eng-{}-{}.db", std::process::id(), name));
+        let _ = std::fs::remove_file(&p);
+        let _ = std::fs::remove_file(wal_path_for(&p));
+        p
+    }
+
+    fn cleanup(p: &Path) {
+        let _ = std::fs::remove_file(p);
+        let _ = std::fs::remove_file(wal_path_for(p));
+    }
+
+    #[test]
+    fn catalog_round_trip_and_persistence() {
+        let path = dbpath("catalog");
+        {
+            let mut e = Engine::create(&path, 64).unwrap();
+            e.catalog_set("nodes_heap", 17).unwrap();
+            e.catalog_set("uid_index", 29).unwrap();
+            e.catalog_set("nodes_heap", 18).unwrap(); // replace
+            e.commit().unwrap();
+            e.checkpoint().unwrap();
+        }
+        {
+            let (mut e, report) = Engine::open(&path, 64).unwrap();
+            assert_eq!(report.pages_redone, 0);
+            assert_eq!(e.catalog_get("nodes_heap").unwrap(), 18);
+            assert_eq!(e.catalog_get("uid_index").unwrap(), 29);
+            assert!(matches!(
+                e.catalog_get("missing"),
+                Err(StorageError::CatalogMissing(_))
+            ));
+            assert_eq!(e.catalog_try_get("missing").unwrap(), None);
+            assert_eq!(e.catalog_entries().unwrap().len(), 2);
+        }
+        cleanup(&path);
+    }
+
+    #[test]
+    fn commit_makes_heap_changes_durable() {
+        let path = dbpath("durable");
+        let rid;
+        {
+            let mut e = Engine::create(&path, 64).unwrap();
+            let mut heap = HeapFile::create(e.pool()).unwrap();
+            rid = heap.insert(e.pool(), b"persist me").unwrap();
+            e.catalog_set("heap", heap.first_page().0).unwrap();
+            let stats = e.commit().unwrap();
+            assert!(stats.pages >= 2); // heap page + meta page
+                                       // NOT checkpointed: durability must come from the log alone.
+        }
+        {
+            let (mut e, report) = Engine::open(&path, 64).unwrap();
+            assert!(report.pages_redone >= 2);
+            let heap = HeapFile::open(PageId(e.catalog_get("heap").unwrap()));
+            assert_eq!(heap.get(e.pool(), rid).unwrap(), b"persist me");
+        }
+        cleanup(&path);
+    }
+
+    #[test]
+    fn crash_before_commit_record_discards_txn() {
+        let path = dbpath("crash-nocommit");
+        {
+            let mut e = Engine::create(&path, 64).unwrap();
+            e.commit().unwrap();
+            e.checkpoint().unwrap();
+        }
+        {
+            let (mut e, _) = Engine::open(&path, 64).unwrap();
+            let mut heap = HeapFile::create(e.pool()).unwrap();
+            heap.insert(e.pool(), b"doomed").unwrap();
+            e.catalog_set("heap", heap.first_page().0).unwrap();
+            e.commit_with_crash(CrashPoint::BeforeCommitRecord).unwrap();
+        }
+        {
+            let (mut e, report) = Engine::open(&path, 64).unwrap();
+            assert_eq!(report.pages_redone, 0);
+            assert!(report.pages_discarded >= 1);
+            assert_eq!(e.catalog_try_get("heap").unwrap(), None, "txn rolled back");
+        }
+        cleanup(&path);
+    }
+
+    #[test]
+    fn crash_after_wal_sync_redoes_txn() {
+        let path = dbpath("crash-committed");
+        let rid;
+        {
+            let mut e = Engine::create(&path, 64).unwrap();
+            e.commit().unwrap();
+            e.checkpoint().unwrap();
+            let (mut e, _) = Engine::open(&path, 64).unwrap();
+            let mut heap = HeapFile::create(e.pool()).unwrap();
+            rid = heap.insert(e.pool(), b"survives").unwrap();
+            e.catalog_set("heap", heap.first_page().0).unwrap();
+            e.commit_with_crash(CrashPoint::AfterWalSync).unwrap();
+        }
+        {
+            let (mut e, report) = Engine::open(&path, 64).unwrap();
+            assert!(report.pages_redone >= 1);
+            let heap = HeapFile::open(PageId(e.catalog_get("heap").unwrap()));
+            assert_eq!(heap.get(e.pool(), rid).unwrap(), b"survives");
+        }
+        cleanup(&path);
+    }
+
+    #[test]
+    fn close_for_cold_run_drops_cache() {
+        let path = dbpath("cold");
+        let mut e = Engine::create(&path, 64).unwrap();
+        let mut heap = HeapFile::create(e.pool()).unwrap();
+        let rid = heap.insert(e.pool(), b"x").unwrap();
+        e.commit().unwrap();
+        e.close_for_cold_run().unwrap();
+        assert_eq!(e.pool_ref().resident(), 0);
+        // First access after close is a miss (cold), second a hit (warm).
+        heap.get(e.pool(), rid).unwrap();
+        assert!(e.pool_ref().stats().misses >= 1);
+        let misses_before = e.pool_ref().stats().misses;
+        heap.get(e.pool(), rid).unwrap();
+        assert_eq!(e.pool_ref().stats().misses, misses_before);
+        cleanup(&path);
+    }
+
+    #[test]
+    fn empty_commit_is_a_cheap_noop() {
+        let path = dbpath("noop");
+        let mut e = Engine::create(&path, 64).unwrap();
+        e.commit().unwrap();
+        let stats = e.commit().unwrap();
+        assert_eq!(stats, CommitStats::default());
+        cleanup(&path);
+    }
+}

@@ -1,0 +1,340 @@
+//! Write-ahead log with physical (page-image) redo records.
+//!
+//! The engine uses a **no-steal / redo-only** protocol (see
+//! [`crate::buffer`]): uncommitted data never reaches the database file, so
+//! the log never needs undo information. Commit appends one
+//! [`WalRecord::PageImage`] per dirty page followed by a
+//! [`WalRecord::Commit`], then fsyncs. Recovery replays the images of every
+//! *committed* transaction in log order; images after the last commit marker
+//! belong to a transaction that never committed and are ignored.
+//!
+//! On-disk record framing:
+//!
+//! ```text
+//! u32 len      length of type+payload
+//! u8  type     1 = PageImage, 2 = Commit, 3 = Checkpoint
+//! ..  payload
+//! u32 crc32    over type+payload
+//! ```
+//!
+//! A torn or half-written record at the tail is treated as the end of the
+//! log (the standard crash-tail convention); a bad CRC anywhere *before*
+//! the tail is reported as corruption.
+
+use std::fs::{File, OpenOptions};
+use std::io::{BufWriter, Read, Seek, SeekFrom, Write};
+use std::path::{Path, PathBuf};
+
+use crate::checksum::crc32;
+use crate::error::{Result, StorageError};
+use crate::page::{Page, PageId, PAGE_SIZE};
+
+const TYPE_PAGE_IMAGE: u8 = 1;
+const TYPE_COMMIT: u8 = 2;
+const TYPE_CHECKPOINT: u8 = 3;
+
+/// A parsed log record.
+#[derive(Debug, Clone)]
+pub enum WalRecord {
+    /// Full after-image of one page.
+    PageImage {
+        /// The page this image belongs to.
+        page_id: PageId,
+        /// The 8 KiB image.
+        image: Box<[u8; PAGE_SIZE]>,
+    },
+    /// Transaction commit marker.
+    Commit {
+        /// Monotonic transaction number (informational).
+        txn: u64,
+    },
+    /// All prior records have been applied to the database file.
+    Checkpoint,
+}
+
+/// Append-only writer/reader over a single log file.
+pub struct Wal {
+    writer: BufWriter<File>,
+    path: PathBuf,
+    /// Bytes appended since open/truncate (for size reporting).
+    appended: u64,
+    /// Number of fsyncs issued.
+    syncs: u64,
+}
+
+impl Wal {
+    /// Open (creating if missing) the log at `path`. Appends go to the end.
+    pub fn open(path: &Path) -> Result<Wal> {
+        let mut file = OpenOptions::new()
+            .read(true)
+            .create(true)
+            .append(true)
+            .open(path)?;
+        file.seek(SeekFrom::End(0))?;
+        Ok(Wal {
+            writer: BufWriter::new(file),
+            path: path.to_path_buf(),
+            appended: 0,
+            syncs: 0,
+        })
+    }
+
+    /// Path of the log file.
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+
+    /// Bytes appended since this handle was opened or last truncated.
+    pub fn appended_bytes(&self) -> u64 {
+        self.appended
+    }
+
+    /// Number of fsyncs issued through this handle.
+    pub fn sync_count(&self) -> u64 {
+        self.syncs
+    }
+
+    fn append(&mut self, typ: u8, payload: &[u8]) -> Result<()> {
+        let len = (1 + payload.len()) as u32;
+        self.writer.write_all(&len.to_le_bytes())?;
+        self.writer.write_all(&[typ])?;
+        self.writer.write_all(payload)?;
+        let mut sum = crate::checksum::Crc32::new();
+        sum.write(&[typ]);
+        sum.write(payload);
+        self.writer.write_all(&sum.finish().to_le_bytes())?;
+        self.appended += 4 + len as u64 + 4;
+        Ok(())
+    }
+
+    /// Append a page image record.
+    pub fn append_page_image(&mut self, page: &Page) -> Result<()> {
+        let mut payload = Vec::with_capacity(8 + PAGE_SIZE);
+        payload.extend_from_slice(&page.id().0.to_le_bytes());
+        payload.extend_from_slice(page.bytes().as_slice());
+        self.append(TYPE_PAGE_IMAGE, &payload)
+    }
+
+    /// Append a commit marker for transaction `txn`.
+    pub fn append_commit(&mut self, txn: u64) -> Result<()> {
+        self.append(TYPE_COMMIT, &txn.to_le_bytes())
+    }
+
+    /// Append a checkpoint marker.
+    pub fn append_checkpoint(&mut self) -> Result<()> {
+        self.append(TYPE_CHECKPOINT, &[])
+    }
+
+    /// Flush buffered records and fsync to stable storage. A commit is
+    /// durable only after this returns.
+    pub fn sync(&mut self) -> Result<()> {
+        self.writer.flush()?;
+        self.writer.get_ref().sync_data()?;
+        self.syncs += 1;
+        Ok(())
+    }
+
+    /// Discard the entire log (after a checkpoint has made it redundant).
+    pub fn truncate(&mut self) -> Result<()> {
+        self.writer.flush()?;
+        let file = self.writer.get_mut();
+        file.set_len(0)?;
+        file.seek(SeekFrom::Start(0))?;
+        file.sync_data()?;
+        self.appended = 0;
+        Ok(())
+    }
+
+    /// Read all well-formed records from the start of the log.
+    ///
+    /// A truncated tail ends iteration silently (crash convention); a CRC
+    /// mismatch on a complete record is an error.
+    pub fn read_all(path: &Path) -> Result<Vec<WalRecord>> {
+        let mut file = match File::open(path) {
+            Ok(f) => f,
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => return Ok(Vec::new()),
+            Err(e) => return Err(e.into()),
+        };
+        let mut buf = Vec::new();
+        file.read_to_end(&mut buf)?;
+        let mut records = Vec::new();
+        let mut off = 0usize;
+        while off + 4 <= buf.len() {
+            let len = u32::from_le_bytes(buf[off..off + 4].try_into().expect("4")) as usize;
+            let total = 4 + len + 4;
+            if len == 0 || off + total > buf.len() {
+                break; // torn tail
+            }
+            let body = &buf[off + 4..off + 4 + len];
+            let stored_crc =
+                u32::from_le_bytes(buf[off + 4 + len..off + total].try_into().expect("4"));
+            if crc32(body) != stored_crc {
+                // A bad CRC at the very tail is a torn write; earlier it is
+                // corruption. Either way nothing after it is trustworthy.
+                if off + total == buf.len() {
+                    break;
+                }
+                return Err(StorageError::WalCorrupt {
+                    offset: off as u64,
+                    detail: "crc mismatch".into(),
+                });
+            }
+            let typ = body[0];
+            let payload = &body[1..];
+            let record = match typ {
+                TYPE_PAGE_IMAGE => {
+                    if payload.len() != 8 + PAGE_SIZE {
+                        return Err(StorageError::WalCorrupt {
+                            offset: off as u64,
+                            detail: format!("page image payload {} bytes", payload.len()),
+                        });
+                    }
+                    let page_id = PageId(u64::from_le_bytes(payload[..8].try_into().expect("8")));
+                    let image: Box<[u8; PAGE_SIZE]> = payload[8..]
+                        .to_vec()
+                        .into_boxed_slice()
+                        .try_into()
+                        .expect("sized");
+                    WalRecord::PageImage { page_id, image }
+                }
+                TYPE_COMMIT => {
+                    if payload.len() != 8 {
+                        return Err(StorageError::WalCorrupt {
+                            offset: off as u64,
+                            detail: "commit payload size".into(),
+                        });
+                    }
+                    WalRecord::Commit {
+                        txn: u64::from_le_bytes(payload.try_into().expect("8")),
+                    }
+                }
+                TYPE_CHECKPOINT => WalRecord::Checkpoint,
+                other => {
+                    return Err(StorageError::WalCorrupt {
+                        offset: off as u64,
+                        detail: format!("unknown record type {other}"),
+                    })
+                }
+            };
+            records.push(record);
+            off += total;
+        }
+        Ok(records)
+    }
+}
+
+impl std::fmt::Debug for Wal {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Wal")
+            .field("path", &self.path)
+            .field("appended", &self.appended)
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::page::PageKind;
+
+    fn tmppath(name: &str) -> PathBuf {
+        let mut p = std::env::temp_dir();
+        p.push(format!("hm-wal-{}-{}", std::process::id(), name));
+        let _ = std::fs::remove_file(&p);
+        p
+    }
+
+    fn sample_page(id: u64, fill: u8) -> Page {
+        let mut p = Page::new(PageId(id));
+        p.set_kind(PageKind::Heap);
+        p.write_bytes(100, &[fill; 32]);
+        p
+    }
+
+    #[test]
+    fn append_read_round_trip() {
+        let path = tmppath("rt");
+        {
+            let mut wal = Wal::open(&path).unwrap();
+            wal.append_page_image(&sample_page(3, 0xAB)).unwrap();
+            wal.append_commit(1).unwrap();
+            wal.append_checkpoint().unwrap();
+            wal.sync().unwrap();
+        }
+        let records = Wal::read_all(&path).unwrap();
+        assert_eq!(records.len(), 3);
+        match &records[0] {
+            WalRecord::PageImage { page_id, image } => {
+                assert_eq!(*page_id, PageId(3));
+                assert_eq!(image[100], 0xAB);
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+        assert!(matches!(records[1], WalRecord::Commit { txn: 1 }));
+        assert!(matches!(records[2], WalRecord::Checkpoint));
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn torn_tail_is_silently_dropped() {
+        let path = tmppath("torn");
+        {
+            let mut wal = Wal::open(&path).unwrap();
+            wal.append_commit(1).unwrap();
+            wal.append_commit(2).unwrap();
+            wal.sync().unwrap();
+        }
+        // Chop off the last 5 bytes to simulate a crash mid-write.
+        let len = std::fs::metadata(&path).unwrap().len();
+        let f = OpenOptions::new().write(true).open(&path).unwrap();
+        f.set_len(len - 5).unwrap();
+        let records = Wal::read_all(&path).unwrap();
+        assert_eq!(records.len(), 1);
+        assert!(matches!(records[0], WalRecord::Commit { txn: 1 }));
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn mid_log_corruption_is_an_error() {
+        let path = tmppath("midcorrupt");
+        {
+            let mut wal = Wal::open(&path).unwrap();
+            wal.append_commit(1).unwrap();
+            wal.append_commit(2).unwrap();
+            wal.sync().unwrap();
+        }
+        // Flip a byte inside the first record's payload.
+        let mut bytes = std::fs::read(&path).unwrap();
+        bytes[5] ^= 0xFF;
+        std::fs::write(&path, &bytes).unwrap();
+        assert!(matches!(
+            Wal::read_all(&path),
+            Err(StorageError::WalCorrupt { .. })
+        ));
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn truncate_empties_log() {
+        let path = tmppath("trunc");
+        let mut wal = Wal::open(&path).unwrap();
+        wal.append_commit(9).unwrap();
+        wal.sync().unwrap();
+        assert!(!Wal::read_all(&path).unwrap().is_empty());
+        wal.truncate().unwrap();
+        assert!(Wal::read_all(&path).unwrap().is_empty());
+        // Appends after truncate still work.
+        wal.append_commit(10).unwrap();
+        wal.sync().unwrap();
+        let records = Wal::read_all(&path).unwrap();
+        assert_eq!(records.len(), 1);
+        assert!(matches!(records[0], WalRecord::Commit { txn: 10 }));
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn missing_log_reads_as_empty() {
+        let path = tmppath("missing");
+        assert!(Wal::read_all(&path).unwrap().is_empty());
+    }
+}

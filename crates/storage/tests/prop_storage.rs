@@ -1,0 +1,223 @@
+//! Property-based tests: storage structures against reference models.
+
+use proptest::prelude::*;
+use std::collections::BTreeMap;
+use std::path::PathBuf;
+use storage::btree::{BTree, Key};
+use storage::buffer::BufferPool;
+use storage::disk::DiskManager;
+use storage::heap::HeapFile;
+use storage::page::{Page, PageId, PageKind};
+use storage::slotted;
+
+fn fresh_pool(tag: &str, frames: usize) -> (BufferPool, PathBuf) {
+    let mut p = std::env::temp_dir();
+    p.push(format!(
+        "hm-prop-{}-{}-{tag}.db",
+        std::process::id(),
+        std::thread::current()
+            .name()
+            .unwrap_or("t")
+            .replace("::", "-")
+    ));
+    let _ = std::fs::remove_file(&p);
+    let dm = DiskManager::create(&p).unwrap();
+    (BufferPool::new(dm, frames), p)
+}
+
+/// Operations applied to both the B+Tree and a `BTreeMap` model.
+#[derive(Debug, Clone)]
+enum TreeOp {
+    Insert(u64, u64),
+    Delete(u64),
+    Get(u64),
+    Range(u64, u64),
+}
+
+fn arb_tree_op() -> impl Strategy<Value = TreeOp> {
+    // Key space wider than one leaf (~340 entries) so random walks force
+    // splits, borrows and merges at interior levels.
+    prop_oneof![
+        3 => (0u64..1500, any::<u64>()).prop_map(|(k, v)| TreeOp::Insert(k, v)),
+        2 => (0u64..1500).prop_map(TreeOp::Delete),
+        1 => (0u64..1500).prop_map(TreeOp::Get),
+        1 => (0u64..1500, 0u64..1500).prop_map(|(a, b)| TreeOp::Range(a.min(b), a.max(b))),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// The B+Tree behaves exactly like a `BTreeMap` under arbitrary
+    /// operation sequences (including enough inserts to force splits).
+    #[test]
+    fn btree_matches_model(ops in proptest::collection::vec(arb_tree_op(), 1..1200)) {
+        let (mut pool, path) = fresh_pool("btree", 512);
+        let mut tree = BTree::create(&mut pool).unwrap();
+        let mut model: BTreeMap<u64, u64> = BTreeMap::new();
+        for op in ops {
+            match op {
+                TreeOp::Insert(k, v) => {
+                    let old = tree.insert(&mut pool, Key::from_pair(k, 0), v).unwrap();
+                    prop_assert_eq!(old, model.insert(k, v));
+                }
+                TreeOp::Delete(k) => {
+                    let old = tree.delete(&mut pool, Key::from_pair(k, 0)).unwrap();
+                    prop_assert_eq!(old, model.remove(&k));
+                }
+                TreeOp::Get(k) => {
+                    let got = tree.get(&mut pool, Key::from_pair(k, 0)).unwrap();
+                    prop_assert_eq!(got, model.get(&k).copied());
+                }
+                TreeOp::Range(lo, hi) => {
+                    let got = tree
+                        .range_vec(&mut pool, Key::from_pair(lo, 0), Key::from_pair(hi, u64::MAX))
+                        .unwrap();
+                    let want: Vec<(u64, u64)> =
+                        model.range(lo..=hi).map(|(&k, &v)| (k, v)).collect();
+                    let got_pairs: Vec<(u64, u64)> =
+                        got.iter().map(|&(k, v)| (k.to_pair().0, v)).collect();
+                    prop_assert_eq!(got_pairs, want);
+                }
+            }
+        }
+        prop_assert_eq!(tree.len(&mut pool).unwrap(), model.len());
+        let _ = std::fs::remove_file(&path);
+    }
+
+    /// Bulk insert of arbitrary key sets: iteration order equals sorted
+    /// order, and every key is findable after splits at any depth.
+    #[test]
+    fn btree_bulk_insert_sorted_iteration(
+        keys in proptest::collection::hash_set(any::<u64>(), 1..800)
+    ) {
+        let (mut pool, path) = fresh_pool("bulk", 1024);
+        let mut tree = BTree::create(&mut pool).unwrap();
+        for &k in &keys {
+            tree.insert(&mut pool, Key::from_pair(k, k), k ^ 0xFF).unwrap();
+        }
+        let all = tree.range_vec(&mut pool, Key::MIN, Key::MAX).unwrap();
+        prop_assert_eq!(all.len(), keys.len());
+        prop_assert!(all.windows(2).all(|w| w[0].0 < w[1].0), "sorted");
+        for &k in &keys {
+            prop_assert_eq!(
+                tree.get(&mut pool, Key::from_pair(k, k)).unwrap(),
+                Some(k ^ 0xFF)
+            );
+        }
+        let _ = std::fs::remove_file(&path);
+    }
+
+    /// The slotted page behaves like a `Vec<Option<Vec<u8>>>` model under
+    /// arbitrary insert/delete/update/get sequences.
+    #[test]
+    fn slotted_page_matches_model(
+        ops in proptest::collection::vec(
+            prop_oneof![
+                proptest::collection::vec(any::<u8>(), 0..300).prop_map(SlotOp::Insert),
+                (0u16..40).prop_map(SlotOp::Delete),
+                (0u16..40, proptest::collection::vec(any::<u8>(), 0..300))
+                    .prop_map(|(s, d)| SlotOp::Update(s, d)),
+                (0u16..40).prop_map(SlotOp::Get),
+            ],
+            1..120
+        )
+    ) {
+        let mut page = Page::new(PageId(1));
+        slotted::init(&mut page, PageKind::Heap);
+        // Model: slot -> Option<record>.
+        let mut model: Vec<Option<Vec<u8>>> = Vec::new();
+        for op in ops {
+            match op {
+                SlotOp::Insert(data) => {
+                    match slotted::insert(&mut page, &data) {
+                        Some(slot) => {
+                            let s = slot as usize;
+                            if s == model.len() {
+                                model.push(Some(data));
+                            } else {
+                                prop_assert!(model[s].is_none(), "reused a live slot");
+                                model[s] = Some(data);
+                            }
+                        }
+                        None => {
+                            // Page declared itself full; insert of empty
+                            // data must always fit unless truly full.
+                            prop_assert!(!slotted::fits(&page, data.len()));
+                        }
+                    }
+                }
+                SlotOp::Delete(slot) => {
+                    let expect = model
+                        .get_mut(slot as usize)
+                        .map(|e| e.take().is_some())
+                        .unwrap_or(false);
+                    prop_assert_eq!(slotted::delete(&mut page, slot), expect);
+                }
+                SlotOp::Update(slot, data) => {
+                    let live = model
+                        .get(slot as usize)
+                        .map(|e| e.is_some())
+                        .unwrap_or(false);
+                    let ok = slotted::update(&mut page, slot, &data);
+                    if ok {
+                        prop_assert!(live);
+                        model[slot as usize] = Some(data);
+                    }
+                    // A failed update must leave the old value intact —
+                    // checked by the Get arm and the final sweep.
+                }
+                SlotOp::Get(slot) => {
+                    let got = slotted::get(&page, slot).map(|b| b.to_vec());
+                    let want = model.get(slot as usize).cloned().flatten();
+                    prop_assert_eq!(got, want);
+                }
+            }
+        }
+        // Final sweep: every model entry matches the page.
+        for (s, want) in model.iter().enumerate() {
+            let got = slotted::get(&page, s as u16).map(|b| b.to_vec());
+            prop_assert_eq!(&got, want, "slot {}", s);
+        }
+        let live = model.iter().filter(|e| e.is_some()).count();
+        prop_assert_eq!(slotted::live_count(&page) as usize, live);
+    }
+
+    /// Heap files preserve arbitrary record sets across insert/update,
+    /// including records that cross the overflow threshold in both
+    /// directions.
+    #[test]
+    fn heap_preserves_records(
+        sizes in proptest::collection::vec(0usize..6000, 1..40),
+        grow in any::<bool>(),
+    ) {
+        let (mut pool, path) = fresh_pool("heap", 512);
+        let mut heap = HeapFile::create(&mut pool).unwrap();
+        let mut rids = Vec::new();
+        for (i, &n) in sizes.iter().enumerate() {
+            let data = vec![(i % 251) as u8; n];
+            rids.push((heap.insert(&mut pool, &data).unwrap(), data));
+        }
+        // Update every record, growing (crosses into overflow) or
+        // shrinking.
+        for (i, (rid, data)) in rids.iter_mut().enumerate() {
+            let new_len = if grow { data.len() * 2 + 10 } else { data.len() / 2 };
+            let new_data = vec![(i % 13) as u8; new_len];
+            *rid = heap.update(&mut pool, *rid, &new_data).unwrap();
+            *data = new_data;
+        }
+        for (rid, data) in &rids {
+            prop_assert_eq!(&heap.get(&mut pool, *rid).unwrap(), data);
+        }
+        prop_assert_eq!(heap.len(&mut pool).unwrap(), rids.len());
+        let _ = std::fs::remove_file(&path);
+    }
+}
+
+#[derive(Debug, Clone)]
+enum SlotOp {
+    Insert(Vec<u8>),
+    Delete(u16),
+    Update(u16, Vec<u8>),
+    Get(u16),
+}

@@ -1,0 +1,109 @@
+//! Ad-hoc queries over the HyperModel store (requirement R12).
+//!
+//! "As the amount of data grows, however, there might be a need for
+//! ad-hoc queries to find a set of nodes satisfying certain criteria."
+//!
+//! Builds a level-4 database on the disk backend and runs declarative
+//! queries through the rule-based planner, printing the chosen access
+//! path for each.
+//!
+//! ```sh
+//! cargo run --release --example adhoc_query
+//! ```
+
+use disk_backend::DiskStore;
+use hypermodel::config::GenConfig;
+use hypermodel::generate::TestDatabase;
+use hypermodel::load::load_database;
+use hypermodel::model::NodeKind;
+use query::{execute_plan, plan, Expr, Plan};
+use std::time::Instant;
+
+fn describe(plan: &Plan) -> String {
+    match plan {
+        Plan::IndexHundred { lo, hi, residual } => format!(
+            "index scan on hundred[{lo}..={hi}]{}",
+            if residual.is_some() { " + filter" } else { "" }
+        ),
+        Plan::IndexMillion { lo, hi, residual } => format!(
+            "index scan on million[{lo}..={hi}]{}",
+            if residual.is_some() { " + filter" } else { "" }
+        ),
+        Plan::FullScan(_) => "full scan + filter".to_string(),
+        Plan::Union(branches) => format!("index union of {} branches", branches.len()),
+    }
+}
+
+fn main() -> hypermodel::Result<()> {
+    let path = std::env::temp_dir().join(format!("hm-query-ex-{}.db", std::process::id()));
+    let _ = std::fs::remove_file(&path);
+    let wal = {
+        let mut w = path.clone().into_os_string();
+        w.push(".wal");
+        std::path::PathBuf::from(w)
+    };
+    let _ = std::fs::remove_file(&wal);
+
+    let db = TestDatabase::generate(&GenConfig::level(4));
+    let mut store = DiskStore::create(&path, 4096)?;
+    load_database(&mut store, &db)?;
+    println!("database: {} nodes on disk\n", db.len());
+
+    let queries: Vec<(&str, Expr)> = vec![
+        ("hundred in 1..=10", Expr::hundred_between(1, 10)),
+        (
+            "million in 1..=10000 (1%)",
+            Expr::million_between(1, 10_000),
+        ),
+        (
+            "hundred in 1..=10 AND ten >= 8",
+            Expr::hundred_between(1, 10).and(Expr::ten_at_least(8)),
+        ),
+        (
+            "hundred in 1..=50 AND million in 1..=100000",
+            Expr::hundred_between(1, 50).and(Expr::million_between(1, 100_000)),
+        ),
+        ("form nodes only (no index)", Expr::kind_is(NodeKind::FORM)),
+        (
+            "text nodes with hundred in 90..=100",
+            Expr::kind_is(NodeKind::TEXT).and(Expr::hundred_between(90, 100)),
+        ),
+        (
+            "NOT (hundred in 1..=90)",
+            Expr::hundred_between(1, 90).not(),
+        ),
+        (
+            "hundred in 1..=5 OR million in 1..=5000",
+            Expr::hundred_between(1, 5).or(Expr::million_between(1, 5000)),
+        ),
+    ];
+
+    println!(
+        "{:<44} {:<38} {:>6} {:>10}",
+        "query", "plan", "rows", "time"
+    );
+    println!("{}", "-".repeat(102));
+    for (name, q) in queries {
+        let p = plan(&q);
+        let t = Instant::now();
+        let rows = execute_plan(&mut store, &p)?;
+        let elapsed = t.elapsed();
+        println!(
+            "{:<44} {:<38} {:>6} {:>8.2?}",
+            name,
+            describe(&p),
+            rows.len(),
+            elapsed
+        );
+    }
+
+    println!(
+        "\nestimated selectivities guide the planner: hundred[1..=10] = {:.0}%, million[1..=10000] = {:.0}%",
+        Expr::hundred_between(1, 10).selectivity() * 100.0,
+        Expr::million_between(1, 10_000).selectivity() * 100.0
+    );
+
+    let _ = std::fs::remove_file(&path);
+    let _ = std::fs::remove_file(&wal);
+    Ok(())
+}

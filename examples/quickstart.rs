@@ -1,0 +1,121 @@
+//! Quickstart: generate a HyperModel test database, load it into the
+//! in-memory backend, and run one operation from each §6 category.
+//!
+//! ```sh
+//! cargo run --example quickstart
+//! ```
+
+use hypermodel::config::GenConfig;
+use hypermodel::generate::TestDatabase;
+use hypermodel::load::load_database;
+use hypermodel::ops::OpId;
+use hypermodel::store::HyperStore;
+use mem_backend::MemStore;
+
+fn main() -> hypermodel::Result<()> {
+    // 1. Generate the paper's level-4 test database (781 nodes, Figure 2-4).
+    let config = GenConfig::level(4);
+    println!("HyperModel schema (Figure 1):");
+    println!("  Node(uniqueId, ten, hundred, thousand, million)");
+    println!("    ├─ TextNode(text)   [10-100 words, 'version1' sentinels]");
+    println!("    └─ FormNode(bitMap) [white, 100x100..400x400]");
+    println!("  relationships: parent/children (ordered 1-N), partOf/parts (M-N),");
+    println!("                 refTo/refFrom (M-N with offsetFrom/offsetTo)\n");
+
+    let db = TestDatabase::generate(&config);
+    println!(
+        "generated level-{} database: {} nodes ({} internal, {} text, {} form)",
+        config.leaf_level,
+        db.len(),
+        config.internal_nodes(),
+        config.text_nodes(),
+        config.form_nodes()
+    );
+
+    // 2. Load it into a backend through the five §5.3 creation phases.
+    let mut store = MemStore::new();
+    let report = load_database(&mut store, &db)?;
+    println!(
+        "loaded in {:?} (internal {:.3} ms/node, leaves {:.3} ms/node)\n",
+        report.timings.total(),
+        report.timings.internal_nodes.ms_per_element(),
+        report.timings.leaf_nodes.ms_per_element()
+    );
+    let oids = report.oids;
+
+    // 3. One operation per category.
+    // O1 nameLookup: key access.
+    let oid = store.lookup_unique(42)?;
+    println!(
+        "O1  nameLookup(42)        -> hundred = {}",
+        store.hundred_of(oid)?
+    );
+
+    // O3 rangeLookupHundred: 10% selectivity via the attribute index.
+    let hits = store.range_hundred(11, 20)?;
+    println!(
+        "O3  rangeLookupHundred    -> {} nodes with hundred in 11..=20",
+        hits.len()
+    );
+
+    // O5A groupLookup1N: ordered children.
+    let kids = store.children(oids[0])?;
+    println!(
+        "O5A groupLookup1N(root)   -> {} ordered children",
+        kids.len()
+    );
+
+    // O7A refLookup1N: parent.
+    let parent = store.parent(kids[0])?;
+    println!(
+        "O7A refLookup1N(child)    -> parent is root: {}",
+        parent == Some(oids[0])
+    );
+
+    // O9 seqScan.
+    println!(
+        "O9  seqScan               -> visited {} nodes",
+        store.seq_scan_ten()?
+    );
+
+    // O10 closure1N from a level-3 node: the pre-order "table of contents".
+    let level3 = db.level_indices(3).start;
+    let closure = store.closure_1n(oids[level3 as usize])?;
+    println!(
+        "O10 closure1N(level-3)    -> {} nodes (paper says n-level4 = {})",
+        closure.len(),
+        config.closure_size_from_level(3)
+    );
+
+    // O11 closure sum.
+    let (sum, count) = store.closure_1n_att_sum(oids[level3 as usize])?;
+    println!("O11 closure1NAttSum       -> sum of hundred over {count} nodes = {sum}");
+
+    // O15 closureMNAtt to depth 25 along the weighted reference graph.
+    let chain = store.closure_mnatt(oids[level3 as usize], OpId::MNATT_DEPTH)?;
+    println!(
+        "O15 closureMNAtt(25)      -> followed {} references",
+        chain.len()
+    );
+
+    // O16 textNodeEdit: version1 -> version-2 and back.
+    let text_oid = oids[db.text_indices()[0] as usize];
+    let n = store.text_node_edit(text_oid, "version1", "version-2")?;
+    store.commit()?;
+    store.text_node_edit(text_oid, "version-2", "version1")?;
+    store.commit()?;
+    println!("O16 textNodeEdit          -> {n} substitutions, then restored");
+
+    // O17 formNodeEdit: invert a sub-rectangle twice (identity).
+    let form_oid = oids[db.form_indices()[0] as usize];
+    store.form_node_edit(form_oid, 25, 25, 50, 50)?;
+    store.form_node_edit(form_oid, 25, 25, 50, 50)?;
+    store.commit()?;
+    println!(
+        "O17 formNodeEdit          -> bitmap white again: {}",
+        store.form_of(form_oid)?.is_all_white()
+    );
+
+    println!("\nNext: `cargo run --release --bin hyperbench -- all --level 4`");
+    Ok(())
+}

@@ -1,0 +1,124 @@
+//! Dynamic schema modification (requirement R4, extension §6.8(1)).
+//!
+//! The paper's worked example: "it should be possible to add a new
+//! node-type, DrawNode, e.g. consisting of circles, rectangles and
+//! ellipses" — at run time, on a populated, persistent database, with
+//! existing nodes picking up new attributes through defaults.
+//!
+//! ```sh
+//! cargo run --release --example schema_evolution
+//! ```
+
+use disk_backend::DiskStore;
+use hypermodel::config::GenConfig;
+use hypermodel::ext::DynamicSchemaStore;
+use hypermodel::generate::TestDatabase;
+use hypermodel::load::load_database;
+use hypermodel::model::{Content, NodeAttrs, NodeValue};
+use hypermodel::store::HyperStore;
+
+fn main() -> hypermodel::Result<()> {
+    let path = std::env::temp_dir().join(format!("hm-schema-{}.db", std::process::id()));
+    let _ = std::fs::remove_file(&path);
+    let wal = {
+        let mut w = path.clone().into_os_string();
+        w.push(".wal");
+        std::path::PathBuf::from(w)
+    };
+    let _ = std::fs::remove_file(&wal);
+
+    // A populated database, as an application would find it.
+    let db = TestDatabase::generate(&GenConfig::level(3));
+    let mut store = DiskStore::create(&path, 2048)?;
+    let report = load_database(&mut store, &db)?;
+    println!("loaded {} nodes with the built-in schema:", db.len());
+    for t in store.schema().types() {
+        println!("  type {:<10} (kind {})", t.name, t.kind.0);
+    }
+
+    // --- R4 step 1: add the DrawNode type at run time -----------------
+    let draw = store.add_node_type("DrawNode", "Node")?;
+    let circles = store.add_type_attribute("DrawNode", "circles", 0)?;
+    let rects = store.add_type_attribute("DrawNode", "rectangles", 0)?;
+    let ellipses = store.add_type_attribute("DrawNode", "ellipses", 0)?;
+    store.commit()?;
+    println!(
+        "\nadded DrawNode (kind {}) with circles/rectangles/ellipses",
+        draw.0
+    );
+
+    // --- R4 step 2: specialize an existing type with a new attribute ---
+    // Every pre-existing node reads the default until written.
+    let reviewed = store.add_type_attribute("Node", "reviewed", 0)?;
+    store.commit()?;
+    let some_node = store.lookup_unique(17)?;
+    println!(
+        "existing node #17 reads new attribute `reviewed` = {} (the default)",
+        store.dyn_attr(some_node, reviewed)?
+    );
+    store.set_dyn_attr(some_node, reviewed, 1)?;
+    store.commit()?;
+
+    // --- Create DrawNode instances and wire them into the hypertext ----
+    let mut draw_oids = Vec::new();
+    for i in 0..3u64 {
+        let oid = store.create_node(&NodeValue {
+            kind: draw,
+            attrs: NodeAttrs {
+                unique_id: 1_000_000 + i,
+                ten: 1,
+                hundred: 1,
+                thousand: 1,
+                million: 1,
+            },
+            // A DrawNode's shape list, serialized by the application.
+            content: Content::Dynamic(format!("drawing-{i}").into_bytes()),
+        })?;
+        store.set_dyn_attr(oid, circles, 2 + i as i64)?;
+        store.set_dyn_attr(oid, rects, 1)?;
+        store.set_dyn_attr(oid, ellipses, i as i64)?;
+        draw_oids.push(oid);
+    }
+    // Hyperlink a drawing from an existing text node: new types take part
+    // in the ordinary relationship machinery.
+    let text_node = report.oids[db.text_indices()[0] as usize];
+    store.add_ref(text_node, draw_oids[0], 3, 7)?;
+    store.commit()?;
+    println!(
+        "created {} DrawNode instances; linked one from a text node",
+        draw_oids.len()
+    );
+
+    // --- Everything survives close + reopen ----------------------------
+    store.cold_restart()?;
+    drop(store);
+    let mut store = DiskStore::open(&path, 2048)?;
+    println!("\nafter reopen:");
+    println!(
+        "  schema has {} types ({} dynamic attributes)",
+        store.schema().types().len(),
+        store.schema().attrs().len()
+    );
+    let d0 = store.lookup_unique(1_000_000)?;
+    println!(
+        "  DrawNode #1000000: kind={}, circles={}, rectangles={}, ellipses={}",
+        store.kind_of(d0)?.0,
+        store.dyn_attr(d0, circles)?,
+        store.dyn_attr(d0, rects)?,
+        store.dyn_attr(d0, ellipses)?
+    );
+    let back = store.refs_from(d0)?;
+    println!(
+        "  the drawing is referenced by {} node(s) — hyperlinks to new types persist",
+        back.len()
+    );
+    let n17 = store.lookup_unique(17)?;
+    let n18 = store.lookup_unique(18)?;
+    let r17 = store.dyn_attr(n17, reviewed)?;
+    let r18 = store.dyn_attr(n18, reviewed)?;
+    println!("  node #17 reviewed = {r17} (explicit), node #18 reviewed = {r18} (default)");
+
+    let _ = std::fs::remove_file(&path);
+    let _ = std::fs::remove_file(&wal);
+    Ok(())
+}

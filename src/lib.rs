@@ -1,0 +1,7 @@
+//! Umbrella crate for the HyperModel benchmark reproduction.
+//!
+//! This package exists to host workspace-level integration tests (`tests/`)
+//! and runnable examples (`examples/`). The actual functionality lives in the
+//! `crates/` members; see the [`hypermodel`] crate for the entry point.
+
+pub use hypermodel;

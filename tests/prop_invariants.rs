@@ -1,0 +1,207 @@
+//! Property-based tests on core invariants (proptest).
+//!
+//! These complement the example-based tests with randomized coverage of
+//! the properties the benchmark's correctness rests on: generator
+//! structure across arbitrary configurations, closure algebra, edit
+//! round-trips, and RNG uniformity.
+
+use hypermodel::bitmap::Bitmap;
+use hypermodel::config::GenConfig;
+use hypermodel::generate::TestDatabase;
+use hypermodel::load::load_database;
+use hypermodel::oracle::Oracle;
+use hypermodel::rng::Rng;
+use hypermodel::store::HyperStore;
+use hypermodel::text;
+use mem_backend::MemStore;
+use proptest::prelude::*;
+
+fn arb_config() -> impl Strategy<Value = GenConfig> {
+    (1u32..=3, 2u32..=5, any::<u64>(), 1u32..=5, 2u32..=20).prop_map(
+        |(leaf_level, fanout, seed, parts, leaves_per_form)| {
+            let mut c = GenConfig::level(leaf_level);
+            c.fanout = fanout;
+            c.seed = seed;
+            c.parts_per_node = parts;
+            c.leaves_per_form = leaves_per_form;
+            c
+        },
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Any configuration generates a structurally valid database.
+    #[test]
+    fn generator_validates_for_all_configs(cfg in arb_config()) {
+        let db = TestDatabase::generate(&cfg);
+        prop_assert!(db.validate().is_ok(), "{:?}", db.validate());
+        prop_assert_eq!(db.len() as u64, cfg.total_nodes());
+    }
+
+    /// closure1N from the root visits every node exactly once (it is a
+    /// spanning pre-order of the tree).
+    #[test]
+    fn closure_from_root_is_a_permutation(cfg in arb_config()) {
+        let db = TestDatabase::generate(&cfg);
+        let oracle = Oracle::new(&db);
+        let closure = oracle.closure_1n(0);
+        prop_assert_eq!(closure.len(), db.len());
+        let mut seen = vec![false; db.len()];
+        for idx in closure {
+            prop_assert!(!seen[idx as usize], "node {} visited twice", idx);
+            seen[idx as usize] = true;
+        }
+        prop_assert!(seen.iter().all(|&s| s));
+    }
+
+    /// Subtree closures partition the node set: the closures of the
+    /// root's children are disjoint and cover everything but the root.
+    #[test]
+    fn sibling_closures_partition(cfg in arb_config()) {
+        let db = TestDatabase::generate(&cfg);
+        let oracle = Oracle::new(&db);
+        let mut seen = vec![false; db.len()];
+        seen[0] = true;
+        for &child in &db.children[0] {
+            for idx in oracle.closure_1n(child) {
+                prop_assert!(!seen[idx as usize]);
+                seen[idx as usize] = true;
+            }
+        }
+        prop_assert!(seen.iter().all(|&s| s));
+    }
+
+    /// closure1NPred output is always a subset of closure1N, excludes
+    /// every node in the predicate range, and preserves relative order.
+    #[test]
+    fn closure_pred_is_a_pruned_subsequence(
+        cfg in arb_config(),
+        lo in 1u32..=900_000,
+    ) {
+        let hi = lo + 99_999;
+        let db = TestDatabase::generate(&cfg);
+        let oracle = Oracle::new(&db);
+        let full = oracle.closure_1n(0);
+        let pruned = oracle.closure_1n_pred(0, lo, hi);
+        // Subsequence check.
+        let mut it = full.iter();
+        for p in &pruned {
+            prop_assert!(it.any(|f| f == p), "order violated at {}", p);
+        }
+        for &idx in &pruned {
+            prop_assert!(!(lo..=hi).contains(&oracle.million(idx)));
+        }
+    }
+
+    /// The attributed-M-N link sum is monotonically non-decreasing along
+    /// the chain (offsets are non-negative).
+    #[test]
+    fn linksum_distances_are_monotone(cfg in arb_config(), depth in 1u32..=50) {
+        let db = TestDatabase::generate(&cfg);
+        let oracle = Oracle::new(&db);
+        let pairs = oracle.closure_mnatt_linksum(0, depth);
+        prop_assert_eq!(pairs.len(), depth as usize);
+        let mut last = 0u64;
+        for &(_, d) in &pairs {
+            prop_assert!(d >= last);
+            prop_assert!(d - last <= 9, "one hop adds at most offset 9");
+            last = d;
+        }
+    }
+
+    /// Text substitution round-trips for any generated text.
+    #[test]
+    fn text_edit_round_trip(seed in any::<u64>()) {
+        let mut rng = Rng::new(seed);
+        let original = text::generate_text(&mut rng);
+        let (fwd, n1) = text::substitute(&original, text::VERSION_1, text::VERSION_2);
+        prop_assert_eq!(n1, 3);
+        let (back, n2) = text::substitute(&fwd, text::VERSION_2, text::VERSION_1);
+        prop_assert_eq!(n2, 3);
+        prop_assert_eq!(back, original);
+    }
+
+    /// Inverting any rectangle twice restores any bitmap state.
+    #[test]
+    fn bitmap_double_invert_is_identity(
+        w in 1u16..200,
+        h in 1u16..200,
+        x0 in 0u16..250,
+        y0 in 0u16..250,
+        x1 in 0u16..250,
+        y1 in 0u16..250,
+        pixels in proptest::collection::vec((0u16..200, 0u16..200), 0..20),
+    ) {
+        let mut bm = Bitmap::white(w, h);
+        for (x, y) in pixels {
+            if x < w && y < h {
+                bm.set(x, y, true);
+            }
+        }
+        let before = bm.clone();
+        let (x0, x1) = (x0.min(x1), x0.max(x1));
+        let (y0, y1) = (y0.min(y1), y0.max(y1));
+        if x0 < w && y0 < h {
+            bm.invert_rect(x0, y0, x1, y1);
+            bm.invert_rect(x0, y0, x1, y1);
+        }
+        prop_assert_eq!(bm, before);
+    }
+
+    /// RNG ranges are exact: values stay in bounds for arbitrary bounds.
+    #[test]
+    fn rng_range_bounds(seed in any::<u64>(), a in any::<u64>(), b in any::<u64>()) {
+        let (lo, hi) = (a.min(b), a.max(b));
+        let mut rng = Rng::new(seed);
+        for _ in 0..50 {
+            let v = rng.range_u64(lo, hi);
+            prop_assert!((lo..=hi).contains(&v));
+        }
+    }
+
+    /// closure1NAttSet applied twice through a real backend restores every
+    /// attribute, for arbitrary seeds and start nodes.
+    #[test]
+    fn att_set_involution_on_backend(seed in any::<u64>(), start_sel in 0usize..100) {
+        let cfg = GenConfig::tiny().with_seed(seed);
+        let db = TestDatabase::generate(&cfg);
+        let mut store = MemStore::new();
+        let report = load_database(&mut store, &db).unwrap();
+        let internals: Vec<u32> = db.internal_indices().collect();
+        let start = report.oids[internals[start_sel % internals.len()] as usize];
+        let before: Vec<u32> = report
+            .oids
+            .iter()
+            .map(|&o| store.hundred_of(o).unwrap())
+            .collect();
+        store.closure_1n_att_set(start).unwrap();
+        store.closure_1n_att_set(start).unwrap();
+        let after: Vec<u32> = report
+            .oids
+            .iter()
+            .map(|&o| store.hundred_of(o).unwrap())
+            .collect();
+        prop_assert_eq!(before, after);
+    }
+
+    /// Loading the same spec twice into fresh stores yields identical
+    /// observable state (generation and loading are deterministic).
+    #[test]
+    fn load_is_deterministic(seed in any::<u64>()) {
+        let cfg = GenConfig::tiny().with_seed(seed);
+        let db = TestDatabase::generate(&cfg);
+        let mut s1 = MemStore::new();
+        let mut s2 = MemStore::new();
+        let r1 = load_database(&mut s1, &db).unwrap();
+        let r2 = load_database(&mut s2, &db).unwrap();
+        for (&o1, &o2) in r1.oids.iter().zip(r2.oids.iter()) {
+            prop_assert_eq!(s1.hundred_of(o1).unwrap(), s2.hundred_of(o2).unwrap());
+            prop_assert_eq!(
+                s1.children(o1).unwrap().len(),
+                s2.children(o2).unwrap().len()
+            );
+        }
+    }
+}

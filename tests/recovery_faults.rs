@@ -1,0 +1,189 @@
+//! Failure injection across the full stack (requirement R10).
+//!
+//! Crashes the disk backend at each point of the commit protocol and
+//! asserts the recovery contract: committed transactions survive,
+//! uncommitted transactions vanish completely, and the database remains
+//! structurally consistent either way.
+
+use hypermodel::config::GenConfig;
+use hypermodel::generate::TestDatabase;
+use hypermodel::load::load_database;
+use hypermodel::oracle::Oracle;
+use hypermodel::store::HyperStore;
+use std::path::{Path, PathBuf};
+use storage::engine::{CrashPoint, Engine};
+use storage::heap::HeapFile;
+use storage::PageId;
+
+fn db_path(tag: &str) -> PathBuf {
+    let mut p = std::env::temp_dir();
+    p.push(format!("hm-fault-{}-{tag}.db", std::process::id()));
+    cleanup_files(&p);
+    p
+}
+
+fn wal_of(p: &Path) -> PathBuf {
+    let mut w = p.to_path_buf().into_os_string();
+    w.push(".wal");
+    PathBuf::from(w)
+}
+
+fn cleanup_files(p: &Path) {
+    let _ = std::fs::remove_file(p);
+    let _ = std::fs::remove_file(wal_of(p));
+}
+
+#[test]
+fn torn_wal_tail_rolls_back_cleanly() {
+    // Commit txn A; write txn B's images + commit marker, then truncate
+    // the log at various byte positions. For every cut point, reopening
+    // must yield either "A only" or "A and B" — never a mix.
+    let path = db_path("torn");
+    let rid_a;
+    let rid_b;
+    let wal_len;
+    {
+        let mut engine = Engine::create(&path, 256).unwrap();
+        let mut heap = HeapFile::create(engine.pool()).unwrap();
+        engine.catalog_set("heap", heap.first_page().0).unwrap();
+        rid_a = heap.insert(engine.pool(), b"txn-A-record").unwrap();
+        engine.catalog_set("a", rid_a.pack()).unwrap();
+        engine.commit().unwrap();
+        rid_b = heap.insert(engine.pool(), b"txn-B-record").unwrap();
+        engine.catalog_set("b", rid_b.pack()).unwrap();
+        engine.commit().unwrap();
+        // Crash without checkpoint: both txns live only in the WAL.
+        wal_len = std::fs::metadata(wal_of(&path)).unwrap().len();
+    }
+    let wal_bytes = std::fs::read(wal_of(&path)).unwrap();
+    let db_bytes = std::fs::read(&path).unwrap();
+
+    // Try a spread of truncation points, including 0 and full length.
+    let cuts: Vec<u64> = (0..=8).map(|i| wal_len * i / 8).collect();
+    for cut in cuts {
+        // Restore pristine pre-recovery state.
+        std::fs::write(&path, &db_bytes).unwrap();
+        std::fs::write(wal_of(&path), &wal_bytes[..cut as usize]).unwrap();
+
+        let (mut engine, report) = Engine::open(&path, 256).unwrap();
+        let heap_first = engine.catalog_try_get("heap").unwrap();
+        let has_a = engine.catalog_try_get("a").unwrap().is_some();
+        let has_b = engine.catalog_try_get("b").unwrap().is_some();
+        // Atomicity: B present implies A present.
+        assert!(!has_b || has_a, "cut at {cut}: committed prefix violated");
+        if has_a {
+            let heap = HeapFile::open(PageId(heap_first.unwrap()));
+            assert_eq!(
+                heap.get(engine.pool(), rid_a).unwrap(),
+                b"txn-A-record",
+                "cut at {cut}"
+            );
+            if has_b {
+                assert_eq!(heap.get(engine.pool(), rid_b).unwrap(), b"txn-B-record");
+            }
+        }
+        let _ = report;
+    }
+    cleanup_files(&path);
+}
+
+#[test]
+fn crash_points_during_backend_commit() {
+    // Drive the whole disk backend to a committed, checkpointed state,
+    // then apply an uncommitted update and crash at each protocol point.
+    for (tag, point, expect_applied) in [
+        ("before-marker", CrashPoint::BeforeCommitRecord, false),
+        ("after-sync", CrashPoint::AfterWalSync, true),
+    ] {
+        let path = db_path(tag);
+        {
+            let mut engine = Engine::create(&path, 256).unwrap();
+            let mut heap = HeapFile::create(engine.pool()).unwrap();
+            let rid = heap.insert(engine.pool(), b"old-value").unwrap();
+            engine.catalog_set("heap", heap.first_page().0).unwrap();
+            engine.catalog_set("rid", rid.pack()).unwrap();
+            engine.commit().unwrap();
+            engine.checkpoint().unwrap();
+
+            // The doomed/durable update.
+            heap.update(engine.pool(), rid, b"new-value").unwrap();
+            engine.commit_with_crash(point).unwrap();
+        }
+        {
+            let (mut engine, _) = Engine::open(&path, 256).unwrap();
+            let heap = HeapFile::open(PageId(engine.catalog_get("heap").unwrap()));
+            let rid = storage::heap::RecordId::unpack(engine.catalog_get("rid").unwrap());
+            let value = heap.get(engine.pool(), rid).unwrap();
+            if expect_applied {
+                assert_eq!(value, b"new-value", "{tag}: committed txn must survive");
+            } else {
+                assert_eq!(value, b"old-value", "{tag}: uncommitted txn must vanish");
+            }
+        }
+        cleanup_files(&path);
+    }
+}
+
+#[test]
+fn full_database_survives_crash_after_load_commit() {
+    // Load an entire HyperModel database, commit (no checkpoint), "crash"
+    // by dropping the store, reopen, and verify every operation answer.
+    let path = db_path("fullload");
+    let db = TestDatabase::generate(&GenConfig::tiny());
+    let oids;
+    {
+        let mut store = disk_backend::DiskStore::create(&path, 1024).unwrap();
+        let report = load_database(&mut store, &db).unwrap();
+        oids = report.oids;
+        // load_database committed each phase; drop without checkpoint.
+    }
+    {
+        let mut store = disk_backend::DiskStore::open(&path, 1024).unwrap();
+        let oracle = Oracle::new(&db);
+        for idx in 0..db.len() as u32 {
+            let oid = oids[idx as usize];
+            assert_eq!(store.hundred_of(oid).unwrap(), oracle.hundred(idx));
+            let kids = store.children(oid).unwrap();
+            let kid_uids: Vec<u32> = kids
+                .iter()
+                .map(|&k| (store.unique_id_of(k).unwrap() - 1) as u32)
+                .collect();
+            assert_eq!(kid_uids, oracle.children(idx));
+        }
+        assert_eq!(store.seq_scan_ten().unwrap(), db.len() as u64);
+    }
+    cleanup_files(&path);
+}
+
+#[test]
+fn repeated_crash_recover_cycles_are_stable() {
+    let path = db_path("cycles");
+    let db = TestDatabase::generate(&GenConfig::tiny());
+    let oids;
+    {
+        let mut store = disk_backend::DiskStore::create(&path, 1024).unwrap();
+        let report = load_database(&mut store, &db).unwrap();
+        oids = report.oids;
+    }
+    let oracle = Oracle::new(&db);
+    // Crash/reopen five times, each cycle doing an update round trip.
+    for cycle in 0..5 {
+        let mut store = disk_backend::DiskStore::open(&path, 1024).unwrap();
+        let start = oids[db.level_indices(1).start as usize];
+        store.closure_1n_att_set(start).unwrap();
+        store.commit().unwrap();
+        store.closure_1n_att_set(start).unwrap();
+        store.commit().unwrap();
+        // Verify pristine values survived the toggles.
+        for idx in db.level_indices(1) {
+            let oid = oids[idx as usize];
+            assert_eq!(
+                store.hundred_of(oid).unwrap(),
+                oracle.hundred(idx),
+                "cycle {cycle}, node {idx}"
+            );
+        }
+        // Drop without checkpoint = crash.
+    }
+    cleanup_files(&path);
+}
