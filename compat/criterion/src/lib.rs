@@ -1,0 +1,294 @@
+//! Offline stand-in for the `criterion` crate.
+//!
+//! The workspace's benches must build and run without crates.io access,
+//! so the statistical harness is replaced with a thin wall-clock sampler
+//! exposing the same API shape: `Criterion::benchmark_group`, group
+//! tuning knobs, `Bencher::{iter, iter_batched}`, `BatchSize`, and the
+//! `criterion_group!`/`criterion_main!` macros.
+//!
+//! Reporting is a plain text line per benchmark (min/median/max of the
+//! per-iteration time). No HTML reports, plots, or regression analysis.
+
+#![forbid(unsafe_code)]
+
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// How `iter_batched` amortises setup cost; the shim re-runs setup every
+/// iteration regardless, so the variants only document intent.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BatchSize {
+    /// Small per-iteration inputs.
+    SmallInput,
+    /// Large per-iteration inputs.
+    LargeInput,
+    /// One setup per iteration.
+    PerIteration,
+}
+
+/// Top-level benchmark driver; one per bench binary.
+pub struct Criterion {
+    filter: Option<String>,
+    run: bool,
+}
+
+impl Default for Criterion {
+    fn default() -> Criterion {
+        // With `harness = false`, cargo forwards CLI args verbatim:
+        // ignore flags (e.g. `--bench`) and treat the first bare word as
+        // a substring filter, matching real criterion's behaviour.
+        let mut filter = None;
+        let mut args = std::env::args().skip(1);
+        let mut run = true;
+        while let Some(a) = args.next() {
+            if a == "--test" || a == "--list" {
+                run = false;
+            } else if a == "--profile-time" || a == "--save-baseline" || a == "--baseline" {
+                let _ = args.next();
+            } else if !a.starts_with('-') && filter.is_none() {
+                filter = Some(a);
+            }
+        }
+        Criterion { filter, run }
+    }
+}
+
+impl Criterion {
+    /// Start a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.into(),
+            sample_size: 100,
+            warm_up_time: Duration::from_secs(3),
+            measurement_time: Duration::from_secs(5),
+        }
+    }
+
+    /// Convenience single-benchmark entry point.
+    pub fn bench_function<F>(&mut self, id: impl Into<String>, f: F) -> &mut Criterion
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut g = self.benchmark_group("default");
+        g.bench_function(id, f);
+        g.finish();
+        self
+    }
+
+    /// Print the closing summary line.
+    pub fn final_summary(&mut self) {}
+}
+
+/// A group of benchmarks sharing tuning parameters.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+    sample_size: usize,
+    warm_up_time: Duration,
+    measurement_time: Duration,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Target number of timed samples per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(2);
+        self
+    }
+
+    /// Time spent running the routine before measurement starts.
+    pub fn warm_up_time(&mut self, d: Duration) -> &mut Self {
+        self.warm_up_time = d;
+        self
+    }
+
+    /// Soft cap on time spent collecting samples.
+    pub fn measurement_time(&mut self, d: Duration) -> &mut Self {
+        self.measurement_time = d;
+        self
+    }
+
+    /// Run one benchmark within the group.
+    pub fn bench_function<F>(&mut self, id: impl Into<String>, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let full = format!("{}/{}", self.name, id.into());
+        if let Some(flt) = &self.criterion.filter {
+            if !full.contains(flt.as_str()) {
+                return self;
+            }
+        }
+        if !self.criterion.run {
+            println!("{full}: skipped (--test/--list)");
+            return self;
+        }
+
+        // Warm-up: run until the warm-up budget elapses at least once.
+        let warm_until = Instant::now() + self.warm_up_time;
+        loop {
+            let mut b = Bencher {
+                samples: Vec::new(),
+            };
+            f(&mut b);
+            if b.samples.is_empty() || Instant::now() >= warm_until {
+                break;
+            }
+        }
+
+        // Measurement: each call to `f` contributes its recorded samples;
+        // stop at the sample target or when the time budget runs out.
+        let deadline = Instant::now() + self.measurement_time;
+        let mut samples: Vec<Duration> = Vec::with_capacity(self.sample_size);
+        while samples.len() < self.sample_size {
+            let mut b = Bencher {
+                samples: Vec::new(),
+            };
+            f(&mut b);
+            if b.samples.is_empty() {
+                break;
+            }
+            samples.extend(b.samples);
+            if Instant::now() >= deadline {
+                break;
+            }
+        }
+
+        if samples.is_empty() {
+            println!("{full}: no samples");
+            return self;
+        }
+        samples.sort();
+        let median = samples[samples.len() / 2];
+        let (min, max) = (samples[0], samples[samples.len() - 1]);
+        println!(
+            "{full}: median {} [min {}, max {}] ({} samples)",
+            fmt_duration(median),
+            fmt_duration(min),
+            fmt_duration(max),
+            samples.len()
+        );
+        self
+    }
+
+    /// End the group (report output already happened per-benchmark).
+    pub fn finish(self) {}
+}
+
+/// Passed to each benchmark closure to time its routine.
+pub struct Bencher {
+    samples: Vec<Duration>,
+}
+
+impl Bencher {
+    /// Time repeated calls of `routine`.
+    pub fn iter<O, R>(&mut self, mut routine: R)
+    where
+        R: FnMut() -> O,
+    {
+        let start = Instant::now();
+        black_box(routine());
+        self.samples.push(start.elapsed());
+    }
+
+    /// Time `routine` on a fresh input from `setup` (setup not timed).
+    pub fn iter_batched<I, O, S, R>(&mut self, mut setup: S, mut routine: R, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        R: FnMut(I) -> O,
+    {
+        let input = setup();
+        let start = Instant::now();
+        black_box(routine(input));
+        self.samples.push(start.elapsed());
+    }
+}
+
+fn fmt_duration(d: Duration) -> String {
+    let ns = d.as_nanos();
+    if ns < 1_000 {
+        format!("{ns} ns")
+    } else if ns < 1_000_000 {
+        format!("{:.2} µs", ns as f64 / 1_000.0)
+    } else if ns < 1_000_000_000 {
+        format!("{:.2} ms", ns as f64 / 1_000_000.0)
+    } else {
+        format!("{:.2} s", ns as f64 / 1_000_000_000.0)
+    }
+}
+
+/// Bundle benchmark functions into a named group runner.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name(c: &mut $crate::Criterion) {
+            $( $target(c); )+
+        }
+    };
+}
+
+/// Generate `main` running the listed groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            let mut c = $crate::Criterion::default();
+            $( $group(&mut c); )+
+            c.final_summary();
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn iter_collects_samples() {
+        let mut c = Criterion {
+            filter: None,
+            run: true,
+        };
+        let mut g = c.benchmark_group("t");
+        g.sample_size(4)
+            .warm_up_time(Duration::from_millis(1))
+            .measurement_time(Duration::from_millis(20));
+        let mut count = 0u64;
+        g.bench_function("noop", |b| b.iter(|| count += 1));
+        g.finish();
+        assert!(count > 0);
+    }
+
+    #[test]
+    fn iter_batched_runs_setup_per_sample() {
+        let mut c = Criterion {
+            filter: None,
+            run: true,
+        };
+        let mut g = c.benchmark_group("t");
+        g.sample_size(3)
+            .warm_up_time(Duration::from_millis(1))
+            .measurement_time(Duration::from_millis(20));
+        g.bench_function("batched", |b| {
+            b.iter_batched(|| vec![1u8; 8], |v| v.len(), BatchSize::SmallInput)
+        });
+        g.finish();
+    }
+
+    #[test]
+    fn filter_skips_nonmatching() {
+        let mut c = Criterion {
+            filter: Some("zzz".into()),
+            run: true,
+        };
+        let mut g = c.benchmark_group("t");
+        let mut ran = false;
+        g.bench_function("other", |b| {
+            ran = true;
+            b.iter(|| 1)
+        });
+        g.finish();
+        assert!(!ran);
+    }
+}

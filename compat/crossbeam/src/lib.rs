@@ -1,0 +1,83 @@
+//! Offline stand-in for the `crossbeam` crate.
+//!
+//! Only `crossbeam::channel::{unbounded, Sender, Receiver}` is used by
+//! this workspace (the in-process message transport), so only that subset
+//! is provided, implemented over `std::sync::mpsc`.
+
+#![forbid(unsafe_code)]
+
+/// Multi-producer channels, mirroring `crossbeam::channel`.
+pub mod channel {
+    use std::sync::mpsc;
+
+    /// Error returned by [`Sender::send`] when the receiver is gone.
+    #[derive(Debug, PartialEq, Eq)]
+    pub struct SendError<T>(pub T);
+
+    /// Error returned by [`Receiver::recv`] when all senders are gone.
+    #[derive(Debug, PartialEq, Eq)]
+    pub struct RecvError;
+
+    /// The sending half of an unbounded channel.
+    pub struct Sender<T>(mpsc::Sender<T>);
+
+    impl<T> Clone for Sender<T> {
+        fn clone(&self) -> Sender<T> {
+            Sender(self.0.clone())
+        }
+    }
+
+    impl<T> Sender<T> {
+        /// Enqueue a message; fails only when the receiving end dropped.
+        pub fn send(&self, value: T) -> Result<(), SendError<T>> {
+            self.0
+                .send(value)
+                .map_err(|mpsc::SendError(v)| SendError(v))
+        }
+    }
+
+    /// The receiving half of an unbounded channel.
+    pub struct Receiver<T>(mpsc::Receiver<T>);
+
+    impl<T> Receiver<T> {
+        /// Block for the next message; fails when every sender dropped.
+        pub fn recv(&self) -> Result<T, RecvError> {
+            self.0.recv().map_err(|_| RecvError)
+        }
+
+        /// Receive without blocking, `None` if the channel is empty.
+        pub fn try_recv(&self) -> Option<T> {
+            self.0.try_recv().ok()
+        }
+    }
+
+    /// An unbounded FIFO channel.
+    pub fn unbounded<T>() -> (Sender<T>, Receiver<T>) {
+        let (tx, rx) = mpsc::channel();
+        (Sender(tx), Receiver(rx))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::channel::{unbounded, RecvError};
+
+    #[test]
+    fn send_and_recv() {
+        let (tx, rx) = unbounded();
+        tx.send(1).unwrap();
+        tx.clone().send(2).unwrap();
+        assert_eq!(rx.recv().unwrap(), 1);
+        assert_eq!(rx.recv().unwrap(), 2);
+    }
+
+    #[test]
+    fn disconnect_errors() {
+        let (tx, rx) = unbounded::<u8>();
+        drop(rx);
+        assert!(tx.send(1).is_err());
+        let (tx, rx) = unbounded::<u8>();
+        drop(tx);
+        assert_eq!(rx.recv(), Err(RecvError));
+    }
+}

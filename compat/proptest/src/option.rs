@@ -1,0 +1,45 @@
+//! `option::of` — wrap a strategy's values in `Option`.
+
+use crate::strategy::Strategy;
+use crate::test_runner::TestRng;
+
+/// Strategy returned by [`of`].
+pub struct OptionStrategy<S>(S);
+
+impl<S: Strategy> Strategy for OptionStrategy<S> {
+    type Value = Option<S::Value>;
+    fn sample(&self, rng: &mut TestRng) -> Option<S::Value> {
+        if rng.next_u64() & 1 == 0 {
+            None
+        } else {
+            Some(self.0.sample(rng))
+        }
+    }
+}
+
+/// `None` or `Some(value)` with even probability.
+pub fn of<S: Strategy>(element: S) -> OptionStrategy<S> {
+    OptionStrategy(element)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn both_arms_hit() {
+        let mut rng = TestRng::deterministic("opt");
+        let s = of(0u32..10);
+        let (mut some, mut none) = (false, false);
+        for _ in 0..64 {
+            match s.sample(&mut rng) {
+                Some(v) => {
+                    assert!(v < 10);
+                    some = true;
+                }
+                None => none = true,
+            }
+        }
+        assert!(some && none);
+    }
+}

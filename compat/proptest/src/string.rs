@@ -1,0 +1,86 @@
+//! String strategies from `"[class]{lo,hi}"` patterns.
+//!
+//! Real proptest interprets a `&str` strategy as a full regex. This shim
+//! supports the single shape the workspace uses — one character class
+//! (literals and `a-z`-style ranges) followed by a `{lo,hi}` repetition —
+//! and panics on anything else so unsupported patterns fail loudly.
+
+use crate::strategy::Strategy;
+use crate::test_runner::TestRng;
+
+/// A parsed `[class]{lo,hi}` pattern.
+struct Pattern {
+    alphabet: Vec<char>,
+    lo: usize,
+    hi: usize,
+}
+
+fn parse(pattern: &str) -> Pattern {
+    let err =
+        || -> ! { panic!("unsupported string pattern {pattern:?}: expected \"[class]{{lo,hi}}\"") };
+    let rest = pattern.strip_prefix('[').unwrap_or_else(|| err());
+    let (class, rest) = rest.split_once(']').unwrap_or_else(|| err());
+    let counts = rest
+        .strip_prefix('{')
+        .and_then(|r| r.strip_suffix('}'))
+        .unwrap_or_else(|| err());
+    let (lo, hi) = counts.split_once(',').unwrap_or_else(|| err());
+    let lo: usize = lo.trim().parse().unwrap_or_else(|_| err());
+    let hi: usize = hi.trim().parse().unwrap_or_else(|_| err());
+    assert!(lo <= hi, "bad repetition in string pattern {pattern:?}");
+
+    let mut alphabet = Vec::new();
+    let chars: Vec<char> = class.chars().collect();
+    let mut i = 0;
+    while i < chars.len() {
+        if i + 2 < chars.len() && chars[i + 1] == '-' {
+            let (a, b) = (chars[i], chars[i + 2]);
+            assert!(a <= b, "bad char range in string pattern {pattern:?}");
+            for c in a..=b {
+                alphabet.push(c);
+            }
+            i += 3;
+        } else {
+            alphabet.push(chars[i]);
+            i += 1;
+        }
+    }
+    assert!(
+        !alphabet.is_empty(),
+        "empty char class in string pattern {pattern:?}"
+    );
+    Pattern { alphabet, lo, hi }
+}
+
+impl Strategy for &str {
+    type Value = String;
+    fn sample(&self, rng: &mut TestRng) -> String {
+        let p = parse(self);
+        let len = p.lo + rng.below((p.hi - p.lo + 1) as u64) as usize;
+        (0..len)
+            .map(|_| p.alphabet[rng.below(p.alphabet.len() as u64) as usize])
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn class_patterns_sample_in_bounds() {
+        let mut rng = TestRng::deterministic("str");
+        for _ in 0..100 {
+            let s = "[a-z]{1,20}".sample(&mut rng);
+            assert!((1..=20).contains(&s.len()));
+            assert!(s.chars().all(|c| c.is_ascii_lowercase()));
+
+            let t = "[ -~]{0,200}".sample(&mut rng);
+            assert!(t.len() <= 200);
+            assert!(t.chars().all(|c| (' '..='~').contains(&c)));
+
+            let u = "[a-z ]{0,80}".sample(&mut rng);
+            assert!(u.chars().all(|c| c == ' ' || c.is_ascii_lowercase()));
+        }
+    }
+}

@@ -1,0 +1,174 @@
+//! Shard-count scaling: the same workload over 1/2/4/8 mem shards.
+//!
+//! Fan-out operations (range lookup, sequential scan) split their scan
+//! across shards, one scoped thread each, so on a multi-core host their
+//! wall-clock improves with shard count once per-shard work exceeds the
+//! thread-launch cost (measured ~15 µs per spawn+join here). Caveat for
+//! reading the numbers: on a single-core host the total scan CPU is
+//! serialized regardless of shard count, so fan-out times can only show
+//! the overhead floor, never a speedup — check `nproc` before drawing
+//! scaling conclusions. They are measured on the level-6 database
+//! (19 531 nodes) so per-shard work is non-trivial. Point lookups are
+//! flat (one shard answers regardless), and the closures bound the cost
+//! of cross-shard traversal: level-batched frontier exchange keeps them
+//! within a small factor of the single-shard case even under hash
+//! placement — the hardware-independent win (round trips scaling with
+//! depth, not node count) is asserted in
+//! `crates/shard/tests/sharded_store.rs`.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use hypermodel::config::GenConfig;
+use hypermodel::generate::TestDatabase;
+use hypermodel::load::load_database;
+use hypermodel::model::Oid;
+use hypermodel::rng::Rng;
+use hypermodel::store::HyperStore;
+use mem_backend::MemStore;
+use shard::{Placement, ShardedStore};
+use std::hint::black_box;
+use std::sync::OnceLock;
+
+/// Closure/point groups run at level 4 (the paper's base size); fan-out
+/// groups at level 6 where per-shard work dominates thread launch.
+const SMALL_LEVEL: u32 = 4;
+const LARGE_LEVEL: u32 = 6;
+const SHARD_COUNTS: [usize; 4] = [1, 2, 4, 8];
+
+fn database(level: u32) -> &'static TestDatabase {
+    static SMALL: OnceLock<TestDatabase> = OnceLock::new();
+    static LARGE: OnceLock<TestDatabase> = OnceLock::new();
+    let cell = if level == SMALL_LEVEL { &SMALL } else { &LARGE };
+    cell.get_or_init(|| TestDatabase::generate(&GenConfig::level(level)))
+}
+
+struct Ctx {
+    store: ShardedStore<MemStore>,
+    oids: Vec<Oid>,
+    level3: Vec<Oid>,
+    internal: usize,
+}
+
+fn ctx(level: u32, n: usize, placement: Placement) -> Ctx {
+    let db = database(level);
+    let shards: Vec<MemStore> = (0..n).map(|_| MemStore::new()).collect();
+    let mut store = ShardedStore::new(shards, placement, "sharded-mem");
+    let report = load_database(&mut store, db).expect("load sharded");
+    let level3 = db
+        .level_indices(3)
+        .map(|i| report.oids[i as usize])
+        .collect();
+    Ctx {
+        store,
+        internal: db.config.internal_nodes() as usize,
+        oids: report.oids,
+        level3,
+    }
+}
+
+fn bench_scaling<F>(c: &mut Criterion, group: &str, level: u32, placement: Placement, mut f: F)
+where
+    F: FnMut(&mut Ctx, &mut Rng) -> u64,
+{
+    let mut g = c.benchmark_group(group);
+    g.sample_size(20);
+    g.warm_up_time(std::time::Duration::from_millis(300));
+    g.measurement_time(std::time::Duration::from_secs(1));
+    for n in SHARD_COUNTS {
+        let mut context = ctx(level, n, placement);
+        let mut warm_rng = Rng::new(1);
+        f(&mut context, &mut warm_rng);
+        g.bench_function(format!("{n}_shards"), |b| {
+            let mut rng = Rng::new(42);
+            b.iter(|| black_box(f(&mut context, &mut rng)))
+        });
+    }
+    g.finish();
+}
+
+fn fan_out_ops(c: &mut Criterion) {
+    bench_scaling(
+        c,
+        "shard_O3_range_hundred",
+        LARGE_LEVEL,
+        Placement::OidHash,
+        |ctx, rng| {
+            let x = rng.range_u32(1, 90);
+            ctx.store.range_hundred(x, x + 9).unwrap().len() as u64
+        },
+    );
+    bench_scaling(
+        c,
+        "shard_O9_seq_scan",
+        LARGE_LEVEL,
+        Placement::OidHash,
+        |ctx, _| ctx.store.seq_scan_ten().unwrap(),
+    );
+}
+
+fn point_ops(c: &mut Criterion) {
+    bench_scaling(
+        c,
+        "shard_O5A_group_1n",
+        SMALL_LEVEL,
+        Placement::OidHash,
+        |ctx, rng| {
+            let idx = rng.range_usize(0, ctx.internal);
+            ctx.store.children(ctx.oids[idx]).unwrap().len() as u64
+        },
+    );
+}
+
+fn closures_hash(c: &mut Criterion) {
+    bench_scaling(
+        c,
+        "shard_O10_closure_1n_hash",
+        SMALL_LEVEL,
+        Placement::OidHash,
+        |ctx, rng| {
+            let start = *rng.choose(&ctx.level3);
+            ctx.store.closure_1n(start).unwrap().len() as u64
+        },
+    );
+    bench_scaling(
+        c,
+        "shard_O14_closure_mn_hash",
+        SMALL_LEVEL,
+        Placement::OidHash,
+        |ctx, rng| {
+            let start = *rng.choose(&ctx.level3);
+            ctx.store.closure_mn(start).unwrap().len() as u64
+        },
+    );
+}
+
+fn closures_affinity(c: &mut Criterion) {
+    bench_scaling(
+        c,
+        "shard_O10_closure_1n_affinity",
+        SMALL_LEVEL,
+        Placement::affinity(),
+        |ctx, rng| {
+            let start = *rng.choose(&ctx.level3);
+            ctx.store.closure_1n(start).unwrap().len() as u64
+        },
+    );
+    bench_scaling(
+        c,
+        "shard_O11_closure_1n_att_sum_affinity",
+        SMALL_LEVEL,
+        Placement::affinity(),
+        |ctx, rng| {
+            let start = *rng.choose(&ctx.level3);
+            ctx.store.closure_1n_att_sum(start).unwrap().0
+        },
+    );
+}
+
+criterion_group!(
+    benches,
+    fan_out_ops,
+    point_ops,
+    closures_hash,
+    closures_affinity
+);
+criterion_main!(benches);

@@ -4,7 +4,7 @@
 //! ```text
 //! hyperbench gen-stats [--level N]          # Figures 2–4 + §5.2 size table
 //! hyperbench create   [--level N] [--backend B]   # §5.3 creation table
-//! hyperbench run      [--level N] [--backend B] [--reps R] [--csv FILE]
+//! hyperbench run      [--level N] [--backend B] [--reps R] [--csv FILE] [--json FILE]
 //!                                            # §6 operation table (T-ops)
 //! hyperbench ext      [--level N]            # §6.8 extension operations
 //! hyperbench multiuser [--clients N]         # §7 multi-user experiment
@@ -14,8 +14,11 @@
 //! hyperbench all      [--level N]            # everything above
 //! ```
 //!
-//! Backends: `mem`, `disk`, `rel` or `all` (default). Levels: 2–7
-//! (default 4; the paper's sizes are 4, 5 and 6).
+//! Backends: `mem`, `disk`, `rel`, `remote`, `sharded-mem:N[:hash|:affinity]`,
+//! `sharded-disk:N[:hash|:affinity]` or `all` (default `all` = the three
+//! single stores). Levels: 2–7 (default 4; the paper's sizes are 4, 5, 6).
+//! Sharded runs additionally report per-shard placement balance and
+//! request skew after the operation table.
 
 use std::path::PathBuf;
 use std::sync::Arc;
@@ -25,7 +28,10 @@ use concurrency::OccManager;
 use harness::input::Workload;
 use harness::multiuser::{run_multiuser_cc, CcMode, UpdateMix};
 use harness::protocol::{run_all_ops, RunOptions};
-use harness::report::{creation_csv, ops_csv, render_creation_table, render_ops_table, RunColumn};
+use harness::report::{
+    creation_csv, ops_csv, ops_json, render_creation_table, render_ops_table, render_shard_balance,
+    RunColumn,
+};
 use hypermodel::config::{GenConfig, SizeEstimate};
 use hypermodel::error::Result;
 use hypermodel::ext::{AccessControlledStore, AccessMode, DynamicSchemaStore, VersionedStore};
@@ -45,6 +51,7 @@ struct Args {
     clients: usize,
     persons: u64,
     csv: Option<PathBuf>,
+    json: Option<PathBuf>,
     pool_frames: usize,
 }
 
@@ -57,11 +64,13 @@ fn parse_args() -> Args {
         clients: 4,
         persons: 20_000,
         csv: None,
+        json: None,
         pool_frames: 8192,
     };
     fn usage_error(msg: &str) -> ! {
         eprintln!("error: {msg}");
-        eprintln!("usage: hyperbench <command> [--level N] [--backend B] [--reps N] [--clients N] [--persons N] [--pool N] [--csv FILE]");
+        eprintln!("usage: hyperbench <command> [--level N] [--backend B] [--reps N] [--clients N] [--persons N] [--pool N] [--csv FILE] [--json FILE]");
+        eprintln!("backends: mem | disk | rel | remote | sharded-mem:N[:hash|:affinity] | sharded-disk:N[:hash|:affinity] | all");
         std::process::exit(2);
     }
     let mut it = std::env::args().skip(1);
@@ -85,6 +94,7 @@ fn parse_args() -> Args {
             "--clients" => args.clients = numeric("--clients", &value("--clients")),
             "--persons" => args.persons = numeric("--persons", &value("--persons")),
             "--csv" => args.csv = Some(PathBuf::from(value("--csv"))),
+            "--json" => args.json = Some(PathBuf::from(value("--json"))),
             "--pool" => args.pool_frames = numeric("--pool", &value("--pool")),
             other => usage_error(&format!("unknown flag {other}")),
         }
@@ -112,23 +122,56 @@ fn tmp_db_path(tag: &str) -> PathBuf {
 }
 
 fn cleanup_db(p: &PathBuf) {
+    if p.is_dir() {
+        // A sharded-disk deployment keeps its per-shard files in one
+        // directory.
+        let _ = std::fs::remove_dir_all(p);
+        return;
+    }
     let _ = std::fs::remove_file(p);
     let mut w = p.clone().into_os_string();
     w.push(".wal");
     let _ = std::fs::remove_file(PathBuf::from(w));
 }
 
-fn backends(selected: &str) -> Vec<&'static str> {
+/// Parse a sharded backend spec: `sharded-mem:N` or `sharded-disk:N`,
+/// optionally suffixed with the placement policy (`:hash` or `:affinity`,
+/// default affinity).
+fn parse_sharded(spec: &str) -> Option<(&'static str, usize, shard::Placement)> {
+    let mut parts = spec.split(':');
+    let kind = match parts.next()? {
+        "sharded-mem" => "sharded-mem",
+        "sharded-disk" => "sharded-disk",
+        _ => return None,
+    };
+    let n: usize = parts
+        .next()?
+        .parse()
+        .ok()
+        .filter(|&n| (1..=64).contains(&n))?;
+    let placement = match parts.next() {
+        None | Some("affinity") => shard::Placement::affinity(),
+        Some("hash") => shard::Placement::OidHash,
+        Some(_) => return None,
+    };
+    if parts.next().is_some() {
+        return None;
+    }
+    Some((kind, n, placement))
+}
+
+fn backends(selected: &str) -> Vec<String> {
     match selected {
-        "all" => vec!["mem", "disk", "rel"],
-        "mem" => vec!["mem"],
-        "disk" => vec!["disk"],
-        "rel" => vec!["rel"],
+        "all" => vec!["mem".into(), "disk".into(), "rel".into()],
+        "mem" | "disk" | "rel" => vec![selected.into()],
         // The workstation/server configuration: a mem-backend server
         // behind the wire protocol, loaded and benchmarked remotely.
-        "remote" => vec!["remote"],
+        "remote" => vec![selected.into()],
+        other if parse_sharded(other).is_some() => vec![other.into()],
         other => {
-            eprintln!("unknown backend {other} (use mem|disk|rel|remote|all)");
+            eprintln!(
+                "unknown backend {other} (use mem|disk|rel|remote|sharded-mem:N[:hash|:affinity]|sharded-disk:N[:hash|:affinity]|all)"
+            );
             std::process::exit(2);
         }
     }
@@ -192,7 +235,41 @@ fn load_backend(backend: &str, db: &TestDatabase, pool_frames: usize) -> Result<
             let report = load_database(&mut store, db)?;
             Ok((Box::new(store), report.timings, 0, report.oids, None))
         }
-        other => panic!("unknown backend {other}"),
+        spec => match parse_sharded(spec) {
+            Some(("sharded-mem", n, placement)) => {
+                let shards: Vec<MemStore> = (0..n).map(|_| MemStore::new()).collect();
+                let mut store = shard::ShardedStore::new(shards, placement, "sharded-mem");
+                let report = load_database(&mut store, db)?;
+                Ok((Box::new(store), report.timings, 0, report.oids, None))
+            }
+            Some(("sharded-disk", n, placement)) => {
+                let dir = {
+                    let mut p = std::env::temp_dir();
+                    p.push(format!(
+                        "hyperbench-{}-sharded-disk-l{}",
+                        std::process::id(),
+                        db.config.leaf_level
+                    ));
+                    let _ = std::fs::remove_dir_all(&p);
+                    std::fs::create_dir_all(&p).map_err(|e| {
+                        hypermodel::HmError::Backend(format!("create {}: {e}", p.display()))
+                    })?;
+                    p
+                };
+                let shards = (0..n)
+                    .map(|i| {
+                        disk_backend::DiskStore::create(
+                            &dir.join(format!("shard-{i}.db")),
+                            pool_frames,
+                        )
+                    })
+                    .collect::<Result<Vec<_>>>()?;
+                let mut store = shard::ShardedStore::new(shards, placement, "sharded-disk");
+                let report = load_database(&mut store, db)?;
+                Ok((Box::new(store), report.timings, 0, report.oids, Some(dir)))
+            }
+            _ => panic!("unknown backend {spec}"),
+        },
     }
 }
 
@@ -237,8 +314,8 @@ fn cmd_create(level: u32, backend: &str, pool_frames: usize) -> Result<()> {
     let db = TestDatabase::generate(&GenConfig::level(level));
     let mut rows = Vec::new();
     for b in backends(backend) {
-        let (_store, timings, size, _oids, path) = load_backend(b, &db, pool_frames)?;
-        rows.push((b.to_string(), level, timings, size));
+        let (_store, timings, size, _oids, path) = load_backend(&b, &db, pool_frames)?;
+        rows.push((b, level, timings, size));
         if let Some(p) = path {
             cleanup_db(&p);
         }
@@ -254,21 +331,26 @@ fn cmd_run(
     reps: usize,
     pool_frames: usize,
     csv: Option<&PathBuf>,
+    json: Option<&PathBuf>,
 ) -> Result<()> {
     println!("== Operation benchmark O1-O18 (paper 6), level {level}, {reps} reps ==\n");
     let db = TestDatabase::generate(&GenConfig::level(level));
     let mut columns = Vec::new();
+    let mut balances = Vec::new();
     for b in backends(backend) {
         eprintln!("running {b} backend...");
-        let (mut store, _timings, _size, oids, path) = load_backend(b, &db, pool_frames)?;
+        let (mut store, _timings, _size, oids, path) = load_backend(&b, &db, pool_frames)?;
         let mut workload = Workload::new(db.clone(), oids, 0xBEEF);
         let opts = RunOptions {
             reps,
             input_seed: 0xBEEF,
         };
         let measurements = run_all_ops(store.as_mut(), &mut workload, opts)?;
+        if let Some(loads) = store.shard_balance() {
+            balances.push((b.clone(), loads));
+        }
         columns.push(RunColumn {
-            backend: b.to_string(),
+            backend: b,
             level,
             measurements,
         });
@@ -277,6 +359,16 @@ fn cmd_run(
         }
     }
     println!("{}", render_ops_table(&columns));
+    for (b, loads) in &balances {
+        println!("shard balance for {b} after the full run:");
+        println!("{}", render_shard_balance(loads));
+    }
+    if let Some(json_path) = json {
+        std::fs::write(json_path, ops_json(&columns)).map_err(|e| {
+            hypermodel::HmError::Backend(format!("cannot write json {}: {e}", json_path.display()))
+        })?;
+        println!("json written to {}", json_path.display());
+    }
     if let Some(csv_path) = csv {
         let existing = std::fs::read_to_string(csv_path).unwrap_or_default();
         let body = ops_csv(&columns);
@@ -520,7 +612,7 @@ fn cmd_verify(level: u32, backend: &str, pool_frames: usize) -> Result<()> {
     let db = TestDatabase::generate(&GenConfig::level(level));
     let mut all_ok = true;
     for b in backends(backend) {
-        let (mut store, _t, _sz, oids, path) = load_backend(b, &db, pool_frames)?;
+        let (mut store, _t, _sz, oids, path) = load_backend(&b, &db, pool_frames)?;
         let report = hypermodel::verify::verify_store(store.as_mut(), &db, &oids)?;
         print!("{b:<5} level {level}: {report}");
         all_ok &= report.is_ok();
@@ -608,6 +700,7 @@ fn main() {
             args.reps,
             args.pool_frames,
             args.csv.as_ref(),
+            args.json.as_ref(),
         ),
         "ext" => cmd_ext(args.level, args.pool_frames),
         "multiuser" => cmd_multiuser(args.level, args.clients),
@@ -626,6 +719,7 @@ fn main() {
                 args.reps,
                 args.pool_frames,
                 args.csv.as_ref(),
+                args.json.as_ref(),
             )?;
             println!();
             cmd_ext(args.level, args.pool_frames)?;

@@ -109,6 +109,79 @@ pub fn ops_csv(columns: &[RunColumn]) -> String {
     out
 }
 
+fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// JSON array with one object per (backend, level, operation); the
+/// machine-readable twin of [`ops_csv`] for downstream tooling that wants
+/// structure rather than columns. Hand-rolled: the workspace carries no
+/// serialization dependency.
+pub fn ops_json(columns: &[RunColumn]) -> String {
+    let mut out = String::from("[\n");
+    let mut first = true;
+    for c in columns {
+        for m in &c.measurements {
+            if !first {
+                out.push_str(",\n");
+            }
+            first = false;
+            let _ = write!(
+                out,
+                "  {{\"backend\": \"{}\", \"level\": {}, \"op\": \"{}\", \"op_name\": \"{}\", \
+                 \"cold_ms_per_node\": {:.6}, \"warm_ms_per_node\": {:.6}, \"reps\": {}}}",
+                json_escape(&c.backend),
+                c.level,
+                m.op.code(),
+                json_escape(m.op.name()),
+                m.cold_ms_per_node(),
+                m.warm_ms_per_node(),
+                m.reps
+            );
+        }
+    }
+    out.push_str("\n]\n");
+    out
+}
+
+/// Render per-shard placement balance and request skew for a sharded
+/// backend. Skew is `max / mean` — 1.00 is a perfect spread.
+pub fn render_shard_balance(loads: &[hypermodel::store::ShardLoad]) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "{:>6} {:>12} {:>12}", "shard", "nodes", "requests");
+    for l in loads {
+        let _ = writeln!(out, "{:>6} {:>12} {:>12}", l.shard, l.nodes, l.requests);
+    }
+    let skew = |values: Vec<u64>| -> f64 {
+        let max = values.iter().copied().max().unwrap_or(0) as f64;
+        let mean = values.iter().sum::<u64>() as f64 / values.len().max(1) as f64;
+        if mean == 0.0 {
+            1.0
+        } else {
+            max / mean
+        }
+    };
+    let _ = writeln!(
+        out,
+        "node-count skew = {:.2}, request-count skew = {:.2} (max/mean; 1.00 = even)",
+        skew(loads.iter().map(|l| l.nodes).collect()),
+        skew(loads.iter().map(|l| l.requests).collect())
+    );
+    out
+}
+
 /// Render the §5.3 creation-time table.
 pub fn render_creation_table(rows: &[(String, u32, CreationTimings, u64)]) -> String {
     let mut out = String::new();
@@ -219,6 +292,44 @@ mod tests {
         assert_eq!(fields[2], "O1");
         // cold 100ms / 50 nodes = 2 ms/node.
         assert!((fields[4].parse::<f64>().unwrap() - 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn ops_json_has_one_object_per_measurement() {
+        let json = ops_json(&[fake_column("sharded-mem:4", 4)]);
+        assert_eq!(json.matches("{\"backend\"").count(), 20);
+        assert!(json.starts_with("[\n"));
+        assert!(json.ends_with("]\n"));
+        assert!(json.contains("\"backend\": \"sharded-mem:4\""));
+        assert!(json.contains("\"op\": \"O1\""));
+        assert!(json.contains("\"cold_ms_per_node\": 2.000000"));
+    }
+
+    #[test]
+    fn json_escape_handles_specials() {
+        assert_eq!(json_escape("plain"), "plain");
+        assert_eq!(json_escape("a\"b\\c\nd"), "a\\\"b\\\\c\\nd");
+        assert_eq!(json_escape("\u{1}"), "\\u0001");
+    }
+
+    #[test]
+    fn shard_balance_renders_skew() {
+        use hypermodel::store::ShardLoad;
+        let loads = [
+            ShardLoad {
+                shard: 0,
+                nodes: 100,
+                requests: 300,
+            },
+            ShardLoad {
+                shard: 1,
+                nodes: 100,
+                requests: 100,
+            },
+        ];
+        let s = render_shard_balance(&loads);
+        assert!(s.contains("node-count skew = 1.00"));
+        assert!(s.contains("request-count skew = 1.50"));
     }
 
     #[test]

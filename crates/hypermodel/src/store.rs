@@ -28,6 +28,21 @@ use crate::error::{HmError, Result};
 use crate::model::{NodeKind, NodeValue, Oid, RefEdge};
 use crate::text;
 
+/// Load counters for one shard of a sharded deployment.
+///
+/// `nodes` counts structure nodes placed on the shard; `requests` counts
+/// primitive requests the router issued to it. Their spread across shards
+/// is the balance/skew a placement policy is judged by.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ShardLoad {
+    /// Shard index, `0..shard_count`.
+    pub shard: usize,
+    /// Structure nodes owned by this shard.
+    pub nodes: u64,
+    /// Primitive requests routed to this shard so far.
+    pub requests: u64,
+}
+
 /// Primitive and derived HyperModel operations over one test database.
 pub trait HyperStore {
     // ---- identity and lookup (O1/O2) --------------------------------
@@ -147,6 +162,56 @@ pub trait HyperStore {
 
     /// A short backend name for reports ("mem", "disk", "rel").
     fn backend_name(&self) -> &'static str;
+
+    /// Per-shard load counters; `None` for unsharded stores. Sharded
+    /// deployments override this so the harness can report placement
+    /// balance and request skew.
+    fn shard_balance(&self) -> Option<Vec<ShardLoad>> {
+        None
+    }
+
+    // =====================================================================
+    // Batched primitives.
+    //
+    // Defaults loop over the scalar accessors; stores with per-request
+    // overhead (a network round trip, a shard fan-out) override these to
+    // amortise it. Traversal layers (the sharded closure engine) call the
+    // batch forms so one BFS level costs one request per shard rather
+    // than one per node.
+    // =====================================================================
+
+    /// [`children`](HyperStore::children) for each of `oids`, in order.
+    fn children_batch(&mut self, oids: &[Oid]) -> Result<Vec<Vec<Oid>>> {
+        oids.iter().map(|&o| self.children(o)).collect()
+    }
+
+    /// [`parts`](HyperStore::parts) for each of `oids`, in order.
+    fn parts_batch(&mut self, oids: &[Oid]) -> Result<Vec<Vec<Oid>>> {
+        oids.iter().map(|&o| self.parts(o)).collect()
+    }
+
+    /// [`refs_to`](HyperStore::refs_to) for each of `oids`, in order.
+    fn refs_to_batch(&mut self, oids: &[Oid]) -> Result<Vec<Vec<RefEdge>>> {
+        oids.iter().map(|&o| self.refs_to(o)).collect()
+    }
+
+    /// [`hundred_of`](HyperStore::hundred_of) for each of `oids`, in order.
+    fn hundred_batch(&mut self, oids: &[Oid]) -> Result<Vec<u32>> {
+        oids.iter().map(|&o| self.hundred_of(o)).collect()
+    }
+
+    /// [`million_of`](HyperStore::million_of) for each of `oids`, in order.
+    fn million_batch(&mut self, oids: &[Oid]) -> Result<Vec<u32>> {
+        oids.iter().map(|&o| self.million_of(o)).collect()
+    }
+
+    /// [`set_hundred`](HyperStore::set_hundred) for each `(oid, value)`.
+    fn set_hundred_batch(&mut self, updates: &[(Oid, u32)]) -> Result<()> {
+        for &(o, v) in updates {
+            self.set_hundred(o, v)?;
+        }
+        Ok(())
+    }
 
     // =====================================================================
     // Derived operations (default implementations over the primitives).

@@ -277,6 +277,50 @@ impl HyperStore for RemoteStore {
         }
     }
 
+    // ---- batched primitives: always one round trip --------------------
+    //
+    // Batch calls carry a whole traversal frontier, so shipping them as a
+    // single message is the point regardless of the closure mode.
+
+    fn children_batch(&mut self, oids: &[Oid]) -> Result<Vec<Vec<Oid>>> {
+        match self.call(Request::ChildrenBatch(oids.to_vec()))? {
+            Response::OidLists(v) => Ok(v),
+            other => Err(unexpected(other)),
+        }
+    }
+
+    fn parts_batch(&mut self, oids: &[Oid]) -> Result<Vec<Vec<Oid>>> {
+        match self.call(Request::PartsBatch(oids.to_vec()))? {
+            Response::OidLists(v) => Ok(v),
+            other => Err(unexpected(other)),
+        }
+    }
+
+    fn refs_to_batch(&mut self, oids: &[Oid]) -> Result<Vec<Vec<RefEdge>>> {
+        match self.call(Request::RefsToBatch(oids.to_vec()))? {
+            Response::EdgeLists(v) => Ok(v),
+            other => Err(unexpected(other)),
+        }
+    }
+
+    fn hundred_batch(&mut self, oids: &[Oid]) -> Result<Vec<u32>> {
+        match self.call(Request::HundredBatch(oids.to_vec()))? {
+            Response::U32s(v) => Ok(v),
+            other => Err(unexpected(other)),
+        }
+    }
+
+    fn million_batch(&mut self, oids: &[Oid]) -> Result<Vec<u32>> {
+        match self.call(Request::MillionBatch(oids.to_vec()))? {
+            Response::U32s(v) => Ok(v),
+            other => Err(unexpected(other)),
+        }
+    }
+
+    fn set_hundred_batch(&mut self, updates: &[(Oid, u32)]) -> Result<()> {
+        self.expect_unit(Request::SetHundredBatch(updates.to_vec()))
+    }
+
     // ---- conceptual operations: mode-dependent ------------------------
 
     fn closure_1n(&mut self, start: Oid) -> Result<Vec<Oid>> {

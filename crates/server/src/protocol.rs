@@ -97,6 +97,19 @@ pub enum Request {
     // ---- session control ---------------------------------------------
     /// Terminate the serving loop.
     Shutdown,
+    // ---- batched primitives -------------------------------------------
+    /// `children_batch`: `children` for each oid, one round trip.
+    ChildrenBatch(Vec<Oid>),
+    /// `parts_batch`.
+    PartsBatch(Vec<Oid>),
+    /// `refs_to_batch`.
+    RefsToBatch(Vec<Oid>),
+    /// `hundred_batch`.
+    HundredBatch(Vec<Oid>),
+    /// `million_batch`.
+    MillionBatch(Vec<Oid>),
+    /// `set_hundred_batch`.
+    SetHundredBatch(Vec<(Oid, u32)>),
 }
 
 /// A server → client message.
@@ -128,9 +141,15 @@ pub enum Response {
     Pairs(Vec<(Oid, u64)>),
     /// The operation failed; the message is the error's display form.
     Err(String),
+    /// One oid list per batched input oid.
+    OidLists(Vec<Vec<Oid>>),
+    /// One edge list per batched input oid.
+    EdgeLists(Vec<Vec<RefEdge>>),
+    /// One `u32` per batched input oid.
+    U32s(Vec<u32>),
 }
 
-const REQ_TAGS: u8 = 38; // highest request tag + 1, for decode validation
+const REQ_TAGS: u8 = 44; // highest request tag + 1, for decode validation
 
 impl Request {
     fn tag(&self) -> u8 {
@@ -173,6 +192,12 @@ impl Request {
             Request::TextNodeEdit(..) => 35,
             Request::FormNodeEdit(..) => 36,
             Request::Shutdown => 37,
+            Request::ChildrenBatch(_) => 38,
+            Request::PartsBatch(_) => 39,
+            Request::RefsToBatch(_) => 40,
+            Request::HundredBatch(_) => 41,
+            Request::MillionBatch(_) => 42,
+            Request::SetHundredBatch(_) => 43,
         }
     }
 
@@ -258,6 +283,18 @@ impl Request {
                 w.u16(*x1);
                 w.u16(*y1);
             }
+            Request::ChildrenBatch(v)
+            | Request::PartsBatch(v)
+            | Request::RefsToBatch(v)
+            | Request::HundredBatch(v)
+            | Request::MillionBatch(v) => w.oids(v),
+            Request::SetHundredBatch(v) => {
+                w.u32(v.len() as u32);
+                for (o, val) in v {
+                    w.oid(*o);
+                    w.u32(*val);
+                }
+            }
         }
         w.finish()
     }
@@ -312,6 +349,19 @@ impl Request {
             35 => Request::TextNodeEdit(r.oid()?, r.string()?, r.string()?),
             36 => Request::FormNodeEdit(r.oid()?, r.u16()?, r.u16()?, r.u16()?, r.u16()?),
             37 => Request::Shutdown,
+            38 => Request::ChildrenBatch(r.oids()?),
+            39 => Request::PartsBatch(r.oids()?),
+            40 => Request::RefsToBatch(r.oids()?),
+            41 => Request::HundredBatch(r.oids()?),
+            42 => Request::MillionBatch(r.oids()?),
+            43 => {
+                let n = r.u32()? as usize;
+                let mut v = Vec::with_capacity(n.min(1 << 20));
+                for _ in 0..n {
+                    v.push((r.oid()?, r.u32()?));
+                }
+                Request::SetHundredBatch(v)
+            }
             _ => unreachable!("tag validated above"),
         };
         if !r.is_exhausted() {
@@ -386,6 +436,27 @@ impl Response {
                 w.u8(12);
                 w.string(msg);
             }
+            Response::OidLists(lists) => {
+                w.u8(13);
+                w.u32(lists.len() as u32);
+                for l in lists {
+                    w.oids(l);
+                }
+            }
+            Response::EdgeLists(lists) => {
+                w.u8(14);
+                w.u32(lists.len() as u32);
+                for l in lists {
+                    w.edges(l);
+                }
+            }
+            Response::U32s(vals) => {
+                w.u8(15);
+                w.u32(vals.len() as u32);
+                for v in vals {
+                    w.u32(*v);
+                }
+            }
         }
         w.finish()
     }
@@ -414,6 +485,30 @@ impl Response {
                 Response::Pairs(v)
             }
             12 => Response::Err(r.string()?),
+            13 => {
+                let n = r.u32()? as usize;
+                let mut v = Vec::with_capacity(n.min(1 << 20));
+                for _ in 0..n {
+                    v.push(r.oids()?);
+                }
+                Response::OidLists(v)
+            }
+            14 => {
+                let n = r.u32()? as usize;
+                let mut v = Vec::with_capacity(n.min(1 << 20));
+                for _ in 0..n {
+                    v.push(r.edges()?);
+                }
+                Response::EdgeLists(v)
+            }
+            15 => {
+                let n = r.u32()? as usize;
+                let mut v = Vec::with_capacity(n.min(1 << 20));
+                for _ in 0..n {
+                    v.push(r.u32()?);
+                }
+                Response::U32s(v)
+            }
             other => {
                 return Err(HmError::Backend(format!("unknown response tag {other}")));
             }
@@ -486,6 +581,12 @@ mod tests {
             Request::TextNodeEdit(Oid(31), "version1".into(), "version-2".into()),
             Request::FormNodeEdit(Oid(32), 25, 25, 50, 50),
             Request::Shutdown,
+            Request::ChildrenBatch(vec![Oid(33), Oid(34)]),
+            Request::PartsBatch(vec![]),
+            Request::RefsToBatch(vec![Oid(35)]),
+            Request::HundredBatch(vec![Oid(36), Oid(37), Oid(38)]),
+            Request::MillionBatch(vec![Oid(39)]),
+            Request::SetHundredBatch(vec![(Oid(40), 7), (Oid(41), 93)]),
         ];
         for req in requests {
             let decoded = Request::decode(&req.encode()).unwrap();
@@ -514,6 +615,13 @@ mod tests {
             Response::Form(Bitmap::white(10, 10)),
             Response::Pairs(vec![(Oid(4), 17), (Oid(5), 26)]),
             Response::Err("backend error: boom".into()),
+            Response::OidLists(vec![vec![Oid(6), Oid(7)], vec![]]),
+            Response::EdgeLists(vec![vec![RefEdge {
+                target: Oid(8),
+                offset_from: 4,
+                offset_to: 5,
+            }]]),
+            Response::U32s(vec![1, 2, 3]),
         ];
         for resp in responses {
             let decoded = Response::decode(&resp.encode()).unwrap();

@@ -75,6 +75,15 @@ fn dispatch<S: HyperStore + ?Sized>(store: &mut S, req: Request) -> Response {
         Request::FormNodeEdit(o, x0, y0, x1, y1) => {
             ok_or_err(store.form_node_edit(o, x0, y0, x1, y1), |_| Response::Unit)
         }
+        // Batched primitives: one round trip for a whole frontier level.
+        Request::ChildrenBatch(oids) => ok_or_err(store.children_batch(&oids), Response::OidLists),
+        Request::PartsBatch(oids) => ok_or_err(store.parts_batch(&oids), Response::OidLists),
+        Request::RefsToBatch(oids) => ok_or_err(store.refs_to_batch(&oids), Response::EdgeLists),
+        Request::HundredBatch(oids) => ok_or_err(store.hundred_batch(&oids), Response::U32s),
+        Request::MillionBatch(oids) => ok_or_err(store.million_batch(&oids), Response::U32s),
+        Request::SetHundredBatch(updates) => {
+            ok_or_err(store.set_hundred_batch(&updates), |_| Response::Unit)
+        }
         Request::Shutdown => unreachable!("handled by the serve loop"),
     }
 }

@@ -1,0 +1,31 @@
+//! # `shard` — a sharded, parallel `HyperStore`
+//!
+//! Partitions one HyperModel test database across N backend stores while
+//! presenting a single [`hypermodel::HyperStore`]:
+//!
+//! * [`router`] — deterministic placement ([`Placement::OidHash`] and
+//!   [`Placement::SubtreeAffinity`]) plus the global ↔ local id directory
+//!   and ghost-node bookkeeping;
+//! * [`store`] — [`ShardedStore`]: point operations route to the owning
+//!   shard, range lookups and scans fan out across all shards in parallel
+//!   and merge, and the O10–O15 closures run level-batched frontier
+//!   exchange so cross-shard round trips scale with traversal depth
+//!   rather than node count;
+//! * [`remote`] — composition with `server::RemoteStore`: N TCP servers
+//!   behind one router, each shard one wire connection.
+//!
+//! The deployment is oblivious to the backend: `ShardedStore<MemStore>`,
+//! `ShardedStore<DiskStore>` and `ShardedStore<RemoteStore>` all behave
+//! identically up to timing, and the workspace conformance tests hold the
+//! sharded stores to byte-identical oracle output.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod remote;
+pub mod router;
+pub mod store;
+
+pub use remote::connect_sharded;
+pub use router::{Placement, ShardRouter, GHOST_UID_BASE};
+pub use store::ShardedStore;

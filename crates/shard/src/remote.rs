@@ -1,0 +1,45 @@
+//! Remote sharded deployment: N TCP HyperModel servers behind one router.
+//!
+//! Each shard is a [`server::RemoteStore`] over its own TCP connection;
+//! the [`ShardedStore`] on top fans batched frontier requests out to all
+//! connections in parallel, so one BFS level costs one round trip per
+//! *involved shard*, concurrently — the paper's R6 server architecture
+//! scaled horizontally.
+
+use std::net::TcpStream;
+
+use hypermodel::error::{HmError, Result};
+use server::client::{ClosureMode, RemoteStore};
+use server::transport::TcpTransport;
+
+use crate::router::Placement;
+use crate::store::ShardedStore;
+
+/// Connect to one HyperModel server per address and compose the
+/// connections into a sharded store.
+///
+/// `ClosureMode::ClientSide` is forced on each connection: the router owns
+/// id translation, so conceptual operations must traverse here (via the
+/// batched primitives) rather than ship to any single server, which only
+/// sees its own partition.
+pub fn connect_sharded(
+    addrs: &[String],
+    placement: Placement,
+) -> Result<ShardedStore<RemoteStore>> {
+    if addrs.is_empty() {
+        return Err(HmError::InvalidArgument(
+            "sharded-remote needs at least one server address".into(),
+        ));
+    }
+    let mut shards = Vec::with_capacity(addrs.len());
+    for addr in addrs {
+        let stream = TcpStream::connect(addr)
+            .map_err(|e| HmError::Backend(format!("connect {addr}: {e}")))?;
+        let transport = TcpTransport::new(stream)?;
+        shards.push(RemoteStore::new(
+            Box::new(transport),
+            ClosureMode::ClientSide,
+        ));
+    }
+    Ok(ShardedStore::new(shards, placement, "sharded-remote"))
+}

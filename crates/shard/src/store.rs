@@ -1,0 +1,781 @@
+//! [`ShardedStore`]: one `HyperStore` over N shard backends.
+//!
+//! Point operations route to the owning shard; range lookups and
+//! sequential scans fan out to every shard in parallel (scoped threads)
+//! and merge; closure traversals run **level-batched frontier exchange**:
+//! per BFS level the frontier is grouped by owning shard and fetched with
+//! one batched request per shard, so cross-shard round trips scale with
+//! traversal *depth*, not node count. The fetched adjacency is then
+//! replayed as a local depth-first traversal, reproducing the exact
+//! output order of the trait's default implementations.
+
+use std::collections::HashMap;
+
+use hypermodel::error::{HmError, Result};
+use hypermodel::model::{Content, NodeAttrs, NodeKind, NodeValue, Oid, RefEdge};
+use hypermodel::store::{HyperStore, ShardLoad};
+use hypermodel::Bitmap;
+
+use crate::router::{Placement, ShardRouter, GHOST_UID_BASE};
+
+/// Per-shard scatter positions: `scatter[s][j]` is the index in the
+/// original request slice answered by shard `s`'s `j`-th result.
+type Scatter = Vec<Vec<usize>>;
+
+/// A sharded `HyperStore` over `S` backends.
+pub struct ShardedStore<S> {
+    shards: Vec<S>,
+    router: ShardRouter,
+    name: &'static str,
+}
+
+/// Run `f` against every shard concurrently (scoped threads), collecting
+/// per-shard results in shard order.
+fn all_shards<S, T, F>(shards: &mut [S], f: F) -> Vec<Result<T>>
+where
+    S: HyperStore + Send,
+    T: Send,
+    F: Fn(&mut S) -> Result<T> + Sync,
+{
+    if let [only] = shards {
+        return vec![f(only)];
+    }
+    std::thread::scope(|sc| {
+        let handles: Vec<_> = shards
+            .iter_mut()
+            .map(|shard| {
+                let f = &f;
+                sc.spawn(move || f(shard))
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("shard worker panicked"))
+            .collect()
+    })
+}
+
+/// Run `f` concurrently on each shard that has work (`Some`), in shard
+/// order; shards without work yield `Ok(T::default())`.
+fn batched<S, W, T, F>(shards: &mut [S], work: Vec<Option<W>>, f: F) -> Vec<Result<T>>
+where
+    S: HyperStore + Send,
+    W: Send,
+    T: Send + Default,
+    F: Fn(&mut S, W) -> Result<T> + Sync,
+{
+    if let [only] = shards {
+        return work
+            .into_iter()
+            .map(|w| match w {
+                Some(w) => f(only, w),
+                None => Ok(T::default()),
+            })
+            .collect();
+    }
+    std::thread::scope(|sc| {
+        let handles: Vec<_> = shards
+            .iter_mut()
+            .zip(work)
+            .map(|(shard, w)| {
+                w.map(|w| {
+                    let f = &f;
+                    sc.spawn(move || f(shard, w))
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| match h {
+                Some(h) => h.join().expect("shard worker panicked"),
+                None => Ok(T::default()),
+            })
+            .collect()
+    })
+}
+
+fn ghost_value(global: Oid) -> NodeValue {
+    NodeValue {
+        kind: NodeKind::INTERNAL,
+        attrs: NodeAttrs {
+            unique_id: GHOST_UID_BASE + global.0,
+            ten: 1,
+            hundred: 1,
+            thousand: 1,
+            million: 1,
+        },
+        content: Content::None,
+    }
+}
+
+impl<S: HyperStore + Send> ShardedStore<S> {
+    /// Shard across `shards` with the given placement policy. `name` is
+    /// the backend name reported to the harness (e.g. `"sharded-mem"`).
+    pub fn new(shards: Vec<S>, placement: Placement, name: &'static str) -> ShardedStore<S> {
+        let n = shards.len();
+        ShardedStore {
+            shards,
+            router: ShardRouter::new(n, placement),
+            name,
+        }
+    }
+
+    /// Number of shards.
+    pub fn shard_count(&self) -> usize {
+        self.router.shard_count()
+    }
+
+    /// The backend stores, in shard order — for instrumentation (e.g.
+    /// reading a `RemoteStore`'s round-trip counter).
+    pub fn shards(&self) -> &[S] {
+        &self.shards
+    }
+
+    /// Mutable access to the backend stores, for instrumentation that
+    /// needs it (e.g. resetting round-trip counters). Mutating the data
+    /// through this bypasses the router and breaks the deployment.
+    pub fn shards_mut(&mut self) -> &mut [S] {
+        &mut self.shards
+    }
+
+    /// The shard owning `global`, if the id exists.
+    pub fn owner_of(&self, global: Oid) -> Option<usize> {
+        self.router.owner_of(global)
+    }
+
+    /// Sequential-scan count per shard (no merging): the per-shard node
+    /// visibility the union/disjointness properties are stated over.
+    pub fn per_shard_scan(&mut self) -> Result<Vec<u64>> {
+        for s in 0..self.router.shard_count() {
+            self.router.requests[s] += 1;
+        }
+        all_shards(&mut self.shards, |shard| shard.seq_scan_ten())
+            .into_iter()
+            .collect()
+    }
+
+    fn route(&mut self, oid: Oid) -> Result<(usize, Oid)> {
+        let (s, l) = self.router.to_local(oid)?;
+        self.router.requests[s] += 1;
+        Ok((s, l))
+    }
+
+    /// Group globals by owning shard; returns per-shard locals plus the
+    /// positions each answer scatters back to. Counts one request per
+    /// shard with work — the unit the skew statistics measure.
+    fn group_by_shard(&mut self, globals: &[Oid]) -> Result<(Vec<Option<Vec<Oid>>>, Scatter)> {
+        let n = self.router.shard_count();
+        let mut locals: Vec<Vec<Oid>> = vec![Vec::new(); n];
+        let mut pos: Vec<Vec<usize>> = vec![Vec::new(); n];
+        for (i, &g) in globals.iter().enumerate() {
+            let (s, l) = self.router.to_local(g)?;
+            locals[s].push(l);
+            pos[s].push(i);
+        }
+        let work = locals
+            .into_iter()
+            .enumerate()
+            .map(|(s, w)| {
+                if w.is_empty() {
+                    None
+                } else {
+                    self.router.requests[s] += 1;
+                    Some(w)
+                }
+            })
+            .collect();
+        Ok((work, pos))
+    }
+
+    /// Create (once) a ghost stand-in for `global` on `shard`, so the
+    /// shard can hold edges whose other end lives elsewhere.
+    fn ensure_ghost(&mut self, global: Oid, shard: usize) -> Result<Oid> {
+        if let Some(l) = self.router.ghost_of(global, shard) {
+            return Ok(l);
+        }
+        self.router.to_local(global)?; // the real node must exist
+        self.router.requests[shard] += 1;
+        let local = self.shards[shard].insert_extra_node(&ghost_value(global))?;
+        self.router.register_ghost(global, shard, local);
+        Ok(local)
+    }
+
+    /// Add a cross-shard edge by issuing it on both sides against ghosts,
+    /// so each side's adjacency lists read correctly after translation.
+    fn two_sided_edge(
+        &mut self,
+        a: Oid,
+        b: Oid,
+        apply: impl Fn(&mut S, Oid, Oid) -> Result<()>,
+    ) -> Result<()> {
+        let (sa, la) = self.router.to_local(a)?;
+        let (sb, lb) = self.router.to_local(b)?;
+        if sa == sb {
+            self.router.requests[sa] += 1;
+            return apply(&mut self.shards[sa], la, lb);
+        }
+        let ghost_b = self.ensure_ghost(b, sa)?;
+        self.router.requests[sa] += 1;
+        apply(&mut self.shards[sa], la, ghost_b)?;
+        let ghost_a = self.ensure_ghost(a, sb)?;
+        self.router.requests[sb] += 1;
+        apply(&mut self.shards[sb], ghost_a, lb)?;
+        Ok(())
+    }
+
+    /// Fan a read out to every shard in parallel; each worker translates
+    /// its shard's results to global ids and drops ghosts (results whose
+    /// owner is a different shard), so the caller only concatenates.
+    /// Results come back in shard order — a deterministic set order, per
+    /// the trait's set-result convention.
+    fn fan_out_owned(&mut self, f: impl Fn(&mut S) -> Result<Vec<Oid>> + Sync) -> Result<Vec<Oid>> {
+        for s in 0..self.router.shard_count() {
+            self.router.requests[s] += 1;
+        }
+        let ShardedStore { shards, router, .. } = self;
+        let router = &*router;
+        fn keep_owned(router: &ShardRouter, s: usize, locals: Vec<Oid>) -> Result<Vec<Oid>> {
+            let mut owned = Vec::with_capacity(locals.len());
+            for l in locals {
+                let g = router.to_global(s, l)?;
+                if router.owner_of(g) == Some(s) {
+                    owned.push(g);
+                }
+            }
+            Ok(owned)
+        }
+        if let [only] = shards.as_mut_slice() {
+            return keep_owned(router, 0, f(only)?);
+        }
+        let results: Vec<Result<Vec<Oid>>> = std::thread::scope(|sc| {
+            let handles: Vec<_> = shards
+                .iter_mut()
+                .enumerate()
+                .map(|(s, shard)| {
+                    let f = &f;
+                    sc.spawn(move || -> Result<Vec<Oid>> { keep_owned(router, s, f(shard)?) })
+                })
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("shard worker panicked"))
+                .collect()
+        });
+        let mut out = Vec::new();
+        for r in results {
+            out.extend(r?);
+        }
+        Ok(out)
+    }
+
+    fn translate_oids(&self, shard: usize, locals: Vec<Oid>) -> Result<Vec<Oid>> {
+        locals
+            .into_iter()
+            .map(|l| self.router.to_global(shard, l))
+            .collect()
+    }
+
+    fn translate_edges(&self, shard: usize, edges: Vec<RefEdge>) -> Result<Vec<RefEdge>> {
+        edges
+            .into_iter()
+            .map(|e| {
+                Ok(RefEdge {
+                    target: self.router.to_global(shard, e.target)?,
+                    ..e
+                })
+            })
+            .collect()
+    }
+
+    /// BFS over `children`/`parts` with one batched request per shard per
+    /// level; returns the full adjacency in global ids.
+    fn collect_oid_adjacency(&mut self, start: Oid, parts: bool) -> Result<HashMap<Oid, Vec<Oid>>> {
+        let mut cache: HashMap<Oid, Vec<Oid>> = HashMap::new();
+        let mut frontier = vec![start];
+        while !frontier.is_empty() {
+            let lists = if parts {
+                self.parts_batch(&frontier)?
+            } else {
+                self.children_batch(&frontier)?
+            };
+            for (&o, list) in frontier.iter().zip(lists) {
+                cache.insert(o, list);
+            }
+            let mut next = Vec::new();
+            for o in &frontier {
+                for &t in &cache[o] {
+                    if !cache.contains_key(&t) && !next.contains(&t) {
+                        next.push(t);
+                    }
+                }
+            }
+            frontier = next;
+        }
+        Ok(cache)
+    }
+
+    /// BFS over attributed references to `depth` levels (the deepest any
+    /// depth-first path can need), batched per shard per level.
+    fn collect_ref_adjacency(
+        &mut self,
+        start: Oid,
+        depth: u32,
+    ) -> Result<HashMap<Oid, Vec<RefEdge>>> {
+        let mut cache: HashMap<Oid, Vec<RefEdge>> = HashMap::new();
+        let mut frontier = vec![start];
+        for _ in 0..depth {
+            if frontier.is_empty() {
+                break;
+            }
+            let lists = self.refs_to_batch(&frontier)?;
+            for (&o, list) in frontier.iter().zip(lists) {
+                cache.insert(o, list);
+            }
+            let mut next = Vec::new();
+            for o in &frontier {
+                for e in &cache[o] {
+                    if !cache.contains_key(&e.target) && !next.contains(&e.target) {
+                        next.push(e.target);
+                    }
+                }
+            }
+            frontier = next;
+        }
+        Ok(cache)
+    }
+
+    /// Depth-first replay over cached adjacency: identical order to the
+    /// trait's default stack traversal, with zero further shard requests.
+    fn replay_preorder(start: Oid, adj: &HashMap<Oid, Vec<Oid>>) -> Vec<Oid> {
+        let mut out = Vec::new();
+        let mut stack = vec![start];
+        while let Some(oid) = stack.pop() {
+            out.push(oid);
+            for &k in adj[&oid].iter().rev() {
+                stack.push(k);
+            }
+        }
+        out
+    }
+}
+
+impl<S: HyperStore + Send> HyperStore for ShardedStore<S> {
+    fn lookup_unique(&mut self, unique_id: u64) -> Result<Oid> {
+        let g = self.router.global_for_uid(unique_id)?;
+        let (s, l) = self.route(g)?;
+        let local = self.shards[s].lookup_unique(unique_id)?;
+        debug_assert_eq!(local, l, "shard uid index disagrees with router");
+        Ok(g)
+    }
+
+    fn unique_id_of(&mut self, oid: Oid) -> Result<u64> {
+        let (s, l) = self.route(oid)?;
+        self.shards[s].unique_id_of(l)
+    }
+
+    fn kind_of(&mut self, oid: Oid) -> Result<NodeKind> {
+        let (s, l) = self.route(oid)?;
+        self.shards[s].kind_of(l)
+    }
+
+    fn ten_of(&mut self, oid: Oid) -> Result<u32> {
+        let (s, l) = self.route(oid)?;
+        self.shards[s].ten_of(l)
+    }
+
+    fn hundred_of(&mut self, oid: Oid) -> Result<u32> {
+        let (s, l) = self.route(oid)?;
+        self.shards[s].hundred_of(l)
+    }
+
+    fn million_of(&mut self, oid: Oid) -> Result<u32> {
+        let (s, l) = self.route(oid)?;
+        self.shards[s].million_of(l)
+    }
+
+    fn set_hundred(&mut self, oid: Oid, value: u32) -> Result<()> {
+        let (s, l) = self.route(oid)?;
+        self.shards[s].set_hundred(l, value)
+    }
+
+    fn range_hundred(&mut self, lo: u32, hi: u32) -> Result<Vec<Oid>> {
+        self.fan_out_owned(|shard| shard.range_hundred(lo, hi))
+    }
+
+    fn range_million(&mut self, lo: u32, hi: u32) -> Result<Vec<Oid>> {
+        self.fan_out_owned(|shard| shard.range_million(lo, hi))
+    }
+
+    fn children(&mut self, oid: Oid) -> Result<Vec<Oid>> {
+        let (s, l) = self.route(oid)?;
+        let kids = self.shards[s].children(l)?;
+        self.translate_oids(s, kids)
+    }
+
+    fn parent(&mut self, oid: Oid) -> Result<Option<Oid>> {
+        let (s, l) = self.route(oid)?;
+        match self.shards[s].parent(l)? {
+            Some(p) => Ok(Some(self.router.to_global(s, p)?)),
+            None => Ok(None),
+        }
+    }
+
+    fn parts(&mut self, oid: Oid) -> Result<Vec<Oid>> {
+        let (s, l) = self.route(oid)?;
+        let ps = self.shards[s].parts(l)?;
+        self.translate_oids(s, ps)
+    }
+
+    fn part_of(&mut self, oid: Oid) -> Result<Vec<Oid>> {
+        let (s, l) = self.route(oid)?;
+        let owners = self.shards[s].part_of(l)?;
+        self.translate_oids(s, owners)
+    }
+
+    fn refs_to(&mut self, oid: Oid) -> Result<Vec<RefEdge>> {
+        let (s, l) = self.route(oid)?;
+        let edges = self.shards[s].refs_to(l)?;
+        self.translate_edges(s, edges)
+    }
+
+    fn refs_from(&mut self, oid: Oid) -> Result<Vec<RefEdge>> {
+        let (s, l) = self.route(oid)?;
+        let edges = self.shards[s].refs_from(l)?;
+        self.translate_edges(s, edges)
+    }
+
+    fn seq_scan_ten(&mut self) -> Result<u64> {
+        Ok(self.per_shard_scan()?.into_iter().sum())
+    }
+
+    fn text_of(&mut self, oid: Oid) -> Result<String> {
+        let (s, l) = self.route(oid)?;
+        self.shards[s].text_of(l)
+    }
+
+    fn set_text(&mut self, oid: Oid, text: &str) -> Result<()> {
+        let (s, l) = self.route(oid)?;
+        self.shards[s].set_text(l, text)
+    }
+
+    fn form_of(&mut self, oid: Oid) -> Result<Bitmap> {
+        let (s, l) = self.route(oid)?;
+        self.shards[s].form_of(l)
+    }
+
+    fn set_form(&mut self, oid: Oid, bitmap: &Bitmap) -> Result<()> {
+        let (s, l) = self.route(oid)?;
+        self.shards[s].set_form(l, bitmap)
+    }
+
+    fn create_node(&mut self, value: &NodeValue) -> Result<Oid> {
+        self.create_node_clustered(value, None)
+    }
+
+    fn create_node_clustered(&mut self, value: &NodeValue, near: Option<Oid>) -> Result<Oid> {
+        let g = self.router.mint();
+        let (s, depth) = self.router.place(g.0, near);
+        // Forward the placement hint only when it resolves on this shard
+        // (the real node or an existing ghost of it).
+        let local_near = near.and_then(|p| match self.router.to_local(p) {
+            Ok((ps, pl)) if ps == s => Some(pl),
+            _ => self.router.ghost_of(near.unwrap(), s),
+        });
+        self.router.requests[s] += 1;
+        let local = self.shards[s].create_node_clustered(value, local_near)?;
+        self.router
+            .register(g, s, local, depth, value.attrs.unique_id);
+        self.router.nodes[s] += 1;
+        Ok(g)
+    }
+
+    fn add_child(&mut self, parent: Oid, child: Oid) -> Result<()> {
+        self.two_sided_edge(parent, child, |shard, p, c| shard.add_child(p, c))
+    }
+
+    fn add_part(&mut self, owner: Oid, part: Oid) -> Result<()> {
+        self.two_sided_edge(owner, part, |shard, o, p| shard.add_part(o, p))
+    }
+
+    fn add_ref(&mut self, from: Oid, to: Oid, offset_from: u8, offset_to: u8) -> Result<()> {
+        self.two_sided_edge(from, to, |shard, f, t| {
+            shard.add_ref(f, t, offset_from, offset_to)
+        })
+    }
+
+    fn insert_extra_node(&mut self, value: &NodeValue) -> Result<Oid> {
+        let g = self.router.mint();
+        let (s, depth) = self.router.place(g.0, None);
+        self.router.requests[s] += 1;
+        let local = self.shards[s].insert_extra_node(value)?;
+        self.router
+            .register(g, s, local, depth, value.attrs.unique_id);
+        Ok(g)
+    }
+
+    fn commit(&mut self) -> Result<()> {
+        for r in all_shards(&mut self.shards, |shard| shard.commit()) {
+            r?;
+        }
+        Ok(())
+    }
+
+    fn cold_restart(&mut self) -> Result<()> {
+        for r in all_shards(&mut self.shards, |shard| shard.cold_restart()) {
+            r?;
+        }
+        Ok(())
+    }
+
+    fn backend_name(&self) -> &'static str {
+        self.name
+    }
+
+    fn shard_balance(&self) -> Option<Vec<ShardLoad>> {
+        Some(
+            (0..self.router.shard_count())
+                .map(|s| ShardLoad {
+                    shard: s,
+                    nodes: self.router.nodes[s],
+                    requests: self.router.requests[s],
+                })
+                .collect(),
+        )
+    }
+
+    // ---- batched primitives: one request per shard with work ----------
+
+    fn children_batch(&mut self, oids: &[Oid]) -> Result<Vec<Vec<Oid>>> {
+        let (work, pos) = self.group_by_shard(oids)?;
+        let results = batched(&mut self.shards, work, |shard, ls: Vec<Oid>| {
+            shard.children_batch(&ls)
+        });
+        let mut out = vec![Vec::new(); oids.len()];
+        for (s, r) in results.into_iter().enumerate() {
+            for (j, list) in r?.into_iter().enumerate() {
+                out[pos[s][j]] = self.translate_oids(s, list)?;
+            }
+        }
+        Ok(out)
+    }
+
+    fn parts_batch(&mut self, oids: &[Oid]) -> Result<Vec<Vec<Oid>>> {
+        let (work, pos) = self.group_by_shard(oids)?;
+        let results = batched(&mut self.shards, work, |shard, ls: Vec<Oid>| {
+            shard.parts_batch(&ls)
+        });
+        let mut out = vec![Vec::new(); oids.len()];
+        for (s, r) in results.into_iter().enumerate() {
+            for (j, list) in r?.into_iter().enumerate() {
+                out[pos[s][j]] = self.translate_oids(s, list)?;
+            }
+        }
+        Ok(out)
+    }
+
+    fn refs_to_batch(&mut self, oids: &[Oid]) -> Result<Vec<Vec<RefEdge>>> {
+        let (work, pos) = self.group_by_shard(oids)?;
+        let results = batched(&mut self.shards, work, |shard, ls: Vec<Oid>| {
+            shard.refs_to_batch(&ls)
+        });
+        let mut out = vec![Vec::new(); oids.len()];
+        for (s, r) in results.into_iter().enumerate() {
+            for (j, list) in r?.into_iter().enumerate() {
+                out[pos[s][j]] = self.translate_edges(s, list)?;
+            }
+        }
+        Ok(out)
+    }
+
+    fn hundred_batch(&mut self, oids: &[Oid]) -> Result<Vec<u32>> {
+        let (work, pos) = self.group_by_shard(oids)?;
+        let results = batched(&mut self.shards, work, |shard, ls: Vec<Oid>| {
+            shard.hundred_batch(&ls)
+        });
+        let mut out = vec![0u32; oids.len()];
+        for (s, r) in results.into_iter().enumerate() {
+            for (j, v) in r?.into_iter().enumerate() {
+                out[pos[s][j]] = v;
+            }
+        }
+        Ok(out)
+    }
+
+    fn million_batch(&mut self, oids: &[Oid]) -> Result<Vec<u32>> {
+        let (work, pos) = self.group_by_shard(oids)?;
+        let results = batched(&mut self.shards, work, |shard, ls: Vec<Oid>| {
+            shard.million_batch(&ls)
+        });
+        let mut out = vec![0u32; oids.len()];
+        for (s, r) in results.into_iter().enumerate() {
+            for (j, v) in r?.into_iter().enumerate() {
+                out[pos[s][j]] = v;
+            }
+        }
+        Ok(out)
+    }
+
+    fn set_hundred_batch(&mut self, updates: &[(Oid, u32)]) -> Result<()> {
+        let n = self.router.shard_count();
+        let mut per: Vec<Vec<(Oid, u32)>> = vec![Vec::new(); n];
+        for &(g, v) in updates {
+            let (s, l) = self.router.to_local(g)?;
+            per[s].push((l, v));
+        }
+        let work = per
+            .into_iter()
+            .enumerate()
+            .map(|(s, w)| {
+                if w.is_empty() {
+                    None
+                } else {
+                    self.router.requests[s] += 1;
+                    Some(w)
+                }
+            })
+            .collect();
+        let results = batched(&mut self.shards, work, |shard, w: Vec<(Oid, u32)>| {
+            shard.set_hundred_batch(&w)
+        });
+        for r in results {
+            r?;
+        }
+        Ok(())
+    }
+
+    // ---- closures: level-batched frontier exchange + local replay -----
+
+    fn closure_1n(&mut self, start: Oid) -> Result<Vec<Oid>> {
+        let adj = self.collect_oid_adjacency(start, false)?;
+        Ok(Self::replay_preorder(start, &adj))
+    }
+
+    fn closure_1n_att_sum(&mut self, start: Oid) -> Result<(u64, usize)> {
+        let closure = self.closure_1n(start)?;
+        let hundreds = self.hundred_batch(&closure)?;
+        let sum = hundreds.iter().map(|&h| h as u64).sum();
+        Ok((sum, closure.len()))
+    }
+
+    fn closure_1n_att_set(&mut self, start: Oid) -> Result<usize> {
+        let closure = self.closure_1n(start)?;
+        let hundreds = self.hundred_batch(&closure)?;
+        let updates: Vec<(Oid, u32)> = closure
+            .iter()
+            .zip(hundreds)
+            .map(|(&o, h)| (o, 99u32.wrapping_sub(h)))
+            .collect();
+        self.set_hundred_batch(&updates)?;
+        Ok(updates.len())
+    }
+
+    fn closure_1n_pred(&mut self, start: Oid, lo: u32, hi: u32) -> Result<Vec<Oid>> {
+        // BFS: fetch `million` for each level, expand only nodes outside
+        // the excluded range (their subtrees are pruned, so their
+        // children are never requested).
+        let mut million: HashMap<Oid, u32> = HashMap::new();
+        let mut kids: HashMap<Oid, Vec<Oid>> = HashMap::new();
+        let mut frontier = vec![start];
+        while !frontier.is_empty() {
+            let ms = self.million_batch(&frontier)?;
+            for (&o, m) in frontier.iter().zip(ms) {
+                million.insert(o, m);
+            }
+            let expand: Vec<Oid> = frontier
+                .iter()
+                .copied()
+                .filter(|o| !(lo..=hi).contains(&million[o]))
+                .collect();
+            if expand.is_empty() {
+                break;
+            }
+            let lists = self.children_batch(&expand)?;
+            let mut next = Vec::new();
+            for (&o, list) in expand.iter().zip(lists) {
+                for &t in &list {
+                    if !million.contains_key(&t) && !next.contains(&t) {
+                        next.push(t);
+                    }
+                }
+                kids.insert(o, list);
+            }
+            frontier = next;
+        }
+        let mut out = Vec::new();
+        let mut stack = vec![start];
+        while let Some(oid) = stack.pop() {
+            if (lo..=hi).contains(&million[&oid]) {
+                continue;
+            }
+            out.push(oid);
+            for &k in kids[&oid].iter().rev() {
+                stack.push(k);
+            }
+        }
+        Ok(out)
+    }
+
+    fn closure_mn(&mut self, start: Oid) -> Result<Vec<Oid>> {
+        let adj = self.collect_oid_adjacency(start, true)?;
+        Ok(Self::replay_preorder(start, &adj))
+    }
+
+    fn closure_mnatt(&mut self, start: Oid, depth: u32) -> Result<Vec<Oid>> {
+        let adj = self.collect_ref_adjacency(start, depth)?;
+        let mut out = Vec::new();
+        let mut stack = vec![(start, depth)];
+        while let Some((oid, d)) = stack.pop() {
+            if d == 0 {
+                continue;
+            }
+            for e in adj[&oid].iter().rev() {
+                out.push(e.target);
+                stack.push((e.target, d - 1));
+            }
+        }
+        Ok(out)
+    }
+
+    fn closure_mnatt_linksum(&mut self, start: Oid, depth: u32) -> Result<Vec<(Oid, u64)>> {
+        let adj = self.collect_ref_adjacency(start, depth)?;
+        let mut out = Vec::new();
+        let mut stack = vec![(start, depth, 0u64)];
+        while let Some((oid, d, dist)) = stack.pop() {
+            if d == 0 {
+                continue;
+            }
+            for e in adj[&oid].iter().rev() {
+                let total = dist + e.offset_to as u64;
+                out.push((e.target, total));
+                stack.push((e.target, d - 1, total));
+            }
+        }
+        Ok(out)
+    }
+
+    fn text_node_edit(&mut self, oid: Oid, from: &str, to: &str) -> Result<usize> {
+        let (s, l) = self.route(oid)?;
+        match self.shards[s].text_node_edit(l, from, to) {
+            // Kind errors must name the caller's id, not the shard-local one.
+            Err(HmError::WrongKind { expected, .. }) => Err(HmError::WrongKind { oid, expected }),
+            other => other,
+        }
+    }
+
+    fn form_node_edit(&mut self, oid: Oid, x0: u16, y0: u16, x1: u16, y1: u16) -> Result<()> {
+        let (s, l) = self.route(oid)?;
+        match self.shards[s].form_node_edit(l, x0, y0, x1, y1) {
+            Err(HmError::WrongKind { expected, .. }) => Err(HmError::WrongKind { oid, expected }),
+            other => other,
+        }
+    }
+}
+
+impl<S> std::fmt::Debug for ShardedStore<S> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ShardedStore")
+            .field("name", &self.name)
+            .field("shards", &self.router.shard_count())
+            .finish()
+    }
+}

@@ -16,7 +16,9 @@ use hypermodel::model::Oid;
 use hypermodel::oracle::Oracle;
 use hypermodel::store::HyperStore;
 use mem_backend::MemStore;
+use proptest::prelude::*;
 use rel_backend::RelStore;
+use shard::{Placement, ShardedStore};
 use std::path::PathBuf;
 
 struct Loaded {
@@ -74,6 +76,18 @@ fn load_all(db: &TestDatabase) -> Vec<Loaded> {
             store: Box::new(s),
             oids: r.oids,
             path: Some(p),
+        });
+    }
+    // Sharded deployments over mem shards must be indistinguishable from
+    // a single store, under both placement policies.
+    for placement in [Placement::OidHash, Placement::affinity()] {
+        let shards: Vec<MemStore> = (0..3).map(|_| MemStore::new()).collect();
+        let mut s = ShardedStore::new(shards, placement, "sharded-mem");
+        let r = load_database(&mut s, db).unwrap();
+        out.push(Loaded {
+            store: Box::new(s),
+            oids: r.oids,
+            path: None,
         });
     }
     out
@@ -256,11 +270,55 @@ fn update_then_requery_agrees_across_backends() {
         let got = l.store.range_hundred(0, 99).unwrap();
         answers.push(sorted(uids(l, &got)));
     }
-    assert_eq!(answers[0], answers[1], "mem vs disk after update");
-    assert_eq!(answers[0], answers[2], "mem vs rel after update");
+    for (i, l) in backends.iter().enumerate().skip(1) {
+        assert_eq!(
+            answers[0],
+            answers[i],
+            "mem vs {} after update",
+            l.store.backend_name()
+        );
+    }
 
     for l in backends {
         cleanup(l);
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Sharding invariants: every object id is owned by exactly one
+    /// shard, and the per-shard sequential scans are a disjoint union of
+    /// the full scan (ghost nodes never leak into either side).
+    #[test]
+    fn sharded_partition_is_exact(n in 1usize..=5, affinity in any::<bool>()) {
+        let placement = if affinity {
+            Placement::affinity()
+        } else {
+            Placement::OidHash
+        };
+        let db = TestDatabase::generate(&GenConfig::tiny());
+        let shards: Vec<MemStore> = (0..n).map(|_| MemStore::new()).collect();
+        let mut s = ShardedStore::new(shards, placement, "sharded-mem");
+        let r = load_database(&mut s, &db).unwrap();
+
+        let mut owned_per_shard = vec![0u64; n];
+        for &oid in &r.oids {
+            let owner = s.owner_of(oid);
+            prop_assert!(owner.is_some(), "{oid} has no owner");
+            let owner = owner.unwrap();
+            prop_assert!(owner < n, "{oid} owned by out-of-range shard {owner}");
+            owned_per_shard[owner] += 1;
+        }
+
+        let per_scan = s.per_shard_scan().unwrap();
+        let full_scan = s.seq_scan_ten().unwrap();
+        prop_assert_eq!(per_scan.iter().sum::<u64>(), full_scan);
+        prop_assert_eq!(full_scan, db.len() as u64);
+
+        let balance = s.shard_balance().unwrap();
+        let placed: Vec<u64> = balance.iter().map(|b| b.nodes).collect();
+        prop_assert_eq!(&owned_per_shard, &placed);
     }
 }
 
