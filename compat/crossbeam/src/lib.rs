@@ -18,6 +18,16 @@ pub mod channel {
     #[derive(Debug, PartialEq, Eq)]
     pub struct RecvError;
 
+    /// Error returned by [`Receiver::recv_timeout`], mirroring
+    /// `crossbeam::channel::RecvTimeoutError`.
+    #[derive(Debug, PartialEq, Eq)]
+    pub enum RecvTimeoutError {
+        /// No message arrived within the deadline.
+        Timeout,
+        /// All senders dropped and the channel is drained.
+        Disconnected,
+    }
+
     /// The sending half of an unbounded channel.
     pub struct Sender<T>(mpsc::Sender<T>);
 
@@ -49,6 +59,14 @@ pub mod channel {
         pub fn try_recv(&self) -> Option<T> {
             self.0.try_recv().ok()
         }
+
+        /// Block for the next message up to `timeout`.
+        pub fn recv_timeout(&self, timeout: std::time::Duration) -> Result<T, RecvTimeoutError> {
+            self.0.recv_timeout(timeout).map_err(|e| match e {
+                mpsc::RecvTimeoutError::Timeout => RecvTimeoutError::Timeout,
+                mpsc::RecvTimeoutError::Disconnected => RecvTimeoutError::Disconnected,
+            })
+        }
     }
 
     /// An unbounded FIFO channel.
@@ -79,5 +97,23 @@ mod tests {
         let (tx, rx) = unbounded::<u8>();
         drop(tx);
         assert_eq!(rx.recv(), Err(RecvError));
+    }
+
+    #[test]
+    fn recv_timeout_distinguishes_timeout_and_disconnect() {
+        use super::channel::RecvTimeoutError;
+        use std::time::Duration;
+        let (tx, rx) = unbounded::<u8>();
+        tx.send(9).unwrap();
+        assert_eq!(rx.recv_timeout(Duration::from_millis(10)), Ok(9));
+        assert_eq!(
+            rx.recv_timeout(Duration::from_millis(1)),
+            Err(RecvTimeoutError::Timeout)
+        );
+        drop(tx);
+        assert_eq!(
+            rx.recv_timeout(Duration::from_millis(1)),
+            Err(RecvTimeoutError::Disconnected)
+        );
     }
 }

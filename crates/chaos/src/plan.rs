@@ -1,0 +1,165 @@
+//! Named, seeded fault plans.
+//!
+//! A [`FaultPlan`] is the *configuration* of a chaos run: which faults
+//! to inject, at what rates, driven by which seed. Equal plans inject
+//! identical fault schedules, so a failure found under `--faults
+//! 42:flaky` reproduces byte-for-byte on a second run.
+
+use std::time::Duration;
+
+use hypermodel::error::{HmError, Result};
+
+/// Where a [`crate::ChaosStore`] kills its inner store.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CrashPoint {
+    /// Die before the commit takes effect: nothing of the transaction
+    /// may survive a reopen.
+    BeforeCommit,
+    /// Die after the commit returned: all of the transaction must
+    /// survive a reopen.
+    AfterCommit,
+    /// Die after `prepare_commit` succeeded but before any decision —
+    /// the participant is left in-doubt for recovery to resolve.
+    AfterPrepare,
+}
+
+/// Kill the store at `point` on the `nth` matching call (1-based).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CrashSpec {
+    /// Which lifecycle point triggers the crash.
+    pub point: CrashPoint,
+    /// Which occurrence of that point (1 = the first).
+    pub nth: u64,
+}
+
+/// A reproducible fault schedule, shared by [`crate::FaultyTransport`]
+/// (frame-level faults) and [`crate::ChaosStore`] (crash points).
+///
+/// Rates are per-mille (out of 1000) so plans stay integral.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FaultPlan {
+    /// Plan name, as given to [`FaultPlan::named`].
+    pub name: String,
+    /// Seed for the fault schedule; equal seeds → equal schedules.
+    pub seed: u64,
+    /// Probability (‰) that an outgoing frame is silently lost.
+    pub drop_per_mille: u32,
+    /// Probability (‰) that an outgoing frame is sent twice.
+    pub dup_per_mille: u32,
+    /// Probability (‰) that a send tears the connection down mid-write.
+    pub disconnect_per_mille: u32,
+    /// Extra latency added to every frame actually sent.
+    pub latency: Duration,
+    /// Store crash point, if the plan crashes at all.
+    pub crash: Option<CrashSpec>,
+}
+
+impl FaultPlan {
+    /// A plan that injects nothing (baseline / control runs).
+    pub fn none(seed: u64) -> FaultPlan {
+        FaultPlan {
+            name: "none".into(),
+            seed,
+            drop_per_mille: 0,
+            dup_per_mille: 0,
+            disconnect_per_mille: 0,
+            latency: Duration::ZERO,
+            crash: None,
+        }
+    }
+
+    /// Look up a plan by name. Known plans:
+    ///
+    /// | name                 | faults                                   |
+    /// |----------------------|------------------------------------------|
+    /// | `none`               | nothing                                  |
+    /// | `lossy`              | 10% frame drop                           |
+    /// | `dupes`              | 10% frame duplication                    |
+    /// | `slow`               | +500µs per frame                         |
+    /// | `flaky`              | 5% drop, 2.5% dup, +100µs, 0.2% hangup   |
+    /// | `crash-before-commit`| store dies before its first commit       |
+    /// | `crash-after-commit` | store dies after its first commit        |
+    /// | `crash-after-prepare`| store dies prepared, before any decision |
+    pub fn named(seed: u64, name: &str) -> Result<FaultPlan> {
+        let mut plan = FaultPlan::none(seed);
+        plan.name = name.into();
+        match name {
+            "none" => {}
+            "lossy" => plan.drop_per_mille = 100,
+            "dupes" => plan.dup_per_mille = 100,
+            "slow" => plan.latency = Duration::from_micros(500),
+            "flaky" => {
+                plan.drop_per_mille = 50;
+                plan.dup_per_mille = 25;
+                plan.disconnect_per_mille = 2;
+                plan.latency = Duration::from_micros(100);
+            }
+            "crash-before-commit" => {
+                plan.crash = Some(CrashSpec {
+                    point: CrashPoint::BeforeCommit,
+                    nth: 1,
+                })
+            }
+            "crash-after-commit" => {
+                plan.crash = Some(CrashSpec {
+                    point: CrashPoint::AfterCommit,
+                    nth: 1,
+                })
+            }
+            "crash-after-prepare" => {
+                plan.crash = Some(CrashSpec {
+                    point: CrashPoint::AfterPrepare,
+                    nth: 1,
+                })
+            }
+            other => {
+                return Err(HmError::InvalidArgument(format!(
+                    "unknown fault plan {other:?} (try none, lossy, dupes, slow, \
+                     flaky, crash-before-commit, crash-after-commit, \
+                     crash-after-prepare)"
+                )));
+            }
+        }
+        Ok(plan)
+    }
+
+    /// Parse a `seed:plan` specification, e.g. `42:lossy`.
+    pub fn parse(spec: &str) -> Result<FaultPlan> {
+        let (seed, name) = spec.split_once(':').ok_or_else(|| {
+            HmError::InvalidArgument(format!("fault spec {spec:?} is not seed:plan"))
+        })?;
+        let seed: u64 = seed
+            .parse()
+            .map_err(|_| HmError::InvalidArgument(format!("fault seed {seed:?} is not a u64")))?;
+        FaultPlan::named(seed, name)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parse_round_trips_named_plans() {
+        let plan = FaultPlan::parse("42:lossy").unwrap();
+        assert_eq!(plan.seed, 42);
+        assert_eq!(plan.drop_per_mille, 100);
+        assert_eq!(plan, FaultPlan::named(42, "lossy").unwrap());
+
+        let crashy = FaultPlan::parse("7:crash-after-prepare").unwrap();
+        assert_eq!(
+            crashy.crash,
+            Some(CrashSpec {
+                point: CrashPoint::AfterPrepare,
+                nth: 1
+            })
+        );
+    }
+
+    #[test]
+    fn bad_specs_are_rejected() {
+        assert!(FaultPlan::parse("lossy").is_err());
+        assert!(FaultPlan::parse("x:lossy").is_err());
+        assert!(FaultPlan::parse("1:who-knows").is_err());
+    }
+}

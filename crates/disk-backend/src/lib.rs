@@ -50,6 +50,23 @@ fn se(e: StorageError) -> HmError {
     HmError::Backend(e.to_string())
 }
 
+/// Scan the write-ahead log of the (closed) database at `path` for a
+/// prepared-but-undecided two-phase-commit transaction. Returns its id,
+/// or `None` when the database is clean.
+pub fn in_doubt_txn(path: &Path) -> Result<Option<u64>> {
+    storage::recovery::in_doubt_txn(&storage::engine::wal_path_for(path)).map_err(se)
+}
+
+/// Decide the fate of an in-doubt transaction on the (closed) database at
+/// `path` — `commit` true applies its staged pages, false discards them —
+/// and finish recovery. Idempotent. After this, [`DiskStore::open`]
+/// succeeds.
+pub fn resolve_in_doubt(path: &Path, txid: u64, commit: bool) -> Result<()> {
+    storage::recovery::resolve_in_doubt(path, &storage::engine::wal_path_for(path), txid, commit)
+        .map_err(se)?;
+    Ok(())
+}
+
 /// Marks a value in the object table as living in the extras heap.
 const EXTRA_BIT: u64 = 1 << 63;
 
@@ -144,8 +161,20 @@ impl DiskStore {
     }
 
     /// Open an existing database (running crash recovery if needed).
+    ///
+    /// Refuses to open a database whose log holds a prepared-but-undecided
+    /// two-phase-commit transaction: its fate belongs to the transaction
+    /// coordinator. Call [`resolve_in_doubt`] with the coordinator's
+    /// decision first (see [`in_doubt_txn`] to discover the id).
     pub fn open(path: &Path, pool_frames: usize) -> Result<DiskStore> {
-        let (mut engine, _report) = Engine::open(path, pool_frames).map_err(se)?;
+        let (mut engine, report) = Engine::open(path, pool_frames).map_err(se)?;
+        if let Some(txid) = report.in_doubt {
+            return Err(HmError::Conflict(format!(
+                "database {} has in-doubt transaction {txid}; resolve it \
+                 against the coordinator log before opening",
+                path.display()
+            )));
+        }
         let get = |e: &mut Engine, name: &str| e.catalog_get(name).map_err(se);
         let nodes = HeapFile::open(PageId(get(&mut engine, "nodes")?));
         let extras = HeapFile::open(PageId(get(&mut engine, "extras")?));
@@ -223,6 +252,49 @@ impl DiskStore {
     /// The storage engine (for size and I/O statistics).
     pub fn engine(&self) -> &Engine {
         &self.engine
+    }
+
+    /// Re-read every root, counter and the schema from the on-disk
+    /// catalog, discarding in-memory handles. Required after an engine
+    /// abort, which invalidates any root that moved during the aborted
+    /// transaction.
+    fn reload_from_catalog(&mut self) -> Result<()> {
+        let get = |e: &mut Engine, name: &str| e.catalog_get(name).map_err(se);
+        self.nodes = HeapFile::open(PageId(get(&mut self.engine, "nodes")?));
+        self.extras = HeapFile::open(PageId(get(&mut self.engine, "extras")?));
+        self.meta_heap = HeapFile::open(PageId(get(&mut self.engine, "meta_heap")?));
+        self.version_heap = HeapFile::open(PageId(get(&mut self.engine, "version_heap")?));
+        let tree_names = [
+            "objtab", "uid", "hundred", "million", "children", "parent", "parts", "partof",
+            "refto", "reffrom", "dynattr", "version", "access",
+        ];
+        let mut trees = Vec::with_capacity(TREES);
+        for name in tree_names {
+            trees.push(BTree::open(PageId(get(&mut self.engine, name)?)));
+        }
+        self.objtab = trees[0];
+        self.uid_idx = trees[1];
+        self.hundred_idx = trees[2];
+        self.million_idx = trees[3];
+        self.children_idx = trees[4];
+        self.parent_idx = trees[5];
+        self.parts_idx = trees[6];
+        self.partof_idx = trees[7];
+        self.refto_idx = trees[8];
+        self.reffrom_idx = trees[9];
+        self.dyn_attr_idx = trees[10];
+        self.version_idx = trees[11];
+        self.access_idx = trees[12];
+        self.next_oid = get(&mut self.engine, "next_oid")?;
+        self.edge_counter = get(&mut self.engine, "edge_counter")?;
+        self.schema_rid = RecordId::unpack(get(&mut self.engine, "schema_rid")?);
+        let schema_bytes = self
+            .meta_heap
+            .get(self.engine.pool(), self.schema_rid)
+            .map_err(se)?;
+        self.schema = Schema::decode(&schema_bytes)?;
+        self.schema_dirty = false;
+        Ok(())
     }
 
     /// Buffer pool statistics (hits/misses), exposed to the harness for
@@ -337,6 +409,21 @@ impl DiskStore {
             )
             .map_err(se)?;
         Ok(oid)
+    }
+
+    /// Write the schema (if dirty) and every root/counter to the catalog
+    /// so the next engine commit or prepare captures them.
+    fn flush_metadata(&mut self) -> Result<()> {
+        if self.schema_dirty {
+            let encoded = self.schema.encode();
+            let new_rid = self
+                .meta_heap
+                .update(self.engine.pool(), self.schema_rid, &encoded)
+                .map_err(se)?;
+            self.schema_rid = new_rid;
+            self.schema_dirty = false;
+        }
+        self.save_catalog()
     }
 
     fn next_edge(&mut self) -> u64 {
@@ -619,17 +706,30 @@ impl HyperStore for DiskStore {
     }
 
     fn commit(&mut self) -> Result<()> {
-        if self.schema_dirty {
-            let encoded = self.schema.encode();
-            let new_rid = self
-                .meta_heap
-                .update(self.engine.pool(), self.schema_rid, &encoded)
-                .map_err(se)?;
-            self.schema_rid = new_rid;
-            self.schema_dirty = false;
-        }
-        self.save_catalog()?;
+        self.flush_metadata()?;
         self.engine.commit().map_err(se)?;
+        Ok(())
+    }
+
+    fn prepare_commit(&mut self, txid: u64) -> Result<()> {
+        self.flush_metadata()?;
+        self.engine.prepare(txid).map_err(se)?;
+        Ok(())
+    }
+
+    fn commit_prepared(&mut self, txid: u64) -> Result<()> {
+        self.engine.commit_prepared(txid).map_err(se)
+    }
+
+    fn abort_prepared(&mut self, txid: u64) -> Result<()> {
+        let was_prepared = self.engine.prepared_txid() == Some(txid);
+        self.engine.abort_prepared(txid).map_err(se)?;
+        if was_prepared {
+            // The abort dropped every cached page; any root that moved
+            // during the aborted transaction is dangling. Rebuild from
+            // the last committed catalog.
+            self.reload_from_catalog()?;
+        }
         Ok(())
     }
 
@@ -1144,6 +1244,76 @@ mod tests {
         let doc_b = oids[db.children[0][1] as usize];
         assert_eq!(store.access_of(doc_b).unwrap(), AccessMode::PublicWrite);
         store.set_hundred_checked(doc_b, 5).unwrap();
+        cleanup(&path);
+    }
+
+    #[test]
+    fn two_phase_commit_and_abort_on_store() {
+        let (mut store, db, oids, path) = loaded("twophase", &GenConfig::tiny());
+        store.commit().unwrap();
+        let root = oids[0];
+        let before: Vec<u32> = (0..db.len())
+            .map(|i| store.hundred_of(oids[i]).unwrap())
+            .collect();
+        // Prepared + committed: the update (hundred := 99 - hundred)
+        // survives.
+        store.closure_1n_att_set(root).unwrap();
+        store.prepare_commit(21).unwrap();
+        store.commit_prepared(21).unwrap();
+        for (i, &h) in before.iter().enumerate() {
+            let now = store.hundred_of(oids[i]).unwrap();
+            assert_eq!(now, 99u32.wrapping_sub(h));
+        }
+        // Prepared + aborted: the second application rolls back, leaving
+        // the committed (flipped) values, and the store stays usable.
+        store.closure_1n_att_set(root).unwrap();
+        store.prepare_commit(22).unwrap();
+        store.abort_prepared(22).unwrap();
+        for (i, &h) in before.iter().enumerate() {
+            let now = store.hundred_of(oids[i]).unwrap();
+            assert_eq!(now, 99u32.wrapping_sub(h), "abort rolled back");
+        }
+        // Index stays consistent with the records after the abort: a
+        // second (committed) application restores every original value.
+        store.closure_1n_att_set(root).unwrap();
+        store.commit().unwrap();
+        for (i, &h) in before.iter().enumerate() {
+            assert_eq!(store.hundred_of(oids[i]).unwrap(), h);
+        }
+        assert_eq!(store.range_hundred(1, 100).unwrap().len(), db.len());
+        cleanup(&path);
+    }
+
+    #[test]
+    fn crash_between_prepare_and_decision_is_resolved_by_coordinator() {
+        let path = dbpath("indoubt");
+        let db = TestDatabase::generate(&GenConfig::tiny());
+        let oids;
+        let before: Vec<u32>;
+        {
+            let mut store = DiskStore::create(&path, 1024).unwrap();
+            let report = load_database(&mut store, &db).unwrap();
+            oids = report.oids;
+            store.commit().unwrap();
+            before = (0..db.len())
+                .map(|i| store.hundred_of(oids[i]).unwrap())
+                .collect();
+            store.closure_1n_att_set(oids[0]).unwrap();
+            store.prepare_commit(33).unwrap();
+            // Crash before the coordinator's decision arrives.
+            std::mem::forget(store);
+        }
+        // Reopen is refused while the transaction is in doubt.
+        assert_eq!(in_doubt_txn(&path).unwrap(), Some(33));
+        assert!(DiskStore::open(&path, 1024).is_err());
+        // Coordinator decided abort (presumed abort: no decision record).
+        resolve_in_doubt(&path, 33, false).unwrap();
+        {
+            let mut store = DiskStore::open(&path, 1024).unwrap();
+            for (i, &h) in before.iter().enumerate() {
+                assert_eq!(store.hundred_of(oids[i]).unwrap(), h);
+            }
+        }
         cleanup(&path);
     }
 

@@ -19,6 +19,14 @@
 //! single stores). Levels: 2–7 (default 4; the paper's sizes are 4, 5, 6).
 //! Sharded runs additionally report per-shard placement balance and
 //! request skew after the operation table.
+//!
+//! `run` also accepts `--faults <seed:plan>` (e.g. `--faults 42:lossy`)
+//! to inject seeded, reproducible faults: the store is wrapped in a
+//! chaos layer after loading, the `remote` backend's transport drops /
+//! duplicates / delays frames per the plan, and the client retries under
+//! a `RetryPolicy`. Retry and commit-abort counts are reported after the
+//! table. Plans: `none`, `lossy`, `dupes`, `slow`, `flaky`,
+//! `crash-before-commit`, `crash-after-commit`, `crash-after-prepare`.
 
 use std::path::PathBuf;
 use std::sync::Arc;
@@ -53,6 +61,7 @@ struct Args {
     csv: Option<PathBuf>,
     json: Option<PathBuf>,
     pool_frames: usize,
+    faults: Option<chaos::FaultPlan>,
 }
 
 fn parse_args() -> Args {
@@ -66,10 +75,11 @@ fn parse_args() -> Args {
         csv: None,
         json: None,
         pool_frames: 8192,
+        faults: None,
     };
     fn usage_error(msg: &str) -> ! {
         eprintln!("error: {msg}");
-        eprintln!("usage: hyperbench <command> [--level N] [--backend B] [--reps N] [--clients N] [--persons N] [--pool N] [--csv FILE] [--json FILE]");
+        eprintln!("usage: hyperbench <command> [--level N] [--backend B] [--reps N] [--clients N] [--persons N] [--pool N] [--csv FILE] [--json FILE] [--faults SEED:PLAN]");
         eprintln!("backends: mem | disk | rel | remote | sharded-mem:N[:hash|:affinity] | sharded-disk:N[:hash|:affinity] | all");
         std::process::exit(2);
     }
@@ -96,6 +106,12 @@ fn parse_args() -> Args {
             "--csv" => args.csv = Some(PathBuf::from(value("--csv"))),
             "--json" => args.json = Some(PathBuf::from(value("--json"))),
             "--pool" => args.pool_frames = numeric("--pool", &value("--pool")),
+            "--faults" => {
+                let spec = value("--faults");
+                args.faults = Some(
+                    chaos::FaultPlan::parse(&spec).unwrap_or_else(|e| usage_error(&e.to_string())),
+                );
+            }
             other => usage_error(&format!("unknown flag {other}")),
         }
     }
@@ -187,13 +203,31 @@ type LoadedBackend = (
     Option<PathBuf>,
 );
 
+/// Box `store`, wrapping it in the chaos layer first when a fault plan
+/// is active. Wrapping happens *after* the load so crash plans target
+/// the benchmark operations, not the bulk load.
+fn boxed<S: HyperStore + 'static>(
+    store: S,
+    faults: Option<&chaos::FaultPlan>,
+) -> Box<dyn HyperStore> {
+    match faults {
+        Some(plan) => Box::new(chaos::ChaosStore::new(store, plan.clone())),
+        None => Box::new(store),
+    }
+}
+
 /// Load a database into the chosen backend.
-fn load_backend(backend: &str, db: &TestDatabase, pool_frames: usize) -> Result<LoadedBackend> {
+fn load_backend(
+    backend: &str,
+    db: &TestDatabase,
+    pool_frames: usize,
+    faults: Option<&chaos::FaultPlan>,
+) -> Result<LoadedBackend> {
     match backend {
         "mem" => {
             let mut store = MemStore::new();
             let report = load_database(&mut store, db)?;
-            Ok((Box::new(store), report.timings, 0, report.oids, None))
+            Ok((boxed(store, faults), report.timings, 0, report.oids, None))
         }
         "disk" => {
             let path = tmp_db_path(&format!("disk-l{}", db.config.leaf_level));
@@ -201,7 +235,7 @@ fn load_backend(backend: &str, db: &TestDatabase, pool_frames: usize) -> Result<
             let report = load_database(&mut store, db)?;
             let size = store.file_size();
             Ok((
-                Box::new(store),
+                boxed(store, faults),
                 report.timings,
                 size,
                 report.oids,
@@ -214,7 +248,7 @@ fn load_backend(backend: &str, db: &TestDatabase, pool_frames: usize) -> Result<
             let report = load_database(&mut store, db)?;
             let size = store.file_size();
             Ok((
-                Box::new(store),
+                boxed(store, faults),
                 report.timings,
                 size,
                 report.oids,
@@ -222,25 +256,48 @@ fn load_backend(backend: &str, db: &TestDatabase, pool_frames: usize) -> Result<
             ))
         }
         "remote" => {
-            use server::client::{ClosureMode, RemoteStore};
+            use server::client::{ClosureMode, RemoteStore, RetryPolicy};
             use server::server::serve;
             use server::transport::ChannelTransport;
+            use std::time::Duration;
             let mut backing = MemStore::new();
-            let (client_end, mut server_end) = ChannelTransport::pair(std::time::Duration::ZERO);
-            std::thread::spawn(move || {
-                let _ = serve(&mut backing, &mut server_end);
-            });
-            let mut store = RemoteStore::new(Box::new(client_end), ClosureMode::ServerSide);
+            let (client_end, mut server_end) = ChannelTransport::pair(Duration::ZERO);
+            // Under a fault plan the *transport* degrades (drops, dupes,
+            // latency) and the client survives it with a retry policy.
+            let client_end: Box<dyn server::Transport> = match faults {
+                Some(plan) => {
+                    let mut server_side = chaos::FaultyTransport::new(server_end, plan.clone());
+                    std::thread::spawn(move || {
+                        let _ = serve(&mut backing, &mut server_side);
+                    });
+                    Box::new(chaos::FaultyTransport::new(client_end, plan.clone()))
+                }
+                None => {
+                    std::thread::spawn(move || {
+                        let _ = serve(&mut backing, &mut server_end);
+                    });
+                    Box::new(client_end)
+                }
+            };
+            let mut store = RemoteStore::new(client_end, ClosureMode::ServerSide);
+            if faults.is_some() {
+                store = store.with_retry(RetryPolicy {
+                    request_timeout: Duration::from_millis(50),
+                    max_retries: 10,
+                    backoff_base: Duration::from_millis(1),
+                    backoff_max: Duration::from_millis(20),
+                });
+            }
             // Loading through the wire measures marshalling + dispatch.
             let report = load_database(&mut store, db)?;
-            Ok((Box::new(store), report.timings, 0, report.oids, None))
+            Ok((boxed(store, faults), report.timings, 0, report.oids, None))
         }
         spec => match parse_sharded(spec) {
             Some(("sharded-mem", n, placement)) => {
                 let shards: Vec<MemStore> = (0..n).map(|_| MemStore::new()).collect();
                 let mut store = shard::ShardedStore::new(shards, placement, "sharded-mem");
                 let report = load_database(&mut store, db)?;
-                Ok((Box::new(store), report.timings, 0, report.oids, None))
+                Ok((boxed(store, faults), report.timings, 0, report.oids, None))
             }
             Some(("sharded-disk", n, placement)) => {
                 let dir = {
@@ -264,9 +321,18 @@ fn load_backend(backend: &str, db: &TestDatabase, pool_frames: usize) -> Result<
                         )
                     })
                     .collect::<Result<Vec<_>>>()?;
-                let mut store = shard::ShardedStore::new(shards, placement, "sharded-disk");
+                // Crash-safe cross-shard commit: the coordinator's
+                // decision log lives next to the shard files.
+                let mut store = shard::ShardedStore::new(shards, placement, "sharded-disk")
+                    .with_commit_log(&dir.join("decisions.log"))?;
                 let report = load_database(&mut store, db)?;
-                Ok((Box::new(store), report.timings, 0, report.oids, Some(dir)))
+                Ok((
+                    boxed(store, faults),
+                    report.timings,
+                    0,
+                    report.oids,
+                    Some(dir),
+                ))
             }
             _ => panic!("unknown backend {spec}"),
         },
@@ -314,7 +380,7 @@ fn cmd_create(level: u32, backend: &str, pool_frames: usize) -> Result<()> {
     let db = TestDatabase::generate(&GenConfig::level(level));
     let mut rows = Vec::new();
     for b in backends(backend) {
-        let (_store, timings, size, _oids, path) = load_backend(&b, &db, pool_frames)?;
+        let (_store, timings, size, _oids, path) = load_backend(&b, &db, pool_frames, None)?;
         rows.push((b, level, timings, size));
         if let Some(p) = path {
             cleanup_db(&p);
@@ -332,14 +398,22 @@ fn cmd_run(
     pool_frames: usize,
     csv: Option<&PathBuf>,
     json: Option<&PathBuf>,
+    faults: Option<&chaos::FaultPlan>,
 ) -> Result<()> {
     println!("== Operation benchmark O1-O18 (paper 6), level {level}, {reps} reps ==\n");
+    if let Some(plan) = faults {
+        println!(
+            "fault injection: plan `{}` seed {} (reproducible)\n",
+            plan.name, plan.seed
+        );
+    }
     let db = TestDatabase::generate(&GenConfig::level(level));
     let mut columns = Vec::new();
     let mut balances = Vec::new();
+    let mut resilience = Vec::new();
     for b in backends(backend) {
         eprintln!("running {b} backend...");
-        let (mut store, _timings, _size, oids, path) = load_backend(&b, &db, pool_frames)?;
+        let (mut store, _timings, _size, oids, path) = load_backend(&b, &db, pool_frames, faults)?;
         let mut workload = Workload::new(db.clone(), oids, 0xBEEF);
         let opts = RunOptions {
             reps,
@@ -348,6 +422,9 @@ fn cmd_run(
         let measurements = run_all_ops(store.as_mut(), &mut workload, opts)?;
         if let Some(loads) = store.shard_balance() {
             balances.push((b.clone(), loads));
+        }
+        if let Some(summary) = store.resilience_summary() {
+            resilience.push((b.clone(), summary));
         }
         columns.push(RunColumn {
             backend: b,
@@ -362,6 +439,9 @@ fn cmd_run(
     for (b, loads) in &balances {
         println!("shard balance for {b} after the full run:");
         println!("{}", render_shard_balance(loads));
+    }
+    for (b, summary) in &resilience {
+        println!("resilience for {b}: {summary}");
     }
     if let Some(json_path) = json {
         std::fs::write(json_path, ops_json(&columns)).map_err(|e| {
@@ -612,7 +692,7 @@ fn cmd_verify(level: u32, backend: &str, pool_frames: usize) -> Result<()> {
     let db = TestDatabase::generate(&GenConfig::level(level));
     let mut all_ok = true;
     for b in backends(backend) {
-        let (mut store, _t, _sz, oids, path) = load_backend(&b, &db, pool_frames)?;
+        let (mut store, _t, _sz, oids, path) = load_backend(&b, &db, pool_frames, None)?;
         let report = hypermodel::verify::verify_store(store.as_mut(), &db, &oids)?;
         print!("{b:<5} level {level}: {report}");
         all_ok &= report.is_ok();
@@ -701,6 +781,7 @@ fn main() {
             args.pool_frames,
             args.csv.as_ref(),
             args.json.as_ref(),
+            args.faults.as_ref(),
         ),
         "ext" => cmd_ext(args.level, args.pool_frames),
         "multiuser" => cmd_multiuser(args.level, args.clients),
@@ -720,6 +801,7 @@ fn main() {
                 args.pool_frames,
                 args.csv.as_ref(),
                 args.json.as_ref(),
+                args.faults.as_ref(),
             )?;
             println!();
             cmd_ext(args.level, args.pool_frames)?;

@@ -36,6 +36,29 @@ pub enum HmError {
     Backend(String),
     /// The operation was invoked with an out-of-contract argument.
     InvalidArgument(String),
+    /// A request did not complete within its deadline. Transient: callers
+    /// with a retry policy may resend the same (idempotent) request.
+    Timeout(String),
+    /// A specific shard of a sharded deployment is down or crashed.
+    /// Point operations routed to it fail fast with this error; fan-out
+    /// operations consult the caller-chosen [scan policy].
+    ///
+    /// [scan policy]: HmError::ShardUnavailable#structured-degradation
+    ShardUnavailable {
+        /// Index of the unavailable shard.
+        shard: usize,
+        /// Human-readable cause (crash, connection loss, ...).
+        msg: String,
+    },
+}
+
+impl HmError {
+    /// Whether this error is transient — a retry of the same request may
+    /// succeed (timeouts, dropped connections). Permanent errors (unknown
+    /// node, schema violation, ...) must not be retried.
+    pub fn is_transient(&self) -> bool {
+        matches!(self, HmError::Timeout(_) | HmError::ShardUnavailable { .. })
+    }
 }
 
 impl fmt::Display for HmError {
@@ -52,6 +75,10 @@ impl fmt::Display for HmError {
             HmError::Conflict(msg) => write!(f, "transaction conflict: {msg}"),
             HmError::Backend(msg) => write!(f, "backend error: {msg}"),
             HmError::InvalidArgument(msg) => write!(f, "invalid argument: {msg}"),
+            HmError::Timeout(msg) => write!(f, "timed out: {msg}"),
+            HmError::ShardUnavailable { shard, msg } => {
+                write!(f, "shard {shard} unavailable: {msg}")
+            }
         }
     }
 }
@@ -87,5 +114,29 @@ mod tests {
             HmError::Backend("io".into()).to_string(),
             "backend error: io"
         );
+        assert_eq!(
+            HmError::Timeout("recv".into()).to_string(),
+            "timed out: recv"
+        );
+        assert_eq!(
+            HmError::ShardUnavailable {
+                shard: 2,
+                msg: "crashed".into()
+            }
+            .to_string(),
+            "shard 2 unavailable: crashed"
+        );
+    }
+
+    #[test]
+    fn transient_classification() {
+        assert!(HmError::Timeout("t".into()).is_transient());
+        assert!(HmError::ShardUnavailable {
+            shard: 0,
+            msg: "down".into()
+        }
+        .is_transient());
+        assert!(!HmError::NodeNotFound(Oid(1)).is_transient());
+        assert!(!HmError::Backend("io".into()).is_transient());
     }
 }

@@ -160,6 +160,43 @@ pub trait HyperStore {
     /// architectural difference is a benchmark result, not a bug.
     fn cold_restart(&mut self) -> Result<()>;
 
+    // ---- two-phase commit (participant side) ----------------------------
+    //
+    // A sharded deployment commits atomically across stores by running
+    // the classic presumed-abort protocol: the coordinator calls
+    // `prepare_commit(txid)` on every participant, records its decision
+    // durably, then calls `commit_prepared(txid)` (or `abort_prepared` on
+    // any prepare failure). The defaults make every store a trivially
+    // correct participant — `prepare_commit` is a full local commit, which
+    // is exactly the pre-2PC behaviour — so only backends with a real
+    // prepare/decide split (WAL-backed stores) need to override them.
+
+    /// Phase one: durably stage all changes since the last commit under
+    /// transaction id `txid`, such that a subsequent `commit_prepared` or
+    /// `abort_prepared` (possibly after a crash and recovery) can finish
+    /// either way. The default simply commits — correct for stores whose
+    /// commit is atomic and instantaneous (in-memory backends).
+    fn prepare_commit(&mut self, txid: u64) -> Result<()> {
+        let _ = txid;
+        self.commit()
+    }
+
+    /// Phase two, commit side: make the changes staged by
+    /// `prepare_commit(txid)` visible and durable. Must be idempotent.
+    fn commit_prepared(&mut self, txid: u64) -> Result<()> {
+        let _ = txid;
+        Ok(())
+    }
+
+    /// Phase two, abort side: discard the changes staged by
+    /// `prepare_commit(txid)`. Must be idempotent. Stores whose default
+    /// `prepare_commit` already committed cannot un-commit; the sharded
+    /// coordinator only pairs real prepare implementations with abort.
+    fn abort_prepared(&mut self, txid: u64) -> Result<()> {
+        let _ = txid;
+        Ok(())
+    }
+
     /// A short backend name for reports ("mem", "disk", "rel").
     fn backend_name(&self) -> &'static str;
 
@@ -167,6 +204,15 @@ pub trait HyperStore {
     /// deployments override this so the harness can report placement
     /// balance and request skew.
     fn shard_balance(&self) -> Option<Vec<ShardLoad>> {
+        None
+    }
+
+    /// Resilience counters accumulated so far (request retries, commit
+    /// aborts, injected faults), rendered for a report; `None` for plain
+    /// stores. Instrumented deployments (retrying remote clients, 2PC
+    /// coordinators, chaos wrappers) override this so the harness can
+    /// report what the run survived.
+    fn resilience_summary(&self) -> Option<String> {
         None
     }
 

@@ -30,11 +30,71 @@ pub enum ClosureMode {
     ServerSide,
 }
 
+/// How a [`RemoteStore`] survives a lossy or slow transport.
+///
+/// Each request waits at most `request_timeout` for its response; a
+/// timeout (or lost connection) is retried up to `max_retries` times
+/// with bounded exponential backoff. Mutating requests are wrapped in
+/// [`Request::Tagged`] with a fresh id so the server applies a retried
+/// mutation **at most once** — the dangerous case is a mutation whose
+/// *response* was lost after the server already executed it.
+///
+/// Server-reported errors (a [`Response::Err`] that made it back) are
+/// permanent and never retried.
+#[derive(Debug, Clone)]
+pub struct RetryPolicy {
+    /// Per-request response deadline.
+    pub request_timeout: std::time::Duration,
+    /// Retries after the first attempt (0 = fail on first timeout).
+    pub max_retries: u32,
+    /// First backoff; doubles per retry.
+    pub backoff_base: std::time::Duration,
+    /// Backoff ceiling.
+    pub backoff_max: std::time::Duration,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> RetryPolicy {
+        RetryPolicy {
+            request_timeout: std::time::Duration::from_secs(2),
+            max_retries: 5,
+            backoff_base: std::time::Duration::from_millis(10),
+            backoff_max: std::time::Duration::from_millis(500),
+        }
+    }
+}
+
+impl RetryPolicy {
+    fn backoff(&self, retry: u32) -> std::time::Duration {
+        let doubled = self
+            .backoff_base
+            .saturating_mul(1u32 << retry.min(16))
+            .min(self.backoff_max);
+        doubled.max(self.backoff_base)
+    }
+}
+
+/// Builds a replacement connection after the current one turns suspect.
+pub type ReconnectFn = Box<dyn FnMut() -> Result<Box<dyn Transport>> + Send>;
+
 /// A `HyperStore` backed by a remote server.
 pub struct RemoteStore {
     transport: Box<dyn Transport>,
     mode: ClosureMode,
     round_trips: u64,
+    policy: Option<RetryPolicy>,
+    reconnect: Option<ReconnectFn>,
+    next_request_id: u64,
+    retries: u64,
+    gave_up: u64,
+}
+
+/// What one send/receive attempt produced, before retry classification.
+enum Attempt {
+    /// A decoded, non-error response.
+    Reply(Response),
+    /// The server answered with an error — permanent, never retried.
+    ServerErr(String),
 }
 
 impl RemoteStore {
@@ -44,7 +104,27 @@ impl RemoteStore {
             transport,
             mode,
             round_trips: 0,
+            policy: None,
+            reconnect: None,
+            next_request_id: 1,
+            retries: 0,
+            gave_up: 0,
         }
+    }
+
+    /// Enable timeout-and-retry handling for every call.
+    pub fn with_retry(mut self, policy: RetryPolicy) -> RemoteStore {
+        self.policy = Some(policy);
+        self
+    }
+
+    /// Install a factory that replaces the connection when a retry finds
+    /// the current one suspect (after a timeout a stream transport may
+    /// hold a half-read frame). Without one, retries reuse the transport
+    /// — fine for message-framed transports like channels.
+    pub fn with_reconnect(mut self, f: ReconnectFn) -> RemoteStore {
+        self.reconnect = Some(f);
+        self
     }
 
     /// Number of request/response round trips performed.
@@ -55,6 +135,16 @@ impl RemoteStore {
     /// Reset the round-trip counter (between measurement phases).
     pub fn reset_round_trips(&mut self) {
         self.round_trips = 0;
+    }
+
+    /// Attempts beyond the first, across all calls so far.
+    pub fn retries(&self) -> u64 {
+        self.retries
+    }
+
+    /// Calls abandoned after exhausting the retry budget.
+    pub fn gave_up(&self) -> u64 {
+        self.gave_up
     }
 
     /// The closure execution mode.
@@ -69,6 +159,13 @@ impl RemoteStore {
     }
 
     fn call(&mut self, req: Request) -> Result<Response> {
+        match self.policy.clone() {
+            None => self.call_blocking(req),
+            Some(policy) => self.call_with_retry(req, &policy),
+        }
+    }
+
+    fn call_blocking(&mut self, req: Request) -> Result<Response> {
         self.transport.send(&req.encode())?;
         self.round_trips += 1;
         let frame = self
@@ -78,6 +175,62 @@ impl RemoteStore {
         match Response::decode(&frame)? {
             Response::Err(msg) => Err(HmError::Backend(format!("remote: {msg}"))),
             other => Ok(other),
+        }
+    }
+
+    fn call_with_retry(&mut self, req: Request, policy: &RetryPolicy) -> Result<Response> {
+        // Tag mutations so the server can deduplicate a retry whose
+        // original was executed but whose response was lost. Reads are
+        // naturally idempotent and go untagged.
+        let req = if is_mutation(&req) {
+            let id = self.next_request_id;
+            self.next_request_id += 1;
+            Request::Tagged(id, Box::new(req))
+        } else {
+            req
+        };
+        let bytes = req.encode();
+        let mut retry = 0u32;
+        loop {
+            match self.attempt(&bytes, policy.request_timeout) {
+                Ok(Attempt::Reply(resp)) => return Ok(resp),
+                Ok(Attempt::ServerErr(msg)) => {
+                    return Err(HmError::Backend(format!("remote: {msg}")));
+                }
+                Err(e) => {
+                    if retry >= policy.max_retries {
+                        self.gave_up += 1;
+                        return Err(e);
+                    }
+                    retry += 1;
+                    self.retries += 1;
+                    std::thread::sleep(policy.backoff(retry - 1));
+                    if let Some(factory) = &mut self.reconnect {
+                        // Swap in a fresh connection; if that fails too,
+                        // keep the old one and let the next attempt's
+                        // timeout decide.
+                        if let Ok(t) = factory() {
+                            self.transport = t;
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    /// One send + bounded receive. Transport-level failures (send error,
+    /// deadline expiry, lost connection, garbled frame) are `Err` and
+    /// thus candidates for retry.
+    fn attempt(&mut self, bytes: &[u8], timeout: std::time::Duration) -> Result<Attempt> {
+        self.transport.send(bytes)?;
+        self.round_trips += 1;
+        let frame = self
+            .transport
+            .recv_timeout(timeout)?
+            .ok_or_else(|| HmError::Timeout("connection closed mid-request".into()))?;
+        match Response::decode(&frame)? {
+            Response::Err(msg) => Ok(Attempt::ServerErr(msg)),
+            other => Ok(Attempt::Reply(other)),
         }
     }
 
@@ -143,6 +296,31 @@ impl RemoteStore {
 
 fn unexpected(resp: Response) -> HmError {
     HmError::Backend(format!("unexpected response {resp:?}"))
+}
+
+/// True when a blind re-execution of `req` could change state twice.
+fn is_mutation(req: &Request) -> bool {
+    matches!(
+        req,
+        Request::SetHundred(..)
+            | Request::SetText(..)
+            | Request::SetForm(..)
+            | Request::CreateNode(_)
+            | Request::CreateNodeClustered(..)
+            | Request::AddChild(..)
+            | Request::AddPart(..)
+            | Request::AddRef(..)
+            | Request::InsertExtraNode(_)
+            | Request::Commit
+            | Request::ColdRestart
+            | Request::SetHundredBatch(_)
+            | Request::Closure1NAttSet(_)
+            | Request::TextNodeEdit(..)
+            | Request::FormNodeEdit(..)
+            | Request::PrepareCommit(_)
+            | Request::CommitPrepared(_)
+            | Request::AbortPrepared(_)
+    )
 }
 
 impl HyperStore for RemoteStore {
@@ -270,11 +448,32 @@ impl HyperStore for RemoteStore {
         self.expect_unit(Request::ColdRestart)
     }
 
+    fn prepare_commit(&mut self, txid: u64) -> Result<()> {
+        self.expect_unit(Request::PrepareCommit(txid))
+    }
+
+    fn commit_prepared(&mut self, txid: u64) -> Result<()> {
+        self.expect_unit(Request::CommitPrepared(txid))
+    }
+
+    fn abort_prepared(&mut self, txid: u64) -> Result<()> {
+        self.expect_unit(Request::AbortPrepared(txid))
+    }
+
     fn backend_name(&self) -> &'static str {
         match self.mode {
             ClosureMode::ClientSide => "remote-naive",
             ClosureMode::ServerSide => "remote",
         }
+    }
+
+    fn resilience_summary(&self) -> Option<String> {
+        self.policy.as_ref().map(|p| {
+            format!(
+                "retries={} gave-up={} (timeout {:?}, max {} retries)",
+                self.retries, self.gave_up, p.request_timeout, p.max_retries
+            )
+        })
     }
 
     // ---- batched primitives: always one round trip --------------------
@@ -486,6 +685,100 @@ impl std::fmt::Debug for RemoteStore {
         f.debug_struct("RemoteStore")
             .field("mode", &self.mode)
             .field("round_trips", &self.round_trips)
-            .finish()
+            .field("policy", &self.policy)
+            .field("retries", &self.retries)
+            .field("gave_up", &self.gave_up)
+            .finish_non_exhaustive()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::server::serve;
+    use crate::transport::ChannelTransport;
+    use hypermodel::config::GenConfig;
+    use hypermodel::generate::TestDatabase;
+    use hypermodel::load::load_database;
+    use mem_backend::MemStore;
+    use std::time::Duration;
+
+    /// A transport that silently loses every `n`-th outgoing frame, as a
+    /// lossy network would: the send "succeeds" but nothing arrives.
+    struct DropEveryNth {
+        inner: ChannelTransport,
+        n: u64,
+        sent: u64,
+    }
+
+    impl Transport for DropEveryNth {
+        fn send(&mut self, frame: &[u8]) -> Result<()> {
+            self.sent += 1;
+            if self.sent.is_multiple_of(self.n) {
+                return Ok(()); // lost in flight
+            }
+            self.inner.send(frame)
+        }
+        fn recv(&mut self) -> Result<Option<Vec<u8>>> {
+            self.inner.recv()
+        }
+        fn recv_timeout(&mut self, timeout: Duration) -> Result<Option<Vec<u8>>> {
+            self.inner.recv_timeout(timeout)
+        }
+    }
+
+    #[test]
+    fn retry_policy_survives_lost_requests() {
+        let db = TestDatabase::generate(&GenConfig::tiny());
+        let mut store = MemStore::new();
+        let report = load_database(&mut store, &db).unwrap();
+        let target = report.oids[3];
+        let (client_end, mut server_end) = ChannelTransport::pair(Duration::ZERO);
+        let handle = std::thread::spawn(move || serve(&mut store, &mut server_end).unwrap());
+
+        let lossy = DropEveryNth {
+            inner: client_end,
+            n: 3,
+            sent: 0,
+        };
+        let mut remote =
+            RemoteStore::new(Box::new(lossy), ClosureMode::ServerSide).with_retry(RetryPolicy {
+                request_timeout: Duration::from_millis(50),
+                max_retries: 5,
+                backoff_base: Duration::from_millis(1),
+                backoff_max: Duration::from_millis(5),
+            });
+
+        // A mix of reads and (tagged) mutations, each of which must come
+        // back correct despite every third frame vanishing.
+        let before = remote.hundred_of(target).unwrap();
+        remote.set_hundred(target, before + 7).unwrap();
+        assert_eq!(remote.hundred_of(target).unwrap(), before + 7);
+        remote.set_hundred(target, before).unwrap();
+        assert_eq!(remote.hundred_of(target).unwrap(), before);
+        assert_eq!(remote.lookup_unique(1).unwrap(), report.oids[0]);
+
+        assert!(remote.retries() > 0, "losses must have forced retries");
+        assert_eq!(remote.gave_up(), 0);
+        remote.shutdown().unwrap();
+        handle.join().unwrap();
+    }
+
+    #[test]
+    fn server_error_is_not_retried() {
+        let mut store = MemStore::new();
+        let (client_end, mut server_end) = ChannelTransport::pair(Duration::ZERO);
+        let handle = std::thread::spawn(move || serve(&mut store, &mut server_end).unwrap());
+        let mut remote = RemoteStore::new(Box::new(client_end), ClosureMode::ServerSide)
+            .with_retry(RetryPolicy::default());
+        // Unknown oid: the server answers with an error; the client must
+        // surface it immediately instead of retrying a permanent failure.
+        let err = remote
+            .hundred_of(hypermodel::model::Oid(424242))
+            .unwrap_err();
+        assert!(!err.is_transient());
+        assert_eq!(remote.retries(), 0);
+        remote.shutdown().unwrap();
+        handle.join().unwrap();
     }
 }

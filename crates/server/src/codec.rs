@@ -115,11 +115,14 @@ impl<'a> Reader<'a> {
     }
 
     fn take(&mut self, n: usize) -> Result<&'a [u8]> {
-        if self.pos + n > self.buf.len() {
+        // checked_add: a hostile length prefix near usize::MAX must not
+        // wrap the bounds check into a panic or an out-of-range slice.
+        let end = self.pos.checked_add(n).ok_or_else(short)?;
+        if end > self.buf.len() {
             return Err(short());
         }
-        let s = &self.buf[self.pos..self.pos + n];
-        self.pos += n;
+        let s = &self.buf[self.pos..end];
+        self.pos = end;
         Ok(s)
     }
 
@@ -130,17 +133,20 @@ impl<'a> Reader<'a> {
 
     /// Read a `u16`.
     pub fn u16(&mut self) -> Result<u16> {
-        Ok(u16::from_le_bytes(self.take(2)?.try_into().expect("2")))
+        let b = self.take(2)?;
+        Ok(u16::from_le_bytes(b.try_into().map_err(|_| short())?))
     }
 
     /// Read a `u32`.
     pub fn u32(&mut self) -> Result<u32> {
-        Ok(u32::from_le_bytes(self.take(4)?.try_into().expect("4")))
+        let b = self.take(4)?;
+        Ok(u32::from_le_bytes(b.try_into().map_err(|_| short())?))
     }
 
     /// Read a `u64`.
     pub fn u64(&mut self) -> Result<u64> {
-        Ok(u64::from_le_bytes(self.take(8)?.try_into().expect("8")))
+        let b = self.take(8)?;
+        Ok(u64::from_le_bytes(b.try_into().map_err(|_| short())?))
     }
 
     /// Read an object id.

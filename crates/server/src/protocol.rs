@@ -110,6 +110,19 @@ pub enum Request {
     MillionBatch(Vec<Oid>),
     /// `set_hundred_batch`.
     SetHundredBatch(Vec<(Oid, u32)>),
+    // ---- two-phase commit ---------------------------------------------
+    /// `prepare_commit`: phase one of a coordinated commit.
+    PrepareCommit(u64),
+    /// `commit_prepared`: coordinator decided commit.
+    CommitPrepared(u64),
+    /// `abort_prepared`: coordinator decided abort.
+    AbortPrepared(u64),
+    // ---- idempotent retry envelope ------------------------------------
+    /// A request tagged with a client-chosen id. The server remembers
+    /// recently-seen ids and replays the stored response instead of
+    /// re-executing, so a retried mutation applies at most once even
+    /// when the first response was lost in flight. Must not nest.
+    Tagged(u64, Box<Request>),
 }
 
 /// A server → client message.
@@ -149,7 +162,7 @@ pub enum Response {
     U32s(Vec<u32>),
 }
 
-const REQ_TAGS: u8 = 44; // highest request tag + 1, for decode validation
+const REQ_TAGS: u8 = 48; // highest request tag + 1, for decode validation
 
 impl Request {
     fn tag(&self) -> u8 {
@@ -198,6 +211,10 @@ impl Request {
             Request::HundredBatch(_) => 41,
             Request::MillionBatch(_) => 42,
             Request::SetHundredBatch(_) => 43,
+            Request::PrepareCommit(_) => 44,
+            Request::CommitPrepared(_) => 45,
+            Request::AbortPrepared(_) => 46,
+            Request::Tagged(..) => 47,
         }
     }
 
@@ -295,6 +312,13 @@ impl Request {
                     w.u32(*val);
                 }
             }
+            Request::PrepareCommit(txid)
+            | Request::CommitPrepared(txid)
+            | Request::AbortPrepared(txid) => w.u64(*txid),
+            Request::Tagged(id, inner) => {
+                w.u64(*id);
+                w.bytes(&inner.encode());
+            }
         }
         w.finish()
     }
@@ -361,6 +385,17 @@ impl Request {
                     v.push((r.oid()?, r.u32()?));
                 }
                 Request::SetHundredBatch(v)
+            }
+            44 => Request::PrepareCommit(r.u64()?),
+            45 => Request::CommitPrepared(r.u64()?),
+            46 => Request::AbortPrepared(r.u64()?),
+            47 => {
+                let id = r.u64()?;
+                let inner = Request::decode(&r.bytes()?)?;
+                if matches!(inner, Request::Tagged(..)) {
+                    return Err(HmError::Backend("nested tagged request".into()));
+                }
+                Request::Tagged(id, Box::new(inner))
             }
             _ => unreachable!("tag validated above"),
         };
@@ -587,6 +622,10 @@ mod tests {
             Request::HundredBatch(vec![Oid(36), Oid(37), Oid(38)]),
             Request::MillionBatch(vec![Oid(39)]),
             Request::SetHundredBatch(vec![(Oid(40), 7), (Oid(41), 93)]),
+            Request::PrepareCommit(900),
+            Request::CommitPrepared(901),
+            Request::AbortPrepared(902),
+            Request::Tagged(555, Box::new(Request::SetHundred(Oid(42), 13))),
         ];
         for req in requests {
             let decoded = Request::decode(&req.encode()).unwrap();
@@ -638,5 +677,12 @@ mod tests {
         let mut bytes = Request::Commit.encode();
         bytes.push(0);
         assert!(Request::decode(&bytes).is_err());
+    }
+
+    #[test]
+    fn nested_tagged_is_rejected() {
+        let inner = Request::Tagged(1, Box::new(Request::Commit));
+        let outer = Request::Tagged(2, Box::new(inner));
+        assert!(Request::decode(&outer.encode()).is_err());
     }
 }

@@ -13,6 +13,59 @@ pub struct SessionStats {
     pub requests: u64,
     /// Requests that returned an error response.
     pub errors: u64,
+    /// Tagged requests answered from the dedup cache without
+    /// re-executing (retries whose first response was lost).
+    pub replayed: u64,
+}
+
+/// Consecutive malformed frames tolerated before the server drops the
+/// connection. A client with a framing bug gets a few error responses
+/// to diagnose with; a firehose of garbage gets disconnected.
+const MAX_GARBAGE_STREAK: u32 = 8;
+
+/// Remembers the responses of recently-executed [`Request::Tagged`]
+/// requests so a retried mutation applies **at most once**: when the
+/// client resends an id it already sent (because the response was lost
+/// in flight), the server replays the stored response instead of
+/// executing the request again.
+///
+/// Bounded FIFO — old entries are evicted. Retries arrive promptly
+/// (bounded backoff), so a small window suffices.
+#[derive(Debug)]
+pub struct DedupCache {
+    entries: std::collections::VecDeque<(u64, Vec<u8>)>,
+    cap: usize,
+}
+
+impl Default for DedupCache {
+    fn default() -> DedupCache {
+        DedupCache::new(64)
+    }
+}
+
+impl DedupCache {
+    /// A cache remembering up to `cap` recent tagged responses.
+    pub fn new(cap: usize) -> DedupCache {
+        DedupCache {
+            entries: std::collections::VecDeque::with_capacity(cap.max(1)),
+            cap: cap.max(1),
+        }
+    }
+
+    /// The stored encoded response for `id`, if still remembered.
+    pub fn lookup(&self, id: u64) -> Option<&[u8]> {
+        self.entries
+            .iter()
+            .find(|(k, _)| *k == id)
+            .map(|(_, v)| v.as_slice())
+    }
+
+    fn remember(&mut self, id: u64, resp: Vec<u8>) {
+        if self.entries.len() == self.cap {
+            self.entries.pop_front();
+        }
+        self.entries.push_back((id, resp));
+    }
 }
 
 fn dispatch<S: HyperStore + ?Sized>(store: &mut S, req: Request) -> Response {
@@ -84,26 +137,66 @@ fn dispatch<S: HyperStore + ?Sized>(store: &mut S, req: Request) -> Response {
         Request::SetHundredBatch(updates) => {
             ok_or_err(store.set_hundred_batch(&updates), |_| Response::Unit)
         }
-        Request::Shutdown => unreachable!("handled by the serve loop"),
+        // Two-phase commit: the store is a participant, the caller is
+        // the coordinator.
+        Request::PrepareCommit(txid) => ok_or_err(store.prepare_commit(txid), |_| Response::Unit),
+        Request::CommitPrepared(txid) => ok_or_err(store.commit_prepared(txid), |_| Response::Unit),
+        Request::AbortPrepared(txid) => ok_or_err(store.abort_prepared(txid), |_| Response::Unit),
+        // Dedup is the serve loop's job; a direct dispatch just unwraps.
+        // (decode rejects nested Tagged, so this recurses at most once.)
+        Request::Tagged(_, inner) => dispatch(store, *inner),
+        // The serve loop intercepts Shutdown before dispatch; reaching
+        // here means it arrived somewhere it cannot be honoured (e.g.
+        // inside a Tagged envelope) — refuse rather than panic.
+        Request::Shutdown => Response::Err("shutdown must be a top-level request".into()),
     }
 }
 
 /// Serve requests from `transport` against `store` until the client sends
-/// [`Request::Shutdown`] or disconnects.
+/// [`Request::Shutdown`] or disconnects. Uses a fresh per-session
+/// [`DedupCache`]; servers that accept reconnects from retrying clients
+/// should use [`serve_with_cache`] so retry ids survive the reconnect.
 pub fn serve<S: HyperStore + ?Sized>(
     store: &mut S,
     transport: &mut dyn Transport,
 ) -> Result<SessionStats> {
+    let mut cache = DedupCache::default();
+    serve_with_cache(store, transport, &mut cache)
+}
+
+/// [`serve`] with a caller-owned [`DedupCache`], so at-most-once
+/// semantics for tagged requests hold across client reconnects (the
+/// retry of a mutation whose response was lost may arrive on a *new*
+/// connection).
+pub fn serve_with_cache<S: HyperStore + ?Sized>(
+    store: &mut S,
+    transport: &mut dyn Transport,
+    cache: &mut DedupCache,
+) -> Result<SessionStats> {
     let mut stats = SessionStats::default();
+    let mut garbage_streak = 0u32;
     loop {
         let Some(frame) = transport.recv()? else {
             return Ok(stats); // clean disconnect
         };
         let req = match Request::decode(&frame) {
-            Ok(r) => r,
+            Ok(r) => {
+                garbage_streak = 0;
+                r
+            }
             Err(e) => {
-                transport.send(&Response::Err(e.to_string()).encode())?;
                 stats.errors += 1;
+                garbage_streak += 1;
+                if garbage_streak >= MAX_GARBAGE_STREAK {
+                    // One bad client must not kill the serving thread,
+                    // but it need not be humoured forever either.
+                    eprintln!(
+                        "server: dropping connection after {garbage_streak} \
+                         consecutive malformed frames (last: {e})"
+                    );
+                    return Ok(stats);
+                }
+                transport.send(&Response::Err(e.to_string()).encode())?;
                 continue;
             }
         };
@@ -111,12 +204,28 @@ pub fn serve<S: HyperStore + ?Sized>(
             transport.send(&Response::Unit.encode())?;
             return Ok(stats);
         }
+        if let Request::Tagged(id, _) = &req {
+            if let Some(bytes) = cache.lookup(*id) {
+                stats.replayed += 1;
+                let bytes = bytes.to_vec();
+                transport.send(&bytes)?;
+                continue;
+            }
+        }
+        let remember_as = match &req {
+            Request::Tagged(id, _) => Some(*id),
+            _ => None,
+        };
         let resp = dispatch(store, req);
         if matches!(resp, Response::Err(_)) {
             stats.errors += 1;
         }
         stats.requests += 1;
-        transport.send(&resp.encode())?;
+        let bytes = resp.encode();
+        if let Some(id) = remember_as {
+            cache.remember(id, bytes.clone());
+        }
+        transport.send(&bytes)?;
     }
 }
 
@@ -165,6 +274,84 @@ mod tests {
         let stats = handle.join().unwrap();
         assert_eq!(stats.requests, 3);
         assert_eq!(stats.errors, 2);
+    }
+
+    #[test]
+    fn tagged_retry_applies_at_most_once() {
+        let db = TestDatabase::generate(&GenConfig::tiny());
+        let mut store = MemStore::new();
+        let report = load_database(&mut store, &db).unwrap();
+        let target = report.oids[0];
+        let (mut client, mut server_end) = ChannelTransport::pair(Duration::ZERO);
+        let handle = std::thread::spawn(move || {
+            let stats = serve(&mut store, &mut server_end).unwrap();
+            (store, stats)
+        });
+
+        // A tagged node creation, "retried" three times with the same id
+        // as if every response had been lost.
+        let req = Request::Tagged(
+            77,
+            Box::new(Request::InsertExtraNode(hypermodel::model::NodeValue {
+                kind: hypermodel::model::NodeKind::TEXT,
+                attrs: hypermodel::model::NodeAttrs {
+                    unique_id: 1_000_001,
+                    ten: 1,
+                    hundred: 1,
+                    thousand: 1,
+                    million: 1,
+                },
+                content: hypermodel::model::Content::Text("retry me".into()),
+            })),
+        );
+        let mut oids = Vec::new();
+        for _ in 0..3 {
+            client.send(&req.encode()).unwrap();
+            match Response::decode(&client.recv().unwrap().unwrap()).unwrap() {
+                Response::Oid(o) => oids.push(o),
+                other => panic!("expected Oid, got {other:?}"),
+            }
+        }
+        assert_eq!(oids[0], oids[1]);
+        assert_eq!(oids[0], oids[2], "replays return the stored response");
+
+        // A shutdown smuggled inside a Tagged envelope is refused, not
+        // a panic in the dispatcher.
+        client
+            .send(&Request::Tagged(78, Box::new(Request::Shutdown)).encode())
+            .unwrap();
+        let resp = Response::decode(&client.recv().unwrap().unwrap()).unwrap();
+        assert!(matches!(resp, Response::Err(_)));
+
+        client.send(&Request::Shutdown.encode()).unwrap();
+        client.recv().unwrap().unwrap();
+        let (mut store, stats) = handle.join().unwrap();
+        assert_eq!(stats.requests, 2, "one create + one refused shutdown");
+        assert_eq!(stats.replayed, 2);
+        // Exactly one node was inserted: its uid resolves, and the next
+        // uid does not.
+        assert_eq!(store.lookup_unique(1_000_001).unwrap(), oids[0]);
+        assert_eq!(target, report.oids[0]); // silence unused warning paths
+    }
+
+    #[test]
+    fn garbage_firehose_drops_the_connection() {
+        let mut store = MemStore::new();
+        let (mut client, mut server_end) = ChannelTransport::pair(Duration::ZERO);
+        let handle = std::thread::spawn(move || serve(&mut store, &mut server_end).unwrap());
+        // Fewer than the limit: each garbage frame gets an error reply.
+        for _ in 0..super::MAX_GARBAGE_STREAK - 1 {
+            client.send(&[255, 0, 1]).unwrap();
+            let resp = Response::decode(&client.recv().unwrap().unwrap()).unwrap();
+            assert!(matches!(resp, Response::Err(_)));
+        }
+        // One more consecutive malformed frame crosses the limit: the
+        // server disconnects instead of replying.
+        client.send(&[255, 0, 1]).unwrap();
+        assert_eq!(client.recv().unwrap(), None, "server hung up");
+        let stats = handle.join().unwrap();
+        assert_eq!(stats.errors, u64::from(super::MAX_GARBAGE_STREAK));
+        assert_eq!(stats.requests, 0);
     }
 
     #[test]

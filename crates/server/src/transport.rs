@@ -8,9 +8,11 @@
 
 use std::io::{Read, Write};
 use std::net::TcpStream;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
 use std::time::Duration;
 
-use crossbeam::channel::{unbounded, Receiver, Sender};
+use crossbeam::channel::{unbounded, Receiver, RecvTimeoutError, Sender};
 use hypermodel::error::{HmError, Result};
 
 /// A bidirectional, framed message pipe.
@@ -19,6 +21,18 @@ pub trait Transport: Send {
     fn send(&mut self, frame: &[u8]) -> Result<()>;
     /// Receive one frame (blocking). `Ok(None)` means the peer closed.
     fn recv(&mut self) -> Result<Option<Vec<u8>>>;
+    /// Receive one frame, waiting at most `timeout`. Returns
+    /// [`HmError::Timeout`] when the deadline passes with no frame.
+    /// After a timeout the connection should be considered suspect
+    /// (a frame may arrive half-read on stream transports); retrying
+    /// callers reconnect rather than resume.
+    ///
+    /// The default ignores the deadline and blocks — correct for
+    /// transports that cannot wait bounded, and harmless for tests.
+    fn recv_timeout(&mut self, timeout: Duration) -> Result<Option<Vec<u8>>> {
+        let _ = timeout;
+        self.recv()
+    }
 }
 
 /// One end of an in-process channel transport.
@@ -27,12 +41,17 @@ pub struct ChannelTransport {
     rx: Receiver<Vec<u8>>,
     /// Simulated one-way latency applied before each send.
     pub latency: Duration,
+    /// When set, latency is *accounted* on this shared virtual clock
+    /// instead of slept — see [`ChannelTransport::pair_virtual`].
+    clock: Option<Arc<AtomicU64>>,
 }
 
 impl ChannelTransport {
     /// A connected pair of endpoints with the given simulated one-way
     /// latency (applied on both directions, so a request/response round
-    /// trip costs `2 × latency`).
+    /// trip costs `2 × latency`). The latency is really slept; use
+    /// [`ChannelTransport::pair_virtual`] in tests that only need the
+    /// accounting.
     pub fn pair(latency: Duration) -> (ChannelTransport, ChannelTransport) {
         let (tx_a, rx_b) = unbounded();
         let (tx_b, rx_a) = unbounded();
@@ -41,20 +60,46 @@ impl ChannelTransport {
                 tx: tx_a,
                 rx: rx_a,
                 latency,
+                clock: None,
             },
             ChannelTransport {
                 tx: tx_b,
                 rx: rx_b,
                 latency,
+                clock: None,
             },
         )
+    }
+
+    /// Like [`ChannelTransport::pair`], but the simulated latency is
+    /// accumulated on a shared **virtual clock** instead of being slept,
+    /// so tests assert on exact simulated nanoseconds without depending
+    /// on wall-clock scheduling (flaky on loaded single-core hosts).
+    /// Returns both endpoints and the clock; read it with
+    /// [`ChannelTransport::virtual_ns`].
+    pub fn pair_virtual(latency: Duration) -> (ChannelTransport, ChannelTransport, Arc<AtomicU64>) {
+        let clock = Arc::new(AtomicU64::new(0));
+        let (mut a, mut b) = ChannelTransport::pair(latency);
+        a.clock = Some(Arc::clone(&clock));
+        b.clock = Some(Arc::clone(&clock));
+        (a, b, clock)
+    }
+
+    /// Total simulated latency in nanoseconds accumulated on `clock`.
+    pub fn virtual_ns(clock: &Arc<AtomicU64>) -> u64 {
+        clock.load(Ordering::Relaxed)
     }
 }
 
 impl Transport for ChannelTransport {
     fn send(&mut self, frame: &[u8]) -> Result<()> {
         if !self.latency.is_zero() {
-            std::thread::sleep(self.latency);
+            match &self.clock {
+                Some(clock) => {
+                    clock.fetch_add(self.latency.as_nanos() as u64, Ordering::Relaxed);
+                }
+                None => std::thread::sleep(self.latency),
+            }
         }
         self.tx
             .send(frame.to_vec())
@@ -65,6 +110,16 @@ impl Transport for ChannelTransport {
         match self.rx.recv() {
             Ok(frame) => Ok(Some(frame)),
             Err(_) => Ok(None), // peer dropped: clean shutdown
+        }
+    }
+
+    fn recv_timeout(&mut self, timeout: Duration) -> Result<Option<Vec<u8>>> {
+        match self.rx.recv_timeout(timeout) {
+            Ok(frame) => Ok(Some(frame)),
+            Err(RecvTimeoutError::Timeout) => {
+                Err(HmError::Timeout(format!("no frame within {timeout:?}")))
+            }
+            Err(RecvTimeoutError::Disconnected) => Ok(None),
         }
     }
 }
@@ -99,7 +154,7 @@ impl Transport for TcpTransport {
         match self.stream.read_exact(&mut len_buf) {
             Ok(()) => {}
             Err(e) if e.kind() == std::io::ErrorKind::UnexpectedEof => return Ok(None),
-            Err(e) => return Err(HmError::Backend(format!("tcp recv: {e}"))),
+            Err(e) => return Err(tcp_io_err("tcp recv", e)),
         }
         let len = u32::from_le_bytes(len_buf) as usize;
         if len > 64 << 20 {
@@ -108,8 +163,33 @@ impl Transport for TcpTransport {
         let mut frame = vec![0u8; len];
         self.stream
             .read_exact(&mut frame)
-            .map_err(|e| HmError::Backend(format!("tcp recv body: {e}")))?;
+            .map_err(|e| tcp_io_err("tcp recv body", e))?;
         Ok(Some(frame))
+    }
+
+    fn recv_timeout(&mut self, timeout: Duration) -> Result<Option<Vec<u8>>> {
+        // A zero Duration means "no timeout" to the OS; clamp up.
+        let timeout = timeout.max(Duration::from_millis(1));
+        self.stream
+            .set_read_timeout(Some(timeout))
+            .map_err(|e| HmError::Backend(format!("set_read_timeout: {e}")))?;
+        let out = self.recv();
+        self.stream
+            .set_read_timeout(None)
+            .map_err(|e| HmError::Backend(format!("clear_read_timeout: {e}")))?;
+        out
+    }
+}
+
+/// Map a socket error to [`HmError`], classifying read-deadline expiry
+/// (reported as `WouldBlock` on Unix, `TimedOut` on Windows) as
+/// [`HmError::Timeout`] so retry policies can tell it from a dead peer.
+fn tcp_io_err(what: &str, e: std::io::Error) -> HmError {
+    match e.kind() {
+        std::io::ErrorKind::WouldBlock | std::io::ErrorKind::TimedOut => {
+            HmError::Timeout(format!("{what}: {e}"))
+        }
+        _ => HmError::Backend(format!("{what}: {e}")),
     }
 }
 
@@ -137,12 +217,61 @@ mod tests {
     }
 
     #[test]
-    fn channel_latency_is_applied() {
-        let (mut a, mut b) = ChannelTransport::pair(Duration::from_millis(5));
-        let t = std::time::Instant::now();
+    fn channel_latency_is_accounted_on_virtual_clock() {
+        // Virtual time instead of sleeping: exact, and immune to
+        // scheduling jitter on loaded single-core hosts.
+        let (mut a, mut b, clock) = ChannelTransport::pair_virtual(Duration::from_millis(5));
         a.send(b"slow").unwrap();
         b.recv().unwrap().unwrap();
-        assert!(t.elapsed() >= Duration::from_millis(5));
+        b.send(b"reply").unwrap();
+        a.recv().unwrap().unwrap();
+        assert_eq!(
+            ChannelTransport::virtual_ns(&clock),
+            2 * 5_000_000,
+            "one send each way, 5 ms simulated latency per frame"
+        );
+    }
+
+    #[test]
+    fn channel_recv_timeout_times_out_and_delivers() {
+        let (mut a, mut b) = ChannelTransport::pair(Duration::ZERO);
+        assert!(matches!(
+            b.recv_timeout(Duration::from_millis(1)),
+            Err(HmError::Timeout(_))
+        ));
+        a.send(b"late").unwrap();
+        assert_eq!(
+            b.recv_timeout(Duration::from_millis(100)).unwrap().unwrap(),
+            b"late"
+        );
+        drop(a);
+        assert_eq!(b.recv_timeout(Duration::from_millis(1)).unwrap(), None);
+    }
+
+    #[test]
+    fn tcp_recv_timeout_expires_without_killing_connection() {
+        let listener = std::net::TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let server = std::thread::spawn(move || {
+            let (stream, _) = listener.accept().unwrap();
+            let mut t = TcpTransport::new(stream).unwrap();
+            let frame = t.recv().unwrap().unwrap();
+            t.send(&frame).unwrap();
+        });
+        let stream = TcpStream::connect(addr).unwrap();
+        let mut t = TcpTransport::new(stream).unwrap();
+        // Nothing sent yet: the bounded wait must expire as a Timeout.
+        assert!(matches!(
+            t.recv_timeout(Duration::from_millis(10)),
+            Err(HmError::Timeout(_))
+        ));
+        // The socket still works afterwards.
+        t.send(b"after timeout").unwrap();
+        assert_eq!(
+            t.recv_timeout(Duration::from_secs(5)).unwrap().unwrap(),
+            b"after timeout"
+        );
+        server.join().unwrap();
     }
 
     #[test]

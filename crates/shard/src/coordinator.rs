@@ -1,0 +1,166 @@
+//! The commit coordinator's durable state: the decision log, and
+//! recovery of a sharded deployment from disk after a crash.
+//!
+//! Two-phase commit needs exactly one durable bit per transaction — the
+//! coordinator's decision. [`CommitLog`] stores it: an append-only file
+//! of `(txid, decision)` records, fsynced before any participant is told
+//! to commit. The protocol is **presumed abort**: a prepared participant
+//! that finds *no* decision for its transaction aborts, so only commit
+//! decisions are strictly required; abort decisions are logged too for
+//! operator clarity.
+//!
+//! [`recover_sharded`] reopens a crashed deployment's shard files,
+//! resolves every in-doubt participant against the log, and reports what
+//! it decided — the sharded analogue of `storage::recovery::recover`.
+
+use std::fs::{File, OpenOptions};
+use std::io::{Read, Write};
+use std::path::Path;
+
+use hypermodel::error::{HmError, Result};
+
+/// On-disk record size: 8-byte little-endian txid + 1 decision byte.
+const RECORD: usize = 9;
+const DECIDE_COMMIT: u8 = 0xC1;
+const DECIDE_ABORT: u8 = 0xA0;
+
+/// The coordinator's append-only decision log.
+///
+/// Records are fsynced on append; a torn trailing record (crash mid-
+/// write) is ignored on open, exactly like the WAL's torn-tail rule.
+#[derive(Debug)]
+pub struct CommitLog {
+    file: File,
+    decisions: Vec<(u64, bool)>,
+}
+
+impl CommitLog {
+    /// Open (or create) the decision log at `path`.
+    pub fn open(path: &Path) -> Result<CommitLog> {
+        let mut file = OpenOptions::new()
+            .read(true)
+            .create(true)
+            .append(true)
+            .open(path)
+            .map_err(|e| HmError::Backend(format!("open commit log {}: {e}", path.display())))?;
+        let mut bytes = Vec::new();
+        file.read_to_end(&mut bytes)
+            .map_err(|e| HmError::Backend(format!("read commit log: {e}")))?;
+        let mut decisions = Vec::new();
+        for rec in bytes.chunks_exact(RECORD) {
+            let txid = u64::from_le_bytes(rec[..8].try_into().expect("chunk is 9 bytes"));
+            match rec[8] {
+                DECIDE_COMMIT => decisions.push((txid, true)),
+                DECIDE_ABORT => decisions.push((txid, false)),
+                other => {
+                    return Err(HmError::Backend(format!(
+                        "commit log corrupt: decision byte {other:#x}"
+                    )));
+                }
+            }
+        }
+        // chunks_exact drops a torn tail silently — that is the torn-tail
+        // convention: a decision is only a decision once fully on disk.
+        Ok(CommitLog { file, decisions })
+    }
+
+    /// Durably record a decision for `txid`. Returns after fsync: once
+    /// this returns, the decision survives any crash.
+    pub fn record(&mut self, txid: u64, commit: bool) -> Result<()> {
+        let mut rec = [0u8; RECORD];
+        rec[..8].copy_from_slice(&txid.to_le_bytes());
+        rec[8] = if commit { DECIDE_COMMIT } else { DECIDE_ABORT };
+        self.file
+            .write_all(&rec)
+            .and_then(|_| self.file.sync_all())
+            .map_err(|e| HmError::Backend(format!("append commit log: {e}")))?;
+        self.decisions.push((txid, commit));
+        Ok(())
+    }
+
+    /// The recorded decision for `txid`, if any. `None` means the
+    /// coordinator never decided — presumed abort.
+    pub fn decision_for(&self, txid: u64) -> Option<bool> {
+        self.decisions
+            .iter()
+            .rev()
+            .find(|(t, _)| *t == txid)
+            .map(|(_, d)| *d)
+    }
+
+    /// A transaction id strictly greater than every recorded one.
+    pub fn next_txid(&self) -> u64 {
+        self.decisions.iter().map(|(t, _)| *t).max().unwrap_or(0) + 1
+    }
+}
+
+/// What [`recover_sharded`] did for one shard.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ShardResolution {
+    /// Which shard (index into the path slice).
+    pub shard: usize,
+    /// The in-doubt transaction that was resolved.
+    pub txid: u64,
+    /// The decision applied: `true` = committed, `false` = aborted.
+    pub committed: bool,
+}
+
+/// Resolve every in-doubt shard of a crashed disk-backed deployment
+/// against the coordinator's decision log at `log_path`.
+///
+/// For each shard database in `shard_paths` that crashed between
+/// `prepare` and a decision, the coordinator log is consulted: a
+/// recorded commit finishes the transaction, anything else aborts it
+/// (presumed abort). Shards with no in-doubt transaction are untouched
+/// — ordinary single-shard WAL recovery handles them at open. After
+/// this returns, every shard opens normally and the deployment is in
+/// one of exactly two states: the transaction applied everywhere, or
+/// nowhere.
+pub fn recover_sharded(shard_paths: &[&Path], log_path: &Path) -> Result<Vec<ShardResolution>> {
+    let log = CommitLog::open(log_path)?;
+    let mut resolved = Vec::new();
+    for (shard, path) in shard_paths.iter().enumerate() {
+        if let Some(txid) = disk_backend::in_doubt_txn(path)? {
+            let committed = log.decision_for(txid).unwrap_or(false);
+            disk_backend::resolve_in_doubt(path, txid, committed)?;
+            resolved.push(ShardResolution {
+                shard,
+                txid,
+                committed,
+            });
+        }
+    }
+    Ok(resolved)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn decisions_survive_reopen_and_torn_tail() {
+        let dir = std::env::temp_dir().join(format!("hm-commitlog-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("decisions.log");
+        let _ = std::fs::remove_file(&path);
+
+        let mut log = CommitLog::open(&path).unwrap();
+        assert_eq!(log.next_txid(), 1);
+        log.record(1, true).unwrap();
+        log.record(2, false).unwrap();
+        drop(log);
+
+        // Simulate a crash mid-append: a torn 4-byte tail.
+        {
+            let mut f = OpenOptions::new().append(true).open(&path).unwrap();
+            f.write_all(&[9, 9, 9, 9]).unwrap();
+        }
+
+        let log = CommitLog::open(&path).unwrap();
+        assert_eq!(log.decision_for(1), Some(true));
+        assert_eq!(log.decision_for(2), Some(false));
+        assert_eq!(log.decision_for(3), None, "undecided = presumed abort");
+        assert_eq!(log.next_txid(), 3);
+        std::fs::remove_file(&path).unwrap();
+    }
+}

@@ -12,7 +12,17 @@
 //!   exchange so cross-shard round trips scale with traversal depth
 //!   rather than node count;
 //! * [`remote`] — composition with `server::RemoteStore`: N TCP servers
-//!   behind one router, each shard one wire connection.
+//!   behind one router, each shard one wire connection;
+//! * [`coordinator`] — crash-safe cross-shard commit: a durable decision
+//!   log ([`CommitLog`]) makes [`ShardedStore`]'s commit two-phase
+//!   (presumed abort), and [`recover_sharded`] resolves in-doubt shards
+//!   after a crash.
+//!
+//! The store also degrades gracefully: per-shard health is tracked, point
+//! operations to a dead shard fail fast with the structured
+//! [`hypermodel::error::HmError::ShardUnavailable`], and fan-out reads
+//! follow a caller-chosen [`ScanPolicy`] (fail atomically, or complete
+//! over the healthy shards with an explicit partial-result marker).
 //!
 //! The deployment is oblivious to the backend: `ShardedStore<MemStore>`,
 //! `ShardedStore<DiskStore>` and `ShardedStore<RemoteStore>` all behave
@@ -22,10 +32,12 @@
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
 
+pub mod coordinator;
 pub mod remote;
 pub mod router;
 pub mod store;
 
+pub use coordinator::{recover_sharded, CommitLog, ShardResolution};
 pub use remote::connect_sharded;
 pub use router::{Placement, ShardRouter, GHOST_UID_BASE};
-pub use store::ShardedStore;
+pub use store::{ScanPolicy, ShardedStore};

@@ -10,23 +10,48 @@
 //! output order of the trait's default implementations.
 
 use std::collections::HashMap;
+use std::path::Path;
 
 use hypermodel::error::{HmError, Result};
 use hypermodel::model::{Content, NodeAttrs, NodeKind, NodeValue, Oid, RefEdge};
 use hypermodel::store::{HyperStore, ShardLoad};
 use hypermodel::Bitmap;
 
+use crate::coordinator::CommitLog;
 use crate::router::{Placement, ShardRouter, GHOST_UID_BASE};
 
 /// Per-shard scatter positions: `scatter[s][j]` is the index in the
 /// original request slice answered by shard `s`'s `j`-th result.
 type Scatter = Vec<Vec<usize>>;
 
+/// How fan-out reads (range lookups, sequential scans) behave when a
+/// shard is unavailable.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum ScanPolicy {
+    /// Fail atomically: any dead shard makes the whole scan return
+    /// [`HmError::ShardUnavailable`]. The default.
+    #[default]
+    FailFast,
+    /// Complete over the healthy shards and mark the result partial —
+    /// check [`ShardedStore::last_scan_was_partial`].
+    Partial,
+}
+
 /// A sharded `HyperStore` over `S` backends.
 pub struct ShardedStore<S> {
     shards: Vec<S>,
     router: ShardRouter,
     name: &'static str,
+    /// `health[s]` is false once shard `s` failed transiently (crash,
+    /// timeout, lost connection). Point operations routed to a dead
+    /// shard fail fast; fan-outs consult the [`ScanPolicy`].
+    health: Vec<bool>,
+    scan_policy: ScanPolicy,
+    last_scan_partial: bool,
+    /// Two-phase commit state; `None` = legacy per-shard commit.
+    commit_log: Option<CommitLog>,
+    next_txid: u64,
+    aborts: u64,
 }
 
 /// Run `f` against every shard concurrently (scoped threads), collecting
@@ -117,12 +142,100 @@ impl<S: HyperStore + Send> ShardedStore<S> {
             shards,
             router: ShardRouter::new(n, placement),
             name,
+            health: vec![true; n],
+            scan_policy: ScanPolicy::default(),
+            last_scan_partial: false,
+            commit_log: None,
+            next_txid: 1,
+            aborts: 0,
         }
+    }
+
+    /// Enable crash-safe cross-shard commit: [`HyperStore::commit`]
+    /// becomes two-phase, with the decision record durably logged at
+    /// `path` before any shard is told to commit. After a crash,
+    /// [`crate::coordinator::recover_sharded`] resolves in-doubt shards
+    /// against this log.
+    pub fn with_commit_log(mut self, path: &Path) -> Result<ShardedStore<S>> {
+        let log = CommitLog::open(path)?;
+        self.next_txid = log.next_txid();
+        self.commit_log = Some(log);
+        Ok(self)
     }
 
     /// Number of shards.
     pub fn shard_count(&self) -> usize {
         self.router.shard_count()
+    }
+
+    /// Per-shard health: `false` once a shard failed transiently.
+    pub fn health(&self) -> &[bool] {
+        &self.health
+    }
+
+    /// Administratively mark a shard unavailable (tests, drain).
+    pub fn mark_shard_down(&mut self, shard: usize) {
+        self.health[shard] = false;
+    }
+
+    /// Choose how fan-out reads treat dead shards.
+    pub fn set_scan_policy(&mut self, policy: ScanPolicy) {
+        self.scan_policy = policy;
+    }
+
+    /// The current fan-out degradation policy.
+    pub fn scan_policy(&self) -> ScanPolicy {
+        self.scan_policy
+    }
+
+    /// True when the most recent fan-out read skipped a dead shard
+    /// under [`ScanPolicy::Partial`].
+    pub fn last_scan_was_partial(&self) -> bool {
+        self.last_scan_partial
+    }
+
+    /// Cross-shard transactions aborted in phase one so far.
+    pub fn commit_aborts(&self) -> u64 {
+        self.aborts
+    }
+
+    /// Classify a shard-call result: a transient failure marks the
+    /// shard dead and is rewrapped as the structured
+    /// [`HmError::ShardUnavailable`] carrying the shard index.
+    fn note<T>(&mut self, s: usize, r: Result<T>) -> Result<T> {
+        match r {
+            Err(e @ HmError::ShardUnavailable { .. }) => {
+                self.health[s] = false;
+                Err(e)
+            }
+            Err(e) if e.is_transient() => {
+                self.health[s] = false;
+                Err(HmError::ShardUnavailable {
+                    shard: s,
+                    msg: e.to_string(),
+                })
+            }
+            other => other,
+        }
+    }
+
+    fn unavailable(s: usize) -> HmError {
+        HmError::ShardUnavailable {
+            shard: s,
+            msg: "shard marked unavailable".into(),
+        }
+    }
+
+    /// Route to a single shard and run `f` there, with fail-fast on
+    /// dead shards and health tracking on transient failures.
+    fn on_shard<T>(
+        &mut self,
+        oid: Oid,
+        f: impl FnOnce(&mut S, Oid) -> Result<T>,
+    ) -> Result<(usize, T)> {
+        let (s, l) = self.route(oid)?;
+        let r = f(&mut self.shards[s], l);
+        Ok((s, self.note(s, r)?))
     }
 
     /// The backend stores, in shard order — for instrumentation (e.g.
@@ -156,6 +269,9 @@ impl<S: HyperStore + Send> ShardedStore<S> {
 
     fn route(&mut self, oid: Oid) -> Result<(usize, Oid)> {
         let (s, l) = self.router.to_local(oid)?;
+        if !self.health[s] {
+            return Err(Self::unavailable(s));
+        }
         self.router.requests[s] += 1;
         Ok((s, l))
     }
@@ -172,18 +288,20 @@ impl<S: HyperStore + Send> ShardedStore<S> {
             locals[s].push(l);
             pos[s].push(i);
         }
-        let work = locals
-            .into_iter()
-            .enumerate()
-            .map(|(s, w)| {
-                if w.is_empty() {
-                    None
-                } else {
-                    self.router.requests[s] += 1;
-                    Some(w)
+        let mut work = Vec::with_capacity(n);
+        for (s, w) in locals.into_iter().enumerate() {
+            if w.is_empty() {
+                work.push(None);
+            } else {
+                if !self.health[s] {
+                    // Batched primitives feed closures, whose results are
+                    // meaningless when incomplete: always fail fast.
+                    return Err(Self::unavailable(s));
                 }
-            })
-            .collect();
+                self.router.requests[s] += 1;
+                work.push(Some(w));
+            }
+        }
         Ok((work, pos))
     }
 
@@ -194,8 +312,12 @@ impl<S: HyperStore + Send> ShardedStore<S> {
             return Ok(l);
         }
         self.router.to_local(global)?; // the real node must exist
+        if !self.health[shard] {
+            return Err(Self::unavailable(shard));
+        }
         self.router.requests[shard] += 1;
-        let local = self.shards[shard].insert_extra_node(&ghost_value(global))?;
+        let r = self.shards[shard].insert_extra_node(&ghost_value(global));
+        let local = self.note(shard, r)?;
         self.router.register_ghost(global, shard, local);
         Ok(local)
     }
@@ -210,60 +332,111 @@ impl<S: HyperStore + Send> ShardedStore<S> {
     ) -> Result<()> {
         let (sa, la) = self.router.to_local(a)?;
         let (sb, lb) = self.router.to_local(b)?;
+        if !self.health[sa] {
+            return Err(Self::unavailable(sa));
+        }
+        if !self.health[sb] {
+            return Err(Self::unavailable(sb));
+        }
         if sa == sb {
             self.router.requests[sa] += 1;
-            return apply(&mut self.shards[sa], la, lb);
+            let r = apply(&mut self.shards[sa], la, lb);
+            return self.note(sa, r);
         }
         let ghost_b = self.ensure_ghost(b, sa)?;
         self.router.requests[sa] += 1;
-        apply(&mut self.shards[sa], la, ghost_b)?;
+        let r = apply(&mut self.shards[sa], la, ghost_b);
+        self.note(sa, r)?;
         let ghost_a = self.ensure_ghost(a, sb)?;
         self.router.requests[sb] += 1;
-        apply(&mut self.shards[sb], ghost_a, lb)?;
+        let r = apply(&mut self.shards[sb], ghost_a, lb);
+        self.note(sb, r)?;
         Ok(())
     }
 
-    /// Fan a read out to every shard in parallel; each worker translates
-    /// its shard's results to global ids and drops ghosts (results whose
-    /// owner is a different shard), so the caller only concatenates.
-    /// Results come back in shard order — a deterministic set order, per
-    /// the trait's set-result convention.
-    fn fan_out_owned(&mut self, f: impl Fn(&mut S) -> Result<Vec<Oid>> + Sync) -> Result<Vec<Oid>> {
-        for s in 0..self.router.shard_count() {
-            self.router.requests[s] += 1;
+    /// Fan `f` out to every *healthy* shard in parallel, applying the
+    /// [`ScanPolicy`] to dead shards and to shards that fail transiently
+    /// mid-scan. Returns `(shard, value)` pairs in shard order for the
+    /// shards that answered.
+    fn fan_out_policy<T: Send>(
+        &mut self,
+        f: impl Fn(&mut S) -> Result<T> + Sync,
+    ) -> Result<Vec<(usize, T)>> {
+        self.last_scan_partial = false;
+        let policy = self.scan_policy;
+        if let Some(dead) = self.health.iter().position(|h| !*h) {
+            match policy {
+                ScanPolicy::FailFast => return Err(Self::unavailable(dead)),
+                ScanPolicy::Partial => self.last_scan_partial = true,
+            }
         }
-        let ShardedStore { shards, router, .. } = self;
-        let router = &*router;
-        fn keep_owned(router: &ShardRouter, s: usize, locals: Vec<Oid>) -> Result<Vec<Oid>> {
-            let mut owned = Vec::with_capacity(locals.len());
+        let healthy = self.health.clone();
+        for (req, up) in self.router.requests.iter_mut().zip(&healthy) {
+            if *up {
+                *req += 1;
+            }
+        }
+        let shards = &mut self.shards;
+        let healthy_ref = &healthy;
+        let results: Vec<Option<Result<T>>> = if let [only] = shards.as_mut_slice() {
+            vec![if healthy_ref[0] { Some(f(only)) } else { None }]
+        } else {
+            std::thread::scope(|sc| {
+                let handles: Vec<_> = shards
+                    .iter_mut()
+                    .enumerate()
+                    .map(|(s, shard)| {
+                        if healthy_ref[s] {
+                            let f = &f;
+                            Some(sc.spawn(move || f(shard)))
+                        } else {
+                            None
+                        }
+                    })
+                    .collect();
+                handles
+                    .into_iter()
+                    .map(|h| h.map(|h| h.join().expect("shard worker panicked")))
+                    .collect()
+            })
+        };
+        let mut out = Vec::new();
+        for (s, r) in results.into_iter().enumerate() {
+            match r {
+                None => {} // skipped: already counted as partial above
+                Some(Ok(v)) => out.push((s, v)),
+                Some(Err(e)) if e.is_transient() => {
+                    self.health[s] = false;
+                    match policy {
+                        ScanPolicy::FailFast => {
+                            return Err(HmError::ShardUnavailable {
+                                shard: s,
+                                msg: e.to_string(),
+                            });
+                        }
+                        ScanPolicy::Partial => self.last_scan_partial = true,
+                    }
+                }
+                Some(Err(e)) => return Err(e),
+            }
+        }
+        Ok(out)
+    }
+
+    /// Fan a read out across the shards (per the scan policy), translate
+    /// each shard's results to global ids and drop ghosts (results whose
+    /// owner is a different shard). Results come back in shard order — a
+    /// deterministic set order, per the trait's set-result convention.
+    fn fan_out_owned(&mut self, f: impl Fn(&mut S) -> Result<Vec<Oid>> + Sync) -> Result<Vec<Oid>> {
+        let per_shard = self.fan_out_policy(f)?;
+        let mut out = Vec::new();
+        for (s, locals) in per_shard {
             for l in locals {
-                let g = router.to_global(s, l)?;
-                if router.owner_of(g) == Some(s) {
-                    owned.push(g);
+                let g = self.router.to_global(s, l)?;
+                if self.router.owner_of(g) == Some(s) {
+                    out.push(g);
                 }
             }
-            Ok(owned)
-        }
-        if let [only] = shards.as_mut_slice() {
-            return keep_owned(router, 0, f(only)?);
-        }
-        let results: Vec<Result<Vec<Oid>>> = std::thread::scope(|sc| {
-            let handles: Vec<_> = shards
-                .iter_mut()
-                .enumerate()
-                .map(|(s, shard)| {
-                    let f = &f;
-                    sc.spawn(move || -> Result<Vec<Oid>> { keep_owned(router, s, f(shard)?) })
-                })
-                .collect();
-            handles
-                .into_iter()
-                .map(|h| h.join().expect("shard worker panicked"))
-                .collect()
-        });
-        let mut out = Vec::new();
-        for r in results {
-            out.extend(r?);
         }
         Ok(out)
     }
@@ -363,39 +536,35 @@ impl<S: HyperStore + Send> HyperStore for ShardedStore<S> {
     fn lookup_unique(&mut self, unique_id: u64) -> Result<Oid> {
         let g = self.router.global_for_uid(unique_id)?;
         let (s, l) = self.route(g)?;
-        let local = self.shards[s].lookup_unique(unique_id)?;
+        let r = self.shards[s].lookup_unique(unique_id);
+        let local = self.note(s, r)?;
         debug_assert_eq!(local, l, "shard uid index disagrees with router");
         Ok(g)
     }
 
     fn unique_id_of(&mut self, oid: Oid) -> Result<u64> {
-        let (s, l) = self.route(oid)?;
-        self.shards[s].unique_id_of(l)
+        Ok(self.on_shard(oid, |sh, l| sh.unique_id_of(l))?.1)
     }
 
     fn kind_of(&mut self, oid: Oid) -> Result<NodeKind> {
-        let (s, l) = self.route(oid)?;
-        self.shards[s].kind_of(l)
+        Ok(self.on_shard(oid, |sh, l| sh.kind_of(l))?.1)
     }
 
     fn ten_of(&mut self, oid: Oid) -> Result<u32> {
-        let (s, l) = self.route(oid)?;
-        self.shards[s].ten_of(l)
+        Ok(self.on_shard(oid, |sh, l| sh.ten_of(l))?.1)
     }
 
     fn hundred_of(&mut self, oid: Oid) -> Result<u32> {
-        let (s, l) = self.route(oid)?;
-        self.shards[s].hundred_of(l)
+        Ok(self.on_shard(oid, |sh, l| sh.hundred_of(l))?.1)
     }
 
     fn million_of(&mut self, oid: Oid) -> Result<u32> {
-        let (s, l) = self.route(oid)?;
-        self.shards[s].million_of(l)
+        Ok(self.on_shard(oid, |sh, l| sh.million_of(l))?.1)
     }
 
     fn set_hundred(&mut self, oid: Oid, value: u32) -> Result<()> {
-        let (s, l) = self.route(oid)?;
-        self.shards[s].set_hundred(l, value)
+        self.on_shard(oid, |sh, l| sh.set_hundred(l, value))?;
+        Ok(())
     }
 
     fn range_hundred(&mut self, lo: u32, hi: u32) -> Result<Vec<Oid>> {
@@ -407,65 +576,62 @@ impl<S: HyperStore + Send> HyperStore for ShardedStore<S> {
     }
 
     fn children(&mut self, oid: Oid) -> Result<Vec<Oid>> {
-        let (s, l) = self.route(oid)?;
-        let kids = self.shards[s].children(l)?;
+        let (s, kids) = self.on_shard(oid, |sh, l| sh.children(l))?;
         self.translate_oids(s, kids)
     }
 
     fn parent(&mut self, oid: Oid) -> Result<Option<Oid>> {
-        let (s, l) = self.route(oid)?;
-        match self.shards[s].parent(l)? {
+        let (s, p) = self.on_shard(oid, |sh, l| sh.parent(l))?;
+        match p {
             Some(p) => Ok(Some(self.router.to_global(s, p)?)),
             None => Ok(None),
         }
     }
 
     fn parts(&mut self, oid: Oid) -> Result<Vec<Oid>> {
-        let (s, l) = self.route(oid)?;
-        let ps = self.shards[s].parts(l)?;
+        let (s, ps) = self.on_shard(oid, |sh, l| sh.parts(l))?;
         self.translate_oids(s, ps)
     }
 
     fn part_of(&mut self, oid: Oid) -> Result<Vec<Oid>> {
-        let (s, l) = self.route(oid)?;
-        let owners = self.shards[s].part_of(l)?;
+        let (s, owners) = self.on_shard(oid, |sh, l| sh.part_of(l))?;
         self.translate_oids(s, owners)
     }
 
     fn refs_to(&mut self, oid: Oid) -> Result<Vec<RefEdge>> {
-        let (s, l) = self.route(oid)?;
-        let edges = self.shards[s].refs_to(l)?;
+        let (s, edges) = self.on_shard(oid, |sh, l| sh.refs_to(l))?;
         self.translate_edges(s, edges)
     }
 
     fn refs_from(&mut self, oid: Oid) -> Result<Vec<RefEdge>> {
-        let (s, l) = self.route(oid)?;
-        let edges = self.shards[s].refs_from(l)?;
+        let (s, edges) = self.on_shard(oid, |sh, l| sh.refs_from(l))?;
         self.translate_edges(s, edges)
     }
 
     fn seq_scan_ten(&mut self) -> Result<u64> {
-        Ok(self.per_shard_scan()?.into_iter().sum())
+        Ok(self
+            .fan_out_policy(|shard| shard.seq_scan_ten())?
+            .into_iter()
+            .map(|(_, v)| v)
+            .sum())
     }
 
     fn text_of(&mut self, oid: Oid) -> Result<String> {
-        let (s, l) = self.route(oid)?;
-        self.shards[s].text_of(l)
+        Ok(self.on_shard(oid, |sh, l| sh.text_of(l))?.1)
     }
 
     fn set_text(&mut self, oid: Oid, text: &str) -> Result<()> {
-        let (s, l) = self.route(oid)?;
-        self.shards[s].set_text(l, text)
+        self.on_shard(oid, |sh, l| sh.set_text(l, text))?;
+        Ok(())
     }
 
     fn form_of(&mut self, oid: Oid) -> Result<Bitmap> {
-        let (s, l) = self.route(oid)?;
-        self.shards[s].form_of(l)
+        Ok(self.on_shard(oid, |sh, l| sh.form_of(l))?.1)
     }
 
     fn set_form(&mut self, oid: Oid, bitmap: &Bitmap) -> Result<()> {
-        let (s, l) = self.route(oid)?;
-        self.shards[s].set_form(l, bitmap)
+        self.on_shard(oid, |sh, l| sh.set_form(l, bitmap))?;
+        Ok(())
     }
 
     fn create_node(&mut self, value: &NodeValue) -> Result<Oid> {
@@ -481,8 +647,12 @@ impl<S: HyperStore + Send> HyperStore for ShardedStore<S> {
             Ok((ps, pl)) if ps == s => Some(pl),
             _ => self.router.ghost_of(near.unwrap(), s),
         });
+        if !self.health[s] {
+            return Err(Self::unavailable(s));
+        }
         self.router.requests[s] += 1;
-        let local = self.shards[s].create_node_clustered(value, local_near)?;
+        let r = self.shards[s].create_node_clustered(value, local_near);
+        let local = self.note(s, r)?;
         self.router
             .register(g, s, local, depth, value.attrs.unique_id);
         self.router.nodes[s] += 1;
@@ -506,23 +676,84 @@ impl<S: HyperStore + Send> HyperStore for ShardedStore<S> {
     fn insert_extra_node(&mut self, value: &NodeValue) -> Result<Oid> {
         let g = self.router.mint();
         let (s, depth) = self.router.place(g.0, None);
+        if !self.health[s] {
+            return Err(Self::unavailable(s));
+        }
         self.router.requests[s] += 1;
-        let local = self.shards[s].insert_extra_node(value)?;
+        let r = self.shards[s].insert_extra_node(value);
+        let local = self.note(s, r)?;
         self.router
             .register(g, s, local, depth, value.attrs.unique_id);
         Ok(g)
     }
 
     fn commit(&mut self) -> Result<()> {
-        for r in all_shards(&mut self.shards, |shard| shard.commit()) {
-            r?;
+        // A commit must touch every shard: fail fast if one is known dead.
+        if let Some(dead) = self.health.iter().position(|h| !*h) {
+            return Err(Self::unavailable(dead));
+        }
+        if self.commit_log.is_none() {
+            // Legacy single-phase: every shard commits independently. Not
+            // crash-atomic across shards — enable `with_commit_log` for that.
+            for (s, r) in all_shards(&mut self.shards, |shard| shard.commit())
+                .into_iter()
+                .enumerate()
+            {
+                self.note(s, r)?;
+            }
+            return Ok(());
+        }
+        // Two-phase: prepare everywhere, durably record the decision, then
+        // tell every shard to finish. The fsynced decision record is the
+        // commit point — once it is on disk, recovery completes the
+        // transaction even if every later message is lost.
+        let txid = self.next_txid;
+        self.next_txid += 1;
+        let prepared: Vec<Result<()>> =
+            all_shards(&mut self.shards, |shard| shard.prepare_commit(txid));
+        if prepared.iter().any(|r| r.is_err()) {
+            self.aborts += 1;
+            // The abort record is best-effort: presumed abort means an
+            // absent decision already reads as "abort" during recovery.
+            if let Some(log) = &mut self.commit_log {
+                let _ = log.record(txid, false);
+            }
+            let mut first = None;
+            for (s, r) in prepared.into_iter().enumerate() {
+                match r {
+                    Ok(()) => {
+                        let a = self.shards[s].abort_prepared(txid);
+                        let _ = self.note(s, a);
+                    }
+                    Err(e) => {
+                        let e = self.note(s, Err::<(), _>(e)).unwrap_err();
+                        first.get_or_insert(e);
+                    }
+                }
+            }
+            return Err(first.expect("at least one prepare failed"));
+        }
+        self.commit_log
+            .as_mut()
+            .expect("checked above")
+            .record(txid, true)?;
+        // Phase two: failures here only mark health — the decision is
+        // durable, so recovery finishes the commit on the failed shard.
+        for (s, r) in all_shards(&mut self.shards, |shard| shard.commit_prepared(txid))
+            .into_iter()
+            .enumerate()
+        {
+            let _ = self.note(s, r);
         }
         Ok(())
     }
 
     fn cold_restart(&mut self) -> Result<()> {
-        for r in all_shards(&mut self.shards, |shard| shard.cold_restart()) {
-            r?;
+        for (s, r) in all_shards(&mut self.shards, |shard| shard.cold_restart())
+            .into_iter()
+            .enumerate()
+        {
+            self.note(s, r)?;
         }
         Ok(())
     }
@@ -543,6 +774,24 @@ impl<S: HyperStore + Send> HyperStore for ShardedStore<S> {
         )
     }
 
+    fn resilience_summary(&self) -> Option<String> {
+        let dead = self.health.iter().filter(|h| !**h).count();
+        if self.commit_log.is_none() && self.aborts == 0 && dead == 0 {
+            return None;
+        }
+        Some(format!(
+            "2pc={} commit-aborts={} dead-shards={}/{}",
+            if self.commit_log.is_some() {
+                "on"
+            } else {
+                "off"
+            },
+            self.aborts,
+            dead,
+            self.health.len()
+        ))
+    }
+
     // ---- batched primitives: one request per shard with work ----------
 
     fn children_batch(&mut self, oids: &[Oid]) -> Result<Vec<Vec<Oid>>> {
@@ -552,7 +801,8 @@ impl<S: HyperStore + Send> HyperStore for ShardedStore<S> {
         });
         let mut out = vec![Vec::new(); oids.len()];
         for (s, r) in results.into_iter().enumerate() {
-            for (j, list) in r?.into_iter().enumerate() {
+            let lists = self.note(s, r)?;
+            for (j, list) in lists.into_iter().enumerate() {
                 out[pos[s][j]] = self.translate_oids(s, list)?;
             }
         }
@@ -566,7 +816,8 @@ impl<S: HyperStore + Send> HyperStore for ShardedStore<S> {
         });
         let mut out = vec![Vec::new(); oids.len()];
         for (s, r) in results.into_iter().enumerate() {
-            for (j, list) in r?.into_iter().enumerate() {
+            let lists = self.note(s, r)?;
+            for (j, list) in lists.into_iter().enumerate() {
                 out[pos[s][j]] = self.translate_oids(s, list)?;
             }
         }
@@ -580,7 +831,8 @@ impl<S: HyperStore + Send> HyperStore for ShardedStore<S> {
         });
         let mut out = vec![Vec::new(); oids.len()];
         for (s, r) in results.into_iter().enumerate() {
-            for (j, list) in r?.into_iter().enumerate() {
+            let lists = self.note(s, r)?;
+            for (j, list) in lists.into_iter().enumerate() {
                 out[pos[s][j]] = self.translate_edges(s, list)?;
             }
         }
@@ -594,7 +846,8 @@ impl<S: HyperStore + Send> HyperStore for ShardedStore<S> {
         });
         let mut out = vec![0u32; oids.len()];
         for (s, r) in results.into_iter().enumerate() {
-            for (j, v) in r?.into_iter().enumerate() {
+            let vals = self.note(s, r)?;
+            for (j, v) in vals.into_iter().enumerate() {
                 out[pos[s][j]] = v;
             }
         }
@@ -608,7 +861,8 @@ impl<S: HyperStore + Send> HyperStore for ShardedStore<S> {
         });
         let mut out = vec![0u32; oids.len()];
         for (s, r) in results.into_iter().enumerate() {
-            for (j, v) in r?.into_iter().enumerate() {
+            let vals = self.note(s, r)?;
+            for (j, v) in vals.into_iter().enumerate() {
                 out[pos[s][j]] = v;
             }
         }
@@ -622,23 +876,23 @@ impl<S: HyperStore + Send> HyperStore for ShardedStore<S> {
             let (s, l) = self.router.to_local(g)?;
             per[s].push((l, v));
         }
-        let work = per
-            .into_iter()
-            .enumerate()
-            .map(|(s, w)| {
-                if w.is_empty() {
-                    None
-                } else {
-                    self.router.requests[s] += 1;
-                    Some(w)
+        let mut work = Vec::with_capacity(n);
+        for (s, w) in per.into_iter().enumerate() {
+            if w.is_empty() {
+                work.push(None);
+            } else {
+                if !self.health[s] {
+                    return Err(Self::unavailable(s));
                 }
-            })
-            .collect();
+                self.router.requests[s] += 1;
+                work.push(Some(w));
+            }
+        }
         let results = batched(&mut self.shards, work, |shard, w: Vec<(Oid, u32)>| {
             shard.set_hundred_batch(&w)
         });
-        for r in results {
-            r?;
+        for (s, r) in results.into_iter().enumerate() {
+            self.note(s, r)?;
         }
         Ok(())
     }
@@ -754,19 +1008,20 @@ impl<S: HyperStore + Send> HyperStore for ShardedStore<S> {
     }
 
     fn text_node_edit(&mut self, oid: Oid, from: &str, to: &str) -> Result<usize> {
-        let (s, l) = self.route(oid)?;
-        match self.shards[s].text_node_edit(l, from, to) {
+        match self.on_shard(oid, |sh, l| sh.text_node_edit(l, from, to)) {
             // Kind errors must name the caller's id, not the shard-local one.
             Err(HmError::WrongKind { expected, .. }) => Err(HmError::WrongKind { oid, expected }),
-            other => other,
+            other => Ok(other?.1),
         }
     }
 
     fn form_node_edit(&mut self, oid: Oid, x0: u16, y0: u16, x1: u16, y1: u16) -> Result<()> {
-        let (s, l) = self.route(oid)?;
-        match self.shards[s].form_node_edit(l, x0, y0, x1, y1) {
+        match self.on_shard(oid, |sh, l| sh.form_node_edit(l, x0, y0, x1, y1)) {
             Err(HmError::WrongKind { expected, .. }) => Err(HmError::WrongKind { oid, expected }),
-            other => other,
+            other => {
+                other?;
+                Ok(())
+            }
         }
     }
 }

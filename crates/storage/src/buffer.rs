@@ -323,6 +323,23 @@ impl BufferPool {
         self.map.clear();
         Ok(())
     }
+
+    /// Drop every cached frame **including dirty ones**, without writing
+    /// them. Under the no-steal protocol the database file still holds the
+    /// pre-transaction state, so this is the abort primitive: the next
+    /// fetch re-reads clean images from disk. Pinned frames are still an
+    /// error — a caller holding a page handle across an abort is a bug.
+    pub fn discard_all(&mut self) -> Result<()> {
+        if let Some(f) = self.frames.iter().find(|f| Arc::strong_count(&f.page) > 1) {
+            return Err(StorageError::InvalidArgument(format!(
+                "discard_all with pinned page {}",
+                f.id
+            )));
+        }
+        self.frames.clear();
+        self.map.clear();
+        Ok(())
+    }
 }
 
 impl std::fmt::Debug for BufferPool {
@@ -430,6 +447,24 @@ mod tests {
         drop(h);
         bp.drop_all().unwrap();
         assert_eq!(bp.resident(), 0);
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn discard_all_drops_dirty_frames_without_writing() {
+        let (mut bp, path) = pool("discard", 8);
+        let (id, h) = bp.allocate().unwrap();
+        h.lock().write_u64(200, 7);
+        drop(h);
+        bp.flush_all().unwrap();
+        // Dirty the page again with a value that must NOT survive.
+        let h = bp.fetch_mut(id).unwrap();
+        h.lock().write_u64(200, 8);
+        drop(h);
+        bp.discard_all().unwrap();
+        assert_eq!(bp.resident(), 0);
+        let h = bp.fetch(id).unwrap();
+        assert_eq!(h.lock().read_u64(200), 7, "pre-abort image re-read");
         std::fs::remove_file(&path).unwrap();
     }
 

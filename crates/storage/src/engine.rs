@@ -59,9 +59,14 @@ pub struct Engine {
     wal_path: PathBuf,
     txn_counter: u64,
     commits: u64,
+    /// Transaction id staged by [`Engine::prepare`], awaiting a decision.
+    prepared: Option<u64>,
 }
 
-fn wal_path_for(db_path: &Path) -> PathBuf {
+/// The write-ahead-log path the engine uses for a database at `db_path`
+/// (the db path with `.wal` appended). Public so coordinators can inspect
+/// a closed database's log for in-doubt transactions without opening it.
+pub fn wal_path_for(db_path: &Path) -> PathBuf {
     let mut p = db_path.as_os_str().to_os_string();
     p.push(".wal");
     PathBuf::from(p)
@@ -80,6 +85,7 @@ impl Engine {
             wal_path,
             txn_counter: 0,
             commits: 0,
+            prepared: None,
         };
         engine.init_catalog()?;
         Ok(engine)
@@ -98,6 +104,7 @@ impl Engine {
             wal_path,
             txn_counter: 0,
             commits: 0,
+            prepared: None,
         };
         engine.read_catalog()?; // validates the catalog magic
         Ok((engine, report))
@@ -240,6 +247,11 @@ impl Engine {
     /// Commit all dirty pages: log images + commit marker, fsync the log,
     /// then flush pages to the database file.
     pub fn commit(&mut self) -> Result<CommitStats> {
+        if let Some(txid) = self.prepared {
+            return Err(StorageError::InvalidArgument(format!(
+                "commit while transaction {txid} is prepared"
+            )));
+        }
         let dirty = self.pool.dirty_snapshot();
         if dirty.is_empty() {
             return Ok(CommitStats::default());
@@ -257,6 +269,87 @@ impl Engine {
             pages: dirty.len(),
             wal_bytes: self.wal.appended_bytes() - before,
         })
+    }
+
+    // ---- two-phase commit (participant side) ---------------------------
+
+    /// Phase one: durably stage all dirty pages under coordinator
+    /// transaction id `txid`. Logs every dirty image plus a prepare
+    /// marker and fsyncs — but does **not** flush pages to the database
+    /// file, so the on-disk state is unchanged until the decision. After
+    /// a successful prepare the engine can finish either way, even across
+    /// a crash (recovery reports the transaction as in-doubt and
+    /// [`crate::recovery::resolve_in_doubt`] applies the decision).
+    pub fn prepare(&mut self, txid: u64) -> Result<CommitStats> {
+        if let Some(other) = self.prepared {
+            return Err(StorageError::InvalidArgument(format!(
+                "prepare({txid}) while transaction {other} is prepared"
+            )));
+        }
+        let dirty = self.pool.dirty_snapshot();
+        let before = self.wal.appended_bytes();
+        for (_, page) in &dirty {
+            self.wal.append_page_image(page)?;
+        }
+        self.wal.append_prepare(txid)?;
+        self.wal.sync()?;
+        self.prepared = Some(txid);
+        Ok(CommitStats {
+            pages: dirty.len(),
+            wal_bytes: self.wal.appended_bytes() - before,
+        })
+    }
+
+    /// Phase two, commit side: make the transaction prepared as `txid`
+    /// durable. Idempotent — a decision for an already-decided (or never
+    /// prepared) transaction is a no-op.
+    pub fn commit_prepared(&mut self, txid: u64) -> Result<()> {
+        match self.prepared {
+            Some(t) if t == txid => {
+                self.wal.append_commit(txid)?;
+                self.wal.sync()?;
+                self.pool.flush_all()?;
+                self.commits += 1;
+                self.prepared = None;
+                Ok(())
+            }
+            Some(other) => Err(StorageError::InvalidArgument(format!(
+                "commit_prepared({txid}) but transaction {other} is prepared"
+            ))),
+            None => Ok(()),
+        }
+    }
+
+    /// Phase two, abort side: discard the transaction prepared as `txid`.
+    /// Logs the abort decision, then drops every cached frame (no-steal:
+    /// the database file still holds the pre-transaction images, so the
+    /// next fetch reads clean state). Pages allocated by the aborted
+    /// transaction leak in the file — harmless, reclaimed by no one, the
+    /// standard cost of redo-only abort. Idempotent like
+    /// [`Engine::commit_prepared`].
+    ///
+    /// The caller must treat all in-memory structures layered on this
+    /// engine (heap/index handles, cached roots) as invalid afterwards
+    /// and re-read them from the catalog.
+    pub fn abort_prepared(&mut self, txid: u64) -> Result<()> {
+        match self.prepared {
+            Some(t) if t == txid => {
+                self.wal.append_abort(txid)?;
+                self.wal.sync()?;
+                self.pool.discard_all()?;
+                self.prepared = None;
+                Ok(())
+            }
+            Some(other) => Err(StorageError::InvalidArgument(format!(
+                "abort_prepared({txid}) but transaction {other} is prepared"
+            ))),
+            None => Ok(()),
+        }
+    }
+
+    /// The transaction id currently prepared on this engine, if any.
+    pub fn prepared_txid(&self) -> Option<u64> {
+        self.prepared
     }
 
     /// Failure-injection variant of [`Engine::commit`]: performs the commit
@@ -287,6 +380,13 @@ impl Engine {
     /// Flush everything and truncate the log. After a checkpoint the
     /// database file alone is a consistent, durable image.
     pub fn checkpoint(&mut self) -> Result<()> {
+        if let Some(txid) = self.prepared {
+            // Flushing undecided pages would break the no-steal invariant
+            // recovery depends on.
+            return Err(StorageError::InvalidArgument(format!(
+                "checkpoint while transaction {txid} is prepared"
+            )));
+        }
         self.pool.flush_all()?;
         self.pool.sync()?;
         self.wal.truncate()?;
@@ -442,6 +542,93 @@ mod tests {
         let misses_before = e.pool_ref().stats().misses;
         heap.get(e.pool(), rid).unwrap();
         assert_eq!(e.pool_ref().stats().misses, misses_before);
+        cleanup(&path);
+    }
+
+    #[test]
+    fn prepare_then_commit_prepared_is_durable() {
+        let path = dbpath("2pc-commit");
+        let rid;
+        {
+            let mut e = Engine::create(&path, 64).unwrap();
+            let mut heap = HeapFile::create(e.pool()).unwrap();
+            rid = heap.insert(e.pool(), b"two-phase").unwrap();
+            e.catalog_set("heap", heap.first_page().0).unwrap();
+            e.prepare(5).unwrap();
+            assert_eq!(e.prepared_txid(), Some(5));
+            // Single-phase commit and checkpoint are refused mid-prepare.
+            assert!(e.commit().is_err());
+            assert!(e.checkpoint().is_err());
+            e.commit_prepared(5).unwrap();
+            assert_eq!(e.prepared_txid(), None);
+            // Idempotent.
+            e.commit_prepared(5).unwrap();
+        }
+        {
+            let (mut e, report) = Engine::open(&path, 64).unwrap();
+            assert_eq!(report.in_doubt, None);
+            let heap = HeapFile::open(PageId(e.catalog_get("heap").unwrap()));
+            assert_eq!(heap.get(e.pool(), rid).unwrap(), b"two-phase");
+        }
+        cleanup(&path);
+    }
+
+    #[test]
+    fn prepare_then_abort_restores_pre_txn_state() {
+        let path = dbpath("2pc-abort");
+        {
+            let mut e = Engine::create(&path, 64).unwrap();
+            e.catalog_set("kept", 1).unwrap();
+            e.commit().unwrap();
+            e.checkpoint().unwrap();
+            e.catalog_set("doomed", 2).unwrap();
+            e.prepare(6).unwrap();
+            e.abort_prepared(6).unwrap();
+            // In-memory caches were discarded; the catalog re-read from
+            // disk has only the committed entry.
+            assert_eq!(e.catalog_try_get("doomed").unwrap(), None);
+            assert_eq!(e.catalog_get("kept").unwrap(), 1);
+            // The engine stays usable for new transactions.
+            e.catalog_set("after", 3).unwrap();
+            e.commit().unwrap();
+        }
+        {
+            let (mut e, _) = Engine::open(&path, 64).unwrap();
+            assert_eq!(e.catalog_try_get("doomed").unwrap(), None);
+            assert_eq!(e.catalog_get("after").unwrap(), 3);
+        }
+        cleanup(&path);
+    }
+
+    #[test]
+    fn crash_while_prepared_leaves_in_doubt_until_resolved() {
+        let path = dbpath("2pc-indoubt");
+        {
+            let mut e = Engine::create(&path, 64).unwrap();
+            e.commit().unwrap();
+            e.checkpoint().unwrap();
+        }
+        {
+            let (mut e, _) = Engine::open(&path, 64).unwrap();
+            e.catalog_set("staged", 9).unwrap();
+            e.prepare(11).unwrap();
+            // "crash": abandon the engine without a decision.
+            std::mem::forget(e);
+        }
+        // Reopen refuses silently picking a side: the report names the
+        // in-doubt transaction and the staged images survive in the log.
+        {
+            let (mut e, report) = Engine::open(&path, 64).unwrap();
+            assert_eq!(report.in_doubt, Some(11));
+            assert_eq!(e.catalog_try_get("staged").unwrap(), None);
+        }
+        // The coordinator decides commit; the staged write lands.
+        crate::recovery::resolve_in_doubt(&path, &wal_path_for(&path), 11, true).unwrap();
+        {
+            let (mut e, report) = Engine::open(&path, 64).unwrap();
+            assert_eq!(report.in_doubt, None);
+            assert_eq!(e.catalog_get("staged").unwrap(), 9);
+        }
         cleanup(&path);
     }
 

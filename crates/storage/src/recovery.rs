@@ -1,16 +1,30 @@
 //! Crash recovery: redo committed page images from the write-ahead log.
 //!
 //! Because the buffer pool is no-steal (uncommitted pages never reach the
-//! database file) recovery is redo-only:
+//! database file) recovery is redo-only. The log is a sequence of page
+//! images punctuated by transaction boundaries:
 //!
-//! 1. Read every record in the log; a torn tail ends the scan.
-//! 2. Find the last [`WalRecord::Commit`]. Page images after it belong to a
-//!    transaction that never committed — they are ignored, which is what
-//!    makes commit atomic.
-//! 3. Apply every page image *before* that point, in log order, to the
-//!    database file (later images of the same page simply overwrite
-//!    earlier ones — idempotent).
-//! 4. fsync the database file and truncate the log.
+//! * [`WalRecord::Commit`] — the images since the previous boundary (or the
+//!   matching prepared set, see below) are committed and must be redone.
+//! * [`WalRecord::Prepare`] — the images since the previous boundary are
+//!   durably *staged* under a coordinator-assigned `txid` (two-phase
+//!   commit, phase one). They are neither redone nor discarded until a
+//!   decision record with the same `txid` appears.
+//! * [`WalRecord::Abort`] — the prepared set with this `txid` is dropped.
+//!
+//! Recovery therefore:
+//!
+//! 1. Reads every record in the log; a torn tail ends the scan.
+//! 2. Replays, in log order, the images of every decided-committed
+//!    transaction (later images of the same page overwrite earlier ones —
+//!    idempotent).
+//! 3. Discards images of aborted and never-terminated transactions.
+//! 4. If a prepared transaction has **no** decision record, it is
+//!    **in-doubt**: its images are kept, the log is *not* truncated, and
+//!    the report names the `txid`. The caller must resolve it against the
+//!    transaction coordinator's decision log — see [`resolve_in_doubt`] —
+//!    before using the database.
+//! 5. Otherwise fsyncs the database file and truncates the log.
 //!
 //! Recovery is idempotent: crashing during recovery and re-running it
 //! reaches the same state.
@@ -19,7 +33,7 @@ use std::path::Path;
 
 use crate::disk::DiskManager;
 use crate::error::Result;
-use crate::page::Page;
+use crate::page::{Page, PageId, PAGE_SIZE};
 use crate::wal::{Wal, WalRecord};
 
 /// Outcome of a recovery pass, for logging/inspection.
@@ -29,10 +43,93 @@ pub struct RecoveryReport {
     pub records_scanned: usize,
     /// Page images applied to the database file.
     pub pages_redone: usize,
-    /// Page images discarded because they followed the last commit.
+    /// Page images discarded (aborted or never-committed transactions).
     pub pages_discarded: usize,
     /// Number of commit markers seen.
     pub commits: usize,
+    /// A prepared transaction with no commit/abort decision in the log.
+    /// Its images are retained in the log awaiting [`resolve_in_doubt`].
+    pub in_doubt: Option<u64>,
+}
+
+/// Page images staged for redo, in log order.
+type Staged = Vec<(PageId, Box<[u8; PAGE_SIZE]>)>;
+
+/// Result of scanning a log: what to redo, what was dropped, what hangs.
+struct Scan {
+    /// Committed images in log order.
+    redo: Staged,
+    discarded: usize,
+    commits: usize,
+    records: usize,
+    in_doubt: Option<u64>,
+}
+
+fn scan(records: Vec<WalRecord>) -> Scan {
+    let mut redo = Vec::new();
+    let mut pending: Staged = Vec::new();
+    // The engine is single-writer, so at most one transaction is prepared
+    // at a time; a second `Prepare` implies the first was decided.
+    let mut prepared: Option<(u64, Staged)> = None;
+    let mut discarded = 0usize;
+    let mut commits = 0usize;
+    let n = records.len();
+    for record in records {
+        match record {
+            WalRecord::PageImage { page_id, image } => pending.push((page_id, image)),
+            WalRecord::Commit { txn } => {
+                commits += 1;
+                if let Some((ptx, staged)) = prepared.take() {
+                    if ptx == txn {
+                        redo.extend(staged);
+                    } else {
+                        // A commit for a different transaction decides
+                        // nothing about the prepared one; keep it staged.
+                        prepared = Some((ptx, staged));
+                    }
+                }
+                redo.append(&mut pending);
+            }
+            WalRecord::Prepare { txid } => {
+                if let Some((_, staged)) = prepared.take() {
+                    // Overwritten prepare: only reachable through log
+                    // corruption in a single-writer engine; drop the
+                    // stale set rather than guessing its fate.
+                    discarded += staged.len();
+                }
+                prepared = Some((txid, std::mem::take(&mut pending)));
+            }
+            WalRecord::Abort { txid } => {
+                if let Some((ptx, staged)) = prepared.take() {
+                    if ptx == txid {
+                        discarded += staged.len();
+                    } else {
+                        prepared = Some((ptx, staged));
+                    }
+                }
+            }
+            WalRecord::Checkpoint => {}
+        }
+    }
+    // Images after the last boundary belong to a transaction that never
+    // reached prepare or commit.
+    discarded += pending.len();
+    let in_doubt = prepared.as_ref().map(|(t, _)| *t);
+    Scan {
+        redo,
+        discarded,
+        commits,
+        records: n,
+        in_doubt,
+    }
+}
+
+/// Scan `wal_path` (read-only) for a prepared-but-undecided transaction.
+///
+/// Used by transaction coordinators to find in-doubt participants before
+/// deciding their fate via [`resolve_in_doubt`].
+pub fn in_doubt_txn(wal_path: &Path) -> Result<Option<u64>> {
+    Ok(scan(Wal::read_all(wal_path)?).in_doubt)
 }
 
 /// Run recovery for the database at `db_path` with log `wal_path`.
@@ -41,50 +138,62 @@ pub struct RecoveryReport {
 /// report). Must be called *before* opening a buffer pool on the file.
 pub fn recover(db_path: &Path, wal_path: &Path) -> Result<RecoveryReport> {
     let records = Wal::read_all(wal_path)?;
+    if records.is_empty() {
+        return Ok(RecoveryReport::default());
+    }
+    let outcome = scan(records);
     let mut report = RecoveryReport {
-        records_scanned: records.len(),
+        records_scanned: outcome.records,
+        pages_discarded: outcome.discarded,
+        commits: outcome.commits,
+        in_doubt: outcome.in_doubt,
         ..RecoveryReport::default()
     };
-    if records.is_empty() {
-        return Ok(report);
-    }
-    let last_commit = records
-        .iter()
-        .rposition(|r| matches!(r, WalRecord::Commit { .. }));
-    report.commits = records
-        .iter()
-        .filter(|r| matches!(r, WalRecord::Commit { .. }))
-        .count();
-
     let mut disk = DiskManager::open(db_path)?;
-    if let Some(limit) = last_commit {
-        for record in &records[..limit] {
-            if let WalRecord::PageImage { page_id, image } = record {
-                // The crash may have lost the file extension performed by
-                // `allocate`; regrow the file as needed.
-                while disk.page_count() <= page_id.0 {
-                    disk.allocate()?;
-                }
-                let mut page = Page::from_bytes(image.clone());
-                debug_assert_eq!(page.id(), *page_id);
-                disk.write_page(&mut page)?;
-                report.pages_redone += 1;
-            }
+    for (page_id, image) in outcome.redo {
+        // The crash may have lost the file extension performed by
+        // `allocate`; regrow the file as needed.
+        while disk.page_count() <= page_id.0 {
+            disk.allocate()?;
         }
-        report.pages_discarded = records[limit..]
-            .iter()
-            .filter(|r| matches!(r, WalRecord::PageImage { .. }))
-            .count();
-    } else {
-        report.pages_discarded = records
-            .iter()
-            .filter(|r| matches!(r, WalRecord::PageImage { .. }))
-            .count();
+        let mut page = Page::from_bytes(image);
+        debug_assert_eq!(page.id(), page_id);
+        disk.write_page(&mut page)?;
+        report.pages_redone += 1;
     }
     disk.sync()?;
-    let mut wal = Wal::open(wal_path)?;
-    wal.truncate()?;
+    if report.in_doubt.is_none() {
+        let mut wal = Wal::open(wal_path)?;
+        wal.truncate()?;
+    }
+    // else: keep the log — it holds the in-doubt transaction's images
+    // until the coordinator's decision arrives via `resolve_in_doubt`.
     Ok(report)
+}
+
+/// Decide an in-doubt transaction and finish recovery.
+///
+/// Appends the coordinator's decision (`commit` true → commit marker,
+/// false → abort marker) for `txid` to the log, fsyncs it, and re-runs
+/// [`recover`], which now either redoes or discards the staged images and
+/// truncates the log. Idempotent: resolving an already-resolved log is a
+/// plain recovery pass.
+pub fn resolve_in_doubt(
+    db_path: &Path,
+    wal_path: &Path,
+    txid: u64,
+    commit: bool,
+) -> Result<RecoveryReport> {
+    if in_doubt_txn(wal_path)? == Some(txid) {
+        let mut wal = Wal::open(wal_path)?;
+        if commit {
+            wal.append_commit(txid)?;
+        } else {
+            wal.append_abort(txid)?;
+        }
+        wal.sync()?;
+    }
+    recover(db_path, wal_path)
 }
 
 #[cfg(test)]
@@ -233,6 +342,119 @@ mod tests {
         assert_eq!(report2, RecoveryReport::default());
         let mut dm = DiskManager::open(&db).unwrap();
         assert_eq!(dm.read_page(PageId(1)).unwrap().read_u64(100), 5);
+        std::fs::remove_file(&db).unwrap();
+        std::fs::remove_file(&walp).unwrap();
+    }
+
+    #[test]
+    fn prepared_without_decision_is_in_doubt_and_kept() {
+        let (db, walp) = paths("indoubt");
+        {
+            let mut dm = DiskManager::create(&db).unwrap();
+            let id = dm.allocate().unwrap();
+            let mut p = Page::new(id);
+            p.set_kind(PageKind::Heap);
+            p.write_u64(100, 1);
+            dm.write_page(&mut p).unwrap();
+            dm.sync().unwrap();
+        }
+        {
+            let mut wal = Wal::open(&walp).unwrap();
+            wal.append_page_image(&page_with(1, 999)).unwrap();
+            wal.append_prepare(7).unwrap();
+            wal.sync().unwrap();
+        }
+        assert_eq!(in_doubt_txn(&walp).unwrap(), Some(7));
+        let report = recover(&db, &walp).unwrap();
+        assert_eq!(report.in_doubt, Some(7));
+        assert_eq!(report.pages_redone, 0);
+        assert_eq!(report.pages_discarded, 0, "staged images are kept");
+        // The database file is untouched and the log survives recovery.
+        let mut dm = DiskManager::open(&db).unwrap();
+        assert_eq!(dm.read_page(PageId(1)).unwrap().read_u64(100), 1);
+        assert!(!Wal::read_all(&walp).unwrap().is_empty());
+        // Recovery without a decision is stable.
+        assert_eq!(recover(&db, &walp).unwrap().in_doubt, Some(7));
+        std::fs::remove_file(&db).unwrap();
+        std::fs::remove_file(&walp).unwrap();
+    }
+
+    #[test]
+    fn resolve_in_doubt_commit_applies_staged_images() {
+        let (db, walp) = paths("resolve-commit");
+        {
+            let mut dm = DiskManager::create(&db).unwrap();
+            dm.allocate().unwrap();
+            dm.sync().unwrap();
+        }
+        {
+            let mut wal = Wal::open(&walp).unwrap();
+            wal.append_page_image(&page_with(1, 42)).unwrap();
+            wal.append_prepare(9).unwrap();
+            wal.sync().unwrap();
+        }
+        let report = resolve_in_doubt(&db, &walp, 9, true).unwrap();
+        assert_eq!(report.in_doubt, None);
+        assert_eq!(report.pages_redone, 1);
+        let mut dm = DiskManager::open(&db).unwrap();
+        assert_eq!(dm.read_page(PageId(1)).unwrap().read_u64(100), 42);
+        assert!(Wal::read_all(&walp).unwrap().is_empty());
+        // Idempotent: a second resolution is a clean no-op recovery.
+        let again = resolve_in_doubt(&db, &walp, 9, true).unwrap();
+        assert_eq!(again, RecoveryReport::default());
+        std::fs::remove_file(&db).unwrap();
+        std::fs::remove_file(&walp).unwrap();
+    }
+
+    #[test]
+    fn resolve_in_doubt_abort_discards_staged_images() {
+        let (db, walp) = paths("resolve-abort");
+        {
+            let mut dm = DiskManager::create(&db).unwrap();
+            let id = dm.allocate().unwrap();
+            let mut p = Page::new(id);
+            p.set_kind(PageKind::Heap);
+            p.write_u64(100, 5);
+            dm.write_page(&mut p).unwrap();
+            dm.sync().unwrap();
+        }
+        {
+            let mut wal = Wal::open(&walp).unwrap();
+            wal.append_page_image(&page_with(1, 666)).unwrap();
+            wal.append_prepare(9).unwrap();
+            wal.sync().unwrap();
+        }
+        let report = resolve_in_doubt(&db, &walp, 9, false).unwrap();
+        assert_eq!(report.in_doubt, None);
+        assert_eq!(report.pages_redone, 0);
+        assert_eq!(report.pages_discarded, 1);
+        let mut dm = DiskManager::open(&db).unwrap();
+        assert_eq!(dm.read_page(PageId(1)).unwrap().read_u64(100), 5);
+        assert!(Wal::read_all(&walp).unwrap().is_empty());
+        std::fs::remove_file(&db).unwrap();
+        std::fs::remove_file(&walp).unwrap();
+    }
+
+    #[test]
+    fn commit_after_prepare_in_log_is_decided() {
+        let (db, walp) = paths("decided");
+        {
+            let mut dm = DiskManager::create(&db).unwrap();
+            dm.allocate().unwrap();
+            dm.sync().unwrap();
+        }
+        {
+            let mut wal = Wal::open(&walp).unwrap();
+            wal.append_page_image(&page_with(1, 88)).unwrap();
+            wal.append_prepare(3).unwrap();
+            wal.append_commit(3).unwrap();
+            wal.sync().unwrap();
+        }
+        let report = recover(&db, &walp).unwrap();
+        assert_eq!(report.in_doubt, None);
+        assert_eq!(report.pages_redone, 1);
+        let mut dm = DiskManager::open(&db).unwrap();
+        assert_eq!(dm.read_page(PageId(1)).unwrap().read_u64(100), 88);
         std::fs::remove_file(&db).unwrap();
         std::fs::remove_file(&walp).unwrap();
     }

@@ -12,7 +12,8 @@
 //!
 //! ```text
 //! u32 len      length of type+payload
-//! u8  type     1 = PageImage, 2 = Commit, 3 = Checkpoint
+//! u8  type     1 = PageImage, 2 = Commit, 3 = Checkpoint,
+//!              4 = Prepare (2PC), 5 = Abort (2PC)
 //! ..  payload
 //! u32 crc32    over type+payload
 //! ```
@@ -32,6 +33,8 @@ use crate::page::{Page, PageId, PAGE_SIZE};
 const TYPE_PAGE_IMAGE: u8 = 1;
 const TYPE_COMMIT: u8 = 2;
 const TYPE_CHECKPOINT: u8 = 3;
+const TYPE_PREPARE: u8 = 4;
+const TYPE_ABORT: u8 = 5;
 
 /// A parsed log record.
 #[derive(Debug, Clone)]
@@ -50,6 +53,19 @@ pub enum WalRecord {
     },
     /// All prior records have been applied to the database file.
     Checkpoint,
+    /// Two-phase-commit prepare marker: the images since the previous
+    /// transaction boundary are durably staged under `txid`, awaiting a
+    /// coordinator decision ([`WalRecord::Commit`] or [`WalRecord::Abort`]
+    /// with the same id).
+    Prepare {
+        /// Coordinator-assigned transaction id.
+        txid: u64,
+    },
+    /// Two-phase-commit abort decision for a previously prepared `txid`.
+    Abort {
+        /// Coordinator-assigned transaction id.
+        txid: u64,
+    },
 }
 
 /// Append-only writer/reader over a single log file.
@@ -123,6 +139,16 @@ impl Wal {
     /// Append a checkpoint marker.
     pub fn append_checkpoint(&mut self) -> Result<()> {
         self.append(TYPE_CHECKPOINT, &[])
+    }
+
+    /// Append a two-phase-commit prepare marker for transaction `txid`.
+    pub fn append_prepare(&mut self, txid: u64) -> Result<()> {
+        self.append(TYPE_PREPARE, &txid.to_le_bytes())
+    }
+
+    /// Append a two-phase-commit abort decision for transaction `txid`.
+    pub fn append_abort(&mut self, txid: u64) -> Result<()> {
+        self.append(TYPE_ABORT, &txid.to_le_bytes())
     }
 
     /// Flush buffered records and fsync to stable storage. A commit is
@@ -209,6 +235,20 @@ impl Wal {
                     }
                 }
                 TYPE_CHECKPOINT => WalRecord::Checkpoint,
+                TYPE_PREPARE | TYPE_ABORT => {
+                    if payload.len() != 8 {
+                        return Err(StorageError::WalCorrupt {
+                            offset: off as u64,
+                            detail: "prepare/abort payload size".into(),
+                        });
+                    }
+                    let txid = u64::from_le_bytes(payload.try_into().expect("8"));
+                    if typ == TYPE_PREPARE {
+                        WalRecord::Prepare { txid }
+                    } else {
+                        WalRecord::Abort { txid }
+                    }
+                }
                 other => {
                     return Err(StorageError::WalCorrupt {
                         offset: off as u64,
@@ -272,6 +312,26 @@ mod tests {
         }
         assert!(matches!(records[1], WalRecord::Commit { txn: 1 }));
         assert!(matches!(records[2], WalRecord::Checkpoint));
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn prepare_abort_round_trip() {
+        let path = tmppath("2pc");
+        {
+            let mut wal = Wal::open(&path).unwrap();
+            wal.append_prepare(41).unwrap();
+            wal.append_abort(41).unwrap();
+            wal.append_prepare(42).unwrap();
+            wal.append_commit(42).unwrap();
+            wal.sync().unwrap();
+        }
+        let records = Wal::read_all(&path).unwrap();
+        assert_eq!(records.len(), 4);
+        assert!(matches!(records[0], WalRecord::Prepare { txid: 41 }));
+        assert!(matches!(records[1], WalRecord::Abort { txid: 41 }));
+        assert!(matches!(records[2], WalRecord::Prepare { txid: 42 }));
+        assert!(matches!(records[3], WalRecord::Commit { txn: 42 }));
         std::fs::remove_file(&path).unwrap();
     }
 

@@ -1,0 +1,84 @@
+//! End-to-end resilience: the full 20-operation benchmark protocol over
+//! a transport that drops 10% of frames, survived by the client's
+//! retry policy and the server's idempotent request handling.
+
+use std::time::Duration;
+
+use chaos::{FaultPlan, FaultyTransport};
+use harness::protocol::{run_all_ops, RunOptions};
+use harness::Workload;
+use hypermodel::config::GenConfig;
+use hypermodel::generate::TestDatabase;
+use hypermodel::load::load_database;
+use mem_backend::MemStore;
+use server::client::RetryPolicy;
+use server::{serve, ChannelTransport, ClosureMode, RemoteStore};
+
+/// Acceptance: with a `RetryPolicy`, a `RemoteStore` completes all 20
+/// operations *correctly* — node counts identical to a fault-free local
+/// run — even though every tenth frame (requests and responses alike)
+/// vanishes in flight.
+#[test]
+fn retry_policy_completes_all_20_ops_over_a_lossy_transport() {
+    let db = TestDatabase::generate(&GenConfig::tiny());
+    let opts = RunOptions {
+        reps: 2,
+        input_seed: 7,
+    };
+
+    // Fault-free local baseline: the measurements' node counts are the
+    // correctness yardstick (they count what each operation returned).
+    let mut local = MemStore::new();
+    let local_report = load_database(&mut local, &db).unwrap();
+    let mut workload = Workload::new(db.clone(), local_report.oids, 7);
+    let baseline = run_all_ops(&mut local, &mut workload, opts).unwrap();
+
+    // Lossy deployment: both directions drop 10% of frames, seeded and
+    // reproducible. The server keeps running (its dedup cache replays
+    // responses for retried mutations); the client retries on timeout.
+    let lossy = |seed| FaultPlan {
+        drop_per_mille: 100,
+        ..FaultPlan::none(seed)
+    };
+    let (client_end, server_end) = ChannelTransport::pair(Duration::ZERO);
+    let mut server_end = FaultyTransport::new(server_end, lossy(11));
+    let server = std::thread::spawn(move || {
+        let mut store = MemStore::new();
+        serve(&mut store, &mut server_end).unwrap()
+    });
+
+    let client_end = FaultyTransport::new(client_end, lossy(12));
+    let mut remote =
+        RemoteStore::new(Box::new(client_end), ClosureMode::ClientSide).with_retry(RetryPolicy {
+            request_timeout: Duration::from_millis(10),
+            max_retries: 12,
+            backoff_base: Duration::from_millis(1),
+            backoff_max: Duration::from_millis(8),
+        });
+    let report = load_database(&mut remote, &db).unwrap();
+    let mut workload = Workload::new(db, report.oids, 7);
+    let measured = run_all_ops(&mut remote, &mut workload, opts).unwrap();
+
+    assert_eq!(measured.len(), 20, "all 20 operations must complete");
+    for (m, b) in measured.iter().zip(&baseline) {
+        assert_eq!(m.op, b.op);
+        assert_eq!(
+            (m.cold_nodes, m.warm_nodes),
+            (b.cold_nodes, b.warm_nodes),
+            "{}: lossy run returned different nodes than the clean run",
+            m.op
+        );
+    }
+    assert!(
+        remote.retries() > 0,
+        "a 10% drop rate must actually trigger retries"
+    );
+    assert_eq!(remote.gave_up(), 0, "no request may exhaust its retries");
+
+    drop(remote);
+    let stats = server.join().unwrap();
+    assert!(
+        stats.replayed > 0,
+        "some retried mutations must have been answered from the dedup cache"
+    );
+}
