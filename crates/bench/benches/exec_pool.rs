@@ -1,0 +1,72 @@
+//! Fan-out dispatch overhead: persistent shard executors versus spawning
+//! scoped threads per operation.
+//!
+//! Every sharded fan-out (range lookups, scans, per-level closure
+//! batches, 2PC prepare) pays this dispatch cost once per operation, so
+//! it is the floor under all small sharded requests. The scoped-thread
+//! baseline pays a full thread spawn + join per shard per call; the
+//! executor pool pays one bounded-channel round trip to an already
+//! running worker. The work itself is a trivial counter bump so the
+//! measurement isolates dispatch, not execution.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use exec::ShardExecutor;
+use parking_lot::Mutex;
+use std::hint::black_box;
+use std::sync::Arc;
+
+const SHARDS: usize = 4;
+
+fn fanout_dispatch(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fanout_dispatch");
+    g.sample_size(60);
+    g.warm_up_time(std::time::Duration::from_millis(300));
+    g.measurement_time(std::time::Duration::from_secs(2));
+
+    // Baseline: what `ShardedStore` fan-outs did before the executor —
+    // one scoped thread per shard, spawned and joined per operation.
+    let stores: Vec<Arc<Mutex<u64>>> = (0..SHARDS).map(|_| Arc::new(Mutex::new(0))).collect();
+    g.bench_function(format!("scoped_threads_{SHARDS}"), |b| {
+        b.iter(|| {
+            let mut total = 0u64;
+            std::thread::scope(|scope| {
+                let handles: Vec<_> = stores
+                    .iter()
+                    .map(|store| {
+                        scope.spawn(move || {
+                            let mut v = store.lock();
+                            *v += 1;
+                            *v
+                        })
+                    })
+                    .collect();
+                for h in handles {
+                    total += h.join().unwrap();
+                }
+            });
+            black_box(total)
+        })
+    });
+
+    // The executor pool: workers already exist, a fan-out is one queue
+    // hop per shard.
+    let exec = ShardExecutor::new((0..SHARDS as u64).map(|_| 0u64).collect());
+    g.bench_function(format!("executor_pool_{SHARDS}"), |b| {
+        b.iter(|| {
+            let mut batch = exec.batch();
+            for s in 0..SHARDS {
+                batch.spawn(s, |v: &mut u64| {
+                    *v += 1;
+                    *v
+                });
+            }
+            let total: u64 = batch.join().into_iter().map(|(_, r)| r.unwrap()).sum();
+            black_box(total)
+        })
+    });
+
+    g.finish();
+}
+
+criterion_group!(benches, fanout_dispatch);
+criterion_main!(benches);

@@ -1,9 +1,11 @@
 //! Shard-count scaling: the same workload over 1/2/4/8 mem shards.
 //!
 //! Fan-out operations (range lookup, sequential scan) split their scan
-//! across shards, one scoped thread each, so on a multi-core host their
-//! wall-clock improves with shard count once per-shard work exceeds the
-//! thread-launch cost (measured ~15 µs per spawn+join here). Caveat for
+//! across shards, one job on each shard's persistent executor worker, so
+//! on a multi-core host their wall-clock improves with shard count once
+//! per-shard work exceeds the dispatch cost (a bounded-channel round
+//! trip — `benches/exec_pool.rs` measures it against the ~15 µs
+//! spawn+join of the scoped-thread design it replaced). Caveat for
 //! reading the numbers: on a single-core host the total scan CPU is
 //! serialized regardless of shard count, so fan-out times can only show
 //! the overhead floor, never a speedup — check `nproc` before drawing
@@ -15,6 +17,12 @@
 //! placement — the hardware-independent win (round trips scaling with
 //! depth, not node count) is asserted in
 //! `crates/shard/tests/sharded_store.rs`.
+//!
+//! The `closure_over_latency` group makes that win visible on the clock:
+//! the same closure over links that each cost a simulated 100 µs, once
+//! with a per-node protocol (a plain remote client traversing via
+//! primitive round trips) and once with the router's level-batched
+//! frontier exchange over two latency-carrying shards.
 
 use criterion::{criterion_group, criterion_main, Criterion};
 use hypermodel::config::GenConfig;
@@ -164,11 +172,61 @@ fn closures_affinity(c: &mut Criterion) {
     );
 }
 
+/// A latency-carrying deployment: every link sleeps for real, so each
+/// round trip costs wall-clock. The per-node baseline is a single remote
+/// client traversing the closure through primitive calls (one round trip
+/// per visited node); the contender is the sharded router's level-batched
+/// frontier exchange (one batched request per shard per BFS level).
+fn closure_over_latency(c: &mut Criterion) {
+    use server::{serve, ChannelTransport, ClosureMode, RemoteStore};
+    use std::time::Duration;
+
+    let latency = Duration::from_micros(100);
+    let db = database(SMALL_LEVEL);
+    let mut g = c.benchmark_group("closure_over_latency");
+    // Each iteration really sleeps on the simulated wire; keep samples low.
+    g.sample_size(10);
+    g.warm_up_time(Duration::from_millis(200));
+    g.measurement_time(Duration::from_secs(1));
+
+    let spawn_server = |latency| {
+        let (client_end, mut server_end) = ChannelTransport::pair(latency);
+        std::thread::spawn(move || {
+            let mut store = MemStore::new();
+            let _ = serve(&mut store, &mut server_end);
+        });
+        client_end
+    };
+
+    // Per-node protocol: client-side traversal, one round trip per node.
+    let mut remote = RemoteStore::new(Box::new(spawn_server(latency)), ClosureMode::ClientSide);
+    let report = load_database(&mut remote, db).expect("load remote");
+    let start = report.oids[db.level_indices(3).start as usize];
+    g.bench_function("per_node_100us", |b| {
+        b.iter(|| black_box(remote.closure_1n(start).unwrap().len() as u64))
+    });
+
+    // Level-batched protocol over two latency-carrying shards under hash
+    // placement (the adversarial case: every level straddles both).
+    let remotes: Vec<RemoteStore> = (0..2)
+        .map(|_| RemoteStore::new(Box::new(spawn_server(latency)), ClosureMode::ClientSide))
+        .collect();
+    let mut sharded = ShardedStore::new(remotes, Placement::OidHash, "sharded-remote");
+    let report = load_database(&mut sharded, db).expect("load sharded remote");
+    let start = report.oids[db.level_indices(3).start as usize];
+    g.bench_function("level_batched_2_shards_100us", |b| {
+        b.iter(|| black_box(sharded.closure_1n(start).unwrap().len() as u64))
+    });
+
+    g.finish();
+}
+
 criterion_group!(
     benches,
     fan_out_ops,
     point_ops,
     closures_hash,
-    closures_affinity
+    closures_affinity,
+    closure_over_latency
 );
 criterion_main!(benches);

@@ -1,0 +1,418 @@
+//! [`EventLoop`]: a nonblocking, single-threaded socket loop over raw
+//! `std::net` — no new dependencies.
+//!
+//! One thread owns N listening sockets and every accepted connection,
+//! all in nonblocking mode. Each tick the loop accepts new connections,
+//! drains completed request executions, flushes pending writes, reads
+//! whatever bytes arrived and slices them into length-prefixed frames
+//! (`u32` little-endian length + payload — the workspace's wire framing)
+//! which it hands to a [`FrameHandler`].
+//!
+//! The handler answers immediately ([`FrameOutcome::Reply`]) or defers
+//! ([`FrameOutcome::Pending`]) after dispatching the work elsewhere —
+//! typically onto a [`crate::ShardExecutor`] worker — and later pushes
+//! the encoded response through [`Completions`], which wakes the loop.
+//! At most one frame per connection is dispatched at a time, so
+//! responses leave in request order; further frames queue in arrival
+//! order. Writes never block: partial writes park in a per-connection
+//! buffer and resume next tick, so one slow reader cannot stall the
+//! other connections.
+//!
+//! `std` exposes no `epoll`/`kqueue`, so readiness is cooperative
+//! polling: the loop spins (yielding) while work flows and parks on the
+//! completion channel with a short timeout when idle — completions wake
+//! it immediately, new socket bytes within the poll interval.
+
+use std::collections::{HashMap, VecDeque};
+use std::io::{ErrorKind, Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::mpsc::{channel, Receiver, RecvTimeoutError, Sender};
+use std::sync::Arc;
+use std::time::Duration;
+
+use hypermodel::error::{HmError, Result};
+
+/// Largest accepted frame payload — matches the TCP transport's cap.
+const MAX_FRAME: usize = 64 << 20;
+
+/// How long an idle loop parks on the completion channel per tick.
+const IDLE_PARK: Duration = Duration::from_micros(500);
+
+/// Ticks of busy-spinning (with yields) before parking when idle.
+const SPIN_TICKS: u32 = 64;
+
+/// One connection, identified by its listener index and an id unique
+/// for the lifetime of the loop.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct ConnId {
+    /// Index of the listener (= shard, under `serve_multi`) that
+    /// accepted this connection.
+    pub listener: usize,
+    /// Per-loop unique connection number.
+    pub conn: u64,
+}
+
+/// What the handler wants done with the frame it was given.
+pub enum FrameOutcome {
+    /// The work was dispatched elsewhere; the response will arrive via
+    /// [`Completions`]. No further frame from this connection is
+    /// delivered until it does.
+    Pending,
+    /// Send this payload back (the loop adds the length prefix).
+    Reply(Vec<u8>),
+    /// Send this payload, then close the connection once it is flushed.
+    ReplyClose(Vec<u8>),
+    /// Drop the connection without a response.
+    Close,
+}
+
+/// Receives framed requests from the loop.
+pub trait FrameHandler {
+    /// One complete frame arrived on `conn`. `done` is the completion
+    /// handle for deferred ([`FrameOutcome::Pending`]) responses — clone
+    /// it into the dispatched job.
+    fn on_frame(&mut self, conn: ConnId, frame: Vec<u8>, done: &Completions) -> FrameOutcome;
+
+    /// `conn` disconnected (or was closed by an outcome).
+    fn on_disconnect(&mut self, conn: ConnId) {
+        let _ = conn;
+    }
+}
+
+/// Completion handle: pushes a deferred response payload back into the
+/// loop from any thread, waking it if it was parked.
+#[derive(Clone)]
+pub struct Completions {
+    tx: Sender<(ConnId, Vec<u8>)>,
+}
+
+impl Completions {
+    /// Deliver the response payload for the pending frame on `conn`.
+    /// Delivery after the connection (or the loop) is gone is silently
+    /// dropped — the client is no longer there to read it.
+    pub fn send(&self, conn: ConnId, reply: Vec<u8>) {
+        let _ = self.tx.send((conn, reply));
+    }
+}
+
+/// Counters returned when the loop stops.
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+pub struct LoopStats {
+    /// Connections accepted over the loop's lifetime.
+    pub accepted: u64,
+    /// Complete frames delivered to the handler.
+    pub frames: u64,
+    /// Responses written (immediate and deferred).
+    pub replies: u64,
+    /// Connections that ended (either side).
+    pub disconnects: u64,
+}
+
+struct Conn {
+    stream: TcpStream,
+    /// Bytes read but not yet sliced into a complete frame.
+    rbuf: Vec<u8>,
+    /// Encoded responses not yet fully written; `wpos` marks progress.
+    wbuf: Vec<u8>,
+    wpos: usize,
+    /// Complete frames awaiting dispatch (one in flight at a time).
+    queued: VecDeque<Vec<u8>>,
+    inflight: bool,
+    close_after_flush: bool,
+}
+
+impl Conn {
+    fn flushed(&self) -> bool {
+        self.wpos == self.wbuf.len()
+    }
+
+    fn enqueue_reply(&mut self, payload: &[u8]) {
+        // Compact the buffer before growing it: drop the written prefix.
+        if self.wpos > 0 {
+            self.wbuf.drain(..self.wpos);
+            self.wpos = 0;
+        }
+        self.wbuf
+            .extend_from_slice(&(payload.len() as u32).to_le_bytes());
+        self.wbuf.extend_from_slice(payload);
+    }
+}
+
+/// The nonblocking multi-listener socket loop. See the module docs.
+pub struct EventLoop {
+    listeners: Vec<TcpListener>,
+    addrs: Vec<SocketAddr>,
+    stop: Arc<AtomicBool>,
+    tx: Sender<(ConnId, Vec<u8>)>,
+    rx: Receiver<(ConnId, Vec<u8>)>,
+}
+
+impl EventLoop {
+    /// Bind one nonblocking listener per address (`"127.0.0.1:0"` picks
+    /// a free port; read the result back via [`EventLoop::local_addrs`]).
+    pub fn bind(addrs: &[String]) -> Result<EventLoop> {
+        if addrs.is_empty() {
+            return Err(HmError::InvalidArgument(
+                "event loop needs at least one listen address".into(),
+            ));
+        }
+        let mut listeners = Vec::with_capacity(addrs.len());
+        let mut bound = Vec::with_capacity(addrs.len());
+        for addr in addrs {
+            let l = TcpListener::bind(addr)
+                .map_err(|e| HmError::Backend(format!("bind {addr}: {e}")))?;
+            l.set_nonblocking(true)
+                .map_err(|e| HmError::Backend(format!("set_nonblocking {addr}: {e}")))?;
+            bound.push(
+                l.local_addr()
+                    .map_err(|e| HmError::Backend(format!("local_addr {addr}: {e}")))?,
+            );
+            listeners.push(l);
+        }
+        let (tx, rx) = channel();
+        Ok(EventLoop {
+            listeners,
+            addrs: bound,
+            stop: Arc::new(AtomicBool::new(false)),
+            tx,
+            rx,
+        })
+    }
+
+    /// The bound addresses, in listener order.
+    pub fn local_addrs(&self) -> &[SocketAddr] {
+        &self.addrs
+    }
+
+    /// A flag that stops the loop (within one poll interval) when set.
+    pub fn stop_handle(&self) -> Arc<AtomicBool> {
+        Arc::clone(&self.stop)
+    }
+
+    /// A completion handle usable before the loop runs (the same one is
+    /// passed to every [`FrameHandler::on_frame`] call).
+    pub fn completions(&self) -> Completions {
+        Completions {
+            tx: self.tx.clone(),
+        }
+    }
+
+    /// Run until the stop flag is set. Consumes the loop and the
+    /// handler; returns lifetime counters.
+    pub fn run<H: FrameHandler>(self, mut handler: H) -> Result<LoopStats> {
+        let done = self.completions();
+        let mut conns: HashMap<ConnId, Conn> = HashMap::new();
+        let mut next_conn = 0u64;
+        let mut stats = LoopStats::default();
+        let mut idle_ticks = 0u32;
+        let mut dead: Vec<ConnId> = Vec::new();
+
+        while !self.stop.load(Ordering::SeqCst) {
+            let mut progress = false;
+
+            // 1. Accept.
+            for (li, listener) in self.listeners.iter().enumerate() {
+                loop {
+                    match listener.accept() {
+                        Ok((stream, _peer)) => {
+                            if stream.set_nonblocking(true).is_err() {
+                                continue;
+                            }
+                            let _ = stream.set_nodelay(true);
+                            let id = ConnId {
+                                listener: li,
+                                conn: next_conn,
+                            };
+                            next_conn += 1;
+                            conns.insert(
+                                id,
+                                Conn {
+                                    stream,
+                                    rbuf: Vec::new(),
+                                    wbuf: Vec::new(),
+                                    wpos: 0,
+                                    queued: VecDeque::new(),
+                                    inflight: false,
+                                    close_after_flush: false,
+                                },
+                            );
+                            stats.accepted += 1;
+                            progress = true;
+                        }
+                        Err(e) if e.kind() == ErrorKind::WouldBlock => break,
+                        Err(e) if e.kind() == ErrorKind::Interrupted => continue,
+                        Err(_) => break,
+                    }
+                }
+            }
+
+            // 2. Deferred responses from executor workers.
+            while let Ok((id, reply)) = self.rx.try_recv() {
+                progress = true;
+                if let Some(conn) = conns.get_mut(&id) {
+                    conn.inflight = false;
+                    conn.enqueue_reply(&reply);
+                    stats.replies += 1;
+                }
+            }
+
+            // 3. Per-connection I/O: flush, read, slice frames, dispatch.
+            for (&id, conn) in conns.iter_mut() {
+                match Self::step_conn(id, conn, &mut handler, &done, &mut stats) {
+                    Ok(stepped) => progress |= stepped,
+                    Err(()) => dead.push(id),
+                }
+            }
+            for id in dead.drain(..) {
+                if conns.remove(&id).is_some() {
+                    handler.on_disconnect(id);
+                    stats.disconnects += 1;
+                }
+            }
+
+            // 4. Idle strategy: yield for a while (cheap on a busy host),
+            // then park on the completion channel so deferred responses
+            // wake the loop immediately.
+            if progress {
+                idle_ticks = 0;
+            } else {
+                idle_ticks += 1;
+                if idle_ticks < SPIN_TICKS {
+                    std::thread::yield_now();
+                } else {
+                    match self.rx.recv_timeout(IDLE_PARK) {
+                        Ok((id, reply)) => {
+                            if let Some(conn) = conns.get_mut(&id) {
+                                conn.inflight = false;
+                                conn.enqueue_reply(&reply);
+                                stats.replies += 1;
+                            }
+                            idle_ticks = 0;
+                        }
+                        Err(RecvTimeoutError::Timeout) => {}
+                        // We hold a sender ourselves, so this is unreachable;
+                        // treat it as a stop request rather than panic.
+                        Err(RecvTimeoutError::Disconnected) => break,
+                    }
+                }
+            }
+        }
+        stats.disconnects += conns.len() as u64;
+        Ok(stats)
+    }
+
+    /// One tick of a single connection. `Ok(true)` = made progress,
+    /// `Err(())` = connection is finished and must be removed.
+    fn step_conn<H: FrameHandler>(
+        id: ConnId,
+        conn: &mut Conn,
+        handler: &mut H,
+        done: &Completions,
+        stats: &mut LoopStats,
+    ) -> std::result::Result<bool, ()> {
+        let mut progress = false;
+
+        // Flush pending writes (never blocks).
+        while !conn.flushed() {
+            match conn.stream.write(&conn.wbuf[conn.wpos..]) {
+                Ok(0) => return Err(()),
+                Ok(n) => {
+                    conn.wpos += n;
+                    progress = true;
+                }
+                Err(e) if e.kind() == ErrorKind::WouldBlock => break,
+                Err(e) if e.kind() == ErrorKind::Interrupted => continue,
+                Err(_) => return Err(()),
+            }
+        }
+        if conn.close_after_flush {
+            return if conn.flushed() {
+                Err(())
+            } else {
+                Ok(progress)
+            };
+        }
+
+        // Read whatever arrived.
+        let mut chunk = [0u8; 4096];
+        loop {
+            match conn.stream.read(&mut chunk) {
+                Ok(0) => {
+                    // Peer closed. Anything still queued or in flight has
+                    // no reader left worth waiting for beyond the flush.
+                    return if conn.flushed() && !conn.inflight && conn.queued.is_empty() {
+                        Err(())
+                    } else {
+                        conn.close_after_flush = true;
+                        conn.queued.clear();
+                        Ok(true)
+                    };
+                }
+                Ok(n) => {
+                    conn.rbuf.extend_from_slice(&chunk[..n]);
+                    progress = true;
+                }
+                Err(e) if e.kind() == ErrorKind::WouldBlock => break,
+                Err(e) if e.kind() == ErrorKind::Interrupted => continue,
+                Err(_) => return Err(()),
+            }
+        }
+
+        // Slice complete frames out of the read buffer.
+        loop {
+            if conn.rbuf.len() < 4 {
+                break;
+            }
+            let len = u32::from_le_bytes(conn.rbuf[..4].try_into().expect("4 bytes")) as usize;
+            if len > MAX_FRAME {
+                return Err(()); // unframeable garbage: drop the connection
+            }
+            if conn.rbuf.len() < 4 + len {
+                break;
+            }
+            let frame = conn.rbuf[4..4 + len].to_vec();
+            conn.rbuf.drain(..4 + len);
+            conn.queued.push_back(frame);
+            progress = true;
+        }
+
+        // Dispatch, one frame in flight at a time.
+        while !conn.inflight && !conn.close_after_flush {
+            let Some(frame) = conn.queued.pop_front() else {
+                break;
+            };
+            stats.frames += 1;
+            progress = true;
+            match handler.on_frame(id, frame, done) {
+                FrameOutcome::Pending => conn.inflight = true,
+                FrameOutcome::Reply(payload) => {
+                    conn.enqueue_reply(&payload);
+                    stats.replies += 1;
+                }
+                FrameOutcome::ReplyClose(payload) => {
+                    conn.enqueue_reply(&payload);
+                    stats.replies += 1;
+                    conn.close_after_flush = true;
+                    conn.queued.clear();
+                }
+                FrameOutcome::Close => return Err(()),
+            }
+        }
+
+        // Opportunistic flush of replies produced this tick.
+        while !conn.flushed() {
+            match conn.stream.write(&conn.wbuf[conn.wpos..]) {
+                Ok(0) => return Err(()),
+                Ok(n) => conn.wpos += n,
+                Err(e) if e.kind() == ErrorKind::WouldBlock => break,
+                Err(e) if e.kind() == ErrorKind::Interrupted => continue,
+                Err(_) => return Err(()),
+            }
+        }
+        if conn.close_after_flush && conn.flushed() {
+            return Err(());
+        }
+        Ok(progress)
+    }
+}

@@ -15,8 +15,10 @@
 //! ```
 //!
 //! Backends: `mem`, `disk`, `rel`, `remote`, `sharded-mem:N[:hash|:affinity]`,
-//! `sharded-disk:N[:hash|:affinity]` or `all` (default `all` = the three
-//! single stores). Levels: 2–7 (default 4; the paper's sizes are 4, 5, 6).
+//! `sharded-disk:N[:hash|:affinity]`, `sharded-tcp:N[:hash|:affinity]`
+//! (one in-process `serve_multi` event loop hosting N mem shards behind
+//! real TCP) or `all` (default `all` = the three single stores).
+//! Levels: 2–7 (default 4; the paper's sizes are 4, 5, 6).
 //! Sharded runs additionally report per-shard placement balance and
 //! request skew after the operation table.
 //!
@@ -80,7 +82,7 @@ fn parse_args() -> Args {
     fn usage_error(msg: &str) -> ! {
         eprintln!("error: {msg}");
         eprintln!("usage: hyperbench <command> [--level N] [--backend B] [--reps N] [--clients N] [--persons N] [--pool N] [--csv FILE] [--json FILE] [--faults SEED:PLAN]");
-        eprintln!("backends: mem | disk | rel | remote | sharded-mem:N[:hash|:affinity] | sharded-disk:N[:hash|:affinity] | all");
+        eprintln!("backends: mem | disk | rel | remote | sharded-mem:N[:hash|:affinity] | sharded-disk:N[:hash|:affinity] | sharded-tcp:N[:hash|:affinity] | all");
         std::process::exit(2);
     }
     let mut it = std::env::args().skip(1);
@@ -150,14 +152,15 @@ fn cleanup_db(p: &PathBuf) {
     let _ = std::fs::remove_file(PathBuf::from(w));
 }
 
-/// Parse a sharded backend spec: `sharded-mem:N` or `sharded-disk:N`,
-/// optionally suffixed with the placement policy (`:hash` or `:affinity`,
-/// default affinity).
+/// Parse a sharded backend spec: `sharded-mem:N`, `sharded-disk:N` or
+/// `sharded-tcp:N`, optionally suffixed with the placement policy
+/// (`:hash` or `:affinity`, default affinity).
 fn parse_sharded(spec: &str) -> Option<(&'static str, usize, shard::Placement)> {
     let mut parts = spec.split(':');
     let kind = match parts.next()? {
         "sharded-mem" => "sharded-mem",
         "sharded-disk" => "sharded-disk",
+        "sharded-tcp" => "sharded-tcp",
         _ => return None,
     };
     let n: usize = parts
@@ -186,21 +189,24 @@ fn backends(selected: &str) -> Vec<String> {
         other if parse_sharded(other).is_some() => vec![other.into()],
         other => {
             eprintln!(
-                "unknown backend {other} (use mem|disk|rel|remote|sharded-mem:N[:hash|:affinity]|sharded-disk:N[:hash|:affinity]|all)"
+                "unknown backend {other} (use mem|disk|rel|remote|sharded-mem:N[:hash|:affinity]|sharded-disk:N[:hash|:affinity]|sharded-tcp:N[:hash|:affinity]|all)"
             );
             std::process::exit(2);
         }
     }
 }
 
-/// A loaded backend: store, creation timings, on-disk size, oid map and
-/// the database file path (None for the in-memory backend).
+/// A loaded backend: store, creation timings, on-disk size, oid map, the
+/// database file path (None for the in-memory backend), and — for the
+/// `sharded-tcp` deployment — the in-process multi-shard server that
+/// must outlive the store's connections.
 type LoadedBackend = (
     Box<dyn HyperStore>,
     CreationTimings,
     u64,
     Vec<Oid>,
     Option<PathBuf>,
+    Option<server::MultiServer>,
 );
 
 /// Box `store`, wrapping it in the chaos layer first when a fault plan
@@ -227,7 +233,14 @@ fn load_backend(
         "mem" => {
             let mut store = MemStore::new();
             let report = load_database(&mut store, db)?;
-            Ok((boxed(store, faults), report.timings, 0, report.oids, None))
+            Ok((
+                boxed(store, faults),
+                report.timings,
+                0,
+                report.oids,
+                None,
+                None,
+            ))
         }
         "disk" => {
             let path = tmp_db_path(&format!("disk-l{}", db.config.leaf_level));
@@ -240,6 +253,7 @@ fn load_backend(
                 size,
                 report.oids,
                 Some(path),
+                None,
             ))
         }
         "rel" => {
@@ -253,6 +267,7 @@ fn load_backend(
                 size,
                 report.oids,
                 Some(path),
+                None,
             ))
         }
         "remote" => {
@@ -290,14 +305,45 @@ fn load_backend(
             }
             // Loading through the wire measures marshalling + dispatch.
             let report = load_database(&mut store, db)?;
-            Ok((boxed(store, faults), report.timings, 0, report.oids, None))
+            Ok((
+                boxed(store, faults),
+                report.timings,
+                0,
+                report.oids,
+                None,
+                None,
+            ))
         }
         spec => match parse_sharded(spec) {
             Some(("sharded-mem", n, placement)) => {
                 let shards: Vec<MemStore> = (0..n).map(|_| MemStore::new()).collect();
                 let mut store = shard::ShardedStore::new(shards, placement, "sharded-mem");
                 let report = load_database(&mut store, db)?;
-                Ok((boxed(store, faults), report.timings, 0, report.oids, None))
+                Ok((
+                    boxed(store, faults),
+                    report.timings,
+                    0,
+                    report.oids,
+                    None,
+                    None,
+                ))
+            }
+            Some(("sharded-tcp", n, placement)) => {
+                // One process, N shard servers: mem shards behind the
+                // nonblocking event loop, a `connect_sharded` router in
+                // front. Loading and every operation cross real TCP.
+                let shards: Vec<MemStore> = (0..n).map(|_| MemStore::new()).collect();
+                let srv = server::serve_multi(shards)?;
+                let mut store = shard::connect_sharded(&srv.addr_strings(), placement)?;
+                let report = load_database(&mut store, db)?;
+                Ok((
+                    boxed(store, faults),
+                    report.timings,
+                    0,
+                    report.oids,
+                    None,
+                    Some(srv),
+                ))
             }
             Some(("sharded-disk", n, placement)) => {
                 let dir = {
@@ -332,6 +378,7 @@ fn load_backend(
                     0,
                     report.oids,
                     Some(dir),
+                    None,
                 ))
             }
             _ => panic!("unknown backend {spec}"),
@@ -380,7 +427,7 @@ fn cmd_create(level: u32, backend: &str, pool_frames: usize) -> Result<()> {
     let db = TestDatabase::generate(&GenConfig::level(level));
     let mut rows = Vec::new();
     for b in backends(backend) {
-        let (_store, timings, size, _oids, path) = load_backend(&b, &db, pool_frames, None)?;
+        let (_store, timings, size, _oids, path, _srv) = load_backend(&b, &db, pool_frames, None)?;
         rows.push((b, level, timings, size));
         if let Some(p) = path {
             cleanup_db(&p);
@@ -413,7 +460,8 @@ fn cmd_run(
     let mut resilience = Vec::new();
     for b in backends(backend) {
         eprintln!("running {b} backend...");
-        let (mut store, _timings, _size, oids, path) = load_backend(&b, &db, pool_frames, faults)?;
+        let (mut store, _timings, _size, oids, path, _srv) =
+            load_backend(&b, &db, pool_frames, faults)?;
         let mut workload = Workload::new(db.clone(), oids, 0xBEEF);
         let opts = RunOptions {
             reps,
@@ -692,7 +740,7 @@ fn cmd_verify(level: u32, backend: &str, pool_frames: usize) -> Result<()> {
     let db = TestDatabase::generate(&GenConfig::level(level));
     let mut all_ok = true;
     for b in backends(backend) {
-        let (mut store, _t, _sz, oids, path) = load_backend(&b, &db, pool_frames, None)?;
+        let (mut store, _t, _sz, oids, path, _srv) = load_backend(&b, &db, pool_frames, None)?;
         let report = hypermodel::verify::verify_store(store.as_mut(), &db, &oids)?;
         print!("{b:<5} level {level}: {report}");
         all_ok &= report.is_ok();

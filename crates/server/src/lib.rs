@@ -15,6 +15,10 @@
 //!   simulated one-way latency, for controlled experiments) and real TCP;
 //! * [`server`] — the serving loop ([`server::serve`]) that dispatches
 //!   requests against any local store (mem, disk or rel backend);
+//! * [`multi`] — [`serve_multi`]: one process hosting N shard servers on
+//!   N ports with a single nonblocking event loop (`exec::EventLoop`)
+//!   for all connections and one persistent executor worker per shard —
+//!   no thread per connection;
 //! * [`client`] — [`client::RemoteStore`], a full `HyperStore` backed by
 //!   the wire, in two modes: [`client::ClosureMode::ClientSide`]
 //!   traverses with one round trip per relationship access;
@@ -58,10 +62,12 @@
 
 pub mod client;
 pub mod codec;
+pub mod multi;
 pub mod protocol;
 pub mod server;
 pub mod transport;
 
 pub use client::{ClosureMode, RemoteStore};
+pub use multi::{serve_multi, serve_multi_on, MultiServer, MultiStats};
 pub use server::{serve, SessionStats};
 pub use transport::{ChannelTransport, TcpTransport, Transport};

@@ -1,0 +1,233 @@
+//! [`serve_multi`]: one process hosting N shard servers on N ports.
+//!
+//! The blocking [`crate::server::serve`] loop burns one thread per
+//! connection and one listener thread per shard. This module instead
+//! composes the `exec` crate's two layers: a single nonblocking
+//! [`exec::EventLoop`] owns every listener and connection, and request
+//! *execution* is deferred onto the persistent per-shard workers of an
+//! [`exec::ShardExecutor`] — listener `i` serves shard `i`. Total
+//! threads for an N-shard deployment: N workers + 1 loop, regardless of
+//! connection count.
+//!
+//! Semantics match the blocking loop: per-shard [`DedupCache`] for
+//! at-most-once tagged retries (shared across every connection to that
+//! shard, so retries survive reconnects), the same garbage-streak
+//! disconnect rule, and `Shutdown` closing the requesting connection —
+//! the *server* outlives its clients and stops via
+//! [`MultiServer::stop`].
+
+use std::collections::HashMap;
+use std::net::SocketAddr;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+
+use exec::{Completions, ConnId, EventLoop, FrameHandler, FrameOutcome, LoopStats, ShardExecutor};
+use hypermodel::error::{HmError, Result};
+use hypermodel::store::HyperStore;
+use parking_lot::Mutex;
+
+use crate::protocol::{Request, Response};
+use crate::server::{dispatch, DedupCache, MAX_GARBAGE_STREAK};
+
+/// Counters shared between the loop thread and [`MultiServer`].
+#[derive(Default)]
+struct Shared {
+    requests: AtomicU64,
+    errors: AtomicU64,
+    replayed: AtomicU64,
+}
+
+/// Aggregate statistics for a stopped [`MultiServer`].
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+pub struct MultiStats {
+    /// Requests executed across all shards (excluding shutdowns and
+    /// dedup replays).
+    pub requests: u64,
+    /// Error responses sent (malformed frames and store errors).
+    pub errors: u64,
+    /// Tagged requests answered from a dedup cache without re-executing.
+    pub replayed: u64,
+    /// The event loop's connection/frame counters.
+    pub loop_stats: LoopStats,
+}
+
+/// Routes frames from listener `i` onto shard `i`'s executor worker.
+struct MultiHandler<S> {
+    exec: ShardExecutor<S>,
+    caches: Vec<Arc<Mutex<DedupCache>>>,
+    shared: Arc<Shared>,
+    garbage: HashMap<ConnId, u32>,
+}
+
+impl<S: HyperStore + Send + 'static> FrameHandler for MultiHandler<S> {
+    fn on_frame(&mut self, conn: ConnId, frame: Vec<u8>, done: &Completions) -> FrameOutcome {
+        let shard = conn.listener;
+        let req = match Request::decode(&frame) {
+            Ok(r) => {
+                self.garbage.remove(&conn);
+                r
+            }
+            Err(e) => {
+                self.shared.errors.fetch_add(1, Ordering::Relaxed);
+                let streak = self.garbage.entry(conn).or_insert(0);
+                *streak += 1;
+                if *streak >= MAX_GARBAGE_STREAK {
+                    return FrameOutcome::Close;
+                }
+                return FrameOutcome::Reply(Response::Err(e.to_string()).encode());
+            }
+        };
+        if req == Request::Shutdown {
+            // Closes this client's connection; the server keeps running.
+            return FrameOutcome::ReplyClose(Response::Unit.encode());
+        }
+        let remember_as = match &req {
+            Request::Tagged(id, _) => Some(*id),
+            _ => None,
+        };
+        if let Some(id) = remember_as {
+            let hit = self.caches[shard].lock().lookup(id).map(<[u8]>::to_vec);
+            if let Some(bytes) = hit {
+                self.shared.replayed.fetch_add(1, Ordering::Relaxed);
+                return FrameOutcome::Reply(bytes);
+            }
+        }
+        let cache = Arc::clone(&self.caches[shard]);
+        let shared = Arc::clone(&self.shared);
+        let done = done.clone();
+        let submitted = self.exec.submit(shard, move |store| {
+            let resp = dispatch(store, req);
+            if matches!(resp, Response::Err(_)) {
+                shared.errors.fetch_add(1, Ordering::Relaxed);
+            }
+            shared.requests.fetch_add(1, Ordering::Relaxed);
+            let bytes = resp.encode();
+            if let Some(id) = remember_as {
+                cache.lock().remember(id, bytes.clone());
+            }
+            done.send(conn, bytes);
+        });
+        match submitted {
+            Ok(_pending) => FrameOutcome::Pending,
+            Err(e) => {
+                // Poisoned or shut-down shard: answer with the structured
+                // error instead of going silent.
+                self.shared.errors.fetch_add(1, Ordering::Relaxed);
+                FrameOutcome::Reply(Response::Err(e.into_hm().to_string()).encode())
+            }
+        }
+    }
+
+    fn on_disconnect(&mut self, conn: ConnId) {
+        self.garbage.remove(&conn);
+    }
+}
+
+/// A running multi-shard server. Stops (and joins its loop thread) on
+/// [`MultiServer::stop`] or drop.
+#[derive(Debug)]
+pub struct MultiServer {
+    addrs: Vec<SocketAddr>,
+    stop: Arc<AtomicBool>,
+    join: Option<JoinHandle<Result<LoopStats>>>,
+    shared: Arc<Shared>,
+}
+
+impl MultiServer {
+    /// The bound address of each shard's listener, in shard order.
+    pub fn addrs(&self) -> &[SocketAddr] {
+        &self.addrs
+    }
+
+    /// The listener addresses as strings — the form the `shard` crate's
+    /// `connect_sharded` takes. Shard `i` connects to element `i`.
+    pub fn addr_strings(&self) -> Vec<String> {
+        self.addrs.iter().map(|a| a.to_string()).collect()
+    }
+
+    /// Stop the loop, join its thread, and report what was served.
+    pub fn stop(mut self) -> Result<MultiStats> {
+        let loop_stats = self.halt()?.unwrap_or_default();
+        Ok(MultiStats {
+            requests: self.shared.requests.load(Ordering::Relaxed),
+            errors: self.shared.errors.load(Ordering::Relaxed),
+            replayed: self.shared.replayed.load(Ordering::Relaxed),
+            loop_stats,
+        })
+    }
+
+    fn halt(&mut self) -> Result<Option<LoopStats>> {
+        self.stop.store(true, Ordering::SeqCst);
+        match self.join.take() {
+            Some(join) => match join.join() {
+                Ok(r) => r.map(Some),
+                Err(_) => Err(HmError::Backend("serve_multi loop panicked".into())),
+            },
+            None => Ok(None),
+        }
+    }
+}
+
+impl Drop for MultiServer {
+    fn drop(&mut self) {
+        let _ = self.halt();
+    }
+}
+
+impl std::fmt::Debug for Shared {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Shared")
+            .field("requests", &self.requests.load(Ordering::Relaxed))
+            .finish()
+    }
+}
+
+/// Host every store in `shards` in one process, shard `i` on its own
+/// freshly-bound localhost port (read them back with
+/// [`MultiServer::addrs`]). One event-loop thread handles all
+/// connections; one persistent worker per shard executes requests.
+pub fn serve_multi<S>(shards: Vec<S>) -> Result<MultiServer>
+where
+    S: HyperStore + Send + 'static,
+{
+    let binds: Vec<String> = shards.iter().map(|_| "127.0.0.1:0".to_string()).collect();
+    serve_multi_on(shards, &binds)
+}
+
+/// [`serve_multi`] with explicit bind addresses, one per shard.
+pub fn serve_multi_on<S>(shards: Vec<S>, binds: &[String]) -> Result<MultiServer>
+where
+    S: HyperStore + Send + 'static,
+{
+    if shards.len() != binds.len() {
+        return Err(HmError::InvalidArgument(format!(
+            "serve_multi: {} shards but {} bind addresses",
+            shards.len(),
+            binds.len()
+        )));
+    }
+    let n = shards.len();
+    let event_loop = EventLoop::bind(binds)?;
+    let addrs = event_loop.local_addrs().to_vec();
+    let stop = event_loop.stop_handle();
+    let shared = Arc::new(Shared::default());
+    let handler = MultiHandler {
+        exec: ShardExecutor::new(shards),
+        caches: (0..n)
+            .map(|_| Arc::new(Mutex::new(DedupCache::default())))
+            .collect(),
+        shared: Arc::clone(&shared),
+        garbage: HashMap::new(),
+    };
+    let join = std::thread::Builder::new()
+        .name("serve-multi".into())
+        .spawn(move || event_loop.run(handler))
+        .map_err(|e| HmError::Backend(format!("spawn serve_multi loop: {e}")))?;
+    Ok(MultiServer {
+        addrs,
+        stop,
+        join: Some(join),
+        shared,
+    })
+}

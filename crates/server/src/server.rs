@@ -21,7 +21,7 @@ pub struct SessionStats {
 /// Consecutive malformed frames tolerated before the server drops the
 /// connection. A client with a framing bug gets a few error responses
 /// to diagnose with; a firehose of garbage gets disconnected.
-const MAX_GARBAGE_STREAK: u32 = 8;
+pub(crate) const MAX_GARBAGE_STREAK: u32 = 8;
 
 /// Remembers the responses of recently-executed [`Request::Tagged`]
 /// requests so a retried mutation applies **at most once**: when the
@@ -60,7 +60,7 @@ impl DedupCache {
             .map(|(_, v)| v.as_slice())
     }
 
-    fn remember(&mut self, id: u64, resp: Vec<u8>) {
+    pub(crate) fn remember(&mut self, id: u64, resp: Vec<u8>) {
         if self.entries.len() == self.cap {
             self.entries.pop_front();
         }
@@ -68,7 +68,7 @@ impl DedupCache {
     }
 }
 
-fn dispatch<S: HyperStore + ?Sized>(store: &mut S, req: Request) -> Response {
+pub(crate) fn dispatch<S: HyperStore + ?Sized>(store: &mut S, req: Request) -> Response {
     fn ok_or_err<T>(r: Result<T>, f: impl FnOnce(T) -> Response) -> Response {
         match r {
             Ok(v) => f(v),

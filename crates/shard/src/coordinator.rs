@@ -9,13 +9,20 @@
 //! decisions are strictly required; abort decisions are logged too for
 //! operator clarity.
 //!
+//! Without bound, the log grows one record per transaction forever.
+//! [`CommitLog::checkpoint`] truncates it: once every shard has
+//! acknowledged phase two for a txid, no participant can ever again be
+//! in doubt about that txid or any earlier one, so those records are
+//! replaced by a single checkpoint marker (write-new-then-rename, like
+//! the storage layer's compaction).
+//!
 //! [`recover_sharded`] reopens a crashed deployment's shard files,
 //! resolves every in-doubt participant against the log, and reports what
 //! it decided — the sharded analogue of `storage::recovery::recover`.
 
 use std::fs::{File, OpenOptions};
 use std::io::{Read, Write};
-use std::path::Path;
+use std::path::{Path, PathBuf};
 
 use hypermodel::error::{HmError, Result};
 
@@ -23,6 +30,9 @@ use hypermodel::error::{HmError, Result};
 const RECORD: usize = 9;
 const DECIDE_COMMIT: u8 = 0xC1;
 const DECIDE_ABORT: u8 = 0xA0;
+/// Checkpoint marker: every txid at or below this record's txid has been
+/// acknowledged by all shards, and its decision records were dropped.
+const DECIDE_CHECKPOINT: u8 = 0xCC;
 
 /// The coordinator's append-only decision log.
 ///
@@ -31,7 +41,10 @@ const DECIDE_ABORT: u8 = 0xA0;
 #[derive(Debug)]
 pub struct CommitLog {
     file: File,
+    path: PathBuf,
     decisions: Vec<(u64, bool)>,
+    /// All decisions at or below this txid were checkpointed away.
+    checkpoint: u64,
 }
 
 impl CommitLog {
@@ -47,11 +60,13 @@ impl CommitLog {
         file.read_to_end(&mut bytes)
             .map_err(|e| HmError::Backend(format!("read commit log: {e}")))?;
         let mut decisions = Vec::new();
+        let mut checkpoint = 0u64;
         for rec in bytes.chunks_exact(RECORD) {
             let txid = u64::from_le_bytes(rec[..8].try_into().expect("chunk is 9 bytes"));
             match rec[8] {
                 DECIDE_COMMIT => decisions.push((txid, true)),
                 DECIDE_ABORT => decisions.push((txid, false)),
+                DECIDE_CHECKPOINT => checkpoint = checkpoint.max(txid),
                 other => {
                     return Err(HmError::Backend(format!(
                         "commit log corrupt: decision byte {other:#x}"
@@ -61,7 +76,13 @@ impl CommitLog {
         }
         // chunks_exact drops a torn tail silently — that is the torn-tail
         // convention: a decision is only a decision once fully on disk.
-        Ok(CommitLog { file, decisions })
+        decisions.retain(|(t, _)| *t > checkpoint);
+        Ok(CommitLog {
+            file,
+            path: path.to_path_buf(),
+            decisions,
+            checkpoint,
+        })
     }
 
     /// Durably record a decision for `txid`. Returns after fsync: once
@@ -80,6 +101,11 @@ impl CommitLog {
 
     /// The recorded decision for `txid`, if any. `None` means the
     /// coordinator never decided — presumed abort.
+    ///
+    /// Checkpointed transactions also answer `None`: by the checkpoint
+    /// invariant every shard finished phase two for them, so no
+    /// participant can ask about them again, and presumed abort never
+    /// re-fires for a completed transaction.
     pub fn decision_for(&self, txid: u64) -> Option<bool> {
         self.decisions
             .iter()
@@ -90,7 +116,82 @@ impl CommitLog {
 
     /// A transaction id strictly greater than every recorded one.
     pub fn next_txid(&self) -> u64 {
-        self.decisions.iter().map(|(t, _)| *t).max().unwrap_or(0) + 1
+        self.decisions
+            .iter()
+            .map(|(t, _)| *t)
+            .max()
+            .unwrap_or(0)
+            .max(self.checkpoint)
+            + 1
+    }
+
+    /// Decision records currently held (excludes checkpointed ones).
+    pub fn len(&self) -> usize {
+        self.decisions.len()
+    }
+
+    /// True when no decision records are held.
+    pub fn is_empty(&self) -> bool {
+        self.decisions.is_empty()
+    }
+
+    /// The highest txid truncated away by a checkpoint (0 = none yet).
+    pub fn checkpointed_through(&self) -> u64 {
+        self.checkpoint
+    }
+
+    /// Truncate the log through `up_to`: drop every decision record with
+    /// `txid <= up_to`, keeping a single checkpoint marker in their
+    /// place. **Caller contract**: every shard must have acknowledged
+    /// phase two for every transaction at or below `up_to` — after that,
+    /// no participant can be in doubt about those txids, so their
+    /// records are dead weight.
+    ///
+    /// Crash-safe via write-new-then-rename: the log is rewritten to a
+    /// temporary file (checkpoint marker first, surviving records
+    /// after), fsynced, then renamed over the old file. A crash at any
+    /// point leaves either the old complete log or the new complete log.
+    pub fn checkpoint(&mut self, up_to: u64) -> Result<()> {
+        if up_to <= self.checkpoint {
+            return Ok(());
+        }
+        let keep: Vec<(u64, bool)> = self
+            .decisions
+            .iter()
+            .copied()
+            .filter(|(t, _)| *t > up_to)
+            .collect();
+        let tmp_path = self.path.with_extension("tmp");
+        let mut bytes = Vec::with_capacity((keep.len() + 1) * RECORD);
+        let mut rec = [0u8; RECORD];
+        rec[..8].copy_from_slice(&up_to.to_le_bytes());
+        rec[8] = DECIDE_CHECKPOINT;
+        bytes.extend_from_slice(&rec);
+        for &(txid, commit) in &keep {
+            rec[..8].copy_from_slice(&txid.to_le_bytes());
+            rec[8] = if commit { DECIDE_COMMIT } else { DECIDE_ABORT };
+            bytes.extend_from_slice(&rec);
+        }
+        let mut tmp = OpenOptions::new()
+            .write(true)
+            .create(true)
+            .truncate(true)
+            .open(&tmp_path)
+            .map_err(|e| HmError::Backend(format!("checkpoint commit log (tmp): {e}")))?;
+        tmp.write_all(&bytes)
+            .and_then(|_| tmp.sync_all())
+            .map_err(|e| HmError::Backend(format!("checkpoint commit log (write): {e}")))?;
+        drop(tmp);
+        std::fs::rename(&tmp_path, &self.path)
+            .map_err(|e| HmError::Backend(format!("checkpoint commit log (rename): {e}")))?;
+        self.file = OpenOptions::new()
+            .read(true)
+            .append(true)
+            .open(&self.path)
+            .map_err(|e| HmError::Backend(format!("checkpoint commit log (reopen): {e}")))?;
+        self.decisions = keep;
+        self.checkpoint = up_to;
+        Ok(())
     }
 }
 
@@ -161,6 +262,64 @@ mod tests {
         assert_eq!(log.decision_for(2), Some(false));
         assert_eq!(log.decision_for(3), None, "undecided = presumed abort");
         assert_eq!(log.next_txid(), 3);
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn checkpoint_truncates_and_survives_reopen() {
+        let dir = std::env::temp_dir().join(format!("hm-commitlog-ckpt-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("decisions.log");
+        let _ = std::fs::remove_file(&path);
+
+        let mut log = CommitLog::open(&path).unwrap();
+        for txid in 1..=10 {
+            log.record(txid, txid % 3 != 0).unwrap();
+        }
+        assert_eq!(log.len(), 10);
+
+        log.checkpoint(7).unwrap();
+        assert_eq!(log.len(), 3, "only txids 8..=10 survive");
+        assert_eq!(log.checkpointed_through(), 7);
+        assert_eq!(log.decision_for(5), None, "checkpointed away");
+        assert_eq!(log.decision_for(8), Some(true));
+        assert_eq!(log.decision_for(9), Some(false));
+        // txids never rewind past the checkpoint:
+        assert_eq!(log.next_txid(), 11);
+
+        // New decisions append after the checkpoint, and everything
+        // survives a reopen.
+        log.record(11, true).unwrap();
+        drop(log);
+        let log = CommitLog::open(&path).unwrap();
+        assert_eq!(log.checkpointed_through(), 7);
+        assert_eq!(log.decision_for(8), Some(true));
+        assert_eq!(log.decision_for(11), Some(true));
+        assert_eq!(log.next_txid(), 12);
+
+        // The file really shrank: 4 decision records + 1 marker.
+        let size = std::fs::metadata(&path).unwrap().len();
+        assert_eq!(size, 5 * RECORD as u64);
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn checkpoint_of_empty_suffix_is_total_truncation() {
+        let dir = std::env::temp_dir().join(format!("hm-commitlog-ckpt2-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("decisions.log");
+        let _ = std::fs::remove_file(&path);
+
+        let mut log = CommitLog::open(&path).unwrap();
+        for txid in 1..=5 {
+            log.record(txid, true).unwrap();
+        }
+        log.checkpoint(5).unwrap();
+        assert!(log.is_empty());
+        assert_eq!(log.next_txid(), 6);
+        // Re-checkpointing lower or equal is a no-op.
+        log.checkpoint(3).unwrap();
+        assert_eq!(log.checkpointed_through(), 5);
         std::fs::remove_file(&path).unwrap();
     }
 }

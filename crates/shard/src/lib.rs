@@ -7,16 +7,21 @@
 //!   [`Placement::SubtreeAffinity`]) plus the global ↔ local id directory
 //!   and ghost-node bookkeeping;
 //! * [`store`] — [`ShardedStore`]: point operations route to the owning
-//!   shard, range lookups and scans fan out across all shards in parallel
-//!   and merge, and the O10–O15 closures run level-batched frontier
+//!   shard, range lookups and scans fan out across all shards on
+//!   persistent per-shard executor workers (`exec::ShardExecutor`) and
+//!   merge, and the O10–O15 closures run level-batched frontier
 //!   exchange so cross-shard round trips scale with traversal depth
 //!   rather than node count;
 //! * [`remote`] — composition with `server::RemoteStore`: N TCP servers
 //!   behind one router, each shard one wire connection;
 //! * [`coordinator`] — crash-safe cross-shard commit: a durable decision
 //!   log ([`CommitLog`]) makes [`ShardedStore`]'s commit two-phase
-//!   (presumed abort), and [`recover_sharded`] resolves in-doubt shards
-//!   after a crash.
+//!   (presumed abort, parallel prepare with a per-shard deadline), the
+//!   log checkpoints itself once every shard has acknowledged a txid,
+//!   and [`recover_sharded`] resolves in-doubt shards after a crash —
+//!   after which [`ShardedStore::revive_shard`] or
+//!   [`ShardedStore::replace_shard`] re-admits a shard health tracking
+//!   had written off.
 //!
 //! The store also degrades gracefully: per-shard health is tracked, point
 //! operations to a dead shard fail fast with the structured

@@ -1,21 +1,31 @@
 //! [`ShardedStore`]: one `HyperStore` over N shard backends.
 //!
 //! Point operations route to the owning shard; range lookups and
-//! sequential scans fan out to every shard in parallel (scoped threads)
-//! and merge; closure traversals run **level-batched frontier exchange**:
-//! per BFS level the frontier is grouped by owning shard and fetched with
-//! one batched request per shard, so cross-shard round trips scale with
+//! sequential scans fan out to every shard in parallel (persistent
+//! per-shard executor workers — see [`exec::ShardExecutor`]) and merge;
+//! closure traversals run **level-batched frontier exchange**: per BFS
+//! level the frontier is grouped by owning shard and fetched with one
+//! batched request per shard, so cross-shard round trips scale with
 //! traversal *depth*, not node count. The fetched adjacency is then
 //! replayed as a local depth-first traversal, reproducing the exact
 //! output order of the trait's default implementations.
+//!
+//! Fan-outs cost one bounded-channel round trip per shard (~3 µs)
+//! instead of the scoped-thread spawn+join (~15 µs) this store paid per
+//! shard per operation before the executor existed; point operations
+//! skip the queue entirely and lock the owning shard directly.
 
 use std::collections::HashMap;
 use std::path::Path;
+use std::sync::Arc;
+use std::time::Duration;
 
 use hypermodel::error::{HmError, Result};
 use hypermodel::model::{Content, NodeAttrs, NodeKind, NodeValue, Oid, RefEdge};
 use hypermodel::store::{HyperStore, ShardLoad};
 use hypermodel::Bitmap;
+
+use exec::{ExecError, ShardExecutor};
 
 use crate::coordinator::CommitLog;
 use crate::router::{Placement, ShardRouter, GHOST_UID_BASE};
@@ -23,6 +33,14 @@ use crate::router::{Placement, ShardRouter, GHOST_UID_BASE};
 /// Per-shard scatter positions: `scatter[s][j]` is the index in the
 /// original request slice answered by shard `s`'s `j`-th result.
 type Scatter = Vec<Vec<usize>>;
+
+/// Default deadline for the parallel 2PC prepare fan-out: generous
+/// enough to never fire on a healthy local shard, tight enough that a
+/// hung remote shard cannot stall the coordinator forever.
+const DEFAULT_PREPARE_TIMEOUT: Duration = Duration::from_secs(10);
+
+/// Checkpoint the commit log once it holds this many decision records.
+const DEFAULT_CHECKPOINT_AFTER: usize = 64;
 
 /// How fan-out reads (range lookups, sequential scans) behave when a
 /// shard is unavailable.
@@ -39,7 +57,8 @@ pub enum ScanPolicy {
 
 /// A sharded `HyperStore` over `S` backends.
 pub struct ShardedStore<S> {
-    shards: Vec<S>,
+    /// Owns the shard backends; one persistent worker thread per shard.
+    exec: ShardExecutor<S>,
     router: ShardRouter,
     name: &'static str,
     /// `health[s]` is false once shard `s` failed transiently (crash,
@@ -52,71 +71,23 @@ pub struct ShardedStore<S> {
     commit_log: Option<CommitLog>,
     next_txid: u64,
     aborts: u64,
+    /// Deadline for the parallel prepare fan-out; a miss is a vote to
+    /// abort.
+    prepare_timeout: Duration,
+    /// Checkpoint the commit log once it holds this many records.
+    checkpoint_after: usize,
+    /// Highest txid each shard acknowledged in phase two. The log may
+    /// safely drop decisions at or below `min(acked)`: every shard is
+    /// past them, so none can ever be in doubt about them again.
+    acked: Vec<u64>,
 }
 
-/// Run `f` against every shard concurrently (scoped threads), collecting
-/// per-shard results in shard order.
-fn all_shards<S, T, F>(shards: &mut [S], f: F) -> Vec<Result<T>>
-where
-    S: HyperStore + Send,
-    T: Send,
-    F: Fn(&mut S) -> Result<T> + Sync,
-{
-    if let [only] = shards {
-        return vec![f(only)];
+/// Flatten an executor join result into a store-level result.
+fn flatten<T>(r: std::result::Result<Result<T>, ExecError>) -> Result<T> {
+    match r {
+        Ok(inner) => inner,
+        Err(e) => Err(e.into_hm()),
     }
-    std::thread::scope(|sc| {
-        let handles: Vec<_> = shards
-            .iter_mut()
-            .map(|shard| {
-                let f = &f;
-                sc.spawn(move || f(shard))
-            })
-            .collect();
-        handles
-            .into_iter()
-            .map(|h| h.join().expect("shard worker panicked"))
-            .collect()
-    })
-}
-
-/// Run `f` concurrently on each shard that has work (`Some`), in shard
-/// order; shards without work yield `Ok(T::default())`.
-fn batched<S, W, T, F>(shards: &mut [S], work: Vec<Option<W>>, f: F) -> Vec<Result<T>>
-where
-    S: HyperStore + Send,
-    W: Send,
-    T: Send + Default,
-    F: Fn(&mut S, W) -> Result<T> + Sync,
-{
-    if let [only] = shards {
-        return work
-            .into_iter()
-            .map(|w| match w {
-                Some(w) => f(only, w),
-                None => Ok(T::default()),
-            })
-            .collect();
-    }
-    std::thread::scope(|sc| {
-        let handles: Vec<_> = shards
-            .iter_mut()
-            .zip(work)
-            .map(|(shard, w)| {
-                w.map(|w| {
-                    let f = &f;
-                    sc.spawn(move || f(shard, w))
-                })
-            })
-            .collect();
-        handles
-            .into_iter()
-            .map(|h| match h {
-                Some(h) => h.join().expect("shard worker panicked"),
-                None => Ok(T::default()),
-            })
-            .collect()
-    })
 }
 
 fn ghost_value(global: Oid) -> NodeValue {
@@ -133,13 +104,13 @@ fn ghost_value(global: Oid) -> NodeValue {
     }
 }
 
-impl<S: HyperStore + Send> ShardedStore<S> {
+impl<S: HyperStore + Send + 'static> ShardedStore<S> {
     /// Shard across `shards` with the given placement policy. `name` is
     /// the backend name reported to the harness (e.g. `"sharded-mem"`).
     pub fn new(shards: Vec<S>, placement: Placement, name: &'static str) -> ShardedStore<S> {
         let n = shards.len();
         ShardedStore {
-            shards,
+            exec: ShardExecutor::new(shards),
             router: ShardRouter::new(n, placement),
             name,
             health: vec![true; n],
@@ -148,6 +119,9 @@ impl<S: HyperStore + Send> ShardedStore<S> {
             commit_log: None,
             next_txid: 1,
             aborts: 0,
+            prepare_timeout: DEFAULT_PREPARE_TIMEOUT,
+            checkpoint_after: DEFAULT_CHECKPOINT_AFTER,
+            acked: vec![0; n],
         }
     }
 
@@ -178,6 +152,33 @@ impl<S: HyperStore + Send> ShardedStore<S> {
         self.health[shard] = false;
     }
 
+    /// Re-admit a shard previously marked dead, e.g. after
+    /// [`crate::coordinator::recover_sharded`] repaired its backend.
+    /// Probes the shard with a cheap scan before flipping health back;
+    /// refuses while the executor still flags the shard poisoned by a
+    /// panic (swap the backend with [`ShardedStore::replace_shard`]
+    /// first).
+    pub fn revive_shard(&mut self, shard: usize) -> Result<()> {
+        if self.exec.is_poisoned(shard) {
+            return Err(HmError::ShardUnavailable {
+                shard,
+                msg: "shard worker poisoned by a panic; replace the backend first".into(),
+            });
+        }
+        self.exec.with_shard(shard, |sh| sh.seq_scan_ten())?;
+        self.health[shard] = true;
+        Ok(())
+    }
+
+    /// Swap in a replacement backend for `shard` (e.g. a store reopened
+    /// by recovery), clearing both the executor's poison flag and the
+    /// health mark. Returns the previous backend.
+    pub fn replace_shard(&mut self, shard: usize, store: S) -> S {
+        let old = self.exec.replace_shard(shard, store);
+        self.health[shard] = true;
+        old
+    }
+
     /// Choose how fan-out reads treat dead shards.
     pub fn set_scan_policy(&mut self, policy: ScanPolicy) {
         self.scan_policy = policy;
@@ -197,6 +198,24 @@ impl<S: HyperStore + Send> ShardedStore<S> {
     /// Cross-shard transactions aborted in phase one so far.
     pub fn commit_aborts(&self) -> u64 {
         self.aborts
+    }
+
+    /// Deadline for the parallel 2PC prepare fan-out. A shard that
+    /// misses it counts as a vote to abort (its prepare keeps running
+    /// on its worker; the abort is queued behind it in FIFO order).
+    pub fn set_prepare_timeout(&mut self, timeout: Duration) {
+        self.prepare_timeout = timeout;
+    }
+
+    /// Checkpoint the commit log once it holds `every` decision records
+    /// (the log drops decisions every shard has acknowledged).
+    pub fn set_checkpoint_interval(&mut self, every: usize) {
+        self.checkpoint_after = every.max(1);
+    }
+
+    /// The txid the commit log has been truncated through, if 2PC is on.
+    pub fn commit_checkpoint(&self) -> Option<u64> {
+        self.commit_log.as_ref().map(|l| l.checkpointed_through())
     }
 
     /// Classify a shard-call result: a transient failure marks the
@@ -227,28 +246,77 @@ impl<S: HyperStore + Send> ShardedStore<S> {
     }
 
     /// Route to a single shard and run `f` there, with fail-fast on
-    /// dead shards and health tracking on transient failures.
+    /// dead shards and health tracking on transient failures. Point
+    /// path: locks the shard on the calling thread — no executor hop.
     fn on_shard<T>(
         &mut self,
         oid: Oid,
         f: impl FnOnce(&mut S, Oid) -> Result<T>,
     ) -> Result<(usize, T)> {
         let (s, l) = self.route(oid)?;
-        let r = f(&mut self.shards[s], l);
+        let r = self.exec.with_shard(s, |sh| f(sh, l));
         Ok((s, self.note(s, r)?))
     }
 
-    /// The backend stores, in shard order — for instrumentation (e.g.
-    /// reading a `RemoteStore`'s round-trip counter).
-    pub fn shards(&self) -> &[S] {
-        &self.shards
+    /// Run `f` against shard `shard`'s backend directly — for
+    /// instrumentation (round-trip counters, fault plans) and recovery
+    /// probes. Mutating the *data* through this bypasses the router and
+    /// breaks the deployment.
+    pub fn with_shard<R>(&self, shard: usize, f: impl FnOnce(&mut S) -> R) -> R {
+        self.exec.with_shard(shard, f)
     }
 
-    /// Mutable access to the backend stores, for instrumentation that
-    /// needs it (e.g. resetting round-trip counters). Mutating the data
-    /// through this bypasses the router and breaks the deployment.
-    pub fn shards_mut(&mut self) -> &mut [S] {
-        &mut self.shards
+    /// Run `f` against every shard concurrently on the executor pool,
+    /// collecting per-shard results in shard order.
+    fn all_shards<T, F>(&self, f: F) -> Vec<Result<T>>
+    where
+        T: Send + 'static,
+        F: Fn(&mut S) -> Result<T> + Send + Sync + 'static,
+    {
+        let n = self.exec.shard_count();
+        if n == 1 {
+            return vec![self.exec.with_shard(0, |sh| f(sh))];
+        }
+        let f = Arc::new(f);
+        let mut batch = self.exec.batch();
+        for s in 0..n {
+            let f = Arc::clone(&f);
+            batch.spawn(s, move |sh| f(sh));
+        }
+        batch.join().into_iter().map(|(_, r)| flatten(r)).collect()
+    }
+
+    /// Run `f` concurrently on each shard that has work (`Some`), in
+    /// shard order; shards without work yield `Ok(T::default())`.
+    fn batched<W, T, F>(&self, work: Vec<Option<W>>, f: F) -> Vec<Result<T>>
+    where
+        W: Send + 'static,
+        T: Send + Default + 'static,
+        F: Fn(&mut S, W) -> Result<T> + Send + Sync + 'static,
+    {
+        let n = self.exec.shard_count();
+        if n == 1 {
+            return work
+                .into_iter()
+                .map(|w| match w {
+                    Some(w) => self.exec.with_shard(0, |sh| f(sh, w)),
+                    None => Ok(T::default()),
+                })
+                .collect();
+        }
+        let f = Arc::new(f);
+        let mut batch = self.exec.batch();
+        for (s, w) in work.into_iter().enumerate() {
+            if let Some(w) = w {
+                let f = Arc::clone(&f);
+                batch.spawn(s, move |sh| f(sh, w));
+            }
+        }
+        let mut out: Vec<Result<T>> = (0..n).map(|_| Ok(T::default())).collect();
+        for (s, r) in batch.join() {
+            out[s] = flatten(r);
+        }
+        out
     }
 
     /// The shard owning `global`, if the id exists.
@@ -262,7 +330,7 @@ impl<S: HyperStore + Send> ShardedStore<S> {
         for s in 0..self.router.shard_count() {
             self.router.requests[s] += 1;
         }
-        all_shards(&mut self.shards, |shard| shard.seq_scan_ten())
+        self.all_shards(|shard| shard.seq_scan_ten())
             .into_iter()
             .collect()
     }
@@ -316,7 +384,10 @@ impl<S: HyperStore + Send> ShardedStore<S> {
             return Err(Self::unavailable(shard));
         }
         self.router.requests[shard] += 1;
-        let r = self.shards[shard].insert_extra_node(&ghost_value(global));
+        let value = ghost_value(global);
+        let r = self
+            .exec
+            .with_shard(shard, |sh| sh.insert_extra_node(&value));
         let local = self.note(shard, r)?;
         self.router.register_ghost(global, shard, local);
         Ok(local)
@@ -340,27 +411,27 @@ impl<S: HyperStore + Send> ShardedStore<S> {
         }
         if sa == sb {
             self.router.requests[sa] += 1;
-            let r = apply(&mut self.shards[sa], la, lb);
+            let r = self.exec.with_shard(sa, |sh| apply(sh, la, lb));
             return self.note(sa, r);
         }
         let ghost_b = self.ensure_ghost(b, sa)?;
         self.router.requests[sa] += 1;
-        let r = apply(&mut self.shards[sa], la, ghost_b);
+        let r = self.exec.with_shard(sa, |sh| apply(sh, la, ghost_b));
         self.note(sa, r)?;
         let ghost_a = self.ensure_ghost(a, sb)?;
         self.router.requests[sb] += 1;
-        let r = apply(&mut self.shards[sb], ghost_a, lb);
+        let r = self.exec.with_shard(sb, |sh| apply(sh, ghost_a, lb));
         self.note(sb, r)?;
         Ok(())
     }
 
-    /// Fan `f` out to every *healthy* shard in parallel, applying the
-    /// [`ScanPolicy`] to dead shards and to shards that fail transiently
-    /// mid-scan. Returns `(shard, value)` pairs in shard order for the
-    /// shards that answered.
-    fn fan_out_policy<T: Send>(
+    /// Fan `f` out to every *healthy* shard via the executor pool,
+    /// applying the [`ScanPolicy`] to dead shards and to shards that
+    /// fail transiently mid-scan. Returns `(shard, value)` pairs in
+    /// shard order for the shards that answered.
+    fn fan_out_policy<T: Send + 'static>(
         &mut self,
-        f: impl Fn(&mut S) -> Result<T> + Sync,
+        f: impl Fn(&mut S) -> Result<T> + Send + Sync + 'static,
     ) -> Result<Vec<(usize, T)>> {
         self.last_scan_partial = false;
         let policy = self.scan_policy;
@@ -376,29 +447,27 @@ impl<S: HyperStore + Send> ShardedStore<S> {
                 *req += 1;
             }
         }
-        let shards = &mut self.shards;
-        let healthy_ref = &healthy;
-        let results: Vec<Option<Result<T>>> = if let [only] = shards.as_mut_slice() {
-            vec![if healthy_ref[0] { Some(f(only)) } else { None }]
+        let n = self.exec.shard_count();
+        let results: Vec<Option<Result<T>>> = if n == 1 {
+            vec![if healthy[0] {
+                Some(self.exec.with_shard(0, |sh| f(sh)))
+            } else {
+                None
+            }]
         } else {
-            std::thread::scope(|sc| {
-                let handles: Vec<_> = shards
-                    .iter_mut()
-                    .enumerate()
-                    .map(|(s, shard)| {
-                        if healthy_ref[s] {
-                            let f = &f;
-                            Some(sc.spawn(move || f(shard)))
-                        } else {
-                            None
-                        }
-                    })
-                    .collect();
-                handles
-                    .into_iter()
-                    .map(|h| h.map(|h| h.join().expect("shard worker panicked")))
-                    .collect()
-            })
+            let f = Arc::new(f);
+            let mut batch = self.exec.batch();
+            for (s, up) in healthy.iter().enumerate() {
+                if *up {
+                    let f = Arc::clone(&f);
+                    batch.spawn(s, move |sh| f(sh));
+                }
+            }
+            let mut per: Vec<Option<Result<T>>> = (0..n).map(|_| None).collect();
+            for (s, r) in batch.join() {
+                per[s] = Some(flatten(r));
+            }
+            per
         };
         let mut out = Vec::new();
         for (s, r) in results.into_iter().enumerate() {
@@ -427,7 +496,10 @@ impl<S: HyperStore + Send> ShardedStore<S> {
     /// each shard's results to global ids and drop ghosts (results whose
     /// owner is a different shard). Results come back in shard order — a
     /// deterministic set order, per the trait's set-result convention.
-    fn fan_out_owned(&mut self, f: impl Fn(&mut S) -> Result<Vec<Oid>> + Sync) -> Result<Vec<Oid>> {
+    fn fan_out_owned(
+        &mut self,
+        f: impl Fn(&mut S) -> Result<Vec<Oid>> + Send + Sync + 'static,
+    ) -> Result<Vec<Oid>> {
         let per_shard = self.fan_out_policy(f)?;
         let mut out = Vec::new();
         for (s, locals) in per_shard {
@@ -530,13 +602,45 @@ impl<S: HyperStore + Send> ShardedStore<S> {
         }
         out
     }
+
+    /// Phase one of 2PC: fan `prepare_commit` out to every shard in
+    /// parallel under one shared deadline. A shard that misses the
+    /// deadline is a vote to abort — its prepare keeps running on its
+    /// worker and the abort is queued behind it (per-shard FIFO), so no
+    /// reordering is possible.
+    fn parallel_prepare(
+        &mut self,
+        txid: u64,
+    ) -> Vec<(usize, std::result::Result<Result<()>, ExecError>)> {
+        let n = self.exec.shard_count();
+        if n == 1 {
+            return vec![(0, Ok(self.exec.with_shard(0, |sh| sh.prepare_commit(txid))))];
+        }
+        let mut batch = self.exec.batch();
+        for s in 0..n {
+            batch.spawn(s, move |sh| sh.prepare_commit(txid));
+        }
+        batch.join_within(self.prepare_timeout)
+    }
+
+    /// Once the log has grown past the checkpoint interval, drop every
+    /// decision all shards have acknowledged. Best-effort: a failed
+    /// checkpoint leaves the old (longer, still correct) log in place.
+    fn maybe_checkpoint(&mut self) {
+        let min_acked = self.acked.iter().copied().min().unwrap_or(0);
+        if let Some(log) = &mut self.commit_log {
+            if min_acked > 0 && log.len() >= self.checkpoint_after {
+                let _ = log.checkpoint(min_acked);
+            }
+        }
+    }
 }
 
-impl<S: HyperStore + Send> HyperStore for ShardedStore<S> {
+impl<S: HyperStore + Send + 'static> HyperStore for ShardedStore<S> {
     fn lookup_unique(&mut self, unique_id: u64) -> Result<Oid> {
         let g = self.router.global_for_uid(unique_id)?;
         let (s, l) = self.route(g)?;
-        let r = self.shards[s].lookup_unique(unique_id);
+        let r = self.exec.with_shard(s, |sh| sh.lookup_unique(unique_id));
         let local = self.note(s, r)?;
         debug_assert_eq!(local, l, "shard uid index disagrees with router");
         Ok(g)
@@ -568,11 +672,11 @@ impl<S: HyperStore + Send> HyperStore for ShardedStore<S> {
     }
 
     fn range_hundred(&mut self, lo: u32, hi: u32) -> Result<Vec<Oid>> {
-        self.fan_out_owned(|shard| shard.range_hundred(lo, hi))
+        self.fan_out_owned(move |shard| shard.range_hundred(lo, hi))
     }
 
     fn range_million(&mut self, lo: u32, hi: u32) -> Result<Vec<Oid>> {
-        self.fan_out_owned(|shard| shard.range_million(lo, hi))
+        self.fan_out_owned(move |shard| shard.range_million(lo, hi))
     }
 
     fn children(&mut self, oid: Oid) -> Result<Vec<Oid>> {
@@ -651,7 +755,9 @@ impl<S: HyperStore + Send> HyperStore for ShardedStore<S> {
             return Err(Self::unavailable(s));
         }
         self.router.requests[s] += 1;
-        let r = self.shards[s].create_node_clustered(value, local_near);
+        let r = self
+            .exec
+            .with_shard(s, |sh| sh.create_node_clustered(value, local_near));
         let local = self.note(s, r)?;
         self.router
             .register(g, s, local, depth, value.attrs.unique_id);
@@ -680,7 +786,7 @@ impl<S: HyperStore + Send> HyperStore for ShardedStore<S> {
             return Err(Self::unavailable(s));
         }
         self.router.requests[s] += 1;
-        let r = self.shards[s].insert_extra_node(value);
+        let r = self.exec.with_shard(s, |sh| sh.insert_extra_node(value));
         let local = self.note(s, r)?;
         self.router
             .register(g, s, local, depth, value.attrs.unique_id);
@@ -695,7 +801,8 @@ impl<S: HyperStore + Send> HyperStore for ShardedStore<S> {
         if self.commit_log.is_none() {
             // Legacy single-phase: every shard commits independently. Not
             // crash-atomic across shards — enable `with_commit_log` for that.
-            for (s, r) in all_shards(&mut self.shards, |shard| shard.commit())
+            for (s, r) in self
+                .all_shards(|shard| shard.commit())
                 .into_iter()
                 .enumerate()
             {
@@ -703,15 +810,15 @@ impl<S: HyperStore + Send> HyperStore for ShardedStore<S> {
             }
             return Ok(());
         }
-        // Two-phase: prepare everywhere, durably record the decision, then
-        // tell every shard to finish. The fsynced decision record is the
-        // commit point — once it is on disk, recovery completes the
-        // transaction even if every later message is lost.
+        // Two-phase: prepare everywhere in parallel under one deadline,
+        // durably record the decision, then tell every shard to finish.
+        // The fsynced decision record is the commit point — once it is on
+        // disk, recovery completes the transaction even if every later
+        // message is lost.
         let txid = self.next_txid;
         self.next_txid += 1;
-        let prepared: Vec<Result<()>> =
-            all_shards(&mut self.shards, |shard| shard.prepare_commit(txid));
-        if prepared.iter().any(|r| r.is_err()) {
+        let prepared = self.parallel_prepare(txid);
+        if !prepared.iter().all(|(_, r)| matches!(r, Ok(Ok(())))) {
             self.aborts += 1;
             // The abort record is best-effort: presumed abort means an
             // absent decision already reads as "abort" during recovery.
@@ -719,14 +826,29 @@ impl<S: HyperStore + Send> HyperStore for ShardedStore<S> {
                 let _ = log.record(txid, false);
             }
             let mut first = None;
-            for (s, r) in prepared.into_iter().enumerate() {
+            for (s, r) in prepared {
                 match r {
-                    Ok(()) => {
-                        let a = self.shards[s].abort_prepared(txid);
+                    Ok(Ok(())) => {
+                        // Voted yes: roll this shard back.
+                        let a = self.exec.with_shard(s, |sh| sh.abort_prepared(txid));
                         let _ = self.note(s, a);
                     }
+                    Ok(Err(e)) => {
+                        let e = self.note::<()>(s, Err(e)).unwrap_err();
+                        first.get_or_insert(e);
+                    }
+                    Err(timed_out @ ExecError::TimedOut(_)) => {
+                        // The prepare is still running on the shard's
+                        // worker; queue the abort behind it (FIFO) without
+                        // waiting — the deadline was already missed.
+                        let _ = self.exec.submit(s, move |sh| {
+                            let _ = sh.abort_prepared(txid);
+                        });
+                        let e = self.note::<()>(s, Err(timed_out.into_hm())).unwrap_err();
+                        first.get_or_insert(e);
+                    }
                     Err(e) => {
-                        let e = self.note(s, Err::<(), _>(e)).unwrap_err();
+                        let e = self.note::<()>(s, Err(e.into_hm())).unwrap_err();
                         first.get_or_insert(e);
                     }
                 }
@@ -739,17 +861,22 @@ impl<S: HyperStore + Send> HyperStore for ShardedStore<S> {
             .record(txid, true)?;
         // Phase two: failures here only mark health — the decision is
         // durable, so recovery finishes the commit on the failed shard.
-        for (s, r) in all_shards(&mut self.shards, |shard| shard.commit_prepared(txid))
+        for (s, r) in self
+            .all_shards(move |shard| shard.commit_prepared(txid))
             .into_iter()
             .enumerate()
         {
-            let _ = self.note(s, r);
+            if self.note(s, r).is_ok() {
+                self.acked[s] = txid;
+            }
         }
+        self.maybe_checkpoint();
         Ok(())
     }
 
     fn cold_restart(&mut self) -> Result<()> {
-        for (s, r) in all_shards(&mut self.shards, |shard| shard.cold_restart())
+        for (s, r) in self
+            .all_shards(|shard| shard.cold_restart())
             .into_iter()
             .enumerate()
         {
@@ -796,9 +923,7 @@ impl<S: HyperStore + Send> HyperStore for ShardedStore<S> {
 
     fn children_batch(&mut self, oids: &[Oid]) -> Result<Vec<Vec<Oid>>> {
         let (work, pos) = self.group_by_shard(oids)?;
-        let results = batched(&mut self.shards, work, |shard, ls: Vec<Oid>| {
-            shard.children_batch(&ls)
-        });
+        let results = self.batched(work, |shard, ls: Vec<Oid>| shard.children_batch(&ls));
         let mut out = vec![Vec::new(); oids.len()];
         for (s, r) in results.into_iter().enumerate() {
             let lists = self.note(s, r)?;
@@ -811,9 +936,7 @@ impl<S: HyperStore + Send> HyperStore for ShardedStore<S> {
 
     fn parts_batch(&mut self, oids: &[Oid]) -> Result<Vec<Vec<Oid>>> {
         let (work, pos) = self.group_by_shard(oids)?;
-        let results = batched(&mut self.shards, work, |shard, ls: Vec<Oid>| {
-            shard.parts_batch(&ls)
-        });
+        let results = self.batched(work, |shard, ls: Vec<Oid>| shard.parts_batch(&ls));
         let mut out = vec![Vec::new(); oids.len()];
         for (s, r) in results.into_iter().enumerate() {
             let lists = self.note(s, r)?;
@@ -826,9 +949,7 @@ impl<S: HyperStore + Send> HyperStore for ShardedStore<S> {
 
     fn refs_to_batch(&mut self, oids: &[Oid]) -> Result<Vec<Vec<RefEdge>>> {
         let (work, pos) = self.group_by_shard(oids)?;
-        let results = batched(&mut self.shards, work, |shard, ls: Vec<Oid>| {
-            shard.refs_to_batch(&ls)
-        });
+        let results = self.batched(work, |shard, ls: Vec<Oid>| shard.refs_to_batch(&ls));
         let mut out = vec![Vec::new(); oids.len()];
         for (s, r) in results.into_iter().enumerate() {
             let lists = self.note(s, r)?;
@@ -841,9 +962,7 @@ impl<S: HyperStore + Send> HyperStore for ShardedStore<S> {
 
     fn hundred_batch(&mut self, oids: &[Oid]) -> Result<Vec<u32>> {
         let (work, pos) = self.group_by_shard(oids)?;
-        let results = batched(&mut self.shards, work, |shard, ls: Vec<Oid>| {
-            shard.hundred_batch(&ls)
-        });
+        let results = self.batched(work, |shard, ls: Vec<Oid>| shard.hundred_batch(&ls));
         let mut out = vec![0u32; oids.len()];
         for (s, r) in results.into_iter().enumerate() {
             let vals = self.note(s, r)?;
@@ -856,9 +975,7 @@ impl<S: HyperStore + Send> HyperStore for ShardedStore<S> {
 
     fn million_batch(&mut self, oids: &[Oid]) -> Result<Vec<u32>> {
         let (work, pos) = self.group_by_shard(oids)?;
-        let results = batched(&mut self.shards, work, |shard, ls: Vec<Oid>| {
-            shard.million_batch(&ls)
-        });
+        let results = self.batched(work, |shard, ls: Vec<Oid>| shard.million_batch(&ls));
         let mut out = vec![0u32; oids.len()];
         for (s, r) in results.into_iter().enumerate() {
             let vals = self.note(s, r)?;
@@ -888,7 +1005,7 @@ impl<S: HyperStore + Send> HyperStore for ShardedStore<S> {
                 work.push(Some(w));
             }
         }
-        let results = batched(&mut self.shards, work, |shard, w: Vec<(Oid, u32)>| {
+        let results = self.batched(work, |shard, w: Vec<(Oid, u32)>| {
             shard.set_hundred_batch(&w)
         });
         for (s, r) in results.into_iter().enumerate() {

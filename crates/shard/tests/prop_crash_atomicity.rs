@@ -97,10 +97,12 @@ proptest! {
 
         // Arm the crash on a random shard, in the prepare window of the
         // *next* transaction, then run the O12 mutation into it.
-        let nth = store.shards_mut()[crash_shard].prepares_seen() + 1;
-        store.shards_mut()[crash_shard].set_plan(FaultPlan {
-            crash: Some(CrashSpec { point: CrashPoint::AfterPrepare, nth }),
-            ..FaultPlan::none(99)
+        store.with_shard(crash_shard, |sh| {
+            let nth = sh.prepares_seen() + 1;
+            sh.set_plan(FaultPlan {
+                crash: Some(CrashSpec { point: CrashPoint::AfterPrepare, nth }),
+                ..FaultPlan::none(99)
+            });
         });
         store.closure_1n_att_set(root).unwrap();
         let err = store.commit().unwrap_err();

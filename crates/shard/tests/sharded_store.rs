@@ -197,11 +197,13 @@ fn cross_shard_closure_round_trips_scale_with_depth_not_nodes() {
     let r = load_database(&mut s, &db).unwrap();
     let root = r.oids[0];
 
-    for shard in s.shards_mut() {
-        shard.reset_round_trips();
+    for shard in 0..s.shard_count() {
+        s.with_shard(shard, |sh| sh.reset_round_trips());
     }
     let closure = s.closure_1n(root).unwrap();
-    let trips: u64 = s.shards().iter().map(|sh| sh.round_trips()).sum();
+    let trips: u64 = (0..s.shard_count())
+        .map(|shard| s.with_shard(shard, |sh| sh.round_trips()))
+        .sum();
 
     let nodes = closure.len() as u64;
     assert_eq!(nodes, db.len() as u64, "root closure covers the structure");

@@ -76,13 +76,15 @@ fn crash_between_prepare_and_commit_leaves_no_partial_o12() {
 
     // Arm the crash: shard 1 dies right after it prepares the *next*
     // transaction, before the coordinator can decide.
-    let nth = s.shards_mut()[1].prepares_seen() + 1;
-    s.shards_mut()[1].set_plan(FaultPlan {
-        crash: Some(CrashSpec {
-            point: CrashPoint::AfterPrepare,
-            nth,
-        }),
-        ..FaultPlan::none(2)
+    s.with_shard(1, |sh| {
+        let nth = sh.prepares_seen() + 1;
+        sh.set_plan(FaultPlan {
+            crash: Some(CrashSpec {
+                point: CrashPoint::AfterPrepare,
+                nth,
+            }),
+            ..FaultPlan::none(2)
+        });
     });
 
     // O12 mutates `hundred` across both shards, then the 2PC commit hits
@@ -96,7 +98,7 @@ fn crash_between_prepare_and_commit_leaves_no_partial_o12() {
     );
     assert_eq!(s.commit_aborts(), 1);
     assert_eq!(s.health(), &[true, false]);
-    assert!(s.shards()[1].is_crashed());
+    assert!(s.with_shard(1, |sh| sh.is_crashed()));
 
     // Graceful degradation while shard 1 is down: point ops to it fail
     // fast, fan-outs follow the scan policy.
