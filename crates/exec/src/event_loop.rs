@@ -27,14 +27,17 @@ use std::collections::{HashMap, VecDeque};
 use std::io::{ErrorKind, Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, Ordering};
-use std::sync::mpsc::{channel, Receiver, RecvTimeoutError, Sender};
 use std::sync::Arc;
 use std::time::Duration;
 
 use hypermodel::error::{HmError, Result};
+use sanity::sync::mpsc::{channel, Receiver, RecvTimeoutError, Sender};
 
-/// Largest accepted frame payload — matches the TCP transport's cap.
-const MAX_FRAME: usize = 64 << 20;
+/// Largest accepted frame payload. `hyperlint` (rule `frame-cap`) keeps
+/// this textually identical to the client-side cap in
+/// `server/src/transport.rs` — a mismatch would make one side drop
+/// frames the other produces.
+pub const MAX_FRAME: usize = 64 << 20;
 
 /// How long an idle loop parks on the completion channel per tick.
 const IDLE_PARK: Duration = Duration::from_micros(500);
@@ -364,7 +367,9 @@ impl EventLoop {
             if conn.rbuf.len() < 4 {
                 break;
             }
-            let len = u32::from_le_bytes(conn.rbuf[..4].try_into().expect("4 bytes")) as usize;
+            let mut len_bytes = [0u8; 4];
+            len_bytes.copy_from_slice(&conn.rbuf[..4]);
+            let len = u32::from_le_bytes(len_bytes) as usize;
             if len > MAX_FRAME {
                 return Err(()); // unframeable garbage: drop the connection
             }

@@ -25,13 +25,13 @@
 
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicBool, Ordering};
-use std::sync::mpsc::{sync_channel, Receiver, RecvTimeoutError, SyncSender};
 use std::sync::Arc;
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
 use hypermodel::error::HmError;
-use parking_lot::Mutex;
+use sanity::sync::mpsc::{sync_channel, Receiver, RecvTimeoutError, SyncSender};
+use sanity::sync::Mutex;
 
 /// Queue depth per worker. Submissions beyond this block the caller —
 /// natural backpressure; the coordinator never queues unboundedly ahead
@@ -84,7 +84,12 @@ impl ExecError {
     }
 }
 
-type Job<S> = Box<dyn FnOnce(&mut S) + Send>;
+/// A unit of work for a shard worker. The job receives the shard
+/// *mutex*, not a guard: it locks only around the caller's closure and
+/// reports its result (one-shot send / completion callback) after the
+/// lock is released, so results never travel over a channel while the
+/// shard is locked.
+type Job<S> = Box<dyn FnOnce(&Mutex<S>) + Send>;
 
 struct Slot<S> {
     store: Arc<Mutex<S>>,
@@ -170,10 +175,10 @@ impl<S> ShardExecutor<S> {
                                 // the poison flag and reports `Poisoned`.
                                 continue;
                             }
-                            let ran = catch_unwind(AssertUnwindSafe(|| {
-                                let mut guard = worker_store.lock();
-                                job(&mut guard);
-                            }));
+                            // Jobs catch their own panics (setting the
+                            // poison flag *before* dropping their one-shot
+                            // sender); this is only a backstop.
+                            let ran = catch_unwind(AssertUnwindSafe(|| job(&worker_store)));
                             if ran.is_err() {
                                 worker_poison.store(true, Ordering::SeqCst);
                             }
@@ -215,10 +220,28 @@ impl<S> ShardExecutor<S> {
         }
         let tx = slot.tx.as_ref().ok_or(ExecError::Shutdown)?;
         let (done, rx) = sync_channel::<T>(1);
-        let job: Job<S> = Box::new(move |s: &mut S| {
-            // The waiter may have given up (deadline) — a send failure
-            // just means nobody is listening any more.
-            let _ = done.send(f(s));
+        let poison = Arc::clone(&slot.poisoned);
+        let job: Job<S> = Box::new(move |store: &Mutex<S>| {
+            let out = catch_unwind(AssertUnwindSafe(|| {
+                let mut guard = store.lock();
+                f(&mut guard)
+                // Guard drops here: the result is reported below with
+                // the shard unlocked.
+            }));
+            match out {
+                // The waiter may have given up (deadline) — a send
+                // failure just means nobody is listening any more.
+                Ok(v) => {
+                    let _ = done.send(v);
+                }
+                // Set the flag before `done` drops so a waiter woken by
+                // the disconnect always classifies it as `Poisoned`,
+                // never a spurious `Shutdown`.
+                Err(_) => {
+                    poison.store(true, Ordering::SeqCst);
+                    drop(done);
+                }
+            }
         });
         tx.send(job).map_err(|_| ExecError::Shutdown)?;
         Ok(JobHandle {
@@ -226,6 +249,37 @@ impl<S> ShardExecutor<S> {
             rx,
             poisoned: Arc::clone(&slot.poisoned),
         })
+    }
+
+    /// Enqueue `f` on `shard`'s worker without a handle: `complete`
+    /// receives the result on the worker thread *after* the shard lock
+    /// is released. This is the event-loop reply path — completions
+    /// must not be sent while the shard is locked (a reply channel send
+    /// under the shard mutex is exactly the hazard `sanity::sync`
+    /// flags).
+    pub fn submit_detached<T, F, C>(&self, shard: usize, f: F, complete: C) -> Result<(), ExecError>
+    where
+        T: Send + 'static,
+        F: FnOnce(&mut S) -> T + Send + 'static,
+        C: FnOnce(T) + Send + 'static,
+    {
+        let slot = &self.slots[shard];
+        if slot.poisoned.load(Ordering::SeqCst) {
+            return Err(ExecError::Poisoned(shard));
+        }
+        let tx = slot.tx.as_ref().ok_or(ExecError::Shutdown)?;
+        let poison = Arc::clone(&slot.poisoned);
+        let job: Job<S> = Box::new(move |store: &Mutex<S>| {
+            let out = catch_unwind(AssertUnwindSafe(|| {
+                let mut guard = store.lock();
+                f(&mut guard)
+            }));
+            match out {
+                Ok(v) => complete(v),
+                Err(_) => poison.store(true, Ordering::SeqCst),
+            }
+        });
+        tx.send(job).map_err(|_| ExecError::Shutdown)
     }
 
     /// Lock `shard`'s backend on the *calling* thread and run `f`. This

@@ -1,0 +1,73 @@
+//! `hyperlint` — source-level invariant checks for this workspace.
+//!
+//! Usage: `cargo run -p sanity --bin hyperlint [-- --root <path>]`
+//!
+//! With no `--root`, the workspace root is located by walking up from
+//! the current directory to the first `Cargo.toml` containing a
+//! `[workspace]` section. Exit code is 0 when clean, 1 when any rule
+//! fires (findings printed as `file:line: [rule] message`), 2 on usage
+//! errors.
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+fn workspace_root() -> Option<PathBuf> {
+    let mut dir = std::env::current_dir().ok()?;
+    loop {
+        let manifest = dir.join("Cargo.toml");
+        if let Ok(text) = std::fs::read_to_string(&manifest) {
+            if text.contains("[workspace]") {
+                return Some(dir);
+            }
+        }
+        if !dir.pop() {
+            return None;
+        }
+    }
+}
+
+fn main() -> ExitCode {
+    let mut args = std::env::args().skip(1);
+    let mut root: Option<PathBuf> = None;
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--root" => match args.next() {
+                Some(p) => root = Some(PathBuf::from(p)),
+                None => {
+                    eprintln!("hyperlint: --root requires a path");
+                    return ExitCode::from(2);
+                }
+            },
+            "--help" | "-h" => {
+                println!("hyperlint [--root <workspace root>]");
+                return ExitCode::SUCCESS;
+            }
+            other => {
+                eprintln!("hyperlint: unknown argument `{other}`");
+                return ExitCode::from(2);
+            }
+        }
+    }
+    let root = match root.or_else(workspace_root) {
+        Some(r) => r,
+        None => {
+            eprintln!("hyperlint: no workspace root found (pass --root)");
+            return ExitCode::from(2);
+        }
+    };
+
+    let (findings, scanned) = sanity::lint::lint_tree(&root);
+    if findings.is_empty() {
+        println!("hyperlint: clean ({scanned} files scanned)");
+        ExitCode::SUCCESS
+    } else {
+        for f in &findings {
+            println!("{f}");
+        }
+        eprintln!(
+            "hyperlint: {} finding(s) across {scanned} scanned files",
+            findings.len()
+        );
+        ExitCode::FAILURE
+    }
+}

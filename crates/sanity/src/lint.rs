@@ -1,0 +1,691 @@
+//! Rule engine behind the `hyperlint` binary: token-level source checks
+//! for repo invariants the compiler cannot express.
+//!
+//! Rules (each suppressible per-line with a `// lint:allow(<rule>)`
+//! comment on the offending line or the line above):
+//!
+//! * `direct-sync` — `crates/{shard,exec,server}/src` must not name
+//!   `parking_lot` or the shimmed `std::sync` primitives (`Mutex`,
+//!   `RwLock`, `Condvar`, `mpsc`, guards) directly; they go through
+//!   `sanity::sync` so `--cfg sanity_check` instrumentation sees every
+//!   acquisition.
+//! * `no-unwrap` — no `.unwrap()` / `.expect(` (or `_err` variants) on
+//!   server request paths and commit-log I/O: `server/src/server.rs`,
+//!   `server/src/multi.rs`, `exec/src/event_loop.rs`,
+//!   `shard/src/coordinator.rs`, `shard/src/store.rs`. A malformed
+//!   frame or a full disk must surface as a typed error, not a panic.
+//! * `protocol-parity` — every `Request` variant declared in
+//!   `server/src/protocol.rs` must appear in both the server dispatcher
+//!   (`server.rs`) and the remote client (`client.rs`); likewise every
+//!   `Response` variant. Catches "added a variant, forgot a match arm
+//!   behind a catch-all".
+//! * `frame-cap` — the `MAX_FRAME` constant must be textually identical
+//!   between `exec/src/event_loop.rs` (server side) and
+//!   `server/src/transport.rs` (client side), or one side will drop
+//!   frames the other happily produces.
+//!
+//! Test modules (`#[cfg(test)] mod ... { ... }`), comments and string
+//! literals are excluded before matching.
+
+use std::fmt;
+use std::path::{Path, PathBuf};
+
+/// One lint hit.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Finding {
+    pub file: PathBuf,
+    /// 1-based; 0 when the finding is about a whole missing file.
+    pub line: usize,
+    pub rule: &'static str,
+    pub message: String,
+}
+
+impl fmt::Display for Finding {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}:{}: [{}] {}",
+            self.file.display(),
+            self.line,
+            self.rule,
+            self.message
+        )
+    }
+}
+
+pub const RULE_DIRECT_SYNC: &str = "direct-sync";
+pub const RULE_NO_UNWRAP: &str = "no-unwrap";
+pub const RULE_PROTOCOL_PARITY: &str = "protocol-parity";
+pub const RULE_FRAME_CAP: &str = "frame-cap";
+
+// ---------------------------------------------------------------------------
+// Source preprocessing
+// ---------------------------------------------------------------------------
+
+/// Per-line view of a source file with comments and string-literal
+/// bodies blanked out, line comments preserved separately (for
+/// `lint:allow` detection), and `#[cfg(test)] mod` regions marked.
+pub struct Prepared {
+    /// Cleaned line text (same line count as the input).
+    pub lines: Vec<String>,
+    /// Raw line text (for suppression comments).
+    raw: Vec<String>,
+    /// True for lines inside a `#[cfg(test)]` module.
+    pub in_test: Vec<bool>,
+}
+
+impl Prepared {
+    /// A finding for `rule` on 1-based line `n` is suppressed when that
+    /// line or the previous one carries `lint:allow(rule)`.
+    pub fn suppressed(&self, n: usize, rule: &str) -> bool {
+        let marker = format!("lint:allow({rule})");
+        let hit = |i: usize| {
+            self.raw
+                .get(i)
+                .map(|l| l.contains(&marker))
+                .unwrap_or(false)
+        };
+        hit(n - 1) || (n >= 2 && hit(n - 2))
+    }
+}
+
+/// Blank out comments and string-literal contents, preserving line
+/// structure so findings keep accurate line numbers.
+pub fn prepare(src: &str) -> Prepared {
+    let raw: Vec<String> = src.lines().map(str::to_string).collect();
+    let mut lines = Vec::with_capacity(raw.len());
+    let mut in_block_comment = false;
+    for line in &raw {
+        let mut out = String::with_capacity(line.len());
+        let bytes: Vec<char> = line.chars().collect();
+        let mut i = 0;
+        while i < bytes.len() {
+            if in_block_comment {
+                if bytes[i] == '*' && bytes.get(i + 1) == Some(&'/') {
+                    in_block_comment = false;
+                    i += 2;
+                } else {
+                    i += 1;
+                }
+                continue;
+            }
+            let c = bytes[i];
+            match c {
+                '/' if bytes.get(i + 1) == Some(&'/') => break, // line comment
+                '/' if bytes.get(i + 1) == Some(&'*') => {
+                    in_block_comment = true;
+                    i += 2;
+                }
+                '"' => {
+                    // Blank the string body (escapes honored).
+                    out.push('"');
+                    i += 1;
+                    while i < bytes.len() {
+                        match bytes[i] {
+                            '\\' => i += 2,
+                            '"' => {
+                                out.push('"');
+                                i += 1;
+                                break;
+                            }
+                            _ => i += 1,
+                        }
+                    }
+                }
+                '\'' => {
+                    // Char literal ('x', '\n') vs lifetime ('a). Only
+                    // blank genuine char literals.
+                    let close = if bytes.get(i + 1) == Some(&'\\') {
+                        bytes[i + 2..]
+                            .iter()
+                            .position(|&b| b == '\'')
+                            .map(|p| p + i + 2)
+                    } else if bytes.get(i + 2) == Some(&'\'') {
+                        Some(i + 2)
+                    } else {
+                        None
+                    };
+                    if let Some(end) = close {
+                        out.push('\'');
+                        out.push('\'');
+                        i = end + 1;
+                    } else {
+                        out.push(c);
+                        i += 1;
+                    }
+                }
+                _ => {
+                    out.push(c);
+                    i += 1;
+                }
+            }
+        }
+        lines.push(out);
+    }
+
+    // Mark `#[cfg(test)] mod` bodies by brace matching on cleaned text.
+    let mut in_test = vec![false; lines.len()];
+    let mut i = 0;
+    while i < lines.len() {
+        let t = lines[i].trim();
+        if t.contains("#[cfg(test)]") {
+            // The mod declaration follows within a few lines (possibly
+            // with more attributes between).
+            let mut j = i;
+            let mut found_mod = None;
+            while j < lines.len() && j <= i + 4 {
+                let tj = lines[j].trim_start();
+                if tj.starts_with("mod ") || tj.starts_with("pub mod ") {
+                    found_mod = Some(j);
+                    break;
+                }
+                j += 1;
+            }
+            if let Some(start) = found_mod {
+                let mut depth = 0i32;
+                let mut opened = false;
+                let mut k = start;
+                while k < lines.len() {
+                    for c in lines[k].chars() {
+                        match c {
+                            '{' => {
+                                depth += 1;
+                                opened = true;
+                            }
+                            '}' => depth -= 1,
+                            _ => {}
+                        }
+                    }
+                    in_test[k] = true;
+                    if opened && depth <= 0 {
+                        break;
+                    }
+                    k += 1;
+                }
+                i = k + 1;
+                continue;
+            }
+        }
+        i += 1;
+    }
+
+    Prepared {
+        lines,
+        raw,
+        in_test,
+    }
+}
+
+fn is_ident_char(c: char) -> bool {
+    c.is_alphanumeric() || c == '_'
+}
+
+/// Does `needle` occur in `hay` delimited by non-identifier characters?
+fn word_hit(hay: &str, needle: &str) -> bool {
+    let mut start = 0;
+    while let Some(pos) = hay[start..].find(needle) {
+        let at = start + pos;
+        let before_ok = at == 0 || !is_ident_char(hay[..at].chars().next_back().unwrap_or(' '));
+        let after = hay[at + needle.len()..].chars().next();
+        let after_ok = after.is_none_or(|c| !is_ident_char(c));
+        if before_ok && after_ok {
+            return true;
+        }
+        start = at + needle.len().max(1);
+    }
+    false
+}
+
+// ---------------------------------------------------------------------------
+// Rule: direct-sync
+// ---------------------------------------------------------------------------
+
+/// Primitives that must come from `sanity::sync` instead of `std::sync`.
+const SHIMMED: &[&str] = &[
+    "Mutex",
+    "MutexGuard",
+    "RwLock",
+    "RwLockReadGuard",
+    "RwLockWriteGuard",
+    "Condvar",
+    "mpsc",
+];
+
+/// Flag direct `parking_lot` / shimmed `std::sync` usage in `src`.
+/// Returns `(line, message)` pairs (1-based lines).
+pub fn find_direct_sync(src: &str) -> Vec<(usize, String)> {
+    let p = prepare(src);
+    let mut out = Vec::new();
+    for (idx, line) in p.lines.iter().enumerate() {
+        let n = idx + 1;
+        if p.in_test[idx] || p.suppressed(n, RULE_DIRECT_SYNC) {
+            continue;
+        }
+        if word_hit(line, "parking_lot") {
+            out.push((
+                n,
+                "direct parking_lot reference; use sanity::sync instead".to_string(),
+            ));
+            continue;
+        }
+        let mut start = 0;
+        while let Some(pos) = line[start..].find("std::sync::") {
+            let at = start + pos + "std::sync::".len();
+            let rest = &line[at..];
+            let flagged = if let Some(body) = rest.strip_prefix('{') {
+                let end = body.find('}').unwrap_or(body.len());
+                SHIMMED.iter().any(|s| word_hit(&body[..end], s))
+            } else {
+                SHIMMED.iter().any(|s| {
+                    rest.starts_with(s)
+                        && !is_ident_char(rest[s.len()..].chars().next().unwrap_or(' '))
+                })
+            };
+            if flagged {
+                out.push((
+                    n,
+                    "direct std::sync lock/channel import; use sanity::sync instead".to_string(),
+                ));
+                break;
+            }
+            start = at;
+        }
+    }
+    out
+}
+
+// ---------------------------------------------------------------------------
+// Rule: no-unwrap
+// ---------------------------------------------------------------------------
+
+const PANICKY: &[&str] = &[".unwrap()", ".unwrap_err()", ".expect(", ".expect_err("];
+
+/// Flag panicking result/option consumption in `src` outside tests.
+pub fn find_unwraps(src: &str) -> Vec<(usize, String)> {
+    let p = prepare(src);
+    let mut out = Vec::new();
+    for (idx, line) in p.lines.iter().enumerate() {
+        let n = idx + 1;
+        if p.in_test[idx] || p.suppressed(n, RULE_NO_UNWRAP) {
+            continue;
+        }
+        for pat in PANICKY {
+            if line.contains(pat) {
+                out.push((
+                    n,
+                    format!("`{pat}` on a request/commit path; return a typed error"),
+                ));
+                break;
+            }
+        }
+    }
+    out
+}
+
+// ---------------------------------------------------------------------------
+// Rule: protocol-parity
+// ---------------------------------------------------------------------------
+
+/// Extract the variant names of `pub enum <name>` from `src`, with the
+/// 1-based line the enum starts on. `None` if the enum is not found.
+pub fn enum_variants(src: &str, name: &str) -> Option<(usize, Vec<String>)> {
+    let p = prepare(src);
+    let text = p.lines.join("\n");
+    let decl = format!("enum {name}");
+    let mut from = 0;
+    let start = loop {
+        let pos = text[from..].find(&decl)? + from;
+        let after = text[pos + decl.len()..].chars().next();
+        if after.is_some_and(|c| !is_ident_char(c)) {
+            break pos;
+        }
+        from = pos + decl.len();
+    };
+    let line = text[..start].matches('\n').count() + 1;
+    let open = text[start..].find('{')? + start;
+    let mut depth = 0i32;
+    let mut end = open;
+    for (i, c) in text[open..].char_indices() {
+        match c {
+            '{' => depth += 1,
+            '}' => {
+                depth -= 1;
+                if depth == 0 {
+                    end = open + i;
+                    break;
+                }
+            }
+            _ => {}
+        }
+    }
+    let body = &text[open + 1..end];
+
+    // Split top-level variants on commas outside any nesting.
+    let mut variants = Vec::new();
+    let mut seg = String::new();
+    let mut nest = 0i32;
+    for c in body.chars() {
+        match c {
+            '(' | '{' | '[' | '<' => {
+                nest += 1;
+                seg.push(c);
+            }
+            ')' | '}' | ']' | '>' => {
+                nest -= 1;
+                seg.push(c);
+            }
+            ',' if nest == 0 => {
+                push_variant(&mut variants, &seg);
+                seg.clear();
+            }
+            _ => seg.push(c),
+        }
+    }
+    push_variant(&mut variants, &seg);
+    Some((line, variants))
+}
+
+fn push_variant(variants: &mut Vec<String>, seg: &str) {
+    for raw in seg.lines() {
+        let t = raw.trim();
+        if t.is_empty() || t.starts_with('#') {
+            continue;
+        }
+        let ident: String = t.chars().take_while(|&c| is_ident_char(c)).collect();
+        if !ident.is_empty() && ident.chars().next().is_some_and(|c| c.is_uppercase()) {
+            variants.push(ident);
+            return;
+        }
+    }
+}
+
+/// Check every `enum_name::Variant` is referenced in `user_src`.
+/// Returns the missing variant names.
+pub fn missing_variant_refs(user_src: &str, enum_name: &str, variants: &[String]) -> Vec<String> {
+    let p = prepare(user_src);
+    let text = p.lines.join("\n");
+    variants
+        .iter()
+        .filter(|v| !word_hit(&text, &format!("{enum_name}::{v}")))
+        .cloned()
+        .collect()
+}
+
+// ---------------------------------------------------------------------------
+// Rule: frame-cap
+// ---------------------------------------------------------------------------
+
+/// Find `const <name>` in `src`; return its 1-based line and its
+/// whitespace-normalized right-hand side.
+pub fn const_rhs(src: &str, name: &str) -> Option<(usize, String)> {
+    let p = prepare(src);
+    for (idx, line) in p.lines.iter().enumerate() {
+        let Some(pos) = line.find("const ") else {
+            continue;
+        };
+        let rest = line[pos + "const ".len()..].trim_start();
+        if !rest.starts_with(name) {
+            continue;
+        }
+        let eq = line.find('=')?;
+        let semi = line.find(';').unwrap_or(line.len());
+        let rhs: String = line[eq + 1..semi]
+            .chars()
+            .filter(|c| !c.is_whitespace())
+            .collect();
+        return Some((idx + 1, rhs));
+    }
+    None
+}
+
+// ---------------------------------------------------------------------------
+// Tree driver
+// ---------------------------------------------------------------------------
+
+/// Directories whose sources must route locks through `sanity::sync`.
+const SYNC_SCOPE: &[&str] = &["crates/shard/src", "crates/exec/src", "crates/server/src"];
+
+/// Files where panicking consumption is banned.
+const UNWRAP_SCOPE: &[&str] = &[
+    "crates/server/src/server.rs",
+    "crates/server/src/multi.rs",
+    "crates/exec/src/event_loop.rs",
+    "crates/shard/src/coordinator.rs",
+    "crates/shard/src/store.rs",
+];
+
+const PROTOCOL: &str = "crates/server/src/protocol.rs";
+const DISPATCHER: &str = "crates/server/src/server.rs";
+const CLIENT: &str = "crates/server/src/client.rs";
+const EVENT_LOOP: &str = "crates/exec/src/event_loop.rs";
+const TRANSPORT: &str = "crates/server/src/transport.rs";
+
+fn rs_files(dir: &Path, out: &mut Vec<PathBuf>) {
+    let Ok(entries) = std::fs::read_dir(dir) else {
+        return;
+    };
+    let mut paths: Vec<PathBuf> = entries.filter_map(|e| e.ok().map(|e| e.path())).collect();
+    paths.sort();
+    for path in paths {
+        if path.is_dir() {
+            rs_files(&path, out);
+        } else if path.extension().is_some_and(|e| e == "rs") {
+            out.push(path);
+        }
+    }
+}
+
+fn missing(root: &Path, rel: &str, rule: &'static str) -> Finding {
+    Finding {
+        file: root.join(rel),
+        line: 0,
+        rule,
+        message: "expected file missing; rule cannot be verified".to_string(),
+    }
+}
+
+/// Run every rule against the workspace at `root`. Returns the findings
+/// plus the number of files scanned.
+pub fn lint_tree(root: &Path) -> (Vec<Finding>, usize) {
+    let mut findings = Vec::new();
+    let mut scanned = 0usize;
+
+    // direct-sync over the three migrated crates.
+    for dir in SYNC_SCOPE {
+        let mut files = Vec::new();
+        rs_files(&root.join(dir), &mut files);
+        if files.is_empty() {
+            findings.push(missing(root, dir, RULE_DIRECT_SYNC));
+            continue;
+        }
+        for file in files {
+            let Ok(src) = std::fs::read_to_string(&file) else {
+                continue;
+            };
+            scanned += 1;
+            for (line, message) in find_direct_sync(&src) {
+                findings.push(Finding {
+                    file: file.clone(),
+                    line,
+                    rule: RULE_DIRECT_SYNC,
+                    message,
+                });
+            }
+        }
+    }
+
+    // no-unwrap over the request/commit paths.
+    for rel in UNWRAP_SCOPE {
+        let file = root.join(rel);
+        let Ok(src) = std::fs::read_to_string(&file) else {
+            findings.push(missing(root, rel, RULE_NO_UNWRAP));
+            continue;
+        };
+        scanned += 1;
+        for (line, message) in find_unwraps(&src) {
+            findings.push(Finding {
+                file: file.clone(),
+                line,
+                rule: RULE_NO_UNWRAP,
+                message,
+            });
+        }
+    }
+
+    // protocol-parity between protocol.rs, server.rs and client.rs.
+    match std::fs::read_to_string(root.join(PROTOCOL)) {
+        Err(_) => findings.push(missing(root, PROTOCOL, RULE_PROTOCOL_PARITY)),
+        Ok(proto_src) => {
+            scanned += 1;
+            let pairs = [
+                ("Request", DISPATCHER),
+                ("Request", CLIENT),
+                ("Response", DISPATCHER),
+                ("Response", CLIENT),
+            ];
+            for (enum_name, user_rel) in pairs {
+                let Some((decl_line, variants)) = enum_variants(&proto_src, enum_name) else {
+                    findings.push(Finding {
+                        file: root.join(PROTOCOL),
+                        line: 0,
+                        rule: RULE_PROTOCOL_PARITY,
+                        message: format!("enum {enum_name} not found"),
+                    });
+                    continue;
+                };
+                let Ok(user_src) = std::fs::read_to_string(root.join(user_rel)) else {
+                    findings.push(missing(root, user_rel, RULE_PROTOCOL_PARITY));
+                    continue;
+                };
+                for v in missing_variant_refs(&user_src, enum_name, &variants) {
+                    findings.push(Finding {
+                        file: root.join(PROTOCOL),
+                        line: decl_line,
+                        rule: RULE_PROTOCOL_PARITY,
+                        message: format!(
+                            "{enum_name}::{v} is declared here but never referenced in {user_rel}"
+                        ),
+                    });
+                }
+            }
+        }
+    }
+
+    // frame-cap consistency between server event loop and client transport.
+    let caps: Vec<Option<(PathBuf, usize, String)>> = [EVENT_LOOP, TRANSPORT]
+        .iter()
+        .map(|rel| {
+            let file = root.join(rel);
+            std::fs::read_to_string(&file)
+                .ok()
+                .and_then(|src| const_rhs(&src, "MAX_FRAME").map(|(l, rhs)| (file, l, rhs)))
+        })
+        .collect();
+    match (&caps[0], &caps[1]) {
+        (Some((f1, l1, rhs1)), Some((_f2, _l2, rhs2))) => {
+            if rhs1 != rhs2 {
+                findings.push(Finding {
+                    file: f1.clone(),
+                    line: *l1,
+                    rule: RULE_FRAME_CAP,
+                    message: format!(
+                        "MAX_FRAME mismatch: event loop has `{rhs1}`, transport has `{rhs2}`"
+                    ),
+                });
+            }
+        }
+        _ => {
+            for (rel, cap) in [EVENT_LOOP, TRANSPORT].iter().zip(&caps) {
+                if cap.is_none() {
+                    findings.push(Finding {
+                        file: root.join(rel),
+                        line: 0,
+                        rule: RULE_FRAME_CAP,
+                        message: "no `const MAX_FRAME` found".to_string(),
+                    });
+                }
+            }
+        }
+    }
+
+    (findings, scanned)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn direct_sync_flags_parking_lot_and_std_locks() {
+        let src = "use parking_lot::Mutex;\nuse std::sync::{Arc, Mutex};\nuse std::sync::mpsc::channel;\nuse std::sync::Arc;\n";
+        let hits = find_direct_sync(src);
+        assert_eq!(
+            hits.iter().map(|(l, _)| *l).collect::<Vec<_>>(),
+            vec![1, 2, 3]
+        );
+    }
+
+    #[test]
+    fn direct_sync_ignores_comments_tests_and_suppressions() {
+        let src = "\
+// parking_lot is fine to mention here
+use std::sync::Arc;
+// lint:allow(direct-sync) — reviewed: bootstrap only
+use std::sync::Mutex;
+#[cfg(test)]
+mod tests {
+    use std::sync::Mutex;
+}
+";
+        assert!(find_direct_sync(src).is_empty());
+    }
+
+    #[test]
+    fn unwrap_rule_matches_only_panicking_forms() {
+        let src = "\
+let a = x.unwrap();
+let b = x.unwrap_or(0);
+let c = x.unwrap_or_else(|| 0);
+let d = x.expect(\"boom\");
+let e = x.unwrap_err();
+let f = \"string with .unwrap() inside\";
+";
+        let hits = find_unwraps(src);
+        assert_eq!(
+            hits.iter().map(|(l, _)| *l).collect::<Vec<_>>(),
+            vec![1, 4, 5]
+        );
+    }
+
+    #[test]
+    fn enum_variants_parse_tuple_struct_and_unit() {
+        let src = "\
+pub enum Request {
+    /// doc
+    Ping,
+    #[allow(dead_code)]
+    Get(u64),
+    Put { key: u64, value: Vec<u8> },
+    Tagged(u64, Box<Request>),
+}
+";
+        let (line, vs) = enum_variants(src, "Request").expect("enum");
+        assert_eq!(line, 1);
+        assert_eq!(vs, vec!["Ping", "Get", "Put", "Tagged"]);
+    }
+
+    #[test]
+    fn missing_refs_reported() {
+        let user = "match r { Request::Ping => {} Request::Get(_) => {} _ => {} }";
+        let vs = vec!["Ping".to_string(), "Get".to_string(), "Put".to_string()];
+        assert_eq!(missing_variant_refs(user, "Request", &vs), vec!["Put"]);
+    }
+
+    #[test]
+    fn const_rhs_normalizes_whitespace() {
+        let a = "pub const MAX_FRAME: usize = 64 << 20;";
+        let b = "const MAX_FRAME: usize = 64<<20; // bytes";
+        assert_eq!(const_rhs(a, "MAX_FRAME").unwrap().1, "64<<20");
+        assert_eq!(const_rhs(b, "MAX_FRAME").unwrap().1, "64<<20");
+    }
+}

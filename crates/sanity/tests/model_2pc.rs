@@ -1,0 +1,240 @@
+//! Deterministic-scheduler model of the cross-shard two-phase commit in
+//! `shard::ShardedStore` (`commit` + `CommitLog` + presumed-abort
+//! recovery). Where `prop_crash_atomicity` samples random fault
+//! schedules against the real store, this model enumerates them: every
+//! interleaving of coordinator and participants, crossed with every
+//! coordinator crash point and every vote combination, via
+//! `Sim::choose`. At each explored outcome the recovery procedure runs
+//! and cross-shard atomicity is asserted.
+
+use sanity::dsched::{Explorer, Sim};
+
+const SHARDS: usize = 2;
+
+/// Coordinator crash points, mirroring `chaos`' `CrashPoint`s: never,
+/// after prepares but before the decision record, after the record but
+/// before any phase-two message, and between the phase-two messages.
+const CRASH_POINTS: usize = 4;
+// Choice 0 is "no crash"; the coordinator runs to completion.
+const BEFORE_DECISION: usize = 1;
+const BEFORE_PHASE_TWO: usize = 2;
+const MID_PHASE_TWO: usize = 3;
+
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+enum PState {
+    Init,
+    Prepared,
+    Committed,
+    Aborted,
+}
+
+enum Msg {
+    Prepare,
+    Commit,
+    Abort,
+}
+
+/// One full 2PC attempt: the coordinator runs on the root thread, one
+/// spawned thread per participant shard. The "disk" is `log` (the
+/// fsynced decision record) and `states` (per-shard durable state);
+/// both survive the modeled crash, which silently drops every channel.
+fn two_phase_model(sim: &Sim) {
+    let crash = sim.choose(CRASH_POINTS);
+    let states = sim.mutex(vec![PState::Init; SHARDS]);
+    let log = sim.mutex(None::<bool>);
+
+    let mut joins = Vec::new();
+    let mut req_txs = Vec::new();
+    let mut vote_rxs = Vec::new();
+    for shard in 0..SHARDS {
+        let (req_tx, req_rx) = sim.channel::<Msg>(None);
+        let (vote_tx, vote_rx) = sim.channel::<bool>(None);
+        req_txs.push(req_tx);
+        vote_rxs.push(vote_rx);
+        let states = states.clone();
+        let sim2 = sim.clone();
+        joins.push(sim.spawn(move || {
+            // A participant votes its own mind: `choose` makes both
+            // outcomes part of the explored tree.
+            while let Some(msg) = req_rx.recv() {
+                match msg {
+                    Msg::Prepare => {
+                        let yes = sim2.choose(2) == 0;
+                        states.lock()[shard] = if yes {
+                            PState::Prepared
+                        } else {
+                            PState::Aborted
+                        };
+                        vote_tx.send(yes);
+                    }
+                    Msg::Commit => states.lock()[shard] = PState::Committed,
+                    Msg::Abort => {
+                        let mut st = states.lock();
+                        if st[shard] == PState::Prepared {
+                            st[shard] = PState::Aborted;
+                        }
+                    }
+                }
+            }
+            // Coordinator gone (crash or completion): keep local state;
+            // recovery owns the rest.
+        }));
+    }
+
+    // --- Coordinator. An early return models the crash: channels drop,
+    // participants see disconnect, volatile state is lost.
+    let decision = (|| {
+        for tx in &req_txs {
+            tx.send(Msg::Prepare);
+        }
+        let mut all_yes = true;
+        for rx in &vote_rxs {
+            all_yes &= rx.recv().unwrap_or(false);
+        }
+        if crash == BEFORE_DECISION {
+            return None;
+        }
+        // The fsynced decision record: THE commit point.
+        *log.lock() = Some(all_yes);
+        if crash == BEFORE_PHASE_TWO {
+            return None;
+        }
+        for (shard, tx) in req_txs.iter().enumerate() {
+            tx.send(if all_yes { Msg::Commit } else { Msg::Abort });
+            if crash == MID_PHASE_TWO && shard == 0 {
+                return None;
+            }
+        }
+        Some(all_yes)
+    })();
+    drop(req_txs);
+    for j in joins {
+        j.join();
+    }
+
+    // --- Presumed-abort recovery: an absent decision record reads as
+    // abort; a present one is replayed to every still-prepared shard.
+    let recovered = log.lock().unwrap_or(false);
+    {
+        let mut st = states.lock();
+        for s in st.iter_mut() {
+            if matches!(*s, PState::Init | PState::Prepared) {
+                *s = if recovered {
+                    PState::Committed
+                } else {
+                    PState::Aborted
+                };
+            }
+        }
+    }
+
+    // --- Atomicity: all shards land on the same side, and commit only
+    // with a durable commit record.
+    let st = states.lock().clone();
+    let committed = st.iter().filter(|s| **s == PState::Committed).count();
+    assert!(
+        committed == 0 || committed == SHARDS,
+        "crash point {crash}: split commit {st:?} (coordinator saw {decision:?})"
+    );
+    if committed == SHARDS {
+        assert_eq!(
+            *log.lock(),
+            Some(true),
+            "committed without a durable commit decision"
+        );
+    }
+    if decision == Some(true) {
+        assert!(
+            st.iter().all(|s| *s == PState::Committed),
+            "coordinator returned success but a shard aborted: {st:?}"
+        );
+    }
+}
+
+/// Exhaustively explore the model. The issue's acceptance bar: at least
+/// 1000 distinct interleavings of the commit path, atomicity asserted
+/// in each (the assertions above run at the end of every schedule).
+#[test]
+fn atomic_across_all_interleavings_and_crash_points() {
+    let report = Explorer::exhaustive()
+        .preemption_bound(2)
+        .max_schedules(50_000)
+        .explore(two_phase_model);
+    report.assert_ok();
+    assert!(
+        report.distinct >= 1000,
+        "expected >= 1000 distinct interleavings, explored {}",
+        report.distinct
+    );
+}
+
+/// A coordinator that skips the durability barrier — sending phase-two
+/// commits before the decision record is on disk — must be caught: the
+/// crash between send and record yields a committed shard with no
+/// recoverable decision.
+#[test]
+fn premature_phase_two_breaks_atomicity_and_is_caught() {
+    let report = Explorer::exhaustive()
+        .preemption_bound(1)
+        .max_schedules(20_000)
+        .explore(|sim| {
+            let crash_after_first_send = sim.choose(2) == 1;
+            let states = sim.mutex(vec![PState::Init; SHARDS]);
+            let log = sim.mutex(None::<bool>);
+            let mut joins = Vec::new();
+            let mut req_txs = Vec::new();
+            for shard in 0..SHARDS {
+                let (req_tx, req_rx) = sim.channel::<Msg>(None);
+                req_txs.push(req_tx);
+                let states = states.clone();
+                joins.push(sim.spawn(move || {
+                    while let Some(msg) = req_rx.recv() {
+                        match msg {
+                            Msg::Prepare => states.lock()[shard] = PState::Prepared,
+                            Msg::Commit => states.lock()[shard] = PState::Committed,
+                            Msg::Abort => states.lock()[shard] = PState::Aborted,
+                        }
+                    }
+                }));
+            }
+            (|| {
+                for tx in &req_txs {
+                    tx.send(Msg::Prepare);
+                }
+                // BUG: phase two before the decision is durable.
+                for (shard, tx) in req_txs.iter().enumerate() {
+                    tx.send(Msg::Commit);
+                    if crash_after_first_send && shard == 0 {
+                        return;
+                    }
+                }
+                *log.lock() = Some(true);
+            })();
+            drop(req_txs);
+            for j in joins {
+                j.join();
+            }
+            let recovered = log.lock().unwrap_or(false);
+            let mut st = states.lock().clone();
+            for s in st.iter_mut() {
+                if matches!(*s, PState::Init | PState::Prepared) {
+                    *s = if recovered {
+                        PState::Committed
+                    } else {
+                        PState::Aborted
+                    };
+                }
+            }
+            let committed = st.iter().filter(|s| **s == PState::Committed).count();
+            assert!(
+                committed == 0 || committed == SHARDS,
+                "split commit: {st:?}"
+            );
+        });
+    assert!(
+        !report.failures.is_empty(),
+        "explorer missed the split-commit schedule ({} runs)",
+        report.runs
+    );
+    assert!(report.failures[0].message.contains("split commit"));
+}

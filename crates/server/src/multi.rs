@@ -25,7 +25,7 @@ use std::thread::JoinHandle;
 use exec::{Completions, ConnId, EventLoop, FrameHandler, FrameOutcome, LoopStats, ShardExecutor};
 use hypermodel::error::{HmError, Result};
 use hypermodel::store::HyperStore;
-use parking_lot::Mutex;
+use sanity::sync::Mutex;
 
 use crate::protocol::{Request, Response};
 use crate::server::{dispatch, DedupCache, MAX_GARBAGE_STREAK};
@@ -96,20 +96,27 @@ impl<S: HyperStore + Send + 'static> FrameHandler for MultiHandler<S> {
         let cache = Arc::clone(&self.caches[shard]);
         let shared = Arc::clone(&self.shared);
         let done = done.clone();
-        let submitted = self.exec.submit(shard, move |store| {
-            let resp = dispatch(store, req);
-            if matches!(resp, Response::Err(_)) {
-                shared.errors.fetch_add(1, Ordering::Relaxed);
-            }
-            shared.requests.fetch_add(1, Ordering::Relaxed);
-            let bytes = resp.encode();
-            if let Some(id) = remember_as {
-                cache.lock().remember(id, bytes.clone());
-            }
-            done.send(conn, bytes);
-        });
+        // Only `dispatch` runs under the shard lock; bookkeeping, the
+        // dedup insert and the completion send happen in the completion
+        // callback after the worker has released it (`sanity::sync`
+        // flags sends performed while a lock is held).
+        let submitted = self.exec.submit_detached(
+            shard,
+            move |store| dispatch(store, req),
+            move |resp| {
+                if matches!(resp, Response::Err(_)) {
+                    shared.errors.fetch_add(1, Ordering::Relaxed);
+                }
+                shared.requests.fetch_add(1, Ordering::Relaxed);
+                let bytes = resp.encode();
+                if let Some(id) = remember_as {
+                    cache.lock().remember(id, bytes.clone());
+                }
+                done.send(conn, bytes);
+            },
+        );
         match submitted {
-            Ok(_pending) => FrameOutcome::Pending,
+            Ok(()) => FrameOutcome::Pending,
             Err(e) => {
                 // Poisoned or shut-down shard: answer with the structured
                 // error instead of going silent.

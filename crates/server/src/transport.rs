@@ -15,6 +15,11 @@ use std::time::Duration;
 use crossbeam::channel::{unbounded, Receiver, RecvTimeoutError, Sender};
 use hypermodel::error::{HmError, Result};
 
+/// Largest accepted frame payload on the client side. `hyperlint`
+/// (rule `frame-cap`) keeps this textually identical to the server-side
+/// cap in `exec/src/event_loop.rs`.
+pub const MAX_FRAME: usize = 64 << 20;
+
 /// A bidirectional, framed message pipe.
 pub trait Transport: Send {
     /// Send one frame.
@@ -157,7 +162,7 @@ impl Transport for TcpTransport {
             Err(e) => return Err(tcp_io_err("tcp recv", e)),
         }
         let len = u32::from_le_bytes(len_buf) as usize;
-        if len > 64 << 20 {
+        if len > MAX_FRAME {
             return Err(HmError::Backend(format!("oversized frame: {len} bytes")));
         }
         let mut frame = vec![0u8; len];

@@ -62,7 +62,9 @@ impl CommitLog {
         let mut decisions = Vec::new();
         let mut checkpoint = 0u64;
         for rec in bytes.chunks_exact(RECORD) {
-            let txid = u64::from_le_bytes(rec[..8].try_into().expect("chunk is 9 bytes"));
+            let mut txid_bytes = [0u8; 8];
+            txid_bytes.copy_from_slice(&rec[..8]);
+            let txid = u64::from_le_bytes(txid_bytes);
             match rec[8] {
                 DECIDE_COMMIT => decisions.push((txid, true)),
                 DECIDE_ABORT => decisions.push((txid, false)),

@@ -222,19 +222,25 @@ impl<S: HyperStore + Send + 'static> ShardedStore<S> {
     /// shard dead and is rewrapped as the structured
     /// [`HmError::ShardUnavailable`] carrying the shard index.
     fn note<T>(&mut self, s: usize, r: Result<T>) -> Result<T> {
-        match r {
-            Err(e @ HmError::ShardUnavailable { .. }) => {
+        r.map_err(|e| self.note_err(s, e))
+    }
+
+    /// [`Self::note`] for a known failure: classifies the error and
+    /// hands it back directly, so commit paths never unwrap.
+    fn note_err(&mut self, s: usize, e: HmError) -> HmError {
+        match e {
+            e @ HmError::ShardUnavailable { .. } => {
                 self.health[s] = false;
-                Err(e)
+                e
             }
-            Err(e) if e.is_transient() => {
+            e if e.is_transient() => {
                 self.health[s] = false;
-                Err(HmError::ShardUnavailable {
+                HmError::ShardUnavailable {
                     shard: s,
                     msg: e.to_string(),
-                })
+                }
             }
-            other => other,
+            e => e,
         }
     }
 
@@ -749,7 +755,7 @@ impl<S: HyperStore + Send + 'static> HyperStore for ShardedStore<S> {
         // (the real node or an existing ghost of it).
         let local_near = near.and_then(|p| match self.router.to_local(p) {
             Ok((ps, pl)) if ps == s => Some(pl),
-            _ => self.router.ghost_of(near.unwrap(), s),
+            _ => self.router.ghost_of(p, s),
         });
         if !self.health[s] {
             return Err(Self::unavailable(s));
@@ -834,7 +840,7 @@ impl<S: HyperStore + Send + 'static> HyperStore for ShardedStore<S> {
                         let _ = self.note(s, a);
                     }
                     Ok(Err(e)) => {
-                        let e = self.note::<()>(s, Err(e)).unwrap_err();
+                        let e = self.note_err(s, e);
                         first.get_or_insert(e);
                     }
                     Err(timed_out @ ExecError::TimedOut(_)) => {
@@ -844,21 +850,22 @@ impl<S: HyperStore + Send + 'static> HyperStore for ShardedStore<S> {
                         let _ = self.exec.submit(s, move |sh| {
                             let _ = sh.abort_prepared(txid);
                         });
-                        let e = self.note::<()>(s, Err(timed_out.into_hm())).unwrap_err();
+                        let e = self.note_err(s, timed_out.into_hm());
                         first.get_or_insert(e);
                     }
                     Err(e) => {
-                        let e = self.note::<()>(s, Err(e.into_hm())).unwrap_err();
+                        let e = self.note_err(s, e.into_hm());
                         first.get_or_insert(e);
                     }
                 }
             }
-            return Err(first.expect("at least one prepare failed"));
+            return Err(first.unwrap_or_else(|| {
+                HmError::Backend("prepare failed but no shard reported an error".into())
+            }));
         }
-        self.commit_log
-            .as_mut()
-            .expect("checked above")
-            .record(txid, true)?;
+        if let Some(log) = self.commit_log.as_mut() {
+            log.record(txid, true)?;
+        }
         // Phase two: failures here only mark health — the decision is
         // durable, so recovery finishes the commit on the failed shard.
         for (s, r) in self

@@ -54,17 +54,13 @@ fn flipped(m: &BTreeMap<u64, u32>) -> BTreeMap<u64, u32> {
         .collect()
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(10))]
-
-    #[test]
-    fn crashed_o12_commit_is_all_or_nothing(
-        n in 2usize..=4,
-        committed_first in 0usize..=1,
-        pick in any::<u64>(),
-    ) {
-        let crash_shard = (pick % n as u64) as usize;
-        let dir = temp_dir(&format!("{n}-{committed_first}-{crash_shard}"));
+/// One crash scenario, fully parameterized: `n` shards, `committed_first`
+/// O12 transactions landed before the crash, shard `crash_shard` dying
+/// after its prepare of the next transaction. Plain asserts so both the
+/// random sampler and the exhaustive grid below share it.
+fn run_crash_scenario(n: usize, committed_first: usize, crash_shard: usize, tag: &str) {
+    {
+        let dir = temp_dir(&format!("{tag}-{n}-{committed_first}-{crash_shard}"));
         let paths: Vec<PathBuf> = (0..n).map(|s| dir.join(format!("shard{s}.db"))).collect();
         let log = dir.join("decisions.log");
 
@@ -73,7 +69,10 @@ proptest! {
             .iter()
             .enumerate()
             .map(|(s, p)| {
-                ChaosStore::new(DiskStore::create(p, 1024).unwrap(), FaultPlan::none(s as u64))
+                ChaosStore::new(
+                    DiskStore::create(p, 1024).unwrap(),
+                    FaultPlan::none(s as u64),
+                )
             })
             .collect();
         let mut store = ShardedStore::new(shards, Placement::OidHash, "sharded-chaos-disk")
@@ -85,7 +84,7 @@ proptest! {
 
         // O9 exercises the read path; `committed` tracks the last durable
         // image as O12 transactions land.
-        prop_assert_eq!(store.seq_scan_ten().unwrap(), db.len() as u64);
+        assert_eq!(store.seq_scan_ten().unwrap(), db.len() as u64);
         let mut committed: BTreeMap<u64, u32> = (0..db.len() as u64)
             .map(|i| (i + 1, store.hundred_of(report.oids[i as usize]).unwrap()))
             .collect();
@@ -100,14 +99,20 @@ proptest! {
         store.with_shard(crash_shard, |sh| {
             let nth = sh.prepares_seen() + 1;
             sh.set_plan(FaultPlan {
-                crash: Some(CrashSpec { point: CrashPoint::AfterPrepare, nth }),
+                crash: Some(CrashSpec {
+                    point: CrashPoint::AfterPrepare,
+                    nth,
+                }),
                 ..FaultPlan::none(99)
             });
         });
         store.closure_1n_att_set(root).unwrap();
         let err = store.commit().unwrap_err();
-        prop_assert!(err.is_transient(), "commit failure must be transient: {err}");
-        prop_assert_eq!(store.commit_aborts(), 1);
+        assert!(
+            err.is_transient(),
+            "commit failure must be transient: {err}"
+        );
+        assert_eq!(store.commit_aborts(), 1);
         drop(store);
 
         let path_refs: Vec<&std::path::Path> = paths.iter().map(|p| p.as_path()).collect();
@@ -115,12 +120,46 @@ proptest! {
 
         let after = hundreds_by_uid(&paths, db.len() as u64);
         let all_committed = flipped(&committed);
-        prop_assert!(
+        assert!(
             after == committed || after == all_committed,
             "recovered image mixes committed and aborted state"
         );
         // A crash before any decision is presumed abort.
-        prop_assert_eq!(&after, &committed);
+        assert_eq!(&after, &committed);
         std::fs::remove_dir_all(&dir).ok();
     }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(10))]
+
+    /// Random sampling: same property, arbitrary corner of the space.
+    #[test]
+    fn crashed_o12_commit_is_all_or_nothing(
+        n in 2usize..=4,
+        committed_first in 0usize..=1,
+        pick in any::<u64>(),
+    ) {
+        run_crash_scenario(n, committed_first, (pick % n as u64) as usize, "rand");
+    }
+}
+
+/// Systematic companion to the sampler: enumerate the whole parameter
+/// grid — every shard count, every crashing shard, with and without a
+/// committed transaction in front — so the prepare-window property is
+/// checked on all 18 scenarios deterministically, every run. (The
+/// interleaving dimension of the same protocol is exhausted by
+/// `sanity`'s dsched model in `crates/sanity/tests/model_2pc.rs`.)
+#[test]
+fn crash_grid_is_exhaustively_enumerated() {
+    let mut scenarios = 0;
+    for n in 2usize..=4 {
+        for committed_first in 0usize..=1 {
+            for crash_shard in 0..n {
+                run_crash_scenario(n, committed_first, crash_shard, "grid");
+                scenarios += 1;
+            }
+        }
+    }
+    assert_eq!(scenarios, 18);
 }
