@@ -5,8 +5,17 @@
 //! all in nonblocking mode. Each tick the loop accepts new connections,
 //! drains completed request executions, flushes pending writes, reads
 //! whatever bytes arrived and slices them into length-prefixed frames
-//! (`u32` little-endian length + payload — the workspace's wire framing)
 //! which it hands to a [`FrameHandler`].
+//!
+//! Wire framing (the workspace's, both directions): a `u32`
+//! little-endian length, then a `u64` little-endian **trace id**, then
+//! the payload; the length counts the trace id and the payload, so a
+//! well-formed frame is at least 8 bytes long. The loop installs the
+//! frame's trace id as the thread's current trace
+//! (`obs::trace`) while the handler runs, and every reply frame echoes
+//! the trace id that was current when it was produced — so one trace id
+//! follows a request from the client through the loop, across executor
+//! job dispatch, and back.
 //!
 //! The handler answers immediately ([`FrameOutcome::Reply`]) or defers
 //! ([`FrameOutcome::Pending`]) after dispatching the work elsewhere —
@@ -38,6 +47,10 @@ use sanity::sync::mpsc::{channel, Receiver, RecvTimeoutError, Sender};
 /// `server/src/transport.rs` — a mismatch would make one side drop
 /// frames the other produces.
 pub const MAX_FRAME: usize = 64 << 20;
+
+/// Bytes of the frame header carrying the trace id, counted in the
+/// length prefix ahead of the payload.
+pub const TRACE_HEADER: usize = 8;
 
 /// How long an idle loop parks on the completion channel per tick.
 const IDLE_PARK: Duration = Duration::from_micros(500);
@@ -87,15 +100,18 @@ pub trait FrameHandler {
 /// loop from any thread, waking it if it was parked.
 #[derive(Clone)]
 pub struct Completions {
-    tx: Sender<(ConnId, Vec<u8>)>,
+    tx: Sender<(ConnId, u64, Vec<u8>)>,
 }
 
 impl Completions {
-    /// Deliver the response payload for the pending frame on `conn`.
-    /// Delivery after the connection (or the loop) is gone is silently
-    /// dropped — the client is no longer there to read it.
+    /// Deliver the response payload for the pending frame on `conn`,
+    /// tagged with the sending thread's current trace id (executor
+    /// workers run completions inside the submitting frame's trace, so
+    /// the reply echoes the request's id). Delivery after the connection
+    /// (or the loop) is gone is silently dropped — the client is no
+    /// longer there to read it.
     pub fn send(&self, conn: ConnId, reply: Vec<u8>) {
-        let _ = self.tx.send((conn, reply));
+        let _ = self.tx.send((conn, obs::trace::current(), reply));
     }
 }
 
@@ -110,6 +126,11 @@ pub struct LoopStats {
     pub replies: u64,
     /// Connections that ended (either side).
     pub disconnects: u64,
+    /// Times the idle strategy parked on the completion channel.
+    pub parks: u64,
+    /// Parks cut short by a completion arriving (the cooperative-polling
+    /// cost the ROADMAP flags: wakeups without socket readiness).
+    pub idle_wakeups: u64,
 }
 
 struct Conn {
@@ -119,8 +140,9 @@ struct Conn {
     /// Encoded responses not yet fully written; `wpos` marks progress.
     wbuf: Vec<u8>,
     wpos: usize,
-    /// Complete frames awaiting dispatch (one in flight at a time).
-    queued: VecDeque<Vec<u8>>,
+    /// Complete frames (trace id, payload) awaiting dispatch (one in
+    /// flight at a time).
+    queued: VecDeque<(u64, Vec<u8>)>,
     inflight: bool,
     close_after_flush: bool,
 }
@@ -130,14 +152,15 @@ impl Conn {
         self.wpos == self.wbuf.len()
     }
 
-    fn enqueue_reply(&mut self, payload: &[u8]) {
+    fn enqueue_reply(&mut self, trace: u64, payload: &[u8]) {
         // Compact the buffer before growing it: drop the written prefix.
         if self.wpos > 0 {
             self.wbuf.drain(..self.wpos);
             self.wpos = 0;
         }
         self.wbuf
-            .extend_from_slice(&(payload.len() as u32).to_le_bytes());
+            .extend_from_slice(&((payload.len() + TRACE_HEADER) as u32).to_le_bytes());
+        self.wbuf.extend_from_slice(&trace.to_le_bytes());
         self.wbuf.extend_from_slice(payload);
     }
 }
@@ -147,8 +170,8 @@ pub struct EventLoop {
     listeners: Vec<TcpListener>,
     addrs: Vec<SocketAddr>,
     stop: Arc<AtomicBool>,
-    tx: Sender<(ConnId, Vec<u8>)>,
-    rx: Receiver<(ConnId, Vec<u8>)>,
+    tx: Sender<(ConnId, u64, Vec<u8>)>,
+    rx: Receiver<(ConnId, u64, Vec<u8>)>,
 }
 
 impl EventLoop {
@@ -210,6 +233,12 @@ impl EventLoop {
         let mut stats = LoopStats::default();
         let mut idle_ticks = 0u32;
         let mut dead: Vec<ConnId> = Vec::new();
+        // Registry handles resolved once per loop, bumped alongside the
+        // local counters so a live scrape sees the loop's state.
+        let obs_frames = obs::registry().counter("loop.frames");
+        let obs_parks = obs::registry().counter("loop.parks");
+        let obs_wakeups = obs::registry().counter("loop.idle_wakeups");
+        let obs_accepted = obs::registry().counter("loop.accepted");
 
         while !self.stop.load(Ordering::SeqCst) {
             let mut progress = false;
@@ -241,6 +270,9 @@ impl EventLoop {
                                 },
                             );
                             stats.accepted += 1;
+                            if obs::enabled() {
+                                obs_accepted.incr();
+                            }
                             progress = true;
                         }
                         Err(e) if e.kind() == ErrorKind::WouldBlock => break,
@@ -251,18 +283,18 @@ impl EventLoop {
             }
 
             // 2. Deferred responses from executor workers.
-            while let Ok((id, reply)) = self.rx.try_recv() {
+            while let Ok((id, trace, reply)) = self.rx.try_recv() {
                 progress = true;
                 if let Some(conn) = conns.get_mut(&id) {
                     conn.inflight = false;
-                    conn.enqueue_reply(&reply);
+                    conn.enqueue_reply(trace, &reply);
                     stats.replies += 1;
                 }
             }
 
             // 3. Per-connection I/O: flush, read, slice frames, dispatch.
             for (&id, conn) in conns.iter_mut() {
-                match Self::step_conn(id, conn, &mut handler, &done, &mut stats) {
+                match Self::step_conn(id, conn, &mut handler, &done, &mut stats, &obs_frames) {
                     Ok(stepped) => progress |= stepped,
                     Err(()) => dead.push(id),
                 }
@@ -284,11 +316,19 @@ impl EventLoop {
                 if idle_ticks < SPIN_TICKS {
                     std::thread::yield_now();
                 } else {
+                    stats.parks += 1;
+                    if obs::enabled() {
+                        obs_parks.incr();
+                    }
                     match self.rx.recv_timeout(IDLE_PARK) {
-                        Ok((id, reply)) => {
+                        Ok((id, trace, reply)) => {
+                            stats.idle_wakeups += 1;
+                            if obs::enabled() {
+                                obs_wakeups.incr();
+                            }
                             if let Some(conn) = conns.get_mut(&id) {
                                 conn.inflight = false;
-                                conn.enqueue_reply(&reply);
+                                conn.enqueue_reply(trace, &reply);
                                 stats.replies += 1;
                             }
                             idle_ticks = 0;
@@ -313,6 +353,7 @@ impl EventLoop {
         handler: &mut H,
         done: &Completions,
         stats: &mut LoopStats,
+        obs_frames: &obs::Counter,
     ) -> std::result::Result<bool, ()> {
         let mut progress = false;
 
@@ -370,33 +411,43 @@ impl EventLoop {
             let mut len_bytes = [0u8; 4];
             len_bytes.copy_from_slice(&conn.rbuf[..4]);
             let len = u32::from_le_bytes(len_bytes) as usize;
-            if len > MAX_FRAME {
+            if !(TRACE_HEADER..=MAX_FRAME).contains(&len) {
                 return Err(()); // unframeable garbage: drop the connection
             }
             if conn.rbuf.len() < 4 + len {
                 break;
             }
-            let frame = conn.rbuf[4..4 + len].to_vec();
+            let mut trace_bytes = [0u8; TRACE_HEADER];
+            trace_bytes.copy_from_slice(&conn.rbuf[4..4 + TRACE_HEADER]);
+            let trace = u64::from_le_bytes(trace_bytes);
+            let frame = conn.rbuf[4 + TRACE_HEADER..4 + len].to_vec();
             conn.rbuf.drain(..4 + len);
-            conn.queued.push_back(frame);
+            conn.queued.push_back((trace, frame));
             progress = true;
         }
 
-        // Dispatch, one frame in flight at a time.
+        // Dispatch, one frame in flight at a time, inside the frame's
+        // trace (so immediate replies and executor submissions inherit
+        // the client's trace id).
         while !conn.inflight && !conn.close_after_flush {
-            let Some(frame) = conn.queued.pop_front() else {
+            let Some((trace, frame)) = conn.queued.pop_front() else {
                 break;
             };
             stats.frames += 1;
+            if obs::enabled() {
+                obs_frames.incr();
+            }
             progress = true;
+            let _trace = obs::trace::scope(trace);
+            let _span = obs::trace::span("loop.frame");
             match handler.on_frame(id, frame, done) {
                 FrameOutcome::Pending => conn.inflight = true,
                 FrameOutcome::Reply(payload) => {
-                    conn.enqueue_reply(&payload);
+                    conn.enqueue_reply(trace, &payload);
                     stats.replies += 1;
                 }
                 FrameOutcome::ReplyClose(payload) => {
-                    conn.enqueue_reply(&payload);
+                    conn.enqueue_reply(trace, &payload);
                     stats.replies += 1;
                     conn.close_after_flush = true;
                     conn.queued.clear();

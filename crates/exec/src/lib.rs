@@ -25,5 +25,7 @@
 mod event_loop;
 mod pool;
 
-pub use event_loop::{Completions, ConnId, EventLoop, FrameHandler, FrameOutcome, LoopStats};
+pub use event_loop::{
+    Completions, ConnId, EventLoop, FrameHandler, FrameOutcome, LoopStats, TRACE_HEADER,
+};
 pub use pool::{Batch, ExecError, JobHandle, ShardExecutor};

@@ -24,7 +24,7 @@
 //! swaps in a recovered backend and clears the flag.
 
 use std::panic::{catch_unwind, AssertUnwindSafe};
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
@@ -84,18 +84,54 @@ impl ExecError {
     }
 }
 
-/// A unit of work for a shard worker. The job receives the shard
-/// *mutex*, not a guard: it locks only around the caller's closure and
-/// reports its result (one-shot send / completion callback) after the
-/// lock is released, so results never travel over a channel while the
-/// shard is locked.
-type Job<S> = Box<dyn FnOnce(&Mutex<S>) + Send>;
+/// The body of a [`Job`]: boxed work receiving the shard *mutex*, not a
+/// guard — it locks only around the caller's closure and reports its
+/// result (one-shot send / completion callback) after the lock is
+/// released, so results never travel over a channel while the shard is
+/// locked.
+type JobFn<S> = Box<dyn FnOnce(&Mutex<S>) + Send>;
+
+/// A unit of work for a shard worker. Besides the body, it carries the
+/// submitter's trace id (reinstalled on the worker for its duration)
+/// and its enqueue time (feeding the `exec.dispatch_wait_us`
+/// histogram).
+struct Job<S> {
+    run: JobFn<S>,
+    trace: u64,
+    enqueued: Instant,
+}
+
+/// EWMA smoothing: new = old + (sample - old) / 2^EWMA_SHIFT.
+const EWMA_SHIFT: u32 = 3;
+
+/// Per-shard load counters shared between the worker and observers.
+#[derive(Default)]
+struct SlotLoad {
+    /// Jobs enqueued but not yet picked up by the worker.
+    depth: AtomicUsize,
+    /// EWMA of job execution time (shard lock held), microseconds.
+    busy_ewma_us: AtomicU64,
+    /// Jobs executed on this shard's worker.
+    jobs: AtomicU64,
+}
+
+impl SlotLoad {
+    fn observe_busy(&self, us: u64) {
+        // Single writer (the shard's worker), so load+store is race-free.
+        let old = self.busy_ewma_us.load(Ordering::Relaxed);
+        let new =
+            old + (us.saturating_sub(old) >> EWMA_SHIFT) - (old.saturating_sub(us) >> EWMA_SHIFT);
+        self.busy_ewma_us.store(new, Ordering::Relaxed);
+        self.jobs.fetch_add(1, Ordering::Relaxed);
+    }
+}
 
 struct Slot<S> {
     store: Arc<Mutex<S>>,
     tx: Option<SyncSender<Job<S>>>,
     worker: Option<JoinHandle<()>>,
     poisoned: Arc<AtomicBool>,
+    load: Arc<SlotLoad>,
 }
 
 /// A pool of persistent per-shard workers owning the shard backends.
@@ -162,23 +198,41 @@ impl<S> ShardExecutor<S> {
             .map(|(i, shard)| {
                 let store = Arc::new(Mutex::new(shard));
                 let poisoned = Arc::new(AtomicBool::new(false));
+                let load = Arc::new(SlotLoad::default());
                 let (tx, rx) = sync_channel::<Job<S>>(QUEUE_CAP);
                 let worker_store = Arc::clone(&store);
                 let worker_poison = Arc::clone(&poisoned);
+                let worker_load = Arc::clone(&load);
                 let worker = std::thread::Builder::new()
                     .name(format!("shard-exec-{i}"))
                     .spawn(move || {
+                        // Metric handles resolved once per worker, not
+                        // per job.
+                        let wait_hist = obs::registry().histogram("exec.dispatch_wait_us");
+                        let jobs_ctr = obs::registry().counter("exec.jobs");
                         while let Ok(job) = rx.recv() {
+                            worker_load.depth.fetch_sub(1, Ordering::Relaxed);
                             if worker_poison.load(Ordering::SeqCst) {
                                 // Dropping the job without running it drops
                                 // its one-shot sender; the waiter observes
                                 // the poison flag and reports `Poisoned`.
                                 continue;
                             }
+                            if obs::enabled() {
+                                wait_hist.record(job.enqueued.elapsed().as_micros() as u64);
+                                jobs_ctr.incr();
+                            }
+                            // Rejoin the submitter's trace for the job's
+                            // duration (restored on scope drop).
+                            let _trace = obs::trace::scope(job.trace);
+                            let _span = obs::trace::span("exec.job");
+                            let started = Instant::now();
                             // Jobs catch their own panics (setting the
                             // poison flag *before* dropping their one-shot
                             // sender); this is only a backstop.
-                            let ran = catch_unwind(AssertUnwindSafe(|| job(&worker_store)));
+                            let run = job.run;
+                            let ran = catch_unwind(AssertUnwindSafe(|| run(&worker_store)));
+                            worker_load.observe_busy(started.elapsed().as_micros() as u64);
                             if ran.is_err() {
                                 worker_poison.store(true, Ordering::SeqCst);
                             }
@@ -190,6 +244,7 @@ impl<S> ShardExecutor<S> {
                     tx: Some(tx),
                     worker: Some(worker),
                     poisoned,
+                    load,
                 }
             })
             .collect();
@@ -206,6 +261,40 @@ impl<S> ShardExecutor<S> {
         self.slots[shard].poisoned.load(Ordering::SeqCst)
     }
 
+    /// Jobs currently enqueued for `shard` and not yet picked up by its
+    /// worker.
+    pub fn queue_depth(&self, shard: usize) -> usize {
+        self.slots[shard].load.depth.load(Ordering::Relaxed)
+    }
+
+    /// Exponentially-weighted moving average of job execution time on
+    /// `shard` (microseconds of shard-lock hold per job); the busy-time
+    /// signal a load balancer would act on.
+    pub fn busy_ewma_us(&self, shard: usize) -> u64 {
+        self.slots[shard].load.busy_ewma_us.load(Ordering::Relaxed)
+    }
+
+    /// Jobs executed on `shard`'s worker so far (direct
+    /// [`ShardExecutor::with_shard`] calls not included).
+    pub fn jobs_run(&self, shard: usize) -> u64 {
+        self.slots[shard].load.jobs.load(Ordering::Relaxed)
+    }
+
+    fn enqueue(&self, shard: usize, run: JobFn<S>) -> Result<(), ExecError> {
+        let slot = &self.slots[shard];
+        let tx = slot.tx.as_ref().ok_or(ExecError::Shutdown)?;
+        slot.load.depth.fetch_add(1, Ordering::Relaxed);
+        tx.send(Job {
+            run,
+            trace: obs::trace::current(),
+            enqueued: Instant::now(),
+        })
+        .map_err(|_| {
+            slot.load.depth.fetch_sub(1, Ordering::Relaxed);
+            ExecError::Shutdown
+        })
+    }
+
     /// Enqueue `f` on `shard`'s worker. Blocks only if the shard's queue
     /// is full (backpressure). Fails fast on a poisoned or shut-down
     /// shard without enqueueing.
@@ -218,10 +307,9 @@ impl<S> ShardExecutor<S> {
         if slot.poisoned.load(Ordering::SeqCst) {
             return Err(ExecError::Poisoned(shard));
         }
-        let tx = slot.tx.as_ref().ok_or(ExecError::Shutdown)?;
         let (done, rx) = sync_channel::<T>(1);
         let poison = Arc::clone(&slot.poisoned);
-        let job: Job<S> = Box::new(move |store: &Mutex<S>| {
+        let run: JobFn<S> = Box::new(move |store: &Mutex<S>| {
             let out = catch_unwind(AssertUnwindSafe(|| {
                 let mut guard = store.lock();
                 f(&mut guard)
@@ -243,7 +331,7 @@ impl<S> ShardExecutor<S> {
                 }
             }
         });
-        tx.send(job).map_err(|_| ExecError::Shutdown)?;
+        self.enqueue(shard, run)?;
         Ok(JobHandle {
             shard,
             rx,
@@ -267,9 +355,8 @@ impl<S> ShardExecutor<S> {
         if slot.poisoned.load(Ordering::SeqCst) {
             return Err(ExecError::Poisoned(shard));
         }
-        let tx = slot.tx.as_ref().ok_or(ExecError::Shutdown)?;
         let poison = Arc::clone(&slot.poisoned);
-        let job: Job<S> = Box::new(move |store: &Mutex<S>| {
+        let run: JobFn<S> = Box::new(move |store: &Mutex<S>| {
             let out = catch_unwind(AssertUnwindSafe(|| {
                 let mut guard = store.lock();
                 f(&mut guard)
@@ -279,7 +366,7 @@ impl<S> ShardExecutor<S> {
                 Err(_) => poison.store(true, Ordering::SeqCst),
             }
         });
-        tx.send(job).map_err(|_| ExecError::Shutdown)
+        self.enqueue(shard, run)
     }
 
     /// Lock `shard`'s backend on the *calling* thread and run `f`. This

@@ -8,19 +8,31 @@ use std::time::Duration;
 
 use exec::{Completions, ConnId, EventLoop, FrameHandler, FrameOutcome, ShardExecutor};
 
+const TEST_TRACE: u64 = 0xABCD;
+
 fn send_frame(stream: &mut TcpStream, payload: &[u8]) {
     stream
-        .write_all(&(payload.len() as u32).to_le_bytes())
+        .write_all(&((payload.len() + exec::TRACE_HEADER) as u32).to_le_bytes())
         .unwrap();
+    stream.write_all(&TEST_TRACE.to_le_bytes()).unwrap();
     stream.write_all(payload).unwrap();
 }
 
-fn recv_frame(stream: &mut TcpStream) -> Vec<u8> {
+/// Read one frame; returns (trace id, payload).
+fn recv_frame_traced(stream: &mut TcpStream) -> (u64, Vec<u8>) {
     let mut len = [0u8; 4];
     stream.read_exact(&mut len).unwrap();
-    let mut buf = vec![0u8; u32::from_le_bytes(len) as usize];
+    let mut trace = [0u8; exec::TRACE_HEADER];
+    stream.read_exact(&mut trace).unwrap();
+    let mut buf = vec![0u8; u32::from_le_bytes(len) as usize - exec::TRACE_HEADER];
     stream.read_exact(&mut buf).unwrap();
-    buf
+    (u64::from_le_bytes(trace), buf)
+}
+
+fn recv_frame(stream: &mut TcpStream) -> Vec<u8> {
+    let (trace, payload) = recv_frame_traced(stream);
+    assert_eq!(trace, TEST_TRACE, "reply echoes the request's trace id");
+    payload
 }
 
 /// Prefixes each frame with the listener index and echoes it. Frames

@@ -5,7 +5,7 @@
 //! hyperbench gen-stats [--level N]          # Figures 2–4 + §5.2 size table
 //! hyperbench create   [--level N] [--backend B]   # §5.3 creation table
 //! hyperbench run      [--level N] [--backend B] [--reps R] [--csv FILE] [--json FILE]
-//!                                            # §6 operation table (T-ops)
+//!                     [--metrics FILE]       # §6 operation table (T-ops)
 //! hyperbench ext      [--level N]            # §6.8 extension operations
 //! hyperbench multiuser [--clients N]         # §7 multi-user experiment
 //! hyperbench simple   [--persons N]          # §4 baseline (7 simple ops)
@@ -62,6 +62,7 @@ struct Args {
     persons: u64,
     csv: Option<PathBuf>,
     json: Option<PathBuf>,
+    metrics: Option<PathBuf>,
     pool_frames: usize,
     faults: Option<chaos::FaultPlan>,
 }
@@ -76,12 +77,13 @@ fn parse_args() -> Args {
         persons: 20_000,
         csv: None,
         json: None,
+        metrics: None,
         pool_frames: 8192,
         faults: None,
     };
     fn usage_error(msg: &str) -> ! {
         eprintln!("error: {msg}");
-        eprintln!("usage: hyperbench <command> [--level N] [--backend B] [--reps N] [--clients N] [--persons N] [--pool N] [--csv FILE] [--json FILE] [--faults SEED:PLAN]");
+        eprintln!("usage: hyperbench <command> [--level N] [--backend B] [--reps N] [--clients N] [--persons N] [--pool N] [--csv FILE] [--json FILE] [--metrics FILE] [--faults SEED:PLAN]");
         eprintln!("backends: mem | disk | rel | remote | sharded-mem:N[:hash|:affinity] | sharded-disk:N[:hash|:affinity] | sharded-tcp:N[:hash|:affinity] | all");
         std::process::exit(2);
     }
@@ -107,6 +109,7 @@ fn parse_args() -> Args {
             "--persons" => args.persons = numeric("--persons", &value("--persons")),
             "--csv" => args.csv = Some(PathBuf::from(value("--csv"))),
             "--json" => args.json = Some(PathBuf::from(value("--json"))),
+            "--metrics" => args.metrics = Some(PathBuf::from(value("--metrics"))),
             "--pool" => args.pool_frames = numeric("--pool", &value("--pool")),
             "--faults" => {
                 let spec = value("--faults");
@@ -438,6 +441,61 @@ fn cmd_create(level: u32, backend: &str, pool_frames: usize) -> Result<()> {
     Ok(())
 }
 
+/// Scrape one listener's metrics registry over the wire: a real
+/// [`server::protocol::Request::Stats`] round trip on a fresh TCP
+/// connection, exactly what an external monitoring agent would do.
+fn scrape_stats(addr: &str) -> Result<String> {
+    use server::client::{ClosureMode, RemoteStore};
+    let stream = std::net::TcpStream::connect(addr)
+        .map_err(|e| hypermodel::HmError::Backend(format!("connect {addr}: {e}")))?;
+    let transport = server::transport::TcpTransport::new(stream)?;
+    RemoteStore::new(Box::new(transport), ClosureMode::ServerSide).fetch_stats()
+}
+
+/// Assemble the `--metrics` report: the process-local registry export,
+/// per-shard load snapshots, and per-listener registries scraped over
+/// the Stats request.
+fn metrics_json(
+    local: &str,
+    balances: &[(String, Vec<hypermodel::store::ShardLoad>)],
+    scraped: &[(String, String)],
+) -> String {
+    let mut out = String::new();
+    out.push_str("{\n  \"registry\": ");
+    out.push_str(local);
+    out.push_str(",\n  \"shard_load\": [");
+    for (i, (backend, loads)) in balances.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str(&format!(
+            "\n    {{\"backend\": \"{backend}\", \"shards\": ["
+        ));
+        for (j, l) in loads.iter().enumerate() {
+            if j > 0 {
+                out.push_str(", ");
+            }
+            out.push_str(&format!(
+                "{{\"shard\": {}, \"nodes\": {}, \"requests\": {}, \"queued\": {}, \"busy_us\": {}}}",
+                l.shard, l.nodes, l.requests, l.queued, l.busy_us
+            ));
+        }
+        out.push_str("]}");
+    }
+    out.push_str("\n  ],\n  \"scraped\": [");
+    for (i, (addr, stats)) in scraped.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str(&format!(
+            "\n    {{\"addr\": \"{addr}\", \"stats\": {stats}}}"
+        ));
+    }
+    out.push_str("\n  ]\n}\n");
+    out
+}
+
+#[allow(clippy::too_many_arguments)]
 fn cmd_run(
     level: u32,
     backend: &str,
@@ -445,6 +503,7 @@ fn cmd_run(
     pool_frames: usize,
     csv: Option<&PathBuf>,
     json: Option<&PathBuf>,
+    metrics: Option<&PathBuf>,
     faults: Option<&chaos::FaultPlan>,
 ) -> Result<()> {
     println!("== Operation benchmark O1-O18 (paper 6), level {level}, {reps} reps ==\n");
@@ -458,9 +517,10 @@ fn cmd_run(
     let mut columns = Vec::new();
     let mut balances = Vec::new();
     let mut resilience = Vec::new();
+    let mut scraped = Vec::new();
     for b in backends(backend) {
         eprintln!("running {b} backend...");
-        let (mut store, _timings, _size, oids, path, _srv) =
+        let (mut store, _timings, _size, oids, path, srv) =
             load_backend(&b, &db, pool_frames, faults)?;
         let mut workload = Workload::new(db.clone(), oids, 0xBEEF);
         let opts = RunOptions {
@@ -473,6 +533,15 @@ fn cmd_run(
         }
         if let Some(summary) = store.resilience_summary() {
             resilience.push((b.clone(), summary));
+        }
+        // Scrape each listener's registry over the wire while the
+        // in-process server is still up.
+        if metrics.is_some() {
+            if let Some(srv) = &srv {
+                for addr in srv.addr_strings() {
+                    scraped.push((addr.clone(), scrape_stats(&addr)?));
+                }
+            }
         }
         columns.push(RunColumn {
             backend: b,
@@ -496,6 +565,17 @@ fn cmd_run(
             hypermodel::HmError::Backend(format!("cannot write json {}: {e}", json_path.display()))
         })?;
         println!("json written to {}", json_path.display());
+    }
+    if let Some(metrics_path) = metrics {
+        let local = obs::registry().snapshot().export_json();
+        let report = metrics_json(&local, &balances, &scraped);
+        std::fs::write(metrics_path, report).map_err(|e| {
+            hypermodel::HmError::Backend(format!(
+                "cannot write metrics {}: {e}",
+                metrics_path.display()
+            ))
+        })?;
+        println!("metrics written to {}", metrics_path.display());
     }
     if let Some(csv_path) = csv {
         let existing = std::fs::read_to_string(csv_path).unwrap_or_default();
@@ -829,6 +909,7 @@ fn main() {
             args.pool_frames,
             args.csv.as_ref(),
             args.json.as_ref(),
+            args.metrics.as_ref(),
             args.faults.as_ref(),
         ),
         "ext" => cmd_ext(args.level, args.pool_frames),
@@ -849,6 +930,7 @@ fn main() {
                 args.pool_frames,
                 args.csv.as_ref(),
                 args.json.as_ref(),
+                args.metrics.as_ref(),
                 args.faults.as_ref(),
             )?;
             println!();

@@ -241,6 +241,20 @@ pub fn run_op<S: HyperStore + ?Sized>(
     };
     let inputs = workload.inputs_for(op, reps);
 
+    // Per-op latency histograms, keyed by the paper's operation code
+    // (`op.O10.cold_us`, ...). Handles are interned once per operation;
+    // the per-rep record is a few atomic stores.
+    let (cold_hist, warm_hist) = if obs::enabled() {
+        let reg = obs::registry();
+        Some((
+            reg.histogram(&format!("op.{}.cold_us", op.code())),
+            reg.histogram(&format!("op.{}.warm_us", op.code())),
+        ))
+    } else {
+        None
+    }
+    .unzip();
+
     // (e from the previous sequence / fresh start): ensure cold.
     store.commit()?;
     store.cold_restart()?;
@@ -252,7 +266,11 @@ pub fn run_op<S: HyperStore + ?Sized>(
     for (rep, &input) in inputs.iter().enumerate() {
         let t = Instant::now();
         cold_nodes += execute_once(store, op, input, rep, true)?;
-        cold_samples.push(t.elapsed());
+        let took = t.elapsed();
+        if let Some(h) = &cold_hist {
+            h.record(took.as_micros() as u64);
+        }
+        cold_samples.push(took);
     }
     // (c) commit.
     store.commit()?;
@@ -266,7 +284,11 @@ pub fn run_op<S: HyperStore + ?Sized>(
     for (rep, &input) in inputs.iter().enumerate() {
         let t = Instant::now();
         warm_nodes += execute_once(store, op, input, rep, false)?;
-        warm_samples.push(t.elapsed());
+        let took = t.elapsed();
+        if let Some(h) = &warm_hist {
+            h.record(took.as_micros() as u64);
+        }
+        warm_samples.push(took);
     }
     store.commit()?;
     let warm_total = start.elapsed();

@@ -160,9 +160,17 @@ pub fn ops_json(columns: &[RunColumn]) -> String {
 /// backend. Skew is `max / mean` — 1.00 is a perfect spread.
 pub fn render_shard_balance(loads: &[hypermodel::store::ShardLoad]) -> String {
     let mut out = String::new();
-    let _ = writeln!(out, "{:>6} {:>12} {:>12}", "shard", "nodes", "requests");
+    let _ = writeln!(
+        out,
+        "{:>6} {:>12} {:>12} {:>8} {:>10}",
+        "shard", "nodes", "requests", "queued", "busy-us"
+    );
     for l in loads {
-        let _ = writeln!(out, "{:>6} {:>12} {:>12}", l.shard, l.nodes, l.requests);
+        let _ = writeln!(
+            out,
+            "{:>6} {:>12} {:>12} {:>8} {:>10}",
+            l.shard, l.nodes, l.requests, l.queued, l.busy_us
+        );
     }
     let skew = |values: Vec<u64>| -> f64 {
         let max = values.iter().copied().max().unwrap_or(0) as f64;
@@ -320,11 +328,15 @@ mod tests {
                 shard: 0,
                 nodes: 100,
                 requests: 300,
+                queued: 0,
+                busy_us: 12,
             },
             ShardLoad {
                 shard: 1,
                 nodes: 100,
                 requests: 100,
+                queued: 1,
+                busy_us: 9,
             },
         ];
         let s = render_shard_balance(&loads);

@@ -32,7 +32,11 @@ use crate::text;
 ///
 /// `nodes` counts structure nodes placed on the shard; `requests` counts
 /// primitive requests the router issued to it. Their spread across shards
-/// is the balance/skew a placement policy is judged by.
+/// is the balance/skew a placement policy is judged by. `queued` and
+/// `busy_us` describe the shard's executor at snapshot time: jobs waiting
+/// in its queue and an exponentially-weighted moving average of per-job
+/// busy time in microseconds. Backends without a per-shard executor leave
+/// both at zero.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct ShardLoad {
     /// Shard index, `0..shard_count`.
@@ -41,6 +45,10 @@ pub struct ShardLoad {
     pub nodes: u64,
     /// Primitive requests routed to this shard so far.
     pub requests: u64,
+    /// Jobs waiting in the shard's executor queue right now.
+    pub queued: u64,
+    /// EWMA of per-job busy time on this shard's worker, in microseconds.
+    pub busy_us: u64,
 }
 
 /// Primitive and derived HyperModel operations over one test database.

@@ -23,6 +23,12 @@
 //!   between `exec/src/event_loop.rs` (server side) and
 //!   `server/src/transport.rs` (client side), or one side will drop
 //!   frames the other happily produces.
+//! * `condvar-hold` — in the same crates as `direct-sync`, a
+//!   `Condvar::wait` while a *second* lock guard is live is flagged:
+//!   the wait releases only the guard it is handed, so any other held
+//!   lock stays held for the whole sleep — a classic lost-wakeup /
+//!   deadlock shape. Tracked per function by brace depth: `.lock()`
+//!   acquisitions minus `drop(...)` releases.
 //!
 //! Test modules (`#[cfg(test)] mod ... { ... }`), comments and string
 //! literals are excluded before matching.
@@ -57,6 +63,7 @@ pub const RULE_DIRECT_SYNC: &str = "direct-sync";
 pub const RULE_NO_UNWRAP: &str = "no-unwrap";
 pub const RULE_PROTOCOL_PARITY: &str = "protocol-parity";
 pub const RULE_FRAME_CAP: &str = "frame-cap";
+pub const RULE_CONDVAR_HOLD: &str = "condvar-hold";
 
 // ---------------------------------------------------------------------------
 // Source preprocessing
@@ -323,6 +330,81 @@ pub fn find_unwraps(src: &str) -> Vec<(usize, String)> {
 }
 
 // ---------------------------------------------------------------------------
+// Rule: condvar-hold
+// ---------------------------------------------------------------------------
+
+/// Flag `Condvar::wait` calls made while more than one lock guard is
+/// live. `wait` atomically releases the guard it is *passed*; any other
+/// lock the caller holds is kept across the sleep, which serializes
+/// every thread needing that lock behind a wakeup that may depend on it.
+///
+/// Heuristic, per function body: each `.lock()` occurrence pushes a
+/// guard at the current brace depth, `drop(...)` pops the most recent,
+/// and closing a block releases the guards acquired inside it. A
+/// `.wait(` / `.wait_timeout(` / `.wait_while(` with two or more guards
+/// live is a finding.
+pub fn find_condvar_hold(src: &str) -> Vec<(usize, String)> {
+    let p = prepare(src);
+    let mut out = Vec::new();
+    let mut depth = 0i32;
+    // Depth at which the current function's body opened; None outside.
+    let mut fn_entry: Option<i32> = None;
+    let mut pending_fn = false;
+    // Brace depth at which each live lock guard was acquired.
+    let mut guards: Vec<i32> = Vec::new();
+    for (idx, line) in p.lines.iter().enumerate() {
+        let n = idx + 1;
+        if fn_entry.is_none() && word_hit(line, "fn") {
+            pending_fn = true;
+        }
+        for c in line.chars() {
+            match c {
+                '{' => {
+                    depth += 1;
+                    if pending_fn && fn_entry.is_none() {
+                        fn_entry = Some(depth);
+                        pending_fn = false;
+                        guards.clear();
+                    }
+                }
+                '}' => {
+                    depth -= 1;
+                    guards.retain(|&d| d <= depth);
+                    if fn_entry.is_some_and(|entry| depth < entry) {
+                        fn_entry = None;
+                        guards.clear();
+                    }
+                }
+                _ => {}
+            }
+        }
+        if fn_entry.is_none() || p.in_test[idx] {
+            continue;
+        }
+        for _ in 0..line.matches(".lock()").count() {
+            guards.push(depth);
+        }
+        for _ in 0..line.matches("drop(").count() {
+            guards.pop();
+        }
+        let waits = line.contains(".wait(")
+            || line.contains(".wait_timeout(")
+            || line.contains(".wait_while(");
+        if waits && guards.len() >= 2 && !p.suppressed(n, RULE_CONDVAR_HOLD) {
+            out.push((
+                n,
+                format!(
+                    "condvar wait with {} lock guards live; wait releases only \
+                     the guard it is passed — drop the others first",
+                    guards.len()
+                ),
+            ));
+        }
+    }
+    out
+}
+
+// ---------------------------------------------------------------------------
 // Rule: protocol-parity
 // ---------------------------------------------------------------------------
 
@@ -511,6 +593,14 @@ pub fn lint_tree(root: &Path) -> (Vec<Finding>, usize) {
                     message,
                 });
             }
+            for (line, message) in find_condvar_hold(&src) {
+                findings.push(Finding {
+                    file: file.clone(),
+                    line,
+                    rule: RULE_CONDVAR_HOLD,
+                    message,
+                });
+            }
         }
     }
 
@@ -679,6 +769,76 @@ pub enum Request {
         let user = "match r { Request::Ping => {} Request::Get(_) => {} _ => {} }";
         let vs = vec!["Ping".to_string(), "Get".to_string(), "Put".to_string()];
         assert_eq!(missing_variant_refs(user, "Request", &vs), vec!["Put"]);
+    }
+
+    #[test]
+    fn condvar_hold_flags_wait_with_second_guard() {
+        let src = "\
+fn bad(&self) {
+    let stats = self.stats.lock();
+    let mut inner = self.inner.lock();
+    inner = self.cv.wait(inner);
+}
+";
+        let hits = find_condvar_hold(src);
+        assert_eq!(hits.iter().map(|(l, _)| *l).collect::<Vec<_>>(), vec![4]);
+    }
+
+    #[test]
+    fn condvar_hold_allows_single_guard_wait() {
+        let src = "\
+fn ok(&self) {
+    let mut inner = self.inner.lock();
+    while !inner.ready {
+        inner = self.cv.wait(inner);
+    }
+}
+";
+        assert!(find_condvar_hold(src).is_empty());
+    }
+
+    #[test]
+    fn condvar_hold_respects_drop_and_block_scope() {
+        let src = "\
+fn dropped(&self) {
+    let stats = self.stats.lock();
+    drop(stats);
+    let mut inner = self.inner.lock();
+    inner = self.cv.wait(inner);
+}
+fn scoped(&self) {
+    {
+        let stats = self.stats.lock();
+    }
+    let mut inner = self.inner.lock();
+    inner = self.cv.wait(inner);
+}
+";
+        assert!(find_condvar_hold(src).is_empty());
+    }
+
+    #[test]
+    fn condvar_hold_suppressible_and_test_exempt() {
+        let suppressed = "\
+fn bad(&self) {
+    let a = self.a.lock();
+    let mut b = self.b.lock();
+    // lint:allow(condvar-hold) — reviewed: a is a leaf lock
+    b = self.cv.wait(b);
+}
+";
+        assert!(find_condvar_hold(suppressed).is_empty());
+        let in_test = "\
+#[cfg(test)]
+mod tests {
+    fn bad() {
+        let a = A.lock();
+        let mut b = B.lock();
+        b = CV.wait(b);
+    }
+}
+";
+        assert!(find_condvar_hold(in_test).is_empty());
     }
 
     #[test]

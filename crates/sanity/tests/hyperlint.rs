@@ -25,8 +25,8 @@ fn seed_tree(tag: &str) -> PathBuf {
     write("Cargo.toml", "[workspace]\nmembers = []\n");
     write(
         "crates/server/src/protocol.rs",
-        "pub enum Request {\n    Ping,\n    Get { id: u64 },\n}\n\
-         pub enum Response {\n    Pong,\n    Value(u64),\n}\n",
+        "pub enum Request {\n    Ping,\n    Get { id: u64 },\n    Stats,\n}\n\
+         pub enum Response {\n    Pong,\n    Value(u64),\n    Stats(String),\n}\n",
     );
     write(
         "crates/server/src/server.rs",
@@ -35,6 +35,7 @@ fn seed_tree(tag: &str) -> PathBuf {
              match req {\n\
                  Request::Ping => Response::Pong,\n\
                  Request::Get { id } => Response::Value(id),\n\
+                 Request::Stats => Response::Stats(String::new()),\n\
              }\n\
          }\n",
     );
@@ -45,6 +46,7 @@ fn seed_tree(tag: &str) -> PathBuf {
              match (msg, resp) {\n\
                  (Request::Ping, Response::Pong) => \"ping\",\n\
                  (Request::Get { .. }, Response::Value(_)) => \"get\",\n\
+                 (Request::Stats, Response::Stats(_)) => \"stats\",\n\
                  _ => \"other\",\n\
              }\n\
          }\n",
@@ -166,6 +168,26 @@ fn lint_allow_suppresses_a_reviewed_unwrap() {
     );
     let (code, text) = run_lint(&root);
     assert_eq!(code, 0, "allow marker should suppress:\n{text}");
+    let _ = std::fs::remove_dir_all(&root);
+}
+
+#[test]
+fn condvar_wait_holding_second_lock_fails_the_lint() {
+    let root = seed_tree("condvar");
+    append(
+        &root,
+        "crates/exec/src/event_loop.rs",
+        "pub fn bad(a: &sanity::sync::Mutex<u32>, b: &sanity::sync::Mutex<u32>, cv: &sanity::sync::Condvar) {\n\
+         \x20   let stats = a.lock();\n\
+         \x20   let mut inner = b.lock();\n\
+         \x20   cv.wait(&mut inner);\n\
+         \x20   drop(stats);\n\
+         }\n",
+    );
+    let (code, text) = run_lint(&root);
+    assert_eq!(code, 1, "expected findings:\n{text}");
+    assert!(text.contains("[condvar-hold]"), "output: {text}");
+    assert!(text.contains("event_loop.rs:5:"), "output: {text}");
     let _ = std::fs::remove_dir_all(&root);
 }
 

@@ -1,0 +1,134 @@
+//! Deterministic-scheduler model of the event loop's completion path
+//! (`exec::EventLoop` step 2: deferred responses from executor workers).
+//!
+//! Executor workers finish jobs concurrently and push `(conn, reply)`
+//! completions into one channel; the loop thread drains it with
+//! `try_recv` every tick and keeps ticking (parking, in the real loop)
+//! until shutdown. The property: **no reply is lost and none is
+//! delivered twice**, for every explored schedule of workers vs. loop.
+//!
+//! The second test seeds the bug the real loop's park-and-re-poll
+//! structure prevents: a loop that treats one `Empty` poll as "drained"
+//! exits early and strands completions still in flight — the explorer
+//! must find that schedule.
+
+use sanity::dsched::{Explorer, FailureKind, Sim, TryRecv};
+
+/// Deferred replies in flight (one per worker, distinct connections).
+const REPLIES: usize = 3;
+
+/// The faithful model: each tick the loop drains with `try_recv`; on
+/// `Empty` it parks on the channel (the real loop's `recv_timeout`),
+/// from which the next completion — or channel closure at shutdown —
+/// wakes it. It exits only when every worker's sender is gone and the
+/// queue is drained.
+fn completion_model(sim: &Sim) {
+    let (tx, rx) = sim.channel::<usize>(Some(REPLIES));
+    let delivered = sim.mutex(vec![0usize; REPLIES]);
+
+    let workers: Vec<_> = (0..REPLIES)
+        .map(|conn| {
+            let tx = tx.clone();
+            sim.spawn(move || {
+                assert!(tx.send(conn), "loop hung up while a job was running");
+            })
+        })
+        .collect();
+    drop(tx);
+
+    let loop_delivered = delivered.clone();
+    let event_loop = sim.spawn(move || loop {
+        match rx.try_recv() {
+            TryRecv::Value(conn) => loop_delivered.lock()[conn] += 1,
+            // Idle tick: nothing completed yet. Park on the channel —
+            // the next completion (or shutdown) wakes the loop.
+            TryRecv::Empty => match rx.recv() {
+                Some(conn) => loop_delivered.lock()[conn] += 1,
+                None => break,
+            },
+            // All workers gone and the queue drained: shutdown.
+            TryRecv::Closed => break,
+        }
+    });
+
+    for w in workers {
+        w.join();
+    }
+    event_loop.join();
+
+    let counts = delivered.lock().clone();
+    for (conn, n) in counts.iter().enumerate() {
+        assert_eq!(*n, 1, "reply for conn {conn} delivered {n} times");
+    }
+}
+
+#[test]
+fn no_reply_lost_or_duplicated_in_any_schedule() {
+    let report = Explorer::exhaustive()
+        .preemption_bound(2)
+        .explore(completion_model);
+    report.assert_ok();
+    assert!(
+        report.distinct > 1,
+        "expected multiple interleavings, got {}",
+        report.distinct
+    );
+}
+
+/// The seeded bug: a loop that reads one `Empty` as "no more work" and
+/// exits. Any schedule where the loop polls before a worker has sent
+/// strands that worker's reply — the explorer must report it.
+#[test]
+fn early_exit_on_empty_poll_is_caught() {
+    let report = Explorer::exhaustive().preemption_bound(2).explore(|sim| {
+        let (tx, rx) = sim.channel::<usize>(Some(REPLIES));
+        let delivered = sim.mutex(vec![0usize; REPLIES]);
+
+        let workers: Vec<_> = (0..REPLIES)
+            .map(|conn| {
+                let tx = tx.clone();
+                sim.spawn(move || {
+                    let _ = tx.send(conn);
+                })
+            })
+            .collect();
+        drop(tx);
+
+        let loop_delivered = delivered.clone();
+        let event_loop = sim.spawn(move || {
+            // BUG: an empty queue is not a finished queue.
+            while let TryRecv::Value(conn) = rx.try_recv() {
+                loop_delivered.lock()[conn] += 1;
+            }
+        });
+
+        for w in workers {
+            w.join();
+        }
+        event_loop.join();
+
+        let counts = delivered.lock().clone();
+        for (conn, n) in counts.iter().enumerate() {
+            assert_eq!(*n, 1, "reply for conn {conn} delivered {n} times");
+        }
+    });
+    assert!(
+        !report.failures.is_empty(),
+        "explorer missed the stranded-reply schedule ({} runs)",
+        report.runs
+    );
+    let f = &report.failures[0];
+    assert_eq!(f.kind, FailureKind::Panic);
+    assert!(f.message.contains("delivered 0 times"), "{}", f.message);
+    assert!(!f.trace.is_empty(), "failure must carry a replay trace");
+}
+
+/// Random mode replays deterministically on this model too.
+#[test]
+fn random_mode_is_reproducible_on_the_completion_model() {
+    let runs = |seed| {
+        let r = Explorer::random(seed, 40).explore(completion_model);
+        (r.runs, r.distinct, r.failures.len())
+    };
+    assert_eq!(runs(23), runs(23));
+}

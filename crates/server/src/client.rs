@@ -158,7 +158,23 @@ impl RemoteStore {
         Ok(())
     }
 
+    /// Scrape the server's metrics registry: one [`Request::Stats`]
+    /// round trip returning the registry's JSON export.
+    pub fn fetch_stats(&mut self) -> Result<String> {
+        match self.call(Request::Stats)? {
+            Response::Stats(json) => Ok(json),
+            other => Err(unexpected(other)),
+        }
+    }
+
     fn call(&mut self, req: Request) -> Result<Response> {
+        // Each call runs inside a trace: the caller's, or a fresh one
+        // minted (and uninstalled again) for this round trip.
+        let _trace = match obs::trace::current() {
+            0 => Some(obs::trace::scope(obs::trace::mint())),
+            _ => None,
+        };
+        let _span = obs::trace::span("client.call");
         match self.policy.clone() {
             None => self.call_blocking(req),
             Some(policy) => self.call_with_retry(req, &policy),
@@ -168,6 +184,7 @@ impl RemoteStore {
     fn call_blocking(&mut self, req: Request) -> Result<Response> {
         self.transport.send(&req.encode())?;
         self.round_trips += 1;
+        obs::incr("client.round_trips", 1);
         let frame = self
             .transport
             .recv()?
@@ -200,10 +217,12 @@ impl RemoteStore {
                 Err(e) => {
                     if retry >= policy.max_retries {
                         self.gave_up += 1;
+                        obs::incr("client.gave_up", 1);
                         return Err(e);
                     }
                     retry += 1;
                     self.retries += 1;
+                    obs::incr("client.retries", 1);
                     std::thread::sleep(policy.backoff(retry - 1));
                     if let Some(factory) = &mut self.reconnect {
                         // Swap in a fresh connection; if that fails too,
@@ -224,6 +243,7 @@ impl RemoteStore {
     fn attempt(&mut self, bytes: &[u8], timeout: std::time::Duration) -> Result<Attempt> {
         self.transport.send(bytes)?;
         self.round_trips += 1;
+        obs::incr("client.round_trips", 1);
         let frame = self
             .transport
             .recv_timeout(timeout)?

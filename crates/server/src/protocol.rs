@@ -97,6 +97,10 @@ pub enum Request {
     // ---- session control ---------------------------------------------
     /// Terminate the serving loop.
     Shutdown,
+    /// Scrape the server's metrics registry (counters, gauges, latency
+    /// histograms) as a JSON document. Answered by the serving loop
+    /// itself, not the store.
+    Stats,
     // ---- batched primitives -------------------------------------------
     /// `children_batch`: `children` for each oid, one round trip.
     ChildrenBatch(Vec<Oid>),
@@ -160,9 +164,12 @@ pub enum Response {
     EdgeLists(Vec<Vec<RefEdge>>),
     /// One `u32` per batched input oid.
     U32s(Vec<u32>),
+    /// The server's metrics registry exported as JSON (see
+    /// [`Request::Stats`]).
+    Stats(String),
 }
 
-const REQ_TAGS: u8 = 48; // highest request tag + 1, for decode validation
+const REQ_TAGS: u8 = 49; // highest request tag + 1, for decode validation
 
 impl Request {
     fn tag(&self) -> u8 {
@@ -215,6 +222,7 @@ impl Request {
             Request::CommitPrepared(_) => 45,
             Request::AbortPrepared(_) => 46,
             Request::Tagged(..) => 47,
+            Request::Stats => 48,
         }
     }
 
@@ -249,7 +257,11 @@ impl Request {
                 w.u32(*lo);
                 w.u32(*hi);
             }
-            Request::SeqScanTen | Request::Commit | Request::ColdRestart | Request::Shutdown => {}
+            Request::SeqScanTen
+            | Request::Commit
+            | Request::ColdRestart
+            | Request::Shutdown
+            | Request::Stats => {}
             Request::SetText(o, s) => {
                 w.oid(*o);
                 w.string(s);
@@ -397,6 +409,7 @@ impl Request {
                 }
                 Request::Tagged(id, Box::new(inner))
             }
+            48 => Request::Stats,
             _ => unreachable!("tag validated above"),
         };
         if !r.is_exhausted() {
@@ -492,6 +505,10 @@ impl Response {
                     w.u32(*v);
                 }
             }
+            Response::Stats(json) => {
+                w.u8(16);
+                w.string(json);
+            }
         }
         w.finish()
     }
@@ -544,6 +561,7 @@ impl Response {
                 }
                 Response::U32s(v)
             }
+            16 => Response::Stats(r.string()?),
             other => {
                 return Err(HmError::Backend(format!("unknown response tag {other}")));
             }
@@ -626,6 +644,7 @@ mod tests {
             Request::CommitPrepared(901),
             Request::AbortPrepared(902),
             Request::Tagged(555, Box::new(Request::SetHundred(Oid(42), 13))),
+            Request::Stats,
         ];
         for req in requests {
             let decoded = Request::decode(&req.encode()).unwrap();
@@ -661,6 +680,7 @@ mod tests {
                 offset_to: 5,
             }]]),
             Response::U32s(vec![1, 2, 3]),
+            Response::Stats("{\"counters\": {}}".into()),
         ];
         for resp in responses {
             let decoded = Response::decode(&resp.encode()).unwrap();

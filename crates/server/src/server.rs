@@ -149,6 +149,9 @@ pub(crate) fn dispatch<S: HyperStore + ?Sized>(store: &mut S, req: Request) -> R
         // here means it arrived somewhere it cannot be honoured (e.g.
         // inside a Tagged envelope) — refuse rather than panic.
         Request::Shutdown => Response::Err("shutdown must be a top-level request".into()),
+        // A stats scrape is answered from the process-global metrics
+        // registry; the store itself plays no part.
+        Request::Stats => Response::Stats(obs::registry().snapshot().export_json()),
     }
 }
 

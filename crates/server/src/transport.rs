@@ -1,10 +1,17 @@
 //! Message transports: in-process channels and TCP.
 //!
-//! Both carry length-prefixed frames (`u32` length + payload) so the
-//! marshalling cost is identical; the channel transport adds an optional
-//! simulated one-way latency per frame, letting experiments model the
-//! paper's local-area-network workstation/server setups without real
-//! network variance.
+//! Both carry length-prefixed frames (`u32` length + `u64` trace id +
+//! payload, matching `exec::EventLoop`'s framing) so the marshalling
+//! cost is identical; the channel transport adds an optional simulated
+//! one-way latency per frame, letting experiments model the paper's
+//! local-area-network workstation/server setups without real network
+//! variance.
+//!
+//! Trace propagation: [`Transport::send`] stamps each outgoing frame
+//! with the calling thread's current trace id (`obs::trace::current`),
+//! and [`Transport::recv`] installs the received frame's trace id as
+//! current — so a blocking server thread dispatches inside the client's
+//! trace, and a client thread reading a reply rejoins the trace it sent.
 
 use std::io::{Read, Write};
 use std::net::TcpStream;
@@ -19,6 +26,10 @@ use hypermodel::error::{HmError, Result};
 /// (rule `frame-cap`) keeps this textually identical to the server-side
 /// cap in `exec/src/event_loop.rs`.
 pub const MAX_FRAME: usize = 64 << 20;
+
+/// Bytes of the frame header carrying the trace id (kept equal to
+/// `exec::TRACE_HEADER`; both sides slice the same frames).
+const TRACE_HEADER: usize = 8;
 
 /// A bidirectional, framed message pipe.
 pub trait Transport: Send {
@@ -42,8 +53,8 @@ pub trait Transport: Send {
 
 /// One end of an in-process channel transport.
 pub struct ChannelTransport {
-    tx: Sender<Vec<u8>>,
-    rx: Receiver<Vec<u8>>,
+    tx: Sender<(u64, Vec<u8>)>,
+    rx: Receiver<(u64, Vec<u8>)>,
     /// Simulated one-way latency applied before each send.
     pub latency: Duration,
     /// When set, latency is *accounted* on this shared virtual clock
@@ -107,20 +118,26 @@ impl Transport for ChannelTransport {
             }
         }
         self.tx
-            .send(frame.to_vec())
+            .send((obs::trace::current(), frame.to_vec()))
             .map_err(|_| HmError::Backend("peer disconnected".into()))
     }
 
     fn recv(&mut self) -> Result<Option<Vec<u8>>> {
         match self.rx.recv() {
-            Ok(frame) => Ok(Some(frame)),
+            Ok((trace, frame)) => {
+                obs::trace::set(trace);
+                Ok(Some(frame))
+            }
             Err(_) => Ok(None), // peer dropped: clean shutdown
         }
     }
 
     fn recv_timeout(&mut self, timeout: Duration) -> Result<Option<Vec<u8>>> {
         match self.rx.recv_timeout(timeout) {
-            Ok(frame) => Ok(Some(frame)),
+            Ok((trace, frame)) => {
+                obs::trace::set(trace);
+                Ok(Some(frame))
+            }
             Err(RecvTimeoutError::Timeout) => {
                 Err(HmError::Timeout(format!("no frame within {timeout:?}")))
             }
@@ -147,9 +164,11 @@ impl TcpTransport {
 
 impl Transport for TcpTransport {
     fn send(&mut self, frame: &[u8]) -> Result<()> {
-        let len = (frame.len() as u32).to_le_bytes();
+        let len = ((frame.len() + TRACE_HEADER) as u32).to_le_bytes();
+        let trace = obs::trace::current().to_le_bytes();
         self.stream
             .write_all(&len)
+            .and_then(|_| self.stream.write_all(&trace))
             .and_then(|_| self.stream.write_all(frame))
             .map_err(|e| HmError::Backend(format!("tcp send: {e}")))
     }
@@ -165,7 +184,15 @@ impl Transport for TcpTransport {
         if len > MAX_FRAME {
             return Err(HmError::Backend(format!("oversized frame: {len} bytes")));
         }
-        let mut frame = vec![0u8; len];
+        if len < TRACE_HEADER {
+            return Err(HmError::Backend(format!("truncated frame: {len} bytes")));
+        }
+        let mut trace_buf = [0u8; TRACE_HEADER];
+        self.stream
+            .read_exact(&mut trace_buf)
+            .map_err(|e| tcp_io_err("tcp recv trace", e))?;
+        obs::trace::set(u64::from_le_bytes(trace_buf));
+        let mut frame = vec![0u8; len - TRACE_HEADER];
         self.stream
             .read_exact(&mut frame)
             .map_err(|e| tcp_io_err("tcp recv body", e))?;

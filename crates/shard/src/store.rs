@@ -109,6 +109,15 @@ impl<S: HyperStore + Send + 'static> ShardedStore<S> {
     /// the backend name reported to the harness (e.g. `"sharded-mem"`).
     pub fn new(shards: Vec<S>, placement: Placement, name: &'static str) -> ShardedStore<S> {
         let n = shards.len();
+        // Pre-register the 2PC outcome counters so a metrics scrape of a
+        // deployment that never aborted (or never ran two-phase) still
+        // exports them at zero instead of omitting the keys.
+        if obs::enabled() {
+            let reg = obs::registry();
+            reg.counter("shard.2pc.prepared");
+            reg.counter("shard.2pc.committed");
+            reg.counter("shard.2pc.aborted");
+        }
         ShardedStore {
             exec: ShardExecutor::new(shards),
             router: ShardRouter::new(n, placement),
@@ -823,9 +832,11 @@ impl<S: HyperStore + Send + 'static> HyperStore for ShardedStore<S> {
         // message is lost.
         let txid = self.next_txid;
         self.next_txid += 1;
+        obs::incr("shard.2pc.prepared", 1);
         let prepared = self.parallel_prepare(txid);
         if !prepared.iter().all(|(_, r)| matches!(r, Ok(Ok(())))) {
             self.aborts += 1;
+            obs::incr("shard.2pc.aborted", 1);
             // The abort record is best-effort: presumed abort means an
             // absent decision already reads as "abort" during recovery.
             if let Some(log) = &mut self.commit_log {
@@ -866,6 +877,7 @@ impl<S: HyperStore + Send + 'static> HyperStore for ShardedStore<S> {
         if let Some(log) = self.commit_log.as_mut() {
             log.record(txid, true)?;
         }
+        obs::incr("shard.2pc.committed", 1);
         // Phase two: failures here only mark health — the decision is
         // durable, so recovery finishes the commit on the failed shard.
         for (s, r) in self
@@ -903,6 +915,8 @@ impl<S: HyperStore + Send + 'static> HyperStore for ShardedStore<S> {
                     shard: s,
                     nodes: self.router.nodes[s],
                     requests: self.router.requests[s],
+                    queued: self.exec.queue_depth(s) as u64,
+                    busy_us: self.exec.busy_ewma_us(s),
                 })
                 .collect(),
         )

@@ -123,10 +123,12 @@ impl BufferPool {
     pub fn fetch(&mut self, id: PageId) -> Result<PageHandle> {
         if let Some(&idx) = self.map.get(&id.0) {
             self.stats.hits += 1;
+            obs::incr("storage.buffer.hits", 1);
             self.touch(idx);
             return Ok(Arc::clone(&self.frames[idx].page));
         }
         self.stats.misses += 1;
+        obs::incr("storage.buffer.misses", 1);
         let page = self.disk.read_page(id)?;
         self.install(id, page, false)
     }
@@ -258,6 +260,7 @@ impl BufferPool {
             self.map.insert(moved_id.0, idx);
         }
         self.stats.evictions += 1;
+        obs::incr("storage.buffer.evictions", 1);
         Ok(())
     }
 

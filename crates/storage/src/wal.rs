@@ -120,6 +120,7 @@ impl Wal {
         sum.write(payload);
         self.writer.write_all(&sum.finish().to_le_bytes())?;
         self.appended += 4 + len as u64 + 4;
+        obs::incr("storage.wal.appends", 1);
         Ok(())
     }
 
@@ -157,6 +158,7 @@ impl Wal {
         self.writer.flush()?;
         self.writer.get_ref().sync_data()?;
         self.syncs += 1;
+        obs::incr("storage.wal.fsyncs", 1);
         Ok(())
     }
 
