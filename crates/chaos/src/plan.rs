@@ -50,6 +50,10 @@ pub struct FaultPlan {
     pub disconnect_per_mille: u32,
     /// Extra latency added to every frame actually sent.
     pub latency: Duration,
+    /// Kill the connection permanently after this many successful
+    /// sends — models one replica dying mid-run (every later send on
+    /// the wrapped transport times out until the process is replaced).
+    pub kill_after_sends: Option<u64>,
     /// Store crash point, if the plan crashes at all.
     pub crash: Option<CrashSpec>,
 }
@@ -64,6 +68,7 @@ impl FaultPlan {
             dup_per_mille: 0,
             disconnect_per_mille: 0,
             latency: Duration::ZERO,
+            kill_after_sends: None,
             crash: None,
         }
     }
@@ -77,6 +82,8 @@ impl FaultPlan {
     /// | `dupes`              | 10% frame duplication                    |
     /// | `slow`               | +500µs per frame                         |
     /// | `flaky`              | 5% drop, 2.5% dup, +100µs, 0.2% hangup   |
+    /// | `kill-replica`       | connection dies for good after 40 sends  |
+    /// | `slow-replica`       | +2ms per frame (a lagging mirror)        |
     /// | `crash-before-commit`| store dies before its first commit       |
     /// | `crash-after-commit` | store dies after its first commit        |
     /// | `crash-after-prepare`| store dies prepared, before any decision |
@@ -94,6 +101,10 @@ impl FaultPlan {
                 plan.disconnect_per_mille = 2;
                 plan.latency = Duration::from_micros(100);
             }
+            // Mid-closure replica loss: deep enough into the run that the
+            // benchmark is inside the traversal phase, then dead forever.
+            "kill-replica" => plan.kill_after_sends = Some(40),
+            "slow-replica" => plan.latency = Duration::from_millis(2),
             "crash-before-commit" => {
                 plan.crash = Some(CrashSpec {
                     point: CrashPoint::BeforeCommit,
@@ -115,8 +126,8 @@ impl FaultPlan {
             other => {
                 return Err(HmError::InvalidArgument(format!(
                     "unknown fault plan {other:?} (try none, lossy, dupes, slow, \
-                     flaky, crash-before-commit, crash-after-commit, \
-                     crash-after-prepare)"
+                     flaky, kill-replica, slow-replica, crash-before-commit, \
+                     crash-after-commit, crash-after-prepare)"
                 )));
             }
         }

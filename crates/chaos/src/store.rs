@@ -142,6 +142,8 @@ impl<S: HyperStore> HyperStore for ChaosStore<S> {
         fn closure_mnatt_linksum(&mut self, start: Oid, depth: u32) -> Result<Vec<(Oid, u64)>>;
         fn text_node_edit(&mut self, oid: Oid, from: &str, to: &str) -> Result<usize>;
         fn form_node_edit(&mut self, oid: Oid, x0: u16, y0: u16, x1: u16, y1: u16) -> Result<()>;
+        fn sync_export(&mut self) -> Result<Vec<u8>>;
+        fn sync_import(&mut self, snapshot: &[u8]) -> Result<()>;
     }
 
     fn commit(&mut self) -> Result<()> {

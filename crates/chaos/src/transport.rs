@@ -50,6 +50,7 @@ pub struct FaultyTransport<T: Transport> {
     rng: Rng,
     plan: FaultPlan,
     dead: bool,
+    sent: u64,
     counters: Arc<FaultCounters>,
 }
 
@@ -61,6 +62,7 @@ impl<T: Transport> FaultyTransport<T> {
             rng: Rng::new(plan.seed),
             plan,
             dead: false,
+            sent: 0,
             counters: Arc::new(FaultCounters::default()),
         }
     }
@@ -80,6 +82,18 @@ impl<T: Transport> Transport for FaultyTransport<T> {
         if self.dead {
             return Err(HmError::Timeout("connection torn down (injected)".into()));
         }
+        if let Some(limit) = self.plan.kill_after_sends {
+            if self.sent >= limit {
+                // The replica died for good: every future send (and recv)
+                // fails until the caller replaces the connection.
+                self.dead = true;
+                self.counters.disconnects.fetch_add(1, Ordering::Relaxed);
+                return Err(HmError::Timeout(
+                    "replica killed after send budget (injected)".into(),
+                ));
+            }
+        }
+        self.sent += 1;
         if self.roll(self.plan.disconnect_per_mille) {
             self.dead = true;
             self.counters.disconnects.fetch_add(1, Ordering::Relaxed);
@@ -164,6 +178,32 @@ mod tests {
         );
         assert!(faulty.send(b"y").is_err(), "stays dead");
         assert_eq!(faulty.recv().unwrap(), None);
+    }
+
+    #[test]
+    fn kill_after_sends_is_sticky() {
+        let (a, mut b) = ChannelTransport::pair(Duration::ZERO);
+        let plan = FaultPlan {
+            kill_after_sends: Some(3),
+            ..FaultPlan::none(1)
+        };
+        let mut faulty = FaultyTransport::new(a, plan);
+        let counters = faulty.counters();
+        for i in 0..3u32 {
+            faulty.send(&i.to_le_bytes()).unwrap();
+        }
+        let err = faulty.send(b"late").unwrap_err();
+        assert!(err.is_transient(), "failover needs a retryable error");
+        assert!(faulty.send(b"later").is_err(), "stays dead");
+        assert_eq!(faulty.recv().unwrap(), None);
+        assert_eq!(counters.snapshot().2, 1, "one disconnect counted");
+        // The frames sent before the kill all arrived.
+        drop(faulty);
+        let mut arrived = 0;
+        while b.recv().unwrap().is_some() {
+            arrived += 1;
+        }
+        assert_eq!(arrived, 3);
     }
 
     #[test]

@@ -462,4 +462,30 @@ impl<S, T: Send + 'static> Batch<'_, S, T> {
             .map(|(shard, h)| (shard, h.and_then(|h| h.wait_deadline(deadline))))
             .collect()
     }
+
+    /// Wait jobs in spawn order only until `need` of them have produced a
+    /// value `is_ok` accepts, then stop waiting. Jobs not waited on keep
+    /// running detached on their workers (per-shard FIFO is preserved),
+    /// which is the point: a quorum-acked replicated write returns as
+    /// soon as enough replicas confirm, while the stragglers still apply
+    /// the write in order. Returns only the results actually waited for.
+    pub fn join_quorum(
+        self,
+        need: usize,
+        is_ok: impl Fn(&T) -> bool,
+    ) -> Vec<(usize, Result<T, ExecError>)> {
+        let mut out = Vec::with_capacity(self.pending.len());
+        let mut acked = 0usize;
+        for (shard, h) in self.pending {
+            if acked >= need {
+                break; // remaining jobs run detached
+            }
+            let result = h.and_then(JobHandle::wait);
+            if matches!(&result, Ok(v) if is_ok(v)) {
+                acked += 1;
+            }
+            out.push((shard, result));
+        }
+        out
+    }
 }

@@ -14,10 +14,13 @@
 //! hyperbench all      [--level N]            # everything above
 //! ```
 //!
-//! Backends: `mem`, `disk`, `rel`, `remote`, `sharded-mem:N[:hash|:affinity]`,
-//! `sharded-disk:N[:hash|:affinity]`, `sharded-tcp:N[:hash|:affinity]`
-//! (one in-process `serve_multi` event loop hosting N mem shards behind
-//! real TCP) or `all` (default `all` = the three single stores).
+//! Backends: `mem`, `disk`, `rel`, `remote`, `sharded-mem:N[:rK][:hash|:affinity]`,
+//! `sharded-disk:N[:hash|:affinity]`, `sharded-tcp:N[:rK][:hash|:affinity]`
+//! (one in-process `serve_multi` event loop hosting the shard servers
+//! behind real TCP) or `all` (default `all` = the three single stores).
+//! The `:rK` suffix replicates every logical shard across K full mirrors
+//! (`sharded-mem:4:r2` = 4 logical shards × 2 copies = 8 backends) with
+//! failover reads, quorum-style write fan-out and automatic repair.
 //! Levels: 2–7 (default 4; the paper's sizes are 4, 5, 6).
 //! Sharded runs additionally report per-shard placement balance and
 //! request skew after the operation table.
@@ -28,7 +31,11 @@
 //! duplicates / delays frames per the plan, and the client retries under
 //! a `RetryPolicy`. Retry and commit-abort counts are reported after the
 //! table. Plans: `none`, `lossy`, `dupes`, `slow`, `flaky`,
-//! `crash-before-commit`, `crash-after-commit`, `crash-after-prepare`.
+//! `kill-replica`, `slow-replica`, `crash-before-commit`,
+//! `crash-after-commit`, `crash-after-prepare`. On a replicated
+//! `sharded-tcp:N:rK` run the transport faults target a *single* replica
+//! connection (the first mirror of shard 0), so the run exercises
+//! failover and repair rather than total outage.
 
 use std::path::PathBuf;
 use std::sync::Arc;
@@ -84,7 +91,7 @@ fn parse_args() -> Args {
     fn usage_error(msg: &str) -> ! {
         eprintln!("error: {msg}");
         eprintln!("usage: hyperbench <command> [--level N] [--backend B] [--reps N] [--clients N] [--persons N] [--pool N] [--csv FILE] [--json FILE] [--metrics FILE] [--faults SEED:PLAN]");
-        eprintln!("backends: mem | disk | rel | remote | sharded-mem:N[:hash|:affinity] | sharded-disk:N[:hash|:affinity] | sharded-tcp:N[:hash|:affinity] | all");
+        eprintln!("backends: mem | disk | rel | remote | sharded-mem:N[:rK][:hash|:affinity] | sharded-disk:N[:hash|:affinity] | sharded-tcp:N[:rK][:hash|:affinity] | all");
         std::process::exit(2);
     }
     let mut it = std::env::args().skip(1);
@@ -156,9 +163,10 @@ fn cleanup_db(p: &PathBuf) {
 }
 
 /// Parse a sharded backend spec: `sharded-mem:N`, `sharded-disk:N` or
-/// `sharded-tcp:N`, optionally suffixed with the placement policy
+/// `sharded-tcp:N`, optionally suffixed (in any order) with a
+/// replication factor (`:rK`, mem/tcp only) and the placement policy
 /// (`:hash` or `:affinity`, default affinity).
-fn parse_sharded(spec: &str) -> Option<(&'static str, usize, shard::Placement)> {
+fn parse_sharded(spec: &str) -> Option<(&'static str, usize, usize, shard::Placement)> {
     let mut parts = spec.split(':');
     let kind = match parts.next()? {
         "sharded-mem" => "sharded-mem",
@@ -171,15 +179,31 @@ fn parse_sharded(spec: &str) -> Option<(&'static str, usize, shard::Placement)> 
         .parse()
         .ok()
         .filter(|&n| (1..=64).contains(&n))?;
-    let placement = match parts.next() {
-        None | Some("affinity") => shard::Placement::affinity(),
-        Some("hash") => shard::Placement::OidHash,
-        Some(_) => return None,
-    };
-    if parts.next().is_some() {
-        return None;
+    let mut k: Option<usize> = None;
+    let mut placement: Option<shard::Placement> = None;
+    for part in parts {
+        if let Some(r) = part.strip_prefix('r') {
+            if k.is_some() || kind == "sharded-disk" {
+                return None; // duplicate rK, or replication without a mem mirror source
+            }
+            k = Some(r.parse().ok().filter(|&k| (1..=8).contains(&k))?);
+        } else {
+            if placement.is_some() {
+                return None;
+            }
+            placement = Some(match part {
+                "affinity" => shard::Placement::affinity(),
+                "hash" => shard::Placement::OidHash,
+                _ => return None,
+            });
+        }
     }
-    Some((kind, n, placement))
+    Some((
+        kind,
+        n,
+        k.unwrap_or(1),
+        placement.unwrap_or_else(shard::Placement::affinity),
+    ))
 }
 
 fn backends(selected: &str) -> Vec<String> {
@@ -192,7 +216,7 @@ fn backends(selected: &str) -> Vec<String> {
         other if parse_sharded(other).is_some() => vec![other.into()],
         other => {
             eprintln!(
-                "unknown backend {other} (use mem|disk|rel|remote|sharded-mem:N[:hash|:affinity]|sharded-disk:N[:hash|:affinity]|sharded-tcp:N[:hash|:affinity]|all)"
+                "unknown backend {other} (use mem|disk|rel|remote|sharded-mem:N[:rK][:hash|:affinity]|sharded-disk:N[:hash|:affinity]|sharded-tcp:N[:rK][:hash|:affinity]|all)"
             );
             std::process::exit(2);
         }
@@ -318,9 +342,10 @@ fn load_backend(
             ))
         }
         spec => match parse_sharded(spec) {
-            Some(("sharded-mem", n, placement)) => {
-                let shards: Vec<MemStore> = (0..n).map(|_| MemStore::new()).collect();
-                let mut store = shard::ShardedStore::new(shards, placement, "sharded-mem");
+            Some(("sharded-mem", n, k, placement)) => {
+                let shards: Vec<MemStore> = (0..n * k).map(|_| MemStore::new()).collect();
+                let mut store =
+                    shard::ShardedStore::new_replicated(shards, k, placement, "sharded-mem");
                 let report = load_database(&mut store, db)?;
                 Ok((
                     boxed(store, faults),
@@ -331,13 +356,38 @@ fn load_backend(
                     None,
                 ))
             }
-            Some(("sharded-tcp", n, placement)) => {
-                // One process, N shard servers: mem shards behind the
+            Some(("sharded-tcp", n, k, placement)) => {
+                // One process, N*K shard servers: mem shards behind the
                 // nonblocking event loop, a `connect_sharded` router in
                 // front. Loading and every operation cross real TCP.
-                let shards: Vec<MemStore> = (0..n).map(|_| MemStore::new()).collect();
+                let shards: Vec<MemStore> = (0..n * k).map(|_| MemStore::new()).collect();
                 let srv = server::serve_multi(shards)?;
-                let mut store = shard::connect_sharded(&srv.addr_strings(), placement)?;
+                let mut store = if k == 1 {
+                    shard::connect_sharded(&srv.addr_strings(), placement)?
+                } else if let Some(plan) = faults {
+                    // Transport faults hit exactly one replica connection
+                    // (the first mirror of shard 0) so the run exercises
+                    // failover + repair, not a total outage.
+                    use server::client::{ClosureMode, RemoteStore};
+                    use server::transport::TcpTransport;
+                    let faulty_member = 1usize;
+                    let mut shards = Vec::new();
+                    for (i, addr) in srv.addr_strings().iter().enumerate() {
+                        let stream = std::net::TcpStream::connect(addr).map_err(|e| {
+                            hypermodel::HmError::Backend(format!("connect {addr}: {e}"))
+                        })?;
+                        let transport = TcpTransport::new(stream)?;
+                        let transport: Box<dyn server::Transport> = if i == faulty_member {
+                            Box::new(chaos::FaultyTransport::new(transport, plan.clone()))
+                        } else {
+                            Box::new(transport)
+                        };
+                        shards.push(RemoteStore::new(transport, ClosureMode::ClientSide));
+                    }
+                    shard::ShardedStore::new_replicated(shards, k, placement, "sharded-remote")
+                } else {
+                    shard::connect_sharded_replicated(&srv.addr_strings(), k, placement)?
+                };
                 let report = load_database(&mut store, db)?;
                 Ok((
                     boxed(store, faults),
@@ -348,7 +398,7 @@ fn load_backend(
                     Some(srv),
                 ))
             }
-            Some(("sharded-disk", n, placement)) => {
+            Some(("sharded-disk", n, _k, placement)) => {
                 let dir = {
                     let mut p = std::env::temp_dir();
                     p.push(format!(

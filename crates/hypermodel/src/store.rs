@@ -205,6 +205,36 @@ pub trait HyperStore {
         Ok(())
     }
 
+    // ---- anti-entropy (replica repair) ----------------------------------
+    //
+    // A replicated deployment resyncs a lagging replica by exporting the
+    // full state of a healthy copy and installing it wholesale on the
+    // stale one. The format is backend-private — the two ends of a sync
+    // are always the same backend type — so the trait only moves opaque
+    // bytes. Backends that cannot serve as replication members simply
+    // keep the defaults and the repair path reports them unsupported.
+
+    /// Serialize this store's entire logical state into an opaque,
+    /// backend-private snapshot that [`sync_import`](HyperStore::sync_import)
+    /// on another instance of the *same* backend can install.
+    fn sync_export(&mut self) -> Result<Vec<u8>> {
+        Err(crate::error::HmError::Backend(format!(
+            "{} backend does not support anti-entropy export",
+            self.backend_name()
+        )))
+    }
+
+    /// Replace this store's entire logical state with the snapshot
+    /// produced by [`sync_export`](HyperStore::sync_export) on a healthy
+    /// replica of the same backend type.
+    fn sync_import(&mut self, snapshot: &[u8]) -> Result<()> {
+        let _ = snapshot;
+        Err(crate::error::HmError::Backend(format!(
+            "{} backend does not support anti-entropy import",
+            self.backend_name()
+        )))
+    }
+
     /// A short backend name for reports ("mem", "disk", "rel").
     fn backend_name(&self) -> &'static str;
 

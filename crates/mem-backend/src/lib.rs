@@ -94,6 +94,10 @@ impl MemStore {
             .ok_or(HmError::NodeNotFound(oid))
     }
 
+    fn snap_err(what: &str) -> HmError {
+        HmError::Backend(format!("mem snapshot: {what}"))
+    }
+
     fn create(&mut self, value: &NodeValue, in_structure: bool) -> Result<Oid> {
         let oid = Oid(self.nodes.len() as u64 + 1);
         if self.uid_index.contains_key(&value.attrs.unique_id) {
@@ -319,6 +323,246 @@ impl HyperStore for MemStore {
 
     fn backend_name(&self) -> &'static str {
         "mem"
+    }
+
+    fn sync_export(&mut self) -> Result<Vec<u8>> {
+        let mut out = Vec::with_capacity(64 * self.nodes.len() + 64);
+        put_u32(&mut out, SNAPSHOT_VERSION);
+        put_bytes(&mut out, &self.schema.encode());
+        put_u64(&mut out, self.commits);
+        put_u64(&mut out, self.nodes.len() as u64);
+        for rec in &self.nodes {
+            put_bytes(&mut out, &rec.value.encode());
+            put_u64(&mut out, rec.parent.map_or(0, |p| p.0));
+            put_oids(&mut out, &rec.children);
+            put_oids(&mut out, &rec.parts);
+            put_oids(&mut out, &rec.part_of);
+            put_edges(&mut out, &rec.refs_to);
+            put_edges(&mut out, &rec.refs_from);
+            out.push(match rec.access {
+                AccessMode::PublicWrite => 0,
+                AccessMode::PublicRead => 1,
+                AccessMode::NoAccess => 2,
+            });
+            out.push(rec.in_structure as u8);
+        }
+        for chain in &self.versions {
+            put_u32(&mut out, chain.len() as u32);
+            for v in chain {
+                put_bytes(&mut out, &v.encode());
+            }
+        }
+        // Structure order is load order, not oid order — ship it explicitly.
+        put_oids(&mut out, &self.structure);
+        put_u32(&mut out, self.dyn_attrs.len() as u32);
+        for (&(oid, attr), &v) in &self.dyn_attrs {
+            put_u64(&mut out, oid);
+            put_u32(&mut out, attr);
+            put_u64(&mut out, v as u64);
+        }
+        Ok(out)
+    }
+
+    fn sync_import(&mut self, snapshot: &[u8]) -> Result<()> {
+        let mut r = SnapReader::new(snapshot);
+        let version = r.u32()?;
+        if version != SNAPSHOT_VERSION {
+            return Err(Self::snap_err(&format!(
+                "unsupported snapshot version {version}"
+            )));
+        }
+        let schema = Schema::decode(r.bytes()?)?;
+        let commits = r.u64()?;
+        let node_count = r.u64()? as usize;
+        if node_count > snapshot.len() {
+            return Err(Self::snap_err("node count exceeds snapshot size"));
+        }
+        let mut nodes = Vec::with_capacity(node_count);
+        for _ in 0..node_count {
+            let value = NodeValue::decode(r.bytes()?)?;
+            let parent = match r.u64()? {
+                0 => None,
+                p => Some(Oid(p)),
+            };
+            let children = r.oids()?;
+            let parts = r.oids()?;
+            let part_of = r.oids()?;
+            let refs_to = r.edges()?;
+            let refs_from = r.edges()?;
+            let access = match r.u8()? {
+                0 => AccessMode::PublicWrite,
+                1 => AccessMode::PublicRead,
+                2 => AccessMode::NoAccess,
+                other => return Err(Self::snap_err(&format!("bad access mode {other}"))),
+            };
+            let in_structure = r.u8()? != 0;
+            nodes.push(NodeRecord {
+                value,
+                children,
+                parent,
+                parts,
+                part_of,
+                refs_to,
+                refs_from,
+                access,
+                in_structure,
+            });
+        }
+        let mut versions = Vec::with_capacity(node_count);
+        for _ in 0..node_count {
+            let n = r.u32()? as usize;
+            let mut chain = Vec::with_capacity(n.min(1024));
+            for _ in 0..n {
+                chain.push(NodeValue::decode(r.bytes()?)?);
+            }
+            versions.push(chain);
+        }
+        let structure = r.oids()?;
+        let n_dyn = r.u32()? as usize;
+        let mut dyn_attrs = BTreeMap::new();
+        for _ in 0..n_dyn {
+            let oid = r.u64()?;
+            let attr = r.u32()?;
+            let v = r.u64()? as i64;
+            dyn_attrs.insert((oid, attr), v);
+        }
+        r.finish()?;
+
+        // Only replace state once the whole snapshot decoded cleanly.
+        let mut uid_index = BTreeMap::new();
+        let mut hundred_index = BTreeMap::new();
+        let mut million_index = BTreeMap::new();
+        for (i, rec) in nodes.iter().enumerate() {
+            let oid = Oid(i as u64 + 1);
+            uid_index.insert(rec.value.attrs.unique_id, oid);
+            hundred_index.insert((rec.value.attrs.hundred, oid.0), ());
+            million_index.insert((rec.value.attrs.million, oid.0), ());
+        }
+        self.nodes = nodes;
+        self.uid_index = uid_index;
+        self.hundred_index = hundred_index;
+        self.million_index = million_index;
+        self.structure = structure;
+        self.schema = schema;
+        self.versions = versions;
+        self.dyn_attrs = dyn_attrs;
+        self.commits = commits;
+        Ok(())
+    }
+}
+
+/// Snapshot wire-format version for [`MemStore::sync_export`].
+const SNAPSHOT_VERSION: u32 = 1;
+
+fn put_u32(out: &mut Vec<u8>, v: u32) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+fn put_u64(out: &mut Vec<u8>, v: u64) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+fn put_bytes(out: &mut Vec<u8>, b: &[u8]) {
+    put_u32(out, b.len() as u32);
+    out.extend_from_slice(b);
+}
+
+fn put_oids(out: &mut Vec<u8>, oids: &[Oid]) {
+    put_u32(out, oids.len() as u32);
+    for o in oids {
+        put_u64(out, o.0);
+    }
+}
+
+fn put_edges(out: &mut Vec<u8>, edges: &[RefEdge]) {
+    put_u32(out, edges.len() as u32);
+    for e in edges {
+        put_u64(out, e.target.0);
+        out.push(e.offset_from);
+        out.push(e.offset_to);
+    }
+}
+
+/// Bounds-checked little-endian cursor over a snapshot buffer.
+struct SnapReader<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> SnapReader<'a> {
+    fn new(buf: &'a [u8]) -> SnapReader<'a> {
+        SnapReader { buf, pos: 0 }
+    }
+
+    fn take(&mut self, n: usize) -> Result<&'a [u8]> {
+        let end = self
+            .pos
+            .checked_add(n)
+            .filter(|&e| e <= self.buf.len())
+            .ok_or_else(|| MemStore::snap_err("truncated"))?;
+        let s = &self.buf[self.pos..end];
+        self.pos = end;
+        Ok(s)
+    }
+
+    fn u8(&mut self) -> Result<u8> {
+        Ok(self.take(1)?[0])
+    }
+
+    fn u32(&mut self) -> Result<u32> {
+        let s = self.take(4)?;
+        Ok(u32::from_le_bytes([s[0], s[1], s[2], s[3]]))
+    }
+
+    fn u64(&mut self) -> Result<u64> {
+        let s = self.take(8)?;
+        let mut b = [0u8; 8];
+        b.copy_from_slice(s);
+        Ok(u64::from_le_bytes(b))
+    }
+
+    fn bytes(&mut self) -> Result<&'a [u8]> {
+        let n = self.u32()? as usize;
+        self.take(n)
+    }
+
+    fn oids(&mut self) -> Result<Vec<Oid>> {
+        let n = self.u32()? as usize;
+        if n > self.buf.len() {
+            return Err(MemStore::snap_err("oid list count exceeds snapshot size"));
+        }
+        let mut out = Vec::with_capacity(n);
+        for _ in 0..n {
+            out.push(Oid(self.u64()?));
+        }
+        Ok(out)
+    }
+
+    fn edges(&mut self) -> Result<Vec<RefEdge>> {
+        let n = self.u32()? as usize;
+        if n > self.buf.len() {
+            return Err(MemStore::snap_err("edge list count exceeds snapshot size"));
+        }
+        let mut out = Vec::with_capacity(n);
+        for _ in 0..n {
+            let target = Oid(self.u64()?);
+            let offset_from = self.u8()?;
+            let offset_to = self.u8()?;
+            out.push(RefEdge {
+                target,
+                offset_from,
+                offset_to,
+            });
+        }
+        Ok(out)
+    }
+
+    fn finish(&self) -> Result<()> {
+        if self.pos == self.buf.len() {
+            Ok(())
+        } else {
+            Err(MemStore::snap_err("trailing bytes after snapshot"))
+        }
     }
 }
 
@@ -722,6 +966,69 @@ mod tests {
         let before = store.hundred_of(oids[3]).unwrap();
         store.cold_restart().unwrap();
         assert_eq!(store.hundred_of(oids[3]).unwrap(), before);
+    }
+
+    #[test]
+    fn sync_snapshot_round_trips_full_state() {
+        let (mut store, db, oids) = loaded(&GenConfig::tiny());
+        // Dirty every state dimension before exporting.
+        let text_oid = oids[db.text_indices()[0] as usize];
+        store.create_version(text_oid).unwrap();
+        store
+            .text_node_edit(text_oid, VERSION_1, VERSION_2)
+            .unwrap();
+        let weight = store.add_type_attribute("Node", "weight", 7).unwrap();
+        store.set_dyn_attr(oids[0], weight, 99).unwrap();
+        let doc_a = oids[db.children[0][0] as usize];
+        store
+            .set_structure_access(doc_a, AccessMode::PublicRead)
+            .unwrap();
+
+        let snap = store.sync_export().unwrap();
+        let mut copy = MemStore::new();
+        // Pre-pollute the copy to prove import replaces, not merges.
+        copy.create_node(&NodeValue {
+            kind: NodeKind::INTERNAL,
+            attrs: hypermodel::model::NodeAttrs {
+                unique_id: 424242,
+                ten: 1,
+                hundred: 1,
+                thousand: 1,
+                million: 1,
+            },
+            content: Content::None,
+        })
+        .unwrap();
+        copy.sync_import(&snap).unwrap();
+
+        assert_eq!(copy.node_count(), store.node_count());
+        assert_eq!(copy.commit_count(), store.commit_count());
+        assert_eq!(copy.seq_scan_ten().unwrap(), store.seq_scan_ten().unwrap());
+        assert!(copy.lookup_unique(424242).is_err());
+        assert_eq!(
+            copy.text_of(text_oid).unwrap(),
+            store.text_of(text_oid).unwrap()
+        );
+        assert_eq!(copy.version_count(text_oid).unwrap(), 1);
+        assert_eq!(copy.dyn_attr(oids[0], weight).unwrap(), 99);
+        assert_eq!(copy.access_of(doc_a).unwrap(), AccessMode::PublicRead);
+        for &oid in oids.iter().take(8) {
+            assert_eq!(copy.children(oid).unwrap(), store.children(oid).unwrap());
+            assert_eq!(copy.refs_to(oid).unwrap(), store.refs_to(oid).unwrap());
+        }
+        assert_eq!(
+            copy.range_hundred(0, u32::MAX).unwrap(),
+            store.range_hundred(0, u32::MAX).unwrap()
+        );
+        // A second export of the copy is byte-identical — anti-entropy
+        // convergence in one round.
+        assert_eq!(copy.sync_export().unwrap(), snap);
+
+        // Corrupt snapshots are rejected without replacing state.
+        let before = copy.node_count();
+        assert!(copy.sync_import(&snap[..snap.len() - 1]).is_err());
+        assert!(copy.sync_import(&[]).is_err());
+        assert_eq!(copy.node_count(), before);
     }
 
     #[test]

@@ -1,0 +1,285 @@
+//! Deterministic-scheduler model of the K-way replicated write path in
+//! `shard::ShardedStore`: write fan-out with primary acknowledgement,
+//! the per-mirror lag flag, read failover, and anti-entropy repair.
+//!
+//! The two properties the implementation stakes its correctness on,
+//! asserted across every explored interleaving of write fan-out ×
+//! mirror crash × repair:
+//!
+//! 1. **No acked write is lost.** Once the client got its ack, every
+//!    mirror that later serves reads — including one rebuilt by repair —
+//!    holds that write.
+//! 2. **No failover read sees pre-ack state.** A read routed to a
+//!    mirror whose copy of an acked write silently failed must not
+//!    return; the lag flag forces it to error and fail over.
+//!
+//! The model mirrors the implementation's shape: one FIFO worker per
+//! mirror (the shard executor), a coordinator that fans writes to every
+//! healthy mirror and returns after the first acknowledgement (the
+//! quorum join with `need = 1`), reads submitted through the same FIFO
+//! and checked against the lag flag *inside* the job, and a repair pass
+//! that exports a healthy sibling's state through its queue.
+
+use sanity::dsched::{Explorer, Sim, SimSender};
+
+const K: usize = 2;
+const WRITES: usize = 2;
+
+enum Job {
+    /// Apply write number `n` (1-based). Replies `Ok(())` or, when this
+    /// mirror is the chosen fault victim, skips the apply and replies
+    /// `Err(())` — a transient backend failure: the mirror is *behind*
+    /// but still alive and answering, the dangerous state.
+    Write(usize, SimSender<Result<(), ()>>),
+    /// Read the applied-write count; refused only by the lag flag.
+    Read(SimSender<Result<usize, ()>>),
+    /// Commit: checks the lag flag *in-job*, so the check is ordered
+    /// behind every write still queued on this mirror's FIFO.
+    Commit(SimSender<Result<(), ()>>),
+    /// Export durable state for repair (ordered behind queued writes).
+    Export(SimSender<Result<usize, ()>>),
+    /// Install exported state, reviving the mirror (models the backend
+    /// swap + resync; clears the lag flag like `repair_member`).
+    Import(usize, SimSender<Result<(), ()>>),
+}
+
+/// One modeled run: `WRITES` acked writes with at most one mirror
+/// fault among them, a read after every ack, then repair and a final
+/// audit. The fault scenario `(mirror, write)` is a test-loop parameter
+/// rather than a `Sim::choose` so each scenario gets its own (small)
+/// schedule tree — a single in-tree choice at the root would leave the
+/// depth-first explorer stuck in the fault-free subtree until the
+/// schedule cap. `honest_lag` is the implementation under test: when
+/// false, a failed write does NOT raise the lag flag — the bug class
+/// property 2 exists to catch.
+fn replication_model(sim: &Sim, honest_lag: bool, crash: Option<(usize, usize)>) {
+    // Durable per-mirror state: how many writes have been applied.
+    let applied = sim.mutex(vec![0usize; K]);
+    // The lag flags, set from the worker thread exactly as the store
+    // sets them from inside the executor job.
+    let lag = sim.mutex(vec![false; K]);
+
+    // --- One FIFO worker per mirror, standing in for the executor.
+    let mut joins = Vec::new();
+    let mut queues = Vec::new();
+    for m in 0..K {
+        let (tx, rx) = sim.channel::<Job>(None);
+        queues.push(tx);
+        let applied = applied.clone();
+        let lag = lag.clone();
+        let dies_at = crash.filter(|&(cm, _)| cm == m).map(|(_, w)| w);
+        joins.push(sim.spawn(move || {
+            let mut behind = false;
+            while let Some(job) = rx.recv() {
+                match job {
+                    Job::Write(n, reply) => {
+                        if behind || dies_at == Some(n) {
+                            // Once a write is missed every later one
+                            // must be refused too, or the mirror would
+                            // hold a gapped history.
+                            behind = true;
+                            if honest_lag {
+                                lag.lock()[m] = true;
+                            }
+                            reply.send(Err(()));
+                        } else {
+                            applied.lock()[m] = n;
+                            reply.send(Ok(()));
+                        }
+                    }
+                    Job::Read(reply) => {
+                        // The in-job lag check: a behind mirror still
+                        // *answers* — only the flag stops it from
+                        // serving state that predates an acked write.
+                        if lag.lock()[m] {
+                            reply.send(Err(()));
+                        } else {
+                            reply.send(Ok(applied.lock()[m]));
+                        }
+                    }
+                    Job::Commit(reply) => {
+                        if lag.lock()[m] {
+                            reply.send(Err(()));
+                        } else {
+                            reply.send(Ok(()));
+                        }
+                    }
+                    Job::Export(reply) => {
+                        reply.send(Ok(applied.lock()[m]));
+                    }
+                    Job::Import(state, reply) => {
+                        // Models replace_shard + resync: fresh backend,
+                        // full snapshot install, lag cleared.
+                        behind = false;
+                        applied.lock()[m] = state;
+                        lag.lock()[m] = false;
+                        reply.send(Ok(()));
+                    }
+                }
+            }
+        }));
+    }
+
+    // --- Coordinator (the root thread), mirroring ShardedStore.
+    let mut health = [true; K];
+    let mut acked = 0usize;
+    for n in 1..=WRITES {
+        // Demote mirrors already flagged lagging, then fan out to the
+        // healthy ones (write_group's preamble).
+        for (m, h) in health.iter_mut().enumerate() {
+            if lag.lock()[m] {
+                *h = false;
+            }
+        }
+        let mut replies = Vec::new();
+        for (m, q) in queues.iter().enumerate() {
+            if health[m] {
+                let (tx, rx) = sim.channel::<Result<(), ()>>(None);
+                q.send(Job::Write(n, tx));
+                replies.push((m, rx));
+            }
+        }
+        assert!(!replies.is_empty(), "whole group dead before write {n}");
+        // Primary acknowledgement (`need = 1`): return to the client on
+        // the first success; later replies stay in flight — the window
+        // the lag flag guards.
+        let mut ok = false;
+        for (m, rx) in replies {
+            match rx.recv() {
+                Some(Ok(())) => {
+                    ok = true;
+                    break;
+                }
+                _ => health[m] = false, // transient failure: demote
+            }
+        }
+        assert!(ok, "write {n} lost its every mirror");
+        acked = n;
+
+        // A read after the ack, routed like read_group: any healthy
+        // mirror, demote-and-retry on failure until one answers.
+        let seen = loop {
+            let healthy: Vec<usize> = (0..K).filter(|&m| health[m]).collect();
+            assert!(!healthy.is_empty(), "no healthy mirror to read from");
+            let m = healthy[sim.choose(healthy.len())];
+            let (tx, rx) = sim.channel::<Result<usize, ()>>(None);
+            queues[m].send(Job::Read(tx));
+            match rx.recv() {
+                Some(Ok(v)) => break v,
+                _ => health[m] = false,
+            }
+        };
+        assert!(
+            seen >= acked,
+            "read observed {seen} writes after {acked} were acked (stale replica served)"
+        );
+    }
+
+    // --- A commit round (commit_replicated_single_phase): one job per
+    // healthy mirror, joined to completion. Because the lag check runs
+    // in-job, a mirror whose failed write is still queued cannot dodge
+    // it — the commit job sits behind that write in FIFO order. A
+    // mirror that votes lagging is demoted, which is what lets the
+    // repair pass find it.
+    let mut commits = Vec::new();
+    for (m, q) in queues.iter().enumerate() {
+        if health[m] {
+            let (tx, rx) = sim.channel::<Result<(), ()>>(None);
+            q.send(Job::Commit(tx));
+            commits.push((m, rx));
+        }
+    }
+    for (m, rx) in commits {
+        if !matches!(rx.recv(), Some(Ok(()))) {
+            health[m] = false;
+        }
+    }
+
+    // --- Repair pass (repair_replicas): resync every demoted mirror
+    // from a healthy sibling, through the sibling's FIFO queue.
+    for m in 0..K {
+        if health[m] {
+            continue;
+        }
+        let src = (0..K).find(|&o| health[o]).expect("a healthy sibling");
+        let (tx, rx) = sim.channel::<Result<usize, ()>>(None);
+        queues[src].send(Job::Export(tx));
+        let snapshot = rx.recv().unwrap().expect("healthy sibling exports");
+        let (tx, rx) = sim.channel::<Result<(), ()>>(None);
+        queues[m].send(Job::Import(snapshot, tx));
+        rx.recv().unwrap().unwrap();
+        health[m] = true;
+    }
+
+    drop(queues);
+    for j in joins {
+        j.join();
+    }
+
+    // --- Final audit: every mirror serves again and none lost an acked
+    // write. (The export went through the sibling's queue, so it is
+    // ordered behind every fanned-out write — the model would catch an
+    // implementation that snapshots around the queue.)
+    let st = applied.lock().clone();
+    let lg = lag.lock().clone();
+    for m in 0..K {
+        assert!(
+            st[m] >= acked,
+            "mirror {m} holds {} of {acked} acked writes after repair (applied {st:?})",
+            st[m]
+        );
+        assert!(!lg[m], "mirror {m} still flagged lagging after repair");
+    }
+}
+
+/// Every fault scenario — no fault, and each (mirror, write) pair
+/// failing — crossed with every explored interleaving of fan-out,
+/// failover read, and repair: no acked write is lost and no read ever
+/// observes pre-ack state.
+#[test]
+fn no_acked_write_lost_and_no_stale_read_across_interleavings() {
+    let mut scenarios = vec![None];
+    for mirror in 0..K {
+        for write in 1..=WRITES {
+            scenarios.push(Some((mirror, write)));
+        }
+    }
+    let mut explored = 0;
+    for crash in scenarios {
+        let report = Explorer::exhaustive()
+            .preemption_bound(1)
+            .max_schedules(10_000)
+            .explore(move |sim| replication_model(sim, true, crash));
+        report.assert_ok();
+        explored += report.distinct;
+    }
+    assert!(
+        explored >= 1000,
+        "expected a substantial schedule space, explored {explored}"
+    );
+}
+
+/// The bug class the lag flag exists for: without it, a mirror whose
+/// copy of an acked write silently failed keeps serving reads, and some
+/// interleaving routes a post-ack read to it (or repair never learns
+/// the mirror is behind). The scenario: mirror 1 misses write 1 while
+/// mirror 0's acknowledgement lets the client proceed — mirror 1's
+/// error reply is never consumed, so only the lag flag could save the
+/// reads. The explorer must find the failing schedule.
+#[test]
+fn without_the_lag_flag_acked_writes_are_observably_lost() {
+    let report = Explorer::exhaustive()
+        .preemption_bound(1)
+        .max_schedules(20_000)
+        .explore(|sim| replication_model(sim, false, Some((1, 1))));
+    assert!(
+        !report.failures.is_empty(),
+        "explorer missed the stale-read schedule ({} runs)",
+        report.runs
+    );
+    let msg = &report.failures[0].message;
+    assert!(
+        msg.contains("stale replica served") || msg.contains("acked writes after repair"),
+        "unexpected failure: {msg}"
+    );
+}

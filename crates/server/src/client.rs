@@ -340,6 +340,7 @@ fn is_mutation(req: &Request) -> bool {
             | Request::PrepareCommit(_)
             | Request::CommitPrepared(_)
             | Request::AbortPrepared(_)
+            | Request::InstallSubtree(_)
     )
 }
 
@@ -697,6 +698,17 @@ impl HyperStore for RemoteStore {
                 self.set_form(oid, &bm)
             }
         }
+    }
+
+    fn sync_export(&mut self) -> Result<Vec<u8>> {
+        match self.call(Request::SyncSubtree)? {
+            Response::Subtree(b) => Ok(b),
+            other => Err(unexpected(other)),
+        }
+    }
+
+    fn sync_import(&mut self, snapshot: &[u8]) -> Result<()> {
+        self.expect_unit(Request::InstallSubtree(snapshot.to_vec()))
     }
 }
 

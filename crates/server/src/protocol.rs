@@ -121,6 +121,13 @@ pub enum Request {
     CommitPrepared(u64),
     /// `abort_prepared`: coordinator decided abort.
     AbortPrepared(u64),
+    // ---- anti-entropy --------------------------------------------------
+    /// `sync_export`: serialize this server's full partition state so a
+    /// lagging replica can be repaired from it.
+    SyncSubtree,
+    /// `sync_import`: replace this server's partition state with the
+    /// given snapshot (the payload of a [`Response::Subtree`]).
+    InstallSubtree(Vec<u8>),
     // ---- idempotent retry envelope ------------------------------------
     /// A request tagged with a client-chosen id. The server remembers
     /// recently-seen ids and replays the stored response instead of
@@ -167,9 +174,11 @@ pub enum Response {
     /// The server's metrics registry exported as JSON (see
     /// [`Request::Stats`]).
     Stats(String),
+    /// A partition snapshot (answer to [`Request::SyncSubtree`]).
+    Subtree(Vec<u8>),
 }
 
-const REQ_TAGS: u8 = 49; // highest request tag + 1, for decode validation
+const REQ_TAGS: u8 = 51; // highest request tag + 1, for decode validation
 
 impl Request {
     fn tag(&self) -> u8 {
@@ -223,6 +232,8 @@ impl Request {
             Request::AbortPrepared(_) => 46,
             Request::Tagged(..) => 47,
             Request::Stats => 48,
+            Request::SyncSubtree => 49,
+            Request::InstallSubtree(_) => 50,
         }
     }
 
@@ -261,7 +272,9 @@ impl Request {
             | Request::Commit
             | Request::ColdRestart
             | Request::Shutdown
-            | Request::Stats => {}
+            | Request::Stats
+            | Request::SyncSubtree => {}
+            Request::InstallSubtree(b) => w.bytes(b),
             Request::SetText(o, s) => {
                 w.oid(*o);
                 w.string(s);
@@ -410,6 +423,8 @@ impl Request {
                 Request::Tagged(id, Box::new(inner))
             }
             48 => Request::Stats,
+            49 => Request::SyncSubtree,
+            50 => Request::InstallSubtree(r.bytes()?),
             _ => unreachable!("tag validated above"),
         };
         if !r.is_exhausted() {
@@ -509,6 +524,10 @@ impl Response {
                 w.u8(16);
                 w.string(json);
             }
+            Response::Subtree(b) => {
+                w.u8(17);
+                w.bytes(b);
+            }
         }
         w.finish()
     }
@@ -562,6 +581,7 @@ impl Response {
                 Response::U32s(v)
             }
             16 => Response::Stats(r.string()?),
+            17 => Response::Subtree(r.bytes()?),
             other => {
                 return Err(HmError::Backend(format!("unknown response tag {other}")));
             }
@@ -633,6 +653,8 @@ mod tests {
             Request::ClosureMNAttLinkSum(Oid(30), 25),
             Request::TextNodeEdit(Oid(31), "version1".into(), "version-2".into()),
             Request::FormNodeEdit(Oid(32), 25, 25, 50, 50),
+            Request::SyncSubtree,
+            Request::InstallSubtree(vec![1, 0, 0, 0, 42]),
             Request::Shutdown,
             Request::ChildrenBatch(vec![Oid(33), Oid(34)]),
             Request::PartsBatch(vec![]),
@@ -681,6 +703,7 @@ mod tests {
             }]]),
             Response::U32s(vec![1, 2, 3]),
             Response::Stats("{\"counters\": {}}".into()),
+            Response::Subtree(vec![9, 8, 7]),
         ];
         for resp in responses {
             let decoded = Response::decode(&resp.encode()).unwrap();

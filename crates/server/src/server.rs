@@ -142,6 +142,10 @@ pub(crate) fn dispatch<S: HyperStore + ?Sized>(store: &mut S, req: Request) -> R
         Request::PrepareCommit(txid) => ok_or_err(store.prepare_commit(txid), |_| Response::Unit),
         Request::CommitPrepared(txid) => ok_or_err(store.commit_prepared(txid), |_| Response::Unit),
         Request::AbortPrepared(txid) => ok_or_err(store.abort_prepared(txid), |_| Response::Unit),
+        // Anti-entropy: replica repair pulls a snapshot from a healthy
+        // server and installs it on a lagging one.
+        Request::SyncSubtree => ok_or_err(store.sync_export(), Response::Subtree),
+        Request::InstallSubtree(snap) => ok_or_err(store.sync_import(&snap), |_| Response::Unit),
         // Dedup is the serve loop's job; a direct dispatch just unwraps.
         // (decode rejects nested Tagged, so this recurses at most once.)
         Request::Tagged(_, inner) => dispatch(store, *inner),

@@ -33,6 +33,21 @@
 //! `ShardedStore<DiskStore>` and `ShardedStore<RemoteStore>` all behave
 //! identically up to timing, and the workspace conformance tests hold the
 //! sharded stores to byte-identical oracle output.
+//!
+//! ## Replication
+//!
+//! [`ShardedStore::new_replicated`] turns each logical shard into a
+//! [`ReplicaSet`] of K full mirrors (group-major member layout, primary
+//! first). Writes fan out to every healthy mirror under a configurable
+//! [`WriteAck`] policy (primary / quorum / all); reads route to the
+//! least-loaded healthy mirror using the executor queue-depth and
+//! `busy_us` EWMA, failing over transparently when a mirror dies. A
+//! demoted mirror is repaired in the background: the store pulls an
+//! anti-entropy snapshot from a healthy peer
+//! ([`hypermodel::HyperStore::sync_export`]) and installs it on the
+//! lagging member ([`hypermodel::HyperStore::sync_import`] — carried over
+//! the wire as `Request::SyncSubtree` / `Request::InstallSubtree` for
+//! remote shards) before re-admitting it to the read path.
 
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
@@ -43,6 +58,6 @@ pub mod router;
 pub mod store;
 
 pub use coordinator::{recover_sharded, CommitLog, ShardResolution};
-pub use remote::connect_sharded;
-pub use router::{Placement, ShardRouter, GHOST_UID_BASE};
-pub use store::{ScanPolicy, ShardedStore};
+pub use remote::{connect_sharded, connect_sharded_replicated};
+pub use router::{Placement, ReplicaSet, ShardRouter, GHOST_UID_BASE};
+pub use store::{ScanPolicy, ShardedStore, WriteAck};

@@ -43,3 +43,39 @@ pub fn connect_sharded(
     }
     Ok(ShardedStore::new(shards, placement, "sharded-remote"))
 }
+
+/// Connect to `n * k` HyperModel servers and compose them into a
+/// K-way replicated sharded store.
+///
+/// `addrs` is group-major: the first `k` addresses are the mirrors of
+/// logical shard 0 (primary first), the next `k` of shard 1, and so on.
+/// Each mirror is an independent server holding a full copy of its
+/// group's partition.
+pub fn connect_sharded_replicated(
+    addrs: &[String],
+    k: usize,
+    placement: Placement,
+) -> Result<ShardedStore<RemoteStore>> {
+    if k == 0 || addrs.is_empty() || !addrs.len().is_multiple_of(k) {
+        return Err(HmError::InvalidArgument(format!(
+            "sharded-remote replication needs a positive multiple of k={k} addresses, got {}",
+            addrs.len()
+        )));
+    }
+    let mut shards = Vec::with_capacity(addrs.len());
+    for addr in addrs {
+        let stream = TcpStream::connect(addr)
+            .map_err(|e| HmError::Backend(format!("connect {addr}: {e}")))?;
+        let transport = TcpTransport::new(stream)?;
+        shards.push(RemoteStore::new(
+            Box::new(transport),
+            ClosureMode::ClientSide,
+        ));
+    }
+    Ok(ShardedStore::new_replicated(
+        shards,
+        k,
+        placement,
+        "sharded-remote",
+    ))
+}

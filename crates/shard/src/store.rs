@@ -17,6 +17,7 @@
 
 use std::collections::HashMap;
 use std::path::Path;
+use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 use std::time::Duration;
 
@@ -25,14 +26,21 @@ use hypermodel::model::{Content, NodeAttrs, NodeKind, NodeValue, Oid, RefEdge};
 use hypermodel::store::{HyperStore, ShardLoad};
 use hypermodel::Bitmap;
 
-use exec::{ExecError, ShardExecutor};
+use exec::{ExecError, JobHandle, ShardExecutor};
 
 use crate::coordinator::CommitLog;
-use crate::router::{Placement, ShardRouter, GHOST_UID_BASE};
+use crate::router::{Placement, ReplicaSet, ShardRouter, GHOST_UID_BASE};
 
 /// Per-shard scatter positions: `scatter[s][j]` is the index in the
 /// original request slice answered by shard `s`'s `j`-th result.
 type Scatter = Vec<Vec<usize>>;
+
+/// A shard operation shared across the replica fan-out: cloned once per
+/// member so every mirror of the group runs the identical closure.
+type SharedOp<S, T> = Arc<dyn Fn(&mut S) -> Result<T> + Send + Sync>;
+
+/// [`SharedOp`] carrying per-shard work of type `W`.
+type SharedBatchOp<S, W, T> = Arc<dyn Fn(&mut S, W) -> Result<T> + Send + Sync>;
 
 /// Default deadline for the parallel 2PC prepare fan-out: generous
 /// enough to never fire on a healthy local shard, tight enough that a
@@ -51,33 +59,94 @@ pub enum ScanPolicy {
     #[default]
     FailFast,
     /// Complete over the healthy shards and mark the result partial —
-    /// check [`ShardedStore::last_scan_was_partial`].
+    /// check [`ShardedStore::last_scan_was_partial`] and
+    /// [`ShardedStore::last_scan_skipped`] for which shards were left out.
     Partial,
 }
 
-/// A sharded `HyperStore` over `S` backends.
+/// How many replicas must acknowledge a write before it returns, when
+/// the store is replicated (`K > 1`). Every healthy replica is *sent*
+/// the write regardless — the policy only decides how many the caller
+/// waits for; stragglers apply it in FIFO order on their workers.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum WriteAck {
+    /// Return once the acting primary (the first healthy replica of the
+    /// group) applied the write. Lowest latency; a replica that later
+    /// turns out to have missed the write is flagged lagging and
+    /// demoted before any read can observe its stale state. The default.
+    #[default]
+    Primary,
+    /// Return once a majority (`⌊K/2⌋ + 1`) of the group applied the
+    /// write. Fails fast if fewer than a majority are healthy.
+    Quorum,
+    /// Return only after every currently-healthy replica applied it.
+    All,
+}
+
+/// A sharded `HyperStore` over `S` backends, optionally replicated.
+///
+/// With replication factor `K > 1` (see
+/// [`ShardedStore::new_replicated`]) each *logical* shard is a group of
+/// `K` mirror backends occupying `K` consecutive executor members
+/// (group-major, primary first). Every mirror of a group receives the
+/// identical deterministic operation sequence, so backend-local ids
+/// match across copies and the router stays logical-only. Reads route
+/// to the least-loaded healthy member of the owning group; writes fan
+/// out to every healthy member and wait per the [`WriteAck`] policy; a
+/// member that fails is demoted and later resynced wholesale from a
+/// healthy sibling ([`ShardedStore::repair_replicas`], driven
+/// automatically at commit).
 pub struct ShardedStore<S> {
-    /// Owns the shard backends; one persistent worker thread per shard.
+    /// Owns the member backends; one persistent worker thread each.
     exec: ShardExecutor<S>,
     router: ShardRouter,
     name: &'static str,
-    /// `health[s]` is false once shard `s` failed transiently (crash,
-    /// timeout, lost connection). Point operations routed to a dead
-    /// shard fail fast; fan-outs consult the [`ScanPolicy`].
+    /// Replication factor (`router.replication_factor()`, cached).
+    k: usize,
+    /// Write acknowledgement policy for replicated groups.
+    write_ack: WriteAck,
+    /// `health[m]` is false once *member* `m` failed transiently (crash,
+    /// timeout, lost connection). Unreplicated, member == shard: point
+    /// operations routed to a dead shard fail fast and fan-outs consult
+    /// the [`ScanPolicy`]. Replicated, a dead member is skipped as long
+    /// as a healthy sibling remains.
     health: Vec<bool>,
+    /// `lag[m]` is set (from the member's own worker thread) when a
+    /// replicated write failed transiently on member `m` while the
+    /// caller was already acked by a sibling: the member's state may be
+    /// behind an acknowledged write, so reads must not land there until
+    /// repair resyncs it.
+    lag: Vec<Arc<AtomicBool>>,
     scan_policy: ScanPolicy,
     last_scan_partial: bool,
+    /// Logical shards skipped by the most recent fan-out read under
+    /// [`ScanPolicy::Partial`].
+    last_scan_skipped: Vec<usize>,
     /// Two-phase commit state; `None` = legacy per-shard commit.
     commit_log: Option<CommitLog>,
     next_txid: u64,
     aborts: u64,
+    /// Reads served by a non-primary member while the primary was down.
+    failovers: u64,
+    /// Members demoted after a transient failure or a lag flag.
+    demotions: u64,
+    /// Members resynced and re-admitted by anti-entropy repair.
+    repairs: u64,
+    /// Per-member backoff for [`ShardedStore::repair_replicas`]: skip
+    /// this many passes before retrying a repair that just failed, so a
+    /// member that is down for good does not cost a full snapshot
+    /// export on every commit. Doubles per consecutive failure, capped.
+    repair_defer: Vec<u32>,
+    /// Consecutive failed repair attempts per member, driving the
+    /// backoff above. Reset on success.
+    repair_fails: Vec<u32>,
     /// Deadline for the parallel prepare fan-out; a miss is a vote to
     /// abort.
     prepare_timeout: Duration,
     /// Checkpoint the commit log once it holds this many records.
     checkpoint_after: usize,
-    /// Highest txid each shard acknowledged in phase two. The log may
-    /// safely drop decisions at or below `min(acked)`: every shard is
+    /// Highest txid each member acknowledged in phase two. The log may
+    /// safely drop decisions at or below `min(acked)`: every member is
     /// past them, so none can ever be in doubt about them again.
     acked: Vec<u64>,
 }
@@ -108,29 +177,64 @@ impl<S: HyperStore + Send + 'static> ShardedStore<S> {
     /// Shard across `shards` with the given placement policy. `name` is
     /// the backend name reported to the harness (e.g. `"sharded-mem"`).
     pub fn new(shards: Vec<S>, placement: Placement, name: &'static str) -> ShardedStore<S> {
-        let n = shards.len();
-        // Pre-register the 2PC outcome counters so a metrics scrape of a
-        // deployment that never aborted (or never ran two-phase) still
-        // exports them at zero instead of omitting the keys.
+        ShardedStore::new_replicated(shards, 1, placement, name)
+    }
+
+    /// Shard with `K`-way replication: `members.len()` must be a
+    /// multiple of `k`; each consecutive run of `k` backends forms one
+    /// logical shard's replica group (primary first). `k == 1` is the
+    /// plain unreplicated deployment.
+    pub fn new_replicated(
+        members: Vec<S>,
+        k: usize,
+        placement: Placement,
+        name: &'static str,
+    ) -> ShardedStore<S> {
+        assert!(k > 0, "replication factor must be at least 1");
+        assert!(
+            !members.is_empty() && members.len().is_multiple_of(k),
+            "member count {} is not a positive multiple of k = {k}",
+            members.len()
+        );
+        let m = members.len();
+        let n = m / k;
+        // Pre-register the 2PC and replication outcome counters so a
+        // metrics scrape of a deployment that never aborted (or never
+        // failed over) still exports them at zero instead of omitting
+        // the keys.
         if obs::enabled() {
             let reg = obs::registry();
             reg.counter("shard.2pc.prepared");
             reg.counter("shard.2pc.committed");
             reg.counter("shard.2pc.aborted");
+            if k > 1 {
+                reg.counter("shard.replica.failover_reads");
+                reg.counter("shard.replica.demotions");
+                reg.counter("shard.replica.repairs");
+            }
         }
         ShardedStore {
-            exec: ShardExecutor::new(shards),
-            router: ShardRouter::new(n, placement),
+            exec: ShardExecutor::new(members),
+            router: ShardRouter::new_replicated(n, k, placement),
             name,
-            health: vec![true; n],
+            k,
+            write_ack: WriteAck::default(),
+            health: vec![true; m],
+            lag: (0..m).map(|_| Arc::new(AtomicBool::new(false))).collect(),
             scan_policy: ScanPolicy::default(),
             last_scan_partial: false,
+            last_scan_skipped: Vec::new(),
             commit_log: None,
             next_txid: 1,
             aborts: 0,
+            failovers: 0,
+            demotions: 0,
+            repairs: 0,
+            repair_defer: vec![0; m],
+            repair_fails: vec![0; m],
             prepare_timeout: DEFAULT_PREPARE_TIMEOUT,
             checkpoint_after: DEFAULT_CHECKPOINT_AFTER,
-            acked: vec![0; n],
+            acked: vec![0; m],
         }
     }
 
@@ -146,45 +250,106 @@ impl<S: HyperStore + Send + 'static> ShardedStore<S> {
         Ok(self)
     }
 
-    /// Number of shards.
+    /// Number of logical shards.
     pub fn shard_count(&self) -> usize {
         self.router.shard_count()
     }
 
-    /// Per-shard health: `false` once a shard failed transiently.
+    /// Replication factor K (1 = unreplicated).
+    pub fn replication_factor(&self) -> usize {
+        self.k
+    }
+
+    /// Number of physical members (`shard_count() * replication_factor()`).
+    pub fn member_count(&self) -> usize {
+        self.health.len()
+    }
+
+    /// The physical replica group of logical shard `shard`.
+    pub fn replica_set(&self, shard: usize) -> ReplicaSet {
+        self.router.replica_set(shard)
+    }
+
+    /// Choose how many replicas must acknowledge a write (`K > 1` only;
+    /// the policy is ignored when unreplicated).
+    pub fn set_write_ack(&mut self, ack: WriteAck) {
+        self.write_ack = ack;
+    }
+
+    /// The current write acknowledgement policy.
+    pub fn write_ack(&self) -> WriteAck {
+        self.write_ack
+    }
+
+    /// Per-member health: `false` once a member failed transiently.
+    /// Unreplicated, member index == shard index.
     pub fn health(&self) -> &[bool] {
         &self.health
     }
 
-    /// Administratively mark a shard unavailable (tests, drain).
-    pub fn mark_shard_down(&mut self, shard: usize) {
-        self.health[shard] = false;
+    /// Reads served by a non-primary replica while the group's primary
+    /// was down.
+    pub fn failover_reads(&self) -> u64 {
+        self.failovers
     }
 
-    /// Re-admit a shard previously marked dead, e.g. after
+    /// Members demoted after a transient failure or a lag flag.
+    pub fn demotions(&self) -> u64 {
+        self.demotions
+    }
+
+    /// Members resynced and re-admitted by anti-entropy repair.
+    pub fn repairs(&self) -> u64 {
+        self.repairs
+    }
+
+    /// Administratively mark a member unavailable (tests, drain).
+    /// Unreplicated, the member index is the shard index.
+    pub fn mark_shard_down(&mut self, member: usize) {
+        self.health[member] = false;
+    }
+
+    /// Re-admit a member previously marked dead, e.g. after
     /// [`crate::coordinator::recover_sharded`] repaired its backend.
-    /// Probes the shard with a cheap scan before flipping health back;
-    /// refuses while the executor still flags the shard poisoned by a
-    /// panic (swap the backend with [`ShardedStore::replace_shard`]
-    /// first).
-    pub fn revive_shard(&mut self, shard: usize) -> Result<()> {
-        if self.exec.is_poisoned(shard) {
+    /// Unreplicated, probes the shard with a cheap scan before flipping
+    /// health back; replicated, runs a full anti-entropy resync from a
+    /// healthy sibling first ([`ShardedStore::repair_replicas`] does
+    /// this for every dead member at once). Refuses while the executor
+    /// still flags the member poisoned by a panic (swap the backend
+    /// with [`ShardedStore::replace_shard`] first).
+    pub fn revive_shard(&mut self, member: usize) -> Result<()> {
+        if self.exec.is_poisoned(member) {
             return Err(HmError::ShardUnavailable {
-                shard,
+                shard: member / self.k,
                 msg: "shard worker poisoned by a panic; replace the backend first".into(),
             });
         }
-        self.exec.with_shard(shard, |sh| sh.seq_scan_ten())?;
-        self.health[shard] = true;
+        if self.k > 1 {
+            return self.repair_member(member);
+        }
+        self.exec.with_shard(member, |sh| sh.seq_scan_ten())?;
+        self.health[member] = true;
         Ok(())
     }
 
-    /// Swap in a replacement backend for `shard` (e.g. a store reopened
-    /// by recovery), clearing both the executor's poison flag and the
-    /// health mark. Returns the previous backend.
-    pub fn replace_shard(&mut self, shard: usize, store: S) -> S {
-        let old = self.exec.replace_shard(shard, store);
-        self.health[shard] = true;
+    /// Swap in a replacement backend for member `member` (e.g. a store
+    /// reopened by recovery), clearing the executor's poison flag.
+    /// Unreplicated, the member is immediately re-admitted; replicated,
+    /// the fresh backend stays demoted until
+    /// [`ShardedStore::repair_replicas`] (or the next commit) has
+    /// resynced it from a healthy sibling — an empty replacement must
+    /// never serve reads. Returns the previous backend.
+    pub fn replace_shard(&mut self, member: usize, store: S) -> S {
+        let old = self.exec.replace_shard(member, store);
+        if self.k == 1 {
+            self.health[member] = true;
+        } else {
+            self.health[member] = false;
+            self.lag[member].store(true, Ordering::Release);
+            // A fresh backend deserves a prompt repair attempt.
+            self.repair_defer[member] = 0;
+            self.repair_fails[member] = 0;
+        }
         old
     }
 
@@ -202,6 +367,13 @@ impl<S: HyperStore + Send + 'static> ShardedStore<S> {
     /// under [`ScanPolicy::Partial`].
     pub fn last_scan_was_partial(&self) -> bool {
         self.last_scan_partial
+    }
+
+    /// Logical shard ids skipped by the most recent fan-out read under
+    /// [`ScanPolicy::Partial`] — which parts of a partial result are
+    /// missing, for attribution in degraded-mode reports.
+    pub fn last_scan_skipped(&self) -> &[usize] {
+        &self.last_scan_skipped
     }
 
     /// Cross-shard transactions aborted in phase one so far.
@@ -260,14 +432,304 @@ impl<S: HyperStore + Send + 'static> ShardedStore<S> {
         }
     }
 
+    /// The logical shard owning member `m`.
+    fn group_of(&self, m: usize) -> usize {
+        m / self.k
+    }
+
+    /// Whether logical shard `s` has at least one healthy member.
+    fn group_healthy(&self, s: usize) -> bool {
+        self.router.replica_set(s).members().any(|m| self.health[m])
+    }
+
+    /// Demote member `m`: no reads or writes land there until repair
+    /// resyncs and re-admits it.
+    fn demote(&mut self, m: usize) {
+        if self.health[m] {
+            self.health[m] = false;
+            self.demotions += 1;
+            obs::incr("shard.replica.demotions", 1);
+        }
+        // Whatever demoted it, assume the state is behind: repair does a
+        // full resync anyway, and the flag keeps a racing read honest.
+        self.lag[m].store(true, Ordering::Release);
+    }
+
+    /// A transient error naming logical shard `s`.
+    fn transient_for(s: usize, e: HmError) -> HmError {
+        HmError::ShardUnavailable {
+            shard: s,
+            msg: e.to_string(),
+        }
+    }
+
+    /// Pick the member of group `s` to serve the next read: the
+    /// least-loaded healthy member by executor queue depth, breaking
+    /// ties on the `busy_us` EWMA. Members flagged lagging are demoted
+    /// on sight. Counts a failover when the pick happens while the
+    /// group's designated primary is down.
+    fn read_member(&mut self, s: usize) -> Result<usize> {
+        let set = self.router.replica_set(s);
+        for m in set.members() {
+            if self.health[m] && self.lag[m].load(Ordering::Acquire) {
+                self.demote(m);
+            }
+        }
+        let pick = set
+            .members()
+            .filter(|&m| self.health[m])
+            .min_by_key(|&m| (self.exec.queue_depth(m), self.exec.busy_ewma_us(m), m));
+        match pick {
+            None => Err(Self::unavailable(s)),
+            Some(m) => {
+                if !self.health[set.primary] {
+                    self.failovers += 1;
+                    obs::incr("shard.replica.failover_reads", 1);
+                }
+                Ok(m)
+            }
+        }
+    }
+
+    /// Run a read against one healthy member of group `s`, failing over
+    /// (and demoting) on transient errors until the group is exhausted.
+    /// The read is *submitted* through the member's FIFO queue rather
+    /// than locking the backend directly, so it is ordered after every
+    /// replicated write already fanned out to that member — a read that
+    /// follows an acked write can never observe the pre-write state.
+    fn read_group<T, F>(&mut self, s: usize, f: F) -> Result<T>
+    where
+        T: Send + 'static,
+        F: Fn(&mut S) -> Result<T> + Send + Sync + 'static,
+    {
+        let f: SharedOp<S, T> = Arc::new(f);
+        loop {
+            let m = self.read_member(s)?;
+            let lag = Arc::clone(&self.lag[m]);
+            let f = Arc::clone(&f);
+            let job = self.exec.submit(m, move |sh| {
+                if lag.load(Ordering::Acquire) {
+                    // A write failed here after this read was routed:
+                    // the state may predate an acked write.
+                    return Err(HmError::Timeout(format!(
+                        "replica member {m} lagging behind an acked write"
+                    )));
+                }
+                f(sh)
+            });
+            match flatten(job.and_then(JobHandle::wait)) {
+                Ok(v) => return Ok(v),
+                Err(e) if e.is_transient() => self.demote(m),
+                Err(e) => return Err(e),
+            }
+        }
+    }
+
+    /// Fan a write out to every healthy member of group `s` and wait
+    /// per the [`WriteAck`] policy. Members the caller does not wait
+    /// for keep applying the write in FIFO order; one that fails
+    /// transiently flags itself lagging (from its own worker thread) so
+    /// no subsequent read serves its stale state. Deterministic errors
+    /// (wrong kind, unknown node) occur identically on every mirror and
+    /// are returned without demoting anyone.
+    fn write_group<T, F>(&mut self, s: usize, f: F) -> Result<T>
+    where
+        T: Send + 'static,
+        F: Fn(&mut S) -> Result<T> + Send + Sync + 'static,
+    {
+        let set = self.router.replica_set(s);
+        for m in set.members() {
+            if self.health[m] && self.lag[m].load(Ordering::Acquire) {
+                self.demote(m);
+            }
+        }
+        let healthy: Vec<usize> = set.members().filter(|&m| self.health[m]).collect();
+        if healthy.is_empty() {
+            return Err(Self::unavailable(s));
+        }
+        let need = match self.write_ack {
+            WriteAck::Primary => 1,
+            WriteAck::Quorum => {
+                let q = set.len / 2 + 1;
+                if healthy.len() < q {
+                    return Err(HmError::ShardUnavailable {
+                        shard: s,
+                        msg: format!(
+                            "quorum write needs {q} of {} replicas, only {} healthy",
+                            set.len,
+                            healthy.len()
+                        ),
+                    });
+                }
+                q
+            }
+            WriteAck::All => healthy.len(),
+        };
+        let f: SharedOp<S, T> = Arc::new(f);
+        let mut batch = self.exec.batch();
+        for &m in &healthy {
+            let f = Arc::clone(&f);
+            let lag = Arc::clone(&self.lag[m]);
+            batch.spawn(m, move |sh| {
+                let r = f(sh);
+                if matches!(&r, Err(e) if e.is_transient()) {
+                    lag.store(true, Ordering::Release);
+                }
+                r
+            });
+        }
+        let mut acks = 0usize;
+        let mut value: Option<T> = None;
+        let mut first_err: Option<HmError> = None;
+        for (m, r) in batch.join_quorum(need, |r: &Result<T>| r.is_ok()) {
+            match flatten(r) {
+                Ok(v) => {
+                    acks += 1;
+                    value.get_or_insert(v);
+                }
+                Err(e) if e.is_transient() => {
+                    self.demote(m);
+                    if first_err.is_none() {
+                        first_err = Some(Self::transient_for(s, e));
+                    }
+                }
+                Err(e) => {
+                    first_err.get_or_insert(e);
+                }
+            }
+        }
+        match value {
+            Some(v) if acks >= need => Ok(v),
+            _ => Err(first_err.unwrap_or_else(|| Self::unavailable(s))),
+        }
+    }
+
+    /// Resync every demoted, unpoisoned member from a healthy sibling
+    /// and re-admit it. Best-effort: a member whose repair fails stays
+    /// demoted and the next repair pass tries again. No-op when
+    /// unreplicated (there is no sibling to sync from — use
+    /// [`crate::coordinator::recover_sharded`] and
+    /// [`ShardedStore::revive_shard`] instead). Called automatically at
+    /// the start of every replicated commit.
+    pub fn repair_replicas(&mut self) {
+        if self.k == 1 {
+            return;
+        }
+        for m in 0..self.health.len() {
+            if self.health[m] || self.exec.is_poisoned(m) {
+                continue;
+            }
+            if self.repair_defer[m] > 0 {
+                self.repair_defer[m] -= 1;
+                continue;
+            }
+            match self.repair_member(m) {
+                Ok(()) => {
+                    self.repair_defer[m] = 0;
+                    self.repair_fails[m] = 0;
+                }
+                // Exponential backoff: skip 1, 2, 4, ... 64 passes.
+                Err(_) => {
+                    self.repair_defer[m] = 1u32 << self.repair_fails[m].min(6);
+                    self.repair_fails[m] = self.repair_fails[m].saturating_add(1);
+                }
+            }
+        }
+    }
+
+    /// Anti-entropy resync of member `m` from a healthy sibling: export
+    /// the sibling's full state through its FIFO queue (so every
+    /// in-flight write is included), install it on `m`, probe, and
+    /// re-admit.
+    fn repair_member(&mut self, m: usize) -> Result<()> {
+        let s = self.group_of(m);
+        if self.exec.is_poisoned(m) {
+            return Err(HmError::ShardUnavailable {
+                shard: s,
+                msg: format!("member {m} poisoned by a panic; replace the backend first"),
+            });
+        }
+        let src = self
+            .router
+            .replica_set(s)
+            .members()
+            .find(|&o| o != m && self.health[o])
+            .ok_or_else(|| Self::unavailable(s))?;
+        let exported = flatten(
+            self.exec
+                .submit(src, |sh: &mut S| sh.sync_export())
+                .and_then(JobHandle::wait),
+        );
+        let snapshot = match exported {
+            Ok(bytes) => bytes,
+            Err(e) if e.is_transient() => {
+                self.demote(src);
+                return Err(Self::transient_for(s, e));
+            }
+            Err(e) => return Err(e),
+        };
+        flatten(
+            self.exec
+                .submit(m, move |sh: &mut S| {
+                    sh.sync_import(&snapshot)?;
+                    sh.seq_scan_ten().map(|_| ()) // probe before re-admission
+                })
+                .and_then(JobHandle::wait),
+        )?;
+        self.lag[m].store(false, Ordering::Release);
+        self.health[m] = true;
+        self.acked[m] = self.acked[src];
+        self.repairs += 1;
+        obs::incr("shard.replica.repairs", 1);
+        Ok(())
+    }
+
+    /// Route a read at `oid` to the owning shard: direct lock when
+    /// unreplicated, least-loaded healthy replica otherwise.
+    fn read_at<T>(
+        &mut self,
+        oid: Oid,
+        f: impl Fn(&mut S, Oid) -> Result<T> + Send + Sync + 'static,
+    ) -> Result<(usize, T)>
+    where
+        T: Send + 'static,
+    {
+        if self.k == 1 {
+            return self.on_shard(oid, move |sh, l| f(sh, l));
+        }
+        let (s, l) = self.route(oid)?;
+        let v = self.read_group(s, move |sh: &mut S| f(sh, l))?;
+        Ok((s, v))
+    }
+
+    /// Route a write at `oid` to the owning shard: direct lock when
+    /// unreplicated, full write fan-out otherwise.
+    fn write_at<T>(
+        &mut self,
+        oid: Oid,
+        f: impl Fn(&mut S, Oid) -> Result<T> + Send + Sync + 'static,
+    ) -> Result<(usize, T)>
+    where
+        T: Send + 'static,
+    {
+        if self.k == 1 {
+            return self.on_shard(oid, move |sh, l| f(sh, l));
+        }
+        let (s, l) = self.route(oid)?;
+        let v = self.write_group(s, move |sh: &mut S| f(sh, l))?;
+        Ok((s, v))
+    }
+
     /// Route to a single shard and run `f` there, with fail-fast on
     /// dead shards and health tracking on transient failures. Point
     /// path: locks the shard on the calling thread — no executor hop.
+    /// Unreplicated deployments only (member == shard).
     fn on_shard<T>(
         &mut self,
         oid: Oid,
         f: impl FnOnce(&mut S, Oid) -> Result<T>,
     ) -> Result<(usize, T)> {
+        debug_assert_eq!(self.k, 1);
         let (s, l) = self.route(oid)?;
         let r = self.exec.with_shard(s, |sh| f(sh, l));
         Ok((s, self.note(s, r)?))
@@ -345,6 +807,11 @@ impl<S: HyperStore + Send + 'static> ShardedStore<S> {
         for s in 0..self.router.shard_count() {
             self.router.requests[s] += 1;
         }
+        if self.k > 1 {
+            return (0..self.router.shard_count())
+                .map(|s| self.read_group(s, |sh: &mut S| sh.seq_scan_ten()))
+                .collect();
+        }
         self.all_shards(|shard| shard.seq_scan_ten())
             .into_iter()
             .collect()
@@ -352,7 +819,7 @@ impl<S: HyperStore + Send + 'static> ShardedStore<S> {
 
     fn route(&mut self, oid: Oid) -> Result<(usize, Oid)> {
         let (s, l) = self.router.to_local(oid)?;
-        if !self.health[s] {
+        if !self.group_healthy(s) {
             return Err(Self::unavailable(s));
         }
         self.router.requests[s] += 1;
@@ -376,7 +843,7 @@ impl<S: HyperStore + Send + 'static> ShardedStore<S> {
             if w.is_empty() {
                 work.push(None);
             } else {
-                if !self.health[s] {
+                if !self.group_healthy(s) {
                     // Batched primitives feed closures, whose results are
                     // meaningless when incomplete: always fail fast.
                     return Err(Self::unavailable(s));
@@ -388,6 +855,73 @@ impl<S: HyperStore + Send + 'static> ShardedStore<S> {
         Ok((work, pos))
     }
 
+    /// Run per-shard batched work with health tracking: unreplicated,
+    /// one direct executor job per shard with work; replicated, each
+    /// shard's job goes to its least-loaded healthy member and fails
+    /// over (demoting) on transient errors until the group is
+    /// exhausted. Returns one `T` per shard (`T::default()` for shards
+    /// without work).
+    fn batched_checked<W, T, F>(&mut self, work: Vec<Option<W>>, f: F) -> Result<Vec<T>>
+    where
+        W: Clone + Send + 'static,
+        T: Send + Default + 'static,
+        F: Fn(&mut S, W) -> Result<T> + Send + Sync + 'static,
+    {
+        if self.k == 1 {
+            let results = self.batched(work, f);
+            let mut out = Vec::with_capacity(results.len());
+            for (s, r) in results.into_iter().enumerate() {
+                out.push(self.note(s, r)?);
+            }
+            return Ok(out);
+        }
+        let f: SharedBatchOp<S, W, T> = Arc::new(f);
+        let n = self.router.shard_count();
+        let mut out: Vec<Option<T>> = (0..n).map(|_| None).collect();
+        let mut todo: Vec<(usize, W)> = work
+            .into_iter()
+            .enumerate()
+            .filter_map(|(s, w)| w.map(|w| (s, w)))
+            .collect();
+        while !todo.is_empty() {
+            // Pick members before creating the batch: the pick needs
+            // `&mut self` (demotions, failover counters) which the
+            // batch's borrow of the executor would otherwise hold.
+            let mut picks = Vec::with_capacity(todo.len());
+            for &(s, _) in &todo {
+                picks.push(self.read_member(s)?);
+            }
+            let mut batch = self.exec.batch();
+            for ((_, w), &m) in todo.iter().zip(&picks) {
+                let f = Arc::clone(&f);
+                let w = w.clone();
+                let lag = Arc::clone(&self.lag[m]);
+                batch.spawn(m, move |sh| {
+                    if lag.load(Ordering::Acquire) {
+                        return Err(HmError::Timeout(format!(
+                            "replica member {m} lagging behind an acked write"
+                        )));
+                    }
+                    f(sh, w)
+                });
+            }
+            let results = batch.join();
+            let mut retry = Vec::new();
+            for (((s, w), &m), (_, r)) in todo.into_iter().zip(&picks).zip(results) {
+                match flatten(r) {
+                    Ok(v) => out[s] = Some(v),
+                    Err(e) if e.is_transient() => {
+                        self.demote(m);
+                        retry.push((s, w));
+                    }
+                    Err(e) => return Err(e),
+                }
+            }
+            todo = retry;
+        }
+        Ok(out.into_iter().map(Option::unwrap_or_default).collect())
+    }
+
     /// Create (once) a ghost stand-in for `global` on `shard`, so the
     /// shard can hold edges whose other end lives elsewhere.
     fn ensure_ghost(&mut self, global: Oid, shard: usize) -> Result<Oid> {
@@ -395,15 +929,19 @@ impl<S: HyperStore + Send + 'static> ShardedStore<S> {
             return Ok(l);
         }
         self.router.to_local(global)?; // the real node must exist
-        if !self.health[shard] {
+        if !self.group_healthy(shard) {
             return Err(Self::unavailable(shard));
         }
         self.router.requests[shard] += 1;
         let value = ghost_value(global);
-        let r = self
-            .exec
-            .with_shard(shard, |sh| sh.insert_extra_node(&value));
-        let local = self.note(shard, r)?;
+        let local = if self.k == 1 {
+            let r = self
+                .exec
+                .with_shard(shard, |sh| sh.insert_extra_node(&value));
+            self.note(shard, r)?
+        } else {
+            self.write_group(shard, move |sh: &mut S| sh.insert_extra_node(&value))?
+        };
         self.router.register_ghost(global, shard, local);
         Ok(local)
     }
@@ -414,29 +952,41 @@ impl<S: HyperStore + Send + 'static> ShardedStore<S> {
         &mut self,
         a: Oid,
         b: Oid,
-        apply: impl Fn(&mut S, Oid, Oid) -> Result<()>,
+        apply: impl Fn(&mut S, Oid, Oid) -> Result<()> + Send + Sync + 'static,
     ) -> Result<()> {
         let (sa, la) = self.router.to_local(a)?;
         let (sb, lb) = self.router.to_local(b)?;
-        if !self.health[sa] {
+        if !self.group_healthy(sa) {
             return Err(Self::unavailable(sa));
         }
-        if !self.health[sb] {
+        if !self.group_healthy(sb) {
             return Err(Self::unavailable(sb));
         }
         if sa == sb {
             self.router.requests[sa] += 1;
-            let r = self.exec.with_shard(sa, |sh| apply(sh, la, lb));
-            return self.note(sa, r);
+            if self.k == 1 {
+                let r = self.exec.with_shard(sa, |sh| apply(sh, la, lb));
+                return self.note(sa, r);
+            }
+            return self.write_group(sa, move |sh: &mut S| apply(sh, la, lb));
         }
         let ghost_b = self.ensure_ghost(b, sa)?;
         self.router.requests[sa] += 1;
-        let r = self.exec.with_shard(sa, |sh| apply(sh, la, ghost_b));
-        self.note(sa, r)?;
+        if self.k == 1 {
+            let r = self.exec.with_shard(sa, |sh| apply(sh, la, ghost_b));
+            self.note(sa, r)?;
+            let ghost_a = self.ensure_ghost(a, sb)?;
+            self.router.requests[sb] += 1;
+            let r = self.exec.with_shard(sb, |sh| apply(sh, ghost_a, lb));
+            self.note(sb, r)?;
+            return Ok(());
+        }
+        let apply = Arc::new(apply);
+        let side_a = Arc::clone(&apply);
+        self.write_group(sa, move |sh: &mut S| side_a(sh, la, ghost_b))?;
         let ghost_a = self.ensure_ghost(a, sb)?;
         self.router.requests[sb] += 1;
-        let r = self.exec.with_shard(sb, |sh| apply(sh, ghost_a, lb));
-        self.note(sb, r)?;
+        self.write_group(sb, move |sh: &mut S| apply(sh, ghost_a, lb))?;
         Ok(())
     }
 
@@ -449,7 +999,41 @@ impl<S: HyperStore + Send + 'static> ShardedStore<S> {
         f: impl Fn(&mut S) -> Result<T> + Send + Sync + 'static,
     ) -> Result<Vec<(usize, T)>> {
         self.last_scan_partial = false;
+        self.last_scan_skipped.clear();
         let policy = self.scan_policy;
+        if self.k > 1 {
+            // Replicated: each logical shard answers from one healthy
+            // member, failing over inside the group before the scan
+            // policy ever has to skip anything.
+            let f: SharedOp<S, T> = Arc::new(f);
+            let mut out = Vec::new();
+            for s in 0..self.router.shard_count() {
+                if !self.group_healthy(s) {
+                    match policy {
+                        ScanPolicy::FailFast => return Err(Self::unavailable(s)),
+                        ScanPolicy::Partial => {
+                            self.last_scan_partial = true;
+                            self.last_scan_skipped.push(s);
+                            continue;
+                        }
+                    }
+                }
+                self.router.requests[s] += 1;
+                let f = Arc::clone(&f);
+                match self.read_group(s, move |sh: &mut S| f(sh)) {
+                    Ok(v) => out.push((s, v)),
+                    Err(e) if e.is_transient() => match policy {
+                        ScanPolicy::FailFast => return Err(Self::transient_for(s, e)),
+                        ScanPolicy::Partial => {
+                            self.last_scan_partial = true;
+                            self.last_scan_skipped.push(s);
+                        }
+                    },
+                    Err(e) => return Err(e),
+                }
+            }
+            return Ok(out);
+        }
         if let Some(dead) = self.health.iter().position(|h| !*h) {
             match policy {
                 ScanPolicy::FailFast => return Err(Self::unavailable(dead)),
@@ -487,7 +1071,8 @@ impl<S: HyperStore + Send + 'static> ShardedStore<S> {
         let mut out = Vec::new();
         for (s, r) in results.into_iter().enumerate() {
             match r {
-                None => {} // skipped: already counted as partial above
+                // Skipped: counted as partial above; record which one.
+                None => self.last_scan_skipped.push(s),
                 Some(Ok(v)) => out.push((s, v)),
                 Some(Err(e)) if e.is_transient() => {
                     self.health[s] = false;
@@ -498,7 +1083,10 @@ impl<S: HyperStore + Send + 'static> ShardedStore<S> {
                                 msg: e.to_string(),
                             });
                         }
-                        ScanPolicy::Partial => self.last_scan_partial = true,
+                        ScanPolicy::Partial => {
+                            self.last_scan_partial = true;
+                            self.last_scan_skipped.push(s);
+                        }
                     }
                 }
                 Some(Err(e)) => return Err(e),
@@ -628,14 +1216,75 @@ impl<S: HyperStore + Send + 'static> ShardedStore<S> {
         txid: u64,
     ) -> Vec<(usize, std::result::Result<Result<()>, ExecError>)> {
         let n = self.exec.shard_count();
-        if n == 1 {
+        if self.k == 1 && n == 1 {
             return vec![(0, Ok(self.exec.with_shard(0, |sh| sh.prepare_commit(txid))))];
         }
+        // Replicated, only healthy members participate (the commit path
+        // verified each group still has one); a member that lagged
+        // behind an acked write since then votes to abort rather than
+        // durably committing a stale state.
         let mut batch = self.exec.batch();
-        for s in 0..n {
-            batch.spawn(s, move |sh| sh.prepare_commit(txid));
+        for m in 0..n {
+            if !self.health[m] {
+                continue;
+            }
+            if self.k > 1 {
+                let lag = Arc::clone(&self.lag[m]);
+                batch.spawn(m, move |sh| {
+                    if lag.load(Ordering::Acquire) {
+                        return Err(HmError::Timeout(format!(
+                            "replica member {m} lagging behind an acked write"
+                        )));
+                    }
+                    sh.prepare_commit(txid)
+                });
+            } else {
+                batch.spawn(m, move |sh| sh.prepare_commit(txid));
+            }
         }
         batch.join_within(self.prepare_timeout)
+    }
+
+    /// Legacy (no commit log) commit for a replicated deployment: every
+    /// healthy member commits independently; a mirror that fails
+    /// transiently — or lagged behind an acked write since the repair
+    /// pass — is demoted while its siblings carry the group, and a
+    /// deterministic failure (identical on every mirror) is returned.
+    fn commit_replicated_single_phase(&mut self) -> Result<()> {
+        let members: Vec<usize> = (0..self.health.len()).filter(|&m| self.health[m]).collect();
+        let mut batch = self.exec.batch();
+        for &m in &members {
+            let lag = Arc::clone(&self.lag[m]);
+            batch.spawn(m, move |sh| {
+                if lag.load(Ordering::Acquire) {
+                    return Err(HmError::Timeout(format!(
+                        "replica member {m} lagging behind an acked write"
+                    )));
+                }
+                sh.commit()
+            });
+        }
+        let mut hard: Option<HmError> = None;
+        for (m, r) in batch.join() {
+            match flatten(r) {
+                Ok(()) => {}
+                Err(e) if e.is_transient() => self.demote(m),
+                Err(e) => {
+                    hard.get_or_insert(e);
+                }
+            }
+        }
+        if let Some(e) = hard {
+            return Err(e);
+        }
+        // A group that lost its last member mid-commit is a hard failure;
+        // a demoted mirror with a committed sibling is not.
+        for s in 0..self.router.shard_count() {
+            if !self.group_healthy(s) {
+                return Err(Self::unavailable(s));
+            }
+        }
+        Ok(())
     }
 
     /// Once the log has grown past the checkpoint interval, drop every
@@ -655,34 +1304,38 @@ impl<S: HyperStore + Send + 'static> HyperStore for ShardedStore<S> {
     fn lookup_unique(&mut self, unique_id: u64) -> Result<Oid> {
         let g = self.router.global_for_uid(unique_id)?;
         let (s, l) = self.route(g)?;
-        let r = self.exec.with_shard(s, |sh| sh.lookup_unique(unique_id));
-        let local = self.note(s, r)?;
+        let local = if self.k == 1 {
+            let r = self.exec.with_shard(s, |sh| sh.lookup_unique(unique_id));
+            self.note(s, r)?
+        } else {
+            self.read_group(s, move |sh: &mut S| sh.lookup_unique(unique_id))?
+        };
         debug_assert_eq!(local, l, "shard uid index disagrees with router");
         Ok(g)
     }
 
     fn unique_id_of(&mut self, oid: Oid) -> Result<u64> {
-        Ok(self.on_shard(oid, |sh, l| sh.unique_id_of(l))?.1)
+        Ok(self.read_at(oid, |sh, l| sh.unique_id_of(l))?.1)
     }
 
     fn kind_of(&mut self, oid: Oid) -> Result<NodeKind> {
-        Ok(self.on_shard(oid, |sh, l| sh.kind_of(l))?.1)
+        Ok(self.read_at(oid, |sh, l| sh.kind_of(l))?.1)
     }
 
     fn ten_of(&mut self, oid: Oid) -> Result<u32> {
-        Ok(self.on_shard(oid, |sh, l| sh.ten_of(l))?.1)
+        Ok(self.read_at(oid, |sh, l| sh.ten_of(l))?.1)
     }
 
     fn hundred_of(&mut self, oid: Oid) -> Result<u32> {
-        Ok(self.on_shard(oid, |sh, l| sh.hundred_of(l))?.1)
+        Ok(self.read_at(oid, |sh, l| sh.hundred_of(l))?.1)
     }
 
     fn million_of(&mut self, oid: Oid) -> Result<u32> {
-        Ok(self.on_shard(oid, |sh, l| sh.million_of(l))?.1)
+        Ok(self.read_at(oid, |sh, l| sh.million_of(l))?.1)
     }
 
     fn set_hundred(&mut self, oid: Oid, value: u32) -> Result<()> {
-        self.on_shard(oid, |sh, l| sh.set_hundred(l, value))?;
+        self.write_at(oid, move |sh, l| sh.set_hundred(l, value))?;
         Ok(())
     }
 
@@ -695,12 +1348,12 @@ impl<S: HyperStore + Send + 'static> HyperStore for ShardedStore<S> {
     }
 
     fn children(&mut self, oid: Oid) -> Result<Vec<Oid>> {
-        let (s, kids) = self.on_shard(oid, |sh, l| sh.children(l))?;
+        let (s, kids) = self.read_at(oid, |sh, l| sh.children(l))?;
         self.translate_oids(s, kids)
     }
 
     fn parent(&mut self, oid: Oid) -> Result<Option<Oid>> {
-        let (s, p) = self.on_shard(oid, |sh, l| sh.parent(l))?;
+        let (s, p) = self.read_at(oid, |sh, l| sh.parent(l))?;
         match p {
             Some(p) => Ok(Some(self.router.to_global(s, p)?)),
             None => Ok(None),
@@ -708,22 +1361,22 @@ impl<S: HyperStore + Send + 'static> HyperStore for ShardedStore<S> {
     }
 
     fn parts(&mut self, oid: Oid) -> Result<Vec<Oid>> {
-        let (s, ps) = self.on_shard(oid, |sh, l| sh.parts(l))?;
+        let (s, ps) = self.read_at(oid, |sh, l| sh.parts(l))?;
         self.translate_oids(s, ps)
     }
 
     fn part_of(&mut self, oid: Oid) -> Result<Vec<Oid>> {
-        let (s, owners) = self.on_shard(oid, |sh, l| sh.part_of(l))?;
+        let (s, owners) = self.read_at(oid, |sh, l| sh.part_of(l))?;
         self.translate_oids(s, owners)
     }
 
     fn refs_to(&mut self, oid: Oid) -> Result<Vec<RefEdge>> {
-        let (s, edges) = self.on_shard(oid, |sh, l| sh.refs_to(l))?;
+        let (s, edges) = self.read_at(oid, |sh, l| sh.refs_to(l))?;
         self.translate_edges(s, edges)
     }
 
     fn refs_from(&mut self, oid: Oid) -> Result<Vec<RefEdge>> {
-        let (s, edges) = self.on_shard(oid, |sh, l| sh.refs_from(l))?;
+        let (s, edges) = self.read_at(oid, |sh, l| sh.refs_from(l))?;
         self.translate_edges(s, edges)
     }
 
@@ -736,20 +1389,22 @@ impl<S: HyperStore + Send + 'static> HyperStore for ShardedStore<S> {
     }
 
     fn text_of(&mut self, oid: Oid) -> Result<String> {
-        Ok(self.on_shard(oid, |sh, l| sh.text_of(l))?.1)
+        Ok(self.read_at(oid, |sh, l| sh.text_of(l))?.1)
     }
 
     fn set_text(&mut self, oid: Oid, text: &str) -> Result<()> {
-        self.on_shard(oid, |sh, l| sh.set_text(l, text))?;
+        let text = text.to_string();
+        self.write_at(oid, move |sh, l| sh.set_text(l, &text))?;
         Ok(())
     }
 
     fn form_of(&mut self, oid: Oid) -> Result<Bitmap> {
-        Ok(self.on_shard(oid, |sh, l| sh.form_of(l))?.1)
+        Ok(self.read_at(oid, |sh, l| sh.form_of(l))?.1)
     }
 
     fn set_form(&mut self, oid: Oid, bitmap: &Bitmap) -> Result<()> {
-        self.on_shard(oid, |sh, l| sh.set_form(l, bitmap))?;
+        let bitmap = bitmap.clone();
+        self.write_at(oid, move |sh, l| sh.set_form(l, &bitmap))?;
         Ok(())
     }
 
@@ -766,14 +1421,23 @@ impl<S: HyperStore + Send + 'static> HyperStore for ShardedStore<S> {
             Ok((ps, pl)) if ps == s => Some(pl),
             _ => self.router.ghost_of(p, s),
         });
-        if !self.health[s] {
+        if !self.group_healthy(s) {
             return Err(Self::unavailable(s));
         }
         self.router.requests[s] += 1;
-        let r = self
-            .exec
-            .with_shard(s, |sh| sh.create_node_clustered(value, local_near));
-        let local = self.note(s, r)?;
+        let local = if self.k == 1 {
+            let r = self
+                .exec
+                .with_shard(s, |sh| sh.create_node_clustered(value, local_near));
+            self.note(s, r)?
+        } else {
+            // Each mirror runs the identical create, so the local ids it
+            // hands back match on every copy; any one ack names them all.
+            let value = value.clone();
+            self.write_group(s, move |sh: &mut S| {
+                sh.create_node_clustered(&value, local_near)
+            })?
+        };
         self.router
             .register(g, s, local, depth, value.attrs.unique_id);
         self.router.nodes[s] += 1;
@@ -789,7 +1453,7 @@ impl<S: HyperStore + Send + 'static> HyperStore for ShardedStore<S> {
     }
 
     fn add_ref(&mut self, from: Oid, to: Oid, offset_from: u8, offset_to: u8) -> Result<()> {
-        self.two_sided_edge(from, to, |shard, f, t| {
+        self.two_sided_edge(from, to, move |shard, f, t| {
             shard.add_ref(f, t, offset_from, offset_to)
         })
     }
@@ -797,23 +1461,48 @@ impl<S: HyperStore + Send + 'static> HyperStore for ShardedStore<S> {
     fn insert_extra_node(&mut self, value: &NodeValue) -> Result<Oid> {
         let g = self.router.mint();
         let (s, depth) = self.router.place(g.0, None);
-        if !self.health[s] {
+        if !self.group_healthy(s) {
             return Err(Self::unavailable(s));
         }
         self.router.requests[s] += 1;
-        let r = self.exec.with_shard(s, |sh| sh.insert_extra_node(value));
-        let local = self.note(s, r)?;
+        let local = if self.k == 1 {
+            let r = self.exec.with_shard(s, |sh| sh.insert_extra_node(value));
+            self.note(s, r)?
+        } else {
+            let value = value.clone();
+            self.write_group(s, move |sh: &mut S| sh.insert_extra_node(&value))?
+        };
         self.router
             .register(g, s, local, depth, value.attrs.unique_id);
         Ok(g)
     }
 
     fn commit(&mut self) -> Result<()> {
-        // A commit must touch every shard: fail fast if one is known dead.
-        if let Some(dead) = self.health.iter().position(|h| !*h) {
+        if self.k > 1 {
+            // Commit is the natural anti-entropy point: demote anything
+            // flagged lagging, then resync every demoted mirror so the
+            // whole group takes the commit together when possible.
+            for m in 0..self.health.len() {
+                if self.health[m] && self.lag[m].load(Ordering::Acquire) {
+                    self.demote(m);
+                }
+            }
+            self.repair_replicas();
+            // Every *group* must still be reachable; a dead mirror with
+            // a healthy sibling is not a failed commit.
+            for s in 0..self.router.shard_count() {
+                if !self.group_healthy(s) {
+                    return Err(Self::unavailable(s));
+                }
+            }
+        } else if let Some(dead) = self.health.iter().position(|h| !*h) {
+            // A commit must touch every shard: fail fast on a known-dead one.
             return Err(Self::unavailable(dead));
         }
         if self.commit_log.is_none() {
+            if self.k > 1 {
+                return self.commit_replicated_single_phase();
+            }
             // Legacy single-phase: every shard commits independently. Not
             // crash-atomic across shards — enable `with_commit_log` for that.
             for (s, r) in self
@@ -880,13 +1569,30 @@ impl<S: HyperStore + Send + 'static> HyperStore for ShardedStore<S> {
         obs::incr("shard.2pc.committed", 1);
         // Phase two: failures here only mark health — the decision is
         // durable, so recovery finishes the commit on the failed shard.
-        for (s, r) in self
-            .all_shards(move |shard| shard.commit_prepared(txid))
-            .into_iter()
-            .enumerate()
-        {
-            if self.note(s, r).is_ok() {
-                self.acked[s] = txid;
+        if self.k == 1 {
+            for (s, r) in self
+                .all_shards(move |shard| shard.commit_prepared(txid))
+                .into_iter()
+                .enumerate()
+            {
+                if self.note(s, r).is_ok() {
+                    self.acked[s] = txid;
+                }
+            }
+        } else {
+            // Only the members that prepared participate; a mirror that
+            // fails the decision is demoted and repaired later.
+            let members: Vec<usize> = (0..self.health.len()).filter(|&m| self.health[m]).collect();
+            let mut batch = self.exec.batch();
+            for &m in &members {
+                batch.spawn(m, move |sh| sh.commit_prepared(txid));
+            }
+            for (m, r) in batch.join() {
+                match flatten(r) {
+                    Ok(()) => self.acked[m] = txid,
+                    Err(e) if e.is_transient() => self.demote(m),
+                    Err(_) => {}
+                }
             }
         }
         self.maybe_checkpoint();
@@ -894,12 +1600,41 @@ impl<S: HyperStore + Send + 'static> HyperStore for ShardedStore<S> {
     }
 
     fn cold_restart(&mut self) -> Result<()> {
-        for (s, r) in self
-            .all_shards(|shard| shard.cold_restart())
-            .into_iter()
-            .enumerate()
-        {
-            self.note(s, r)?;
+        if self.k == 1 {
+            for (s, r) in self
+                .all_shards(|shard| shard.cold_restart())
+                .into_iter()
+                .enumerate()
+            {
+                self.note(s, r)?;
+            }
+            return Ok(());
+        }
+        // Replicated: restart every healthy member; a mirror that fails
+        // transiently is demoted instead of failing the restart, as long
+        // as each group keeps one live member.
+        let members: Vec<usize> = (0..self.health.len()).filter(|&m| self.health[m]).collect();
+        let mut batch = self.exec.batch();
+        for &m in &members {
+            batch.spawn(m, |sh| sh.cold_restart());
+        }
+        let mut hard: Option<HmError> = None;
+        for (m, r) in batch.join() {
+            match flatten(r) {
+                Ok(()) => {}
+                Err(e) if e.is_transient() => self.demote(m),
+                Err(e) => {
+                    hard.get_or_insert(e);
+                }
+            }
+        }
+        if let Some(e) = hard {
+            return Err(e);
+        }
+        for s in 0..self.router.shard_count() {
+            if !self.group_healthy(s) {
+                return Err(Self::unavailable(s));
+            }
         }
         Ok(())
     }
@@ -909,14 +1644,24 @@ impl<S: HyperStore + Send + 'static> HyperStore for ShardedStore<S> {
     }
 
     fn shard_balance(&self) -> Option<Vec<ShardLoad>> {
+        // One entry per *logical* shard. Replicated, queue depth sums
+        // over the group (total backlog) while busy time reports the
+        // hottest member (the group is as slow as its busiest mirror).
         Some(
             (0..self.router.shard_count())
-                .map(|s| ShardLoad {
-                    shard: s,
-                    nodes: self.router.nodes[s],
-                    requests: self.router.requests[s],
-                    queued: self.exec.queue_depth(s) as u64,
-                    busy_us: self.exec.busy_ewma_us(s),
+                .map(|s| {
+                    let set = self.router.replica_set(s);
+                    ShardLoad {
+                        shard: s,
+                        nodes: self.router.nodes[s],
+                        requests: self.router.requests[s],
+                        queued: set.members().map(|m| self.exec.queue_depth(m) as u64).sum(),
+                        busy_us: set
+                            .members()
+                            .map(|m| self.exec.busy_ewma_us(m))
+                            .max()
+                            .unwrap_or(0),
+                    }
                 })
                 .collect(),
         )
@@ -924,10 +1669,15 @@ impl<S: HyperStore + Send + 'static> HyperStore for ShardedStore<S> {
 
     fn resilience_summary(&self) -> Option<String> {
         let dead = self.health.iter().filter(|h| !**h).count();
-        if self.commit_log.is_none() && self.aborts == 0 && dead == 0 {
+        if self.k == 1
+            && self.commit_log.is_none()
+            && self.aborts == 0
+            && dead == 0
+            && self.last_scan_skipped.is_empty()
+        {
             return None;
         }
-        Some(format!(
+        let mut out = format!(
             "2pc={} commit-aborts={} dead-shards={}/{}",
             if self.commit_log.is_some() {
                 "on"
@@ -937,17 +1687,35 @@ impl<S: HyperStore + Send + 'static> HyperStore for ShardedStore<S> {
             self.aborts,
             dead,
             self.health.len()
-        ))
+        );
+        if self.k > 1 {
+            out.push_str(&format!(
+                " replicas={} ack={} failover-reads={} demotions={} repairs={}",
+                self.k,
+                match self.write_ack {
+                    WriteAck::Primary => "primary",
+                    WriteAck::Quorum => "quorum",
+                    WriteAck::All => "all",
+                },
+                self.failovers,
+                self.demotions,
+                self.repairs
+            ));
+        }
+        if !self.last_scan_skipped.is_empty() {
+            out.push_str(&format!(" skipped-shards={:?}", self.last_scan_skipped));
+        }
+        Some(out)
     }
 
     // ---- batched primitives: one request per shard with work ----------
 
     fn children_batch(&mut self, oids: &[Oid]) -> Result<Vec<Vec<Oid>>> {
         let (work, pos) = self.group_by_shard(oids)?;
-        let results = self.batched(work, |shard, ls: Vec<Oid>| shard.children_batch(&ls));
+        let results =
+            self.batched_checked(work, |shard, ls: Vec<Oid>| shard.children_batch(&ls))?;
         let mut out = vec![Vec::new(); oids.len()];
-        for (s, r) in results.into_iter().enumerate() {
-            let lists = self.note(s, r)?;
+        for (s, lists) in results.into_iter().enumerate() {
             for (j, list) in lists.into_iter().enumerate() {
                 out[pos[s][j]] = self.translate_oids(s, list)?;
             }
@@ -957,10 +1725,9 @@ impl<S: HyperStore + Send + 'static> HyperStore for ShardedStore<S> {
 
     fn parts_batch(&mut self, oids: &[Oid]) -> Result<Vec<Vec<Oid>>> {
         let (work, pos) = self.group_by_shard(oids)?;
-        let results = self.batched(work, |shard, ls: Vec<Oid>| shard.parts_batch(&ls));
+        let results = self.batched_checked(work, |shard, ls: Vec<Oid>| shard.parts_batch(&ls))?;
         let mut out = vec![Vec::new(); oids.len()];
-        for (s, r) in results.into_iter().enumerate() {
-            let lists = self.note(s, r)?;
+        for (s, lists) in results.into_iter().enumerate() {
             for (j, list) in lists.into_iter().enumerate() {
                 out[pos[s][j]] = self.translate_oids(s, list)?;
             }
@@ -970,10 +1737,9 @@ impl<S: HyperStore + Send + 'static> HyperStore for ShardedStore<S> {
 
     fn refs_to_batch(&mut self, oids: &[Oid]) -> Result<Vec<Vec<RefEdge>>> {
         let (work, pos) = self.group_by_shard(oids)?;
-        let results = self.batched(work, |shard, ls: Vec<Oid>| shard.refs_to_batch(&ls));
+        let results = self.batched_checked(work, |shard, ls: Vec<Oid>| shard.refs_to_batch(&ls))?;
         let mut out = vec![Vec::new(); oids.len()];
-        for (s, r) in results.into_iter().enumerate() {
-            let lists = self.note(s, r)?;
+        for (s, lists) in results.into_iter().enumerate() {
             for (j, list) in lists.into_iter().enumerate() {
                 out[pos[s][j]] = self.translate_edges(s, list)?;
             }
@@ -983,10 +1749,9 @@ impl<S: HyperStore + Send + 'static> HyperStore for ShardedStore<S> {
 
     fn hundred_batch(&mut self, oids: &[Oid]) -> Result<Vec<u32>> {
         let (work, pos) = self.group_by_shard(oids)?;
-        let results = self.batched(work, |shard, ls: Vec<Oid>| shard.hundred_batch(&ls));
+        let results = self.batched_checked(work, |shard, ls: Vec<Oid>| shard.hundred_batch(&ls))?;
         let mut out = vec![0u32; oids.len()];
-        for (s, r) in results.into_iter().enumerate() {
-            let vals = self.note(s, r)?;
+        for (s, vals) in results.into_iter().enumerate() {
             for (j, v) in vals.into_iter().enumerate() {
                 out[pos[s][j]] = v;
             }
@@ -996,10 +1761,9 @@ impl<S: HyperStore + Send + 'static> HyperStore for ShardedStore<S> {
 
     fn million_batch(&mut self, oids: &[Oid]) -> Result<Vec<u32>> {
         let (work, pos) = self.group_by_shard(oids)?;
-        let results = self.batched(work, |shard, ls: Vec<Oid>| shard.million_batch(&ls));
+        let results = self.batched_checked(work, |shard, ls: Vec<Oid>| shard.million_batch(&ls))?;
         let mut out = vec![0u32; oids.len()];
-        for (s, r) in results.into_iter().enumerate() {
-            let vals = self.note(s, r)?;
+        for (s, vals) in results.into_iter().enumerate() {
             for (j, v) in vals.into_iter().enumerate() {
                 out[pos[s][j]] = v;
             }
@@ -1019,12 +1783,22 @@ impl<S: HyperStore + Send + 'static> HyperStore for ShardedStore<S> {
             if w.is_empty() {
                 work.push(None);
             } else {
-                if !self.health[s] {
+                if !self.group_healthy(s) {
                     return Err(Self::unavailable(s));
                 }
                 self.router.requests[s] += 1;
                 work.push(Some(w));
             }
+        }
+        if self.k > 1 {
+            // Writes fan out per group; each group's batch still runs on
+            // all of its healthy mirrors concurrently.
+            for (s, w) in work.into_iter().enumerate() {
+                if let Some(w) = w {
+                    self.write_group(s, move |sh: &mut S| sh.set_hundred_batch(&w))?;
+                }
+            }
+            return Ok(());
         }
         let results = self.batched(work, |shard, w: Vec<(Oid, u32)>| {
             shard.set_hundred_batch(&w)
@@ -1146,7 +1920,8 @@ impl<S: HyperStore + Send + 'static> HyperStore for ShardedStore<S> {
     }
 
     fn text_node_edit(&mut self, oid: Oid, from: &str, to: &str) -> Result<usize> {
-        match self.on_shard(oid, |sh, l| sh.text_node_edit(l, from, to)) {
+        let (from, to) = (from.to_string(), to.to_string());
+        match self.write_at(oid, move |sh, l| sh.text_node_edit(l, &from, &to)) {
             // Kind errors must name the caller's id, not the shard-local one.
             Err(HmError::WrongKind { expected, .. }) => Err(HmError::WrongKind { oid, expected }),
             other => Ok(other?.1),
@@ -1154,7 +1929,7 @@ impl<S: HyperStore + Send + 'static> HyperStore for ShardedStore<S> {
     }
 
     fn form_node_edit(&mut self, oid: Oid, x0: u16, y0: u16, x1: u16, y1: u16) -> Result<()> {
-        match self.on_shard(oid, |sh, l| sh.form_node_edit(l, x0, y0, x1, y1)) {
+        match self.write_at(oid, move |sh, l| sh.form_node_edit(l, x0, y0, x1, y1)) {
             Err(HmError::WrongKind { expected, .. }) => Err(HmError::WrongKind { oid, expected }),
             other => {
                 other?;

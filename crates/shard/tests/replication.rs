@@ -1,0 +1,452 @@
+//! K-way replication: failover reads, quorum writes, automatic repair.
+//!
+//! The acceptance property for the replicated deployment: with K = 2
+//! and a replica killed mid-run, every benchmark operation completes
+//! with oracle-correct output and no `ShardUnavailable` surfaces to the
+//! client; by the end of the run the killed replica has been resynced
+//! from its sibling and serves reads again.
+
+use chaos::{ChaosStore, CrashPoint, CrashSpec, FaultPlan};
+use hypermodel::config::GenConfig;
+use hypermodel::error::HmError;
+use hypermodel::generate::TestDatabase;
+use hypermodel::load::load_database;
+use hypermodel::model::Oid;
+use hypermodel::oracle::Oracle;
+use hypermodel::store::HyperStore;
+use mem_backend::MemStore;
+use proptest::prelude::*;
+use shard::{Placement, ScanPolicy, ShardedStore, WriteAck};
+
+/// `n` logical shards, each mirrored `k` ways, all in-memory.
+fn replicated_mem(n: usize, k: usize, placement: Placement) -> ShardedStore<MemStore> {
+    let members = (0..n * k).map(|_| MemStore::new()).collect();
+    ShardedStore::new_replicated(members, k, placement, "sharded-mem")
+}
+
+fn uids(store: &mut dyn HyperStore, oids: &[Oid]) -> Vec<u32> {
+    oids.iter()
+        .map(|&o| (store.unique_id_of(o).unwrap() - 1) as u32)
+        .collect()
+}
+
+/// The full benchmark read-op sweep against the oracle — same checks as
+/// the unreplicated conformance suite, reused here so a mid-run replica
+/// kill can be bracketed by complete sweeps.
+fn check_against_oracle(store: &mut dyn HyperStore, oids: &[Oid], db: &TestDatabase) {
+    let oracle = Oracle::new(db);
+    let name = store.backend_name();
+
+    assert_eq!(
+        store.seq_scan_ten().unwrap(),
+        oracle.seq_scan_count(),
+        "{name}: O9"
+    );
+
+    for (lo, hi) in [(1u32, 10), (42, 51)] {
+        let got = store.range_hundred(lo, hi).unwrap();
+        let mut got = uids(store, &got);
+        got.sort_unstable();
+        assert_eq!(got, oracle.range_hundred(lo, hi), "{name}: O3");
+    }
+
+    for idx in 0..db.len() as u32 {
+        let oid = oids[idx as usize];
+        let kids = store.children(oid).unwrap();
+        assert_eq!(
+            uids(store, &kids),
+            oracle.children(idx),
+            "{name}: children of {idx}"
+        );
+        let parent = store.parent(oid).unwrap();
+        assert_eq!(
+            parent.map(|p| (store.unique_id_of(p).unwrap() - 1) as u32),
+            oracle.parent(idx),
+            "{name}: parent of {idx}"
+        );
+        let parts = store.parts(oid).unwrap();
+        assert_eq!(
+            uids(store, &parts),
+            oracle.parts(idx),
+            "{name}: parts of {idx}"
+        );
+    }
+
+    let start_level = oracle.closure_start_level();
+    for idx in db.level_indices(start_level) {
+        let start = oids[idx as usize];
+        let c = store.closure_1n(start).unwrap();
+        assert_eq!(
+            uids(store, &c),
+            oracle.closure_1n(idx),
+            "{name}: O10 from {idx}"
+        );
+        let (sum, count) = store.closure_1n_att_sum(start).unwrap();
+        assert_eq!((sum, count), oracle.closure_1n_att_sum(idx), "{name}: O11");
+        let c = store.closure_1n_pred(start, 250_000, 750_000).unwrap();
+        assert_eq!(
+            uids(store, &c),
+            oracle.closure_1n_pred(idx, 250_000, 750_000),
+            "{name}: O13"
+        );
+        let c = store.closure_mn(start).unwrap();
+        assert_eq!(uids(store, &c), oracle.closure_mn(idx), "{name}: O14");
+        let c = store.closure_mnatt(start, 25).unwrap();
+        assert_eq!(
+            uids(store, &c),
+            oracle.closure_mnatt(idx, 25),
+            "{name}: O15"
+        );
+        let pairs = store.closure_mnatt_linksum(start, 25).unwrap();
+        let pairs_u: Vec<(u32, u64)> = pairs
+            .iter()
+            .map(|&(o, d)| ((store.unique_id_of(o).unwrap() - 1) as u32, d))
+            .collect();
+        assert_eq!(
+            pairs_u,
+            oracle.closure_mnatt_linksum(idx, 25),
+            "{name}: O18"
+        );
+    }
+}
+
+/// The acceptance test: K = 2, the primary of group 0 dies mid-run.
+/// Reads fail over transparently, writes keep landing on the surviving
+/// mirror, no error surfaces, and the next commit resyncs the dead
+/// member — which then serves oracle-correct reads alone.
+#[test]
+fn replicated_run_survives_replica_kill_and_repairs_it() {
+    let db = TestDatabase::generate(&GenConfig::tiny());
+    for placement in [Placement::OidHash, Placement::affinity()] {
+        let mut s = replicated_mem(2, 2, placement);
+        let r = load_database(&mut s, &db).unwrap();
+        let root = r.oids[0];
+        s.commit().unwrap();
+        assert_eq!(s.member_count(), 4);
+        assert_eq!(s.replication_factor(), 2);
+
+        // Healthy sweep first, then kill the primary of group 0 mid-run.
+        check_against_oracle(&mut s, &r.oids, &db);
+        s.mark_shard_down(0);
+
+        // Every op still completes: reads fail over to the sibling,
+        // writes fan to the healthy members only.
+        check_against_oracle(&mut s, &r.oids, &db);
+        s.closure_1n_att_set(root).unwrap(); // O12 writes while degraded
+        s.closure_1n_att_set(root).unwrap(); // involution: restores values
+        assert!(
+            s.failover_reads() > 0,
+            "reads during the outage must be counted as failovers"
+        );
+        assert!(!s.health()[0], "member 0 stays demoted until repair");
+
+        // Commit triggers the anti-entropy pass: member 0 is resynced
+        // from its sibling and re-admitted.
+        s.commit().unwrap();
+        assert_eq!(s.health(), &[true; 4], "all members healthy after repair");
+        assert!(s.repairs() >= 1, "repair must be counted");
+
+        // Prove the repaired member serves correct reads on its own:
+        // take its sibling away so every group-0 read must land on it.
+        s.mark_shard_down(1);
+        check_against_oracle(&mut s, &r.oids, &db);
+        s.commit().unwrap();
+        assert_eq!(s.health(), &[true; 4]);
+
+        let summary = s.resilience_summary().unwrap();
+        assert!(summary.contains("replicas=2"), "summary: {summary}");
+        assert!(summary.contains("ack=primary"), "summary: {summary}");
+    }
+}
+
+/// An acked write is never lost to a repair: a write accepted while one
+/// mirror is down must be visible on that mirror after resync, even
+/// when it is the only member left to serve the read.
+#[test]
+fn repair_carries_writes_acked_during_the_outage() {
+    let db = TestDatabase::generate(&GenConfig::tiny());
+    let mut s = replicated_mem(1, 2, Placement::OidHash);
+    let r = load_database(&mut s, &db).unwrap();
+    let target = r.oids[3];
+    let before = s.hundred_of(target).unwrap();
+    let after = (before + 7) % 100;
+
+    s.mark_shard_down(0);
+    s.set_hundred(target, after).unwrap(); // acked by the sibling alone
+    assert_eq!(s.hundred_of(target).unwrap(), after);
+
+    s.commit().unwrap(); // repairs member 0 from member 1
+    assert_eq!(s.health(), &[true, true]);
+
+    s.mark_shard_down(1); // force the read onto the repaired member
+    assert_eq!(
+        s.hundred_of(target).unwrap(),
+        after,
+        "repaired member must have the write acked during its outage"
+    );
+}
+
+/// A crashed mirror cannot be repaired in place (its backend is gone):
+/// repair attempts back off, and swapping in a fresh empty backend via
+/// `replace_shard` lets the next commit resync it from scratch. The
+/// empty replacement must never serve reads before that resync.
+#[test]
+fn crashed_replica_is_replaced_and_resynced_from_scratch() {
+    let db = TestDatabase::generate(&GenConfig::tiny());
+    let members: Vec<ChaosStore<MemStore>> = (0..4)
+        .map(|i| ChaosStore::new(MemStore::new(), FaultPlan::none(i)))
+        .collect();
+    let mut s = ShardedStore::new_replicated(members, 2, Placement::OidHash, "sharded-chaos-mem");
+    let r = load_database(&mut s, &db).unwrap();
+    let root = r.oids[0];
+    s.commit().unwrap();
+
+    // Crash member 1 (the non-primary mirror of group 0) at the next
+    // commit fan-out: the group's commit still succeeds on the primary.
+    s.with_shard(1, |sh| {
+        let nth = sh.commits_seen() + 1;
+        sh.set_plan(FaultPlan {
+            crash: Some(CrashSpec {
+                point: CrashPoint::BeforeCommit,
+                nth,
+            }),
+            ..FaultPlan::none(9)
+        });
+    });
+    s.closure_1n_att_set(root).unwrap();
+    s.commit().unwrap();
+    assert!(s.demotions() >= 1, "crashed mirror must be demoted");
+    assert!(!s.health()[1]);
+
+    // In-place repair can only fail against a crashed backend; the
+    // member stays demoted while its siblings carry the load.
+    s.commit().unwrap();
+    assert!(!s.health()[1], "no repair without a live backend");
+    assert!(s.with_shard(1, |sh| sh.is_crashed()));
+
+    // Swap in an empty replacement. It must stay demoted (an empty
+    // store serving reads would be a catastrophic correctness bug)
+    // until the commit-triggered resync fills it.
+    let old = s.replace_shard(1, ChaosStore::new(MemStore::new(), FaultPlan::none(9)));
+    assert!(old.is_crashed());
+    assert!(!s.health()[1], "fresh backend must not serve yet");
+    let repairs_before = s.repairs();
+    s.commit().unwrap();
+    assert_eq!(s.health(), &[true; 4]);
+    assert!(s.repairs() > repairs_before);
+
+    // Restore the O12 involution, then verify the rebuilt mirror serves
+    // the whole database correctly on its own.
+    s.closure_1n_att_set(root).unwrap();
+    s.mark_shard_down(0);
+    check_against_oracle(&mut s, &r.oids, &db);
+}
+
+/// Write acknowledgement policies: `Primary` needs one healthy member,
+/// `Quorum` a majority of the replica set, `All` every healthy member.
+/// A write refused for lack of quorum must not land anywhere.
+#[test]
+fn write_ack_policies_enforce_quorum() {
+    let db = TestDatabase::generate(&GenConfig::tiny());
+    let mut s = replicated_mem(1, 3, Placement::OidHash);
+    let r = load_database(&mut s, &db).unwrap();
+    let target = r.oids[2];
+    let before = s.hundred_of(target).unwrap();
+    assert_eq!(s.write_ack(), WriteAck::Primary);
+
+    s.set_write_ack(WriteAck::All);
+    s.set_hundred(target, (before + 1) % 100).unwrap();
+
+    // Quorum (2 of 3) holds with one member down...
+    s.set_write_ack(WriteAck::Quorum);
+    s.mark_shard_down(1);
+    s.set_hundred(target, (before + 2) % 100).unwrap();
+
+    // ...but not with two down: the write is refused up front and the
+    // surviving member's state is untouched.
+    s.mark_shard_down(2);
+    let err = s.set_hundred(target, (before + 3) % 100).unwrap_err();
+    match &err {
+        HmError::ShardUnavailable { msg, .. } => {
+            assert!(msg.contains("quorum"), "unexpected message: {msg}")
+        }
+        other => panic!("expected ShardUnavailable, got {other}"),
+    }
+    assert_eq!(s.hundred_of(target).unwrap(), (before + 2) % 100);
+
+    // Primary-ack still accepts writes on the last healthy member, and
+    // the next commit repairs the other two from it.
+    s.set_write_ack(WriteAck::Primary);
+    s.set_hundred(target, (before + 4) % 100).unwrap();
+    s.commit().unwrap();
+    assert_eq!(s.health(), &[true, true, true]);
+    assert_eq!(s.repairs(), 2);
+    for dead in [0usize, 1] {
+        s.mark_shard_down(dead); // read must come from a repaired member
+    }
+    assert_eq!(s.hundred_of(target).unwrap(), (before + 4) % 100);
+}
+
+/// Satellite fix: a partial fan-out read reports *which* logical shards
+/// it skipped, both unreplicated and when a whole replica group is gone.
+#[test]
+fn partial_scans_surface_skipped_shard_ids() {
+    let db = TestDatabase::generate(&GenConfig::tiny());
+
+    // Unreplicated: member index == shard index.
+    let mut s = replicated_mem(3, 1, Placement::OidHash);
+    load_database(&mut s, &db).unwrap();
+    s.set_scan_policy(ScanPolicy::Partial);
+    s.mark_shard_down(1);
+    s.seq_scan_ten().unwrap();
+    assert!(s.last_scan_was_partial());
+    assert_eq!(s.last_scan_skipped(), &[1]);
+    let summary = s.resilience_summary().unwrap();
+    assert!(
+        summary.contains("skipped-shards=[1]"),
+        "summary must attribute the gap: {summary}"
+    );
+
+    // Replicated: only a fully-dead group is skipped — one dead mirror
+    // fails over inside the group and the scan stays complete.
+    let mut s = replicated_mem(2, 2, Placement::OidHash);
+    load_database(&mut s, &db).unwrap();
+    s.set_scan_policy(ScanPolicy::Partial);
+    s.mark_shard_down(2);
+    s.seq_scan_ten().unwrap();
+    assert!(!s.last_scan_was_partial(), "one mirror down is not partial");
+    s.mark_shard_down(3);
+    s.seq_scan_ten().unwrap();
+    assert!(s.last_scan_was_partial());
+    assert_eq!(s.last_scan_skipped(), &[1], "logical shard id, not member");
+    let summary = s.resilience_summary().unwrap();
+    assert!(summary.contains("skipped-shards=[1]"), "summary: {summary}");
+}
+
+/// The CI soak: kill a different member every epoch, run reads and
+/// writes through the outage, and let the commit-triggered repair
+/// re-admit it. After the final epoch the deployment must be whole and
+/// oracle-conformant.
+#[test]
+fn replication_soak_kill_and_repair_every_epoch() {
+    let db = TestDatabase::generate(&GenConfig::tiny());
+    let mut s = replicated_mem(2, 2, Placement::affinity());
+    let r = load_database(&mut s, &db).unwrap();
+    let root = r.oids[0];
+    s.commit().unwrap();
+
+    let epochs = 8;
+    for epoch in 0..epochs {
+        let victim = epoch % s.member_count();
+        s.mark_shard_down(victim);
+        // One write epoch: O12 into the closure plus a point write.
+        s.closure_1n_att_set(root).unwrap();
+        let h = s.hundred_of(r.oids[1]).unwrap();
+        s.set_hundred(r.oids[1], h).unwrap();
+        s.seq_scan_ten().unwrap();
+        s.commit().unwrap();
+        assert_eq!(
+            s.health(),
+            &[true; 4],
+            "epoch {epoch}: repair must re-admit member {victim}"
+        );
+    }
+    assert_eq!(s.repairs(), epochs as u64);
+    assert!(
+        s.failover_reads() > 0,
+        "primary-kill epochs must have failed reads over"
+    );
+
+    // O12 ran once per epoch; an even epoch count restores the values,
+    // so the full conformance sweep must pass bit-for-bit.
+    assert_eq!(epochs % 2, 0);
+    check_against_oracle(&mut s, &r.oids, &db);
+    let summary = s.resilience_summary().unwrap();
+    assert!(summary.contains(&format!("repairs={epochs}")), "{summary}");
+}
+
+/// One repair-during-commit crash scenario, fully parameterized: which
+/// member crashes, at which commit-lifecycle point, and how many O12
+/// transactions landed first. The group's commit must survive the
+/// crash, and after replacement + resync the rebuilt mirror must hold
+/// exactly the committed image.
+fn run_repair_crash_scenario(victim: usize, point: CrashPoint, committed_first: usize) {
+    let db = TestDatabase::generate(&GenConfig::tiny());
+    let members: Vec<ChaosStore<MemStore>> = (0..4)
+        .map(|i| ChaosStore::new(MemStore::new(), FaultPlan::none(i)))
+        .collect();
+    let mut s = ShardedStore::new_replicated(members, 2, Placement::OidHash, "sharded-chaos-mem");
+    let r = load_database(&mut s, &db).unwrap();
+    let root = r.oids[0];
+    s.commit().unwrap();
+
+    for _ in 0..committed_first {
+        s.closure_1n_att_set(root).unwrap();
+        s.commit().unwrap();
+    }
+    let expected: Vec<u32> = (0..db.len())
+        .map(|i| s.hundred_of(r.oids[i]).unwrap())
+        .collect();
+
+    // Arm the crash in the next commit fan-out, then commit through it.
+    s.with_shard(victim, |sh| {
+        let nth = sh.commits_seen() + 1;
+        sh.set_plan(FaultPlan {
+            crash: Some(CrashSpec { point, nth }),
+            ..FaultPlan::none(7)
+        });
+    });
+    s.commit()
+        .expect("a single mirror crash must not fail the group commit");
+    assert!(!s.health()[victim], "victim {victim} demoted");
+
+    // Replace the dead backend and let the next commit resync it.
+    s.replace_shard(victim, ChaosStore::new(MemStore::new(), FaultPlan::none(7)));
+    s.commit().unwrap();
+    assert_eq!(s.health(), &[true; 4]);
+
+    // Read every value from the rebuilt mirror alone.
+    let sibling = victim ^ 1;
+    s.mark_shard_down(sibling);
+    let after: Vec<u32> = (0..db.len())
+        .map(|i| s.hundred_of(r.oids[i]).unwrap())
+        .collect();
+    assert_eq!(
+        after, expected,
+        "rebuilt mirror diverges (victim {victim}, {point:?}, {committed_first} committed first)"
+    );
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    /// Random sampling of the repair-during-commit crash space. The
+    /// schedule inside each case is deterministic (seeded fault plans);
+    /// proptest only picks which corner to visit.
+    #[test]
+    fn repair_after_commit_crash_restores_the_mirror(
+        victim in 0usize..4,
+        committed_first in 0usize..=1,
+        point_pick in any::<bool>(),
+    ) {
+        let point = if point_pick { CrashPoint::BeforeCommit } else { CrashPoint::AfterCommit };
+        run_repair_crash_scenario(victim, point, committed_first);
+    }
+}
+
+/// Systematic companion: the full crash grid — every member, both
+/// commit-side crash points, with and without a committed transaction
+/// in front — enumerated deterministically on every run.
+#[test]
+fn repair_crash_grid_is_exhaustively_enumerated() {
+    let mut scenarios = 0;
+    for victim in 0..4 {
+        for point in [CrashPoint::BeforeCommit, CrashPoint::AfterCommit] {
+            for committed_first in 0..=1 {
+                run_repair_crash_scenario(victim, point, committed_first);
+                scenarios += 1;
+            }
+        }
+    }
+    assert_eq!(scenarios, 16);
+}
