@@ -21,6 +21,11 @@ pub enum CrashPoint {
     /// Die after `prepare_commit` succeeded but before any decision —
     /// the participant is left in-doubt for recovery to resolve.
     AfterPrepare,
+    /// Die as a migration destination between `install_nodes` and
+    /// `activate_nodes` — inert copies installed, ownership never
+    /// flipped. Recovery must read every node at its *old* placement
+    /// (presumed-old).
+    DuringMigration,
 }
 
 /// Kill the store at `point` on the `nth` matching call (1-based).
@@ -87,6 +92,7 @@ impl FaultPlan {
     /// | `crash-before-commit`| store dies before its first commit       |
     /// | `crash-after-commit` | store dies after its first commit        |
     /// | `crash-after-prepare`| store dies prepared, before any decision |
+    /// | `kill-during-migration`| migration dst dies installed-but-inert |
     pub fn named(seed: u64, name: &str) -> Result<FaultPlan> {
         let mut plan = FaultPlan::none(seed);
         plan.name = name.into();
@@ -123,11 +129,18 @@ impl FaultPlan {
                     nth: 1,
                 })
             }
+            "kill-during-migration" => {
+                plan.crash = Some(CrashSpec {
+                    point: CrashPoint::DuringMigration,
+                    nth: 1,
+                })
+            }
             other => {
                 return Err(HmError::InvalidArgument(format!(
                     "unknown fault plan {other:?} (try none, lossy, dupes, slow, \
                      flaky, kill-replica, slow-replica, crash-before-commit, \
-                     crash-after-commit, crash-after-prepare)"
+                     crash-after-commit, crash-after-prepare, \
+                     kill-during-migration)"
                 )));
             }
         }

@@ -20,6 +20,7 @@ pub struct ChaosStore<S: HyperStore> {
     plan: FaultPlan,
     commits_seen: u64,
     prepares_seen: u64,
+    activates_seen: u64,
     crashed: bool,
 }
 
@@ -31,6 +32,7 @@ impl<S: HyperStore> ChaosStore<S> {
             plan,
             commits_seen: 0,
             prepares_seen: 0,
+            activates_seen: 0,
             crashed: false,
         }
     }
@@ -61,6 +63,17 @@ impl<S: HyperStore> ChaosStore<S> {
     pub fn into_inner(self) -> Option<S> {
         let mut this = self;
         this.inner.take()
+    }
+
+    /// Model the killed process restarting: hand the wrapper the store
+    /// a recovery path rebuilt from durable state. Clears the crashed
+    /// flag so operations flow again; the planned crash stays consumed.
+    pub fn recover(&mut self, inner: S) {
+        if let Some(old) = self.inner.take() {
+            std::mem::forget(old);
+        }
+        self.inner = Some(inner);
+        self.crashed = false;
     }
 
     fn live(&mut self) -> Result<&mut S> {
@@ -144,6 +157,27 @@ impl<S: HyperStore> HyperStore for ChaosStore<S> {
         fn form_node_edit(&mut self, oid: Oid, x0: u16, y0: u16, x1: u16, y1: u16) -> Result<()>;
         fn sync_export(&mut self) -> Result<Vec<u8>>;
         fn sync_import(&mut self, snapshot: &[u8]) -> Result<()>;
+        fn export_nodes(&mut self, oids: &[Oid]) -> Result<Vec<hypermodel::migrate::NodeExport>>;
+        fn install_nodes(&mut self, batch: &[hypermodel::migrate::NodeExport]) -> Result<Vec<Oid>>;
+        fn retire_nodes(&mut self, oids: &[Oid], moved_to: u16, epoch: u64) -> Result<()>;
+    }
+
+    fn activate_nodes(&mut self, oids: &[Oid]) -> Result<()> {
+        self.activates_seen += 1;
+        let n = self.activates_seen;
+        if self.crash_due(CrashPoint::DuringMigration, n) {
+            // The kill lands *between* install and activate: the inert
+            // copies exist, ownership never flips.
+            self.crash();
+            return Err(HmError::Timeout(
+                "crashed between install and activate (injected)".into(),
+            ));
+        }
+        self.live()?.activate_nodes(oids)
+    }
+
+    fn moved_hint(&mut self, oid: Oid) -> Option<(u16, u64)> {
+        self.inner.as_mut().and_then(|s| s.moved_hint(oid))
     }
 
     fn commit(&mut self) -> Result<()> {

@@ -5,7 +5,8 @@
 //! hyperbench gen-stats [--level N]          # Figures 2–4 + §5.2 size table
 //! hyperbench create   [--level N] [--backend B]   # §5.3 creation table
 //! hyperbench run      [--level N] [--backend B] [--reps R] [--csv FILE] [--json FILE]
-//!                     [--metrics FILE]       # §6 operation table (T-ops)
+//!                     [--metrics FILE] [--skew zipf:S] [--rebalance]
+//!                                            # §6 operation table (T-ops)
 //! hyperbench ext      [--level N]            # §6.8 extension operations
 //! hyperbench multiuser [--clients N]         # §7 multi-user experiment
 //! hyperbench simple   [--persons N]          # §4 baseline (7 simple ops)
@@ -36,6 +37,14 @@
 //! `sharded-tcp:N:rK` run the transport faults target a *single* replica
 //! connection (the first mirror of shard 0), so the run exercises
 //! failover and repair rather than total outage.
+//!
+//! `run` further accepts `--skew zipf:<s>` (draw closure starts with a
+//! Zipf distribution of exponent `s` instead of uniformly) and
+//! `--rebalance` (after the benchmark, drive the skewed closure mix at a
+//! fresh sharded-mem store, let the online rebalancer migrate hot
+//! subtrees between windows, and report the before/after load imbalance
+//! plus an oracle sweep — the rows land in the `--json` output under
+//! `"rebalance"`).
 
 use std::path::PathBuf;
 use std::sync::Arc;
@@ -46,8 +55,8 @@ use harness::input::Workload;
 use harness::multiuser::{run_multiuser_cc, CcMode, UpdateMix};
 use harness::protocol::{run_all_ops, RunOptions};
 use harness::report::{
-    creation_csv, ops_csv, ops_json, render_creation_table, render_ops_table, render_shard_balance,
-    RunColumn,
+    creation_csv, ops_csv, render_creation_table, render_ops_table, render_shard_balance,
+    results_json, RunColumn,
 };
 use hypermodel::config::{GenConfig, SizeEstimate};
 use hypermodel::error::Result;
@@ -72,6 +81,8 @@ struct Args {
     metrics: Option<PathBuf>,
     pool_frames: usize,
     faults: Option<chaos::FaultPlan>,
+    skew: Option<f64>,
+    rebalance: bool,
 }
 
 fn parse_args() -> Args {
@@ -87,10 +98,12 @@ fn parse_args() -> Args {
         metrics: None,
         pool_frames: 8192,
         faults: None,
+        skew: None,
+        rebalance: false,
     };
     fn usage_error(msg: &str) -> ! {
         eprintln!("error: {msg}");
-        eprintln!("usage: hyperbench <command> [--level N] [--backend B] [--reps N] [--clients N] [--persons N] [--pool N] [--csv FILE] [--json FILE] [--metrics FILE] [--faults SEED:PLAN]");
+        eprintln!("usage: hyperbench <command> [--level N] [--backend B] [--reps N] [--clients N] [--persons N] [--pool N] [--csv FILE] [--json FILE] [--metrics FILE] [--faults SEED:PLAN] [--skew zipf:S] [--rebalance]");
         eprintln!("backends: mem | disk | rel | remote | sharded-mem:N[:rK][:hash|:affinity] | sharded-disk:N[:hash|:affinity] | sharded-tcp:N[:rK][:hash|:affinity] | all");
         std::process::exit(2);
     }
@@ -124,6 +137,20 @@ fn parse_args() -> Args {
                     chaos::FaultPlan::parse(&spec).unwrap_or_else(|e| usage_error(&e.to_string())),
                 );
             }
+            "--skew" => {
+                let spec = value("--skew");
+                let s: f64 = spec
+                    .strip_prefix("zipf:")
+                    .and_then(|raw| raw.parse().ok())
+                    .filter(|s| (0.0..=8.0).contains(s))
+                    .unwrap_or_else(|| {
+                        usage_error(&format!(
+                            "flag --skew expects zipf:<s> with 0 <= s <= 8, got `{spec}`"
+                        ))
+                    });
+                args.skew = Some(s);
+            }
+            "--rebalance" => args.rebalance = true,
             other => usage_error(&format!("unknown flag {other}")),
         }
     }
@@ -555,6 +582,8 @@ fn cmd_run(
     json: Option<&PathBuf>,
     metrics: Option<&PathBuf>,
     faults: Option<&chaos::FaultPlan>,
+    skew: Option<f64>,
+    rebalance: bool,
 ) -> Result<()> {
     println!("== Operation benchmark O1-O18 (paper 6), level {level}, {reps} reps ==\n");
     if let Some(plan) = faults {
@@ -563,16 +592,23 @@ fn cmd_run(
             plan.name, plan.seed
         );
     }
+    if let Some(s) = skew {
+        println!("closure-start skew: zipf exponent {s}\n");
+    }
     let db = TestDatabase::generate(&GenConfig::level(level));
     let mut columns = Vec::new();
     let mut balances = Vec::new();
     let mut resilience = Vec::new();
     let mut scraped = Vec::new();
+    let mut rebalance_rows = Vec::new();
     for b in backends(backend) {
         eprintln!("running {b} backend...");
         let (mut store, _timings, _size, oids, path, srv) =
             load_backend(&b, &db, pool_frames, faults)?;
         let mut workload = Workload::new(db.clone(), oids, 0xBEEF);
+        if let Some(s) = skew {
+            workload = workload.with_skew(s);
+        }
         let opts = RunOptions {
             reps,
             input_seed: 0xBEEF,
@@ -610,8 +646,23 @@ fn cmd_run(
     for (b, summary) in &resilience {
         println!("resilience for {b}: {summary}");
     }
+    if rebalance {
+        // The skew/rebalance experiment runs on a fresh store (the
+        // benchmark loop above measures operations, not migrations):
+        // drive the Zipf mix, let the rebalancer act between windows,
+        // and sweep the result against the generator oracle.
+        for b in backends(backend) {
+            let Some(("sharded-mem", n, _k, placement)) = parse_sharded(&b) else {
+                eprintln!("--rebalance: skipping {b} (needs a sharded-mem backend)");
+                continue;
+            };
+            let row = harness::rebalance_pass(&db, n, placement, skew.unwrap_or(0.0), 300, 4)?;
+            println!("rebalance experiment: {row}");
+            rebalance_rows.push(row);
+        }
+    }
     if let Some(json_path) = json {
-        std::fs::write(json_path, ops_json(&columns)).map_err(|e| {
+        std::fs::write(json_path, results_json(&columns, &rebalance_rows)).map_err(|e| {
             hypermodel::HmError::Backend(format!("cannot write json {}: {e}", json_path.display()))
         })?;
         println!("json written to {}", json_path.display());
@@ -961,6 +1012,8 @@ fn main() {
             args.json.as_ref(),
             args.metrics.as_ref(),
             args.faults.as_ref(),
+            args.skew,
+            args.rebalance,
         ),
         "ext" => cmd_ext(args.level, args.pool_frames),
         "multiuser" => cmd_multiuser(args.level, args.clients),
@@ -982,6 +1035,8 @@ fn main() {
                 args.json.as_ref(),
                 args.metrics.as_ref(),
                 args.faults.as_ref(),
+                args.skew,
+                args.rebalance,
             )?;
             println!();
             cmd_ext(args.level, args.pool_frames)?;

@@ -40,6 +40,10 @@ pub struct Workload {
     rng: Rng,
     text_indices: Vec<u32>,
     form_indices: Vec<u32>,
+    /// Cumulative Zipf weights over the closure-start level, when the
+    /// workload is skewed: rank `r` (0-based position in the level
+    /// catalog) draws with weight `1 / (r+1)^s`.
+    zipf_cumulative: Option<Vec<f64>>,
 }
 
 impl Workload {
@@ -55,7 +59,27 @@ impl Workload {
             rng: Rng::new(input_seed),
             text_indices,
             form_indices,
+            zipf_cumulative: None,
         }
+    }
+
+    /// Skew the closure-start draws (`Level3Node` inputs) with a Zipf
+    /// distribution of exponent `s > 0`: the first node of the closure
+    /// level is drawn with weight 1, the `r`-th with `1 / r^s`. All
+    /// other input kinds stay uniform. `s = 0` is uniform; larger `s`
+    /// concentrates traffic on fewer subtrees.
+    pub fn with_skew(mut self, s: f64) -> Workload {
+        let level = self.closure_level();
+        let range = self.db.level_indices(level);
+        let mut total = 0.0;
+        let cumulative = (0..range.len())
+            .map(|rank| {
+                total += 1.0 / ((rank + 1) as f64).powf(s);
+                total
+            })
+            .collect();
+        self.zipf_cumulative = Some(cumulative);
+        self
     }
 
     /// The level closure operations start from: level 3 for the paper's
@@ -86,7 +110,17 @@ impl Workload {
             }
             InputKind::Level3Node => {
                 let r = self.db.level_indices(self.closure_level());
-                let idx = self.rng.range_u32(r.start, r.end - 1);
+                let idx = match &self.zipf_cumulative {
+                    Some(cum) => {
+                        // Inverse-CDF draw: a uniform point in [0, total)
+                        // lands in rank r with probability 1/(r+1)^s.
+                        let total = *cum.last().unwrap_or(&1.0);
+                        let u = self.rng.next_u64() as f64 / (u64::MAX as f64 + 1.0) * total;
+                        let rank = cum.partition_point(|&c| c <= u);
+                        r.start + (rank as u32).min(r.len() as u32 - 1)
+                    }
+                    None => self.rng.range_u32(r.start, r.end - 1),
+                };
                 OpInput::Node(self.oids[idx as usize])
             }
             InputKind::TextNode => {
@@ -208,6 +242,63 @@ mod tests {
         for input in w.inputs_for(OpId::RefLookup1N, 300) {
             match input {
                 OpInput::Node(oid) => assert_ne!(oid.0, 1, "root excluded"),
+                other => panic!("{other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn zipf_skew_concentrates_closure_starts_by_rank() {
+        let db = TestDatabase::generate(&GenConfig::level(4));
+        let oids: Vec<Oid> = (1..=db.len() as u64).map(Oid).collect();
+        let mut w = Workload::new(db, oids, 7).with_skew(1.2);
+        let level3 = w.db.level_indices(3);
+        let mut counts = vec![0u32; level3.len()];
+        for input in w.inputs_for(OpId::Closure1N, 5000) {
+            match input {
+                OpInput::Node(oid) => {
+                    let idx = oid.0 as u32 - 1;
+                    assert!(level3.contains(&idx), "still a level-3 start");
+                    counts[(idx - level3.start) as usize] += 1;
+                }
+                other => panic!("{other:?}"),
+            }
+        }
+        // Rank 1 dominates, and the head outweighs the tail: the
+        // defining shape of a Zipf draw.
+        let max = *counts.iter().max().unwrap();
+        assert_eq!(counts[0], max, "rank 1 is the hottest start");
+        assert!(
+            counts[0] > counts[counts.len() - 1] * 2,
+            "head {} must clearly outweigh tail {}",
+            counts[0],
+            counts[counts.len() - 1]
+        );
+        // Skewed draws stay deterministic per seed.
+        let db2 = TestDatabase::generate(&GenConfig::level(4));
+        let oids2: Vec<Oid> = (1..=db2.len() as u64).map(Oid).collect();
+        let mut w2 = Workload::new(db2, oids2, 7).with_skew(1.2);
+        let mut w3 = {
+            let db3 = TestDatabase::generate(&GenConfig::level(4));
+            let oids3: Vec<Oid> = (1..=db3.len() as u64).map(Oid).collect();
+            Workload::new(db3, oids3, 7).with_skew(1.2)
+        };
+        assert_eq!(
+            w2.inputs_for(OpId::Closure1N, 100),
+            w3.inputs_for(OpId::Closure1N, 100)
+        );
+    }
+
+    #[test]
+    fn zero_skew_is_still_valid() {
+        let db = TestDatabase::generate(&GenConfig::tiny());
+        let oids: Vec<Oid> = (1..=db.len() as u64).map(Oid).collect();
+        let mut w = Workload::new(db, oids, 3).with_skew(0.0);
+        let level = w.closure_level();
+        let r = w.db.level_indices(level);
+        for input in w.inputs_for(OpId::Closure1N, 200) {
+            match input {
+                OpInput::Node(oid) => assert!(r.contains(&(oid.0 as u32 - 1))),
                 other => panic!("{other:?}"),
             }
         }

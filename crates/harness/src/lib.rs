@@ -19,6 +19,8 @@ pub mod input;
 pub mod multiuser;
 pub mod protocol;
 pub mod report;
+pub mod skew;
 
 pub use input::{OpInput, Workload};
 pub use protocol::{run_all_ops, run_op, OpMeasurement, PhaseStats, RunOptions};
+pub use skew::rebalance_pass;

@@ -156,20 +156,55 @@ pub fn ops_json(columns: &[RunColumn]) -> String {
     out
 }
 
+/// The full results document: the [`ops_json`] array, wrapped together
+/// with the skew/rebalance experiment rows when any ran. Without
+/// rebalance rows the output stays the plain ops array, so existing
+/// consumers keep parsing unchanged.
+pub fn results_json(columns: &[RunColumn], rebalance: &[crate::skew::RebalanceReport]) -> String {
+    let ops = ops_json(columns);
+    if rebalance.is_empty() {
+        return ops;
+    }
+    let mut out = String::from("{\n\"ops\": ");
+    out.push_str(ops.trim_end());
+    out.push_str(",\n\"rebalance\": [\n");
+    for (i, r) in rebalance.iter().enumerate() {
+        if i > 0 {
+            out.push_str(",\n");
+        }
+        let _ = write!(
+            out,
+            "  {{\"backend\": \"{}\", \"skew\": {:.3}, \"imbalance_before\": {:.4}, \
+             \"imbalance_after\": {:.4}, \"migrations\": {}, \"moved_nodes\": {}, \
+             \"forwards\": {}, \"verified\": {}}}",
+            json_escape(&r.backend),
+            r.skew,
+            r.imbalance_before,
+            r.imbalance_after,
+            r.migrations,
+            r.moved_nodes,
+            r.forwards,
+            r.verified
+        );
+    }
+    out.push_str("\n]\n}\n");
+    out
+}
+
 /// Render per-shard placement balance and request skew for a sharded
 /// backend. Skew is `max / mean` — 1.00 is a perfect spread.
 pub fn render_shard_balance(loads: &[hypermodel::store::ShardLoad]) -> String {
     let mut out = String::new();
     let _ = writeln!(
         out,
-        "{:>6} {:>12} {:>12} {:>8} {:>10}",
-        "shard", "nodes", "requests", "queued", "busy-us"
+        "{:>6} {:>12} {:>12} {:>8} {:>10} {:>10}",
+        "shard", "nodes", "requests", "queued", "busy-us", "migrated"
     );
     for l in loads {
         let _ = writeln!(
             out,
-            "{:>6} {:>12} {:>12} {:>8} {:>10}",
-            l.shard, l.nodes, l.requests, l.queued, l.busy_us
+            "{:>6} {:>12} {:>12} {:>8} {:>10} {:>10}",
+            l.shard, l.nodes, l.requests, l.queued, l.busy_us, l.migrated
         );
     }
     let skew = |values: Vec<u64>| -> f64 {
@@ -314,6 +349,27 @@ mod tests {
     }
 
     #[test]
+    fn results_json_stays_an_array_without_rebalance_rows() {
+        let columns = [fake_column("mem", 4)];
+        assert_eq!(results_json(&columns, &[]), ops_json(&columns));
+        let row = crate::skew::RebalanceReport {
+            backend: "sharded-mem:4".into(),
+            skew: 1.2,
+            imbalance_before: 1.8,
+            imbalance_after: 1.1,
+            migrations: 2,
+            moved_nodes: 12,
+            forwards: 12,
+            verified: true,
+        };
+        let wrapped = results_json(&columns, &[row]);
+        assert!(wrapped.starts_with("{\n\"ops\": [\n"));
+        assert!(wrapped.contains("\"rebalance\": ["));
+        assert!(wrapped.contains("\"imbalance_before\": 1.8000"));
+        assert!(wrapped.contains("\"verified\": true"));
+    }
+
+    #[test]
     fn json_escape_handles_specials() {
         assert_eq!(json_escape("plain"), "plain");
         assert_eq!(json_escape("a\"b\\c\nd"), "a\\\"b\\\\c\\nd");
@@ -330,6 +386,7 @@ mod tests {
                 requests: 300,
                 queued: 0,
                 busy_us: 12,
+                migrated: 6,
             },
             ShardLoad {
                 shard: 1,
@@ -337,6 +394,7 @@ mod tests {
                 requests: 100,
                 queued: 1,
                 busy_us: 9,
+                migrated: 0,
             },
         ];
         let s = render_shard_balance(&loads);

@@ -1,0 +1,46 @@
+//! End-to-end acceptance for the online-rebalancing subsystem: a Zipf
+//! closure workload on `sharded-mem:4` must trigger migrations that
+//! measurably reduce the per-shard load imbalance, while the generator
+//! oracle sweep stays green — migrations never change what any
+//! operation returns.
+
+use harness::rebalance_pass;
+use hypermodel::config::GenConfig;
+use hypermodel::generate::TestDatabase;
+use shard::Placement;
+
+#[test]
+fn zipf_skew_is_rebalanced_and_the_oracle_sweep_stays_green() {
+    let db = TestDatabase::generate(&GenConfig::level(4));
+    let report = rebalance_pass(&db, 4, Placement::affinity(), 1.5, 300, 4).unwrap();
+
+    assert!(
+        report.imbalance_before > 1.2,
+        "zipf 1.5 over 4 shards must start imbalanced, got {:.3}",
+        report.imbalance_before
+    );
+    assert!(report.migrations >= 1, "the rebalancer must act");
+    assert!(report.moved_nodes > 0);
+    assert!(
+        report.imbalance_after < report.imbalance_before,
+        "imbalance must drop: before {:.3}, after {:.3}",
+        report.imbalance_before,
+        report.imbalance_after
+    );
+    assert!(
+        report.verified,
+        "every node must still read back correctly at its new placement"
+    );
+}
+
+#[test]
+fn the_rebalanced_report_renders_and_serializes() {
+    let db = TestDatabase::generate(&GenConfig::tiny());
+    let report = rebalance_pass(&db, 2, Placement::affinity(), 1.2, 80, 2).unwrap();
+    let line = report.to_string();
+    assert!(line.contains("sharded-mem:2"));
+    assert!(line.contains("oracle sweep ok"), "line: {line}");
+    let json = harness::report::results_json(&[], std::slice::from_ref(&report));
+    assert!(json.contains("\"rebalance\": ["));
+    assert!(json.contains("\"verified\": true"));
+}

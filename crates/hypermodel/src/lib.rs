@@ -43,6 +43,7 @@ pub mod error;
 pub mod ext;
 pub mod generate;
 pub mod load;
+pub mod migrate;
 pub mod model;
 pub mod ops;
 pub mod oracle;
@@ -57,6 +58,7 @@ pub use config::{GenConfig, SizeEstimate};
 pub use error::{HmError, Result};
 pub use generate::TestDatabase;
 pub use load::{load_database, CreationTimings, LoadReport};
+pub use migrate::{NodeExport, MIGRATE_SLOT_BASE};
 pub use model::{Content, NodeAttrs, NodeKind, NodeValue, Oid, RefEdge};
 pub use ops::{InputKind, OpCategory, OpId};
 pub use oracle::Oracle;

@@ -1,0 +1,262 @@
+//! Node-migration primitives: the portable record format and slot-ref
+//! encoding used to move a batch of nodes between two stores.
+//!
+//! A sharded deployment rebalances by *migrating a subtree*: the owning
+//! shard exports the full relationship state of every moved node
+//! ([`NodeExport`]), the driver rewrites each edge endpoint into the
+//! destination shard's id space, and the destination installs the batch
+//! in two steps — an **inert install** (records exist but are invisible
+//! to scans and index lookups) followed by an **activate** (the commit
+//! point of the migration). Edges *between* two nodes of the same batch
+//! cannot be rewritten to destination locals before those locals exist,
+//! so they are encoded as **slot references**: `Oid(MIGRATE_SLOT_BASE +
+//! i)` names the `i`-th record of the batch, and the installer resolves
+//! slots after assigning all locals.
+//!
+//! The batch codec ([`encode_batch`]/[`decode_batch`]) lets the export
+//! cross a wire protocol; it reuses the canonical [`NodeValue`] record
+//! encoding so the format stays backend-agnostic.
+
+use crate::error::{HmError, Result};
+use crate::model::{NodeValue, Oid, RefEdge};
+
+/// Oid values at or above this base are slot references into the
+/// migration batch being installed: `Oid(MIGRATE_SLOT_BASE + i)` means
+/// "the local id assigned to batch element `i`". Far above both real
+/// backend locals and the ghost uid space.
+pub const MIGRATE_SLOT_BASE: u64 = 1 << 56;
+
+/// Whether an oid is a batch slot reference.
+pub fn is_slot_ref(oid: Oid) -> bool {
+    oid.0 >= MIGRATE_SLOT_BASE
+}
+
+/// The complete portable state of one migrating node: its value plus
+/// every relationship endpoint, already translated into the destination
+/// shard's id space (real locals, ghost locals, or slot references).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct NodeExport {
+    /// Attributes and content.
+    pub value: NodeValue,
+    /// Whether the node belongs to the test structure (sequential-scan
+    /// extent) at its new home.
+    pub in_structure: bool,
+    /// 1-N parent, if any.
+    pub parent: Option<Oid>,
+    /// Ordered 1-N children.
+    pub children: Vec<Oid>,
+    /// M-N parts.
+    pub parts: Vec<Oid>,
+    /// Inverse M-N owners.
+    pub part_of: Vec<Oid>,
+    /// Outgoing attributed references.
+    pub refs_to: Vec<RefEdge>,
+    /// Incoming attributed references (`target` = the referencing node).
+    pub refs_from: Vec<RefEdge>,
+    /// Promote this existing local record (the destination's ghost
+    /// stand-in for the migrating node) instead of creating a new one,
+    /// so edges already pointing at the ghost stay valid.
+    pub reuse: Option<Oid>,
+}
+
+// ---------------------------------------------------------------------
+// Batch wire codec (little-endian, mirrors the NodeValue record codec).
+// ---------------------------------------------------------------------
+
+fn put_u32(out: &mut Vec<u8>, v: u32) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+fn put_u64(out: &mut Vec<u8>, v: u64) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+fn put_oids(out: &mut Vec<u8>, oids: &[Oid]) {
+    put_u32(out, oids.len() as u32);
+    for o in oids {
+        put_u64(out, o.0);
+    }
+}
+
+fn put_edges(out: &mut Vec<u8>, edges: &[RefEdge]) {
+    put_u32(out, edges.len() as u32);
+    for e in edges {
+        put_u64(out, e.target.0);
+        out.push(e.offset_from);
+        out.push(e.offset_to);
+    }
+}
+
+/// Serialize a migration batch for the wire.
+pub fn encode_batch(batch: &[NodeExport]) -> Vec<u8> {
+    let mut out = Vec::with_capacity(96 * batch.len() + 8);
+    put_u32(&mut out, batch.len() as u32);
+    for n in batch {
+        let rec = n.value.encode();
+        put_u32(&mut out, rec.len() as u32);
+        out.extend_from_slice(&rec);
+        out.push(n.in_structure as u8);
+        put_u64(&mut out, n.parent.map_or(0, |p| p.0));
+        put_oids(&mut out, &n.children);
+        put_oids(&mut out, &n.parts);
+        put_oids(&mut out, &n.part_of);
+        put_edges(&mut out, &n.refs_to);
+        put_edges(&mut out, &n.refs_from);
+        put_u64(&mut out, n.reuse.map_or(0, |r| r.0));
+    }
+    out
+}
+
+struct BatchReader<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> BatchReader<'a> {
+    fn take(&mut self, n: usize) -> Result<&'a [u8]> {
+        let end = self
+            .pos
+            .checked_add(n)
+            .filter(|&e| e <= self.buf.len())
+            .ok_or_else(|| HmError::Backend("truncated migration batch".into()))?;
+        let s = &self.buf[self.pos..end];
+        self.pos = end;
+        Ok(s)
+    }
+    fn u8(&mut self) -> Result<u8> {
+        Ok(self.take(1)?[0])
+    }
+    fn u32(&mut self) -> Result<u32> {
+        Ok(u32::from_le_bytes(self.take(4)?.try_into().expect("4")))
+    }
+    fn u64(&mut self) -> Result<u64> {
+        Ok(u64::from_le_bytes(self.take(8)?.try_into().expect("8")))
+    }
+    fn oids(&mut self) -> Result<Vec<Oid>> {
+        let n = self.u32()? as usize;
+        if n > self.buf.len() {
+            return Err(HmError::Backend("oid count exceeds batch size".into()));
+        }
+        (0..n).map(|_| Ok(Oid(self.u64()?))).collect()
+    }
+    fn edges(&mut self) -> Result<Vec<RefEdge>> {
+        let n = self.u32()? as usize;
+        if n > self.buf.len() {
+            return Err(HmError::Backend("edge count exceeds batch size".into()));
+        }
+        (0..n)
+            .map(|_| {
+                Ok(RefEdge {
+                    target: Oid(self.u64()?),
+                    offset_from: self.u8()?,
+                    offset_to: self.u8()?,
+                })
+            })
+            .collect()
+    }
+}
+
+/// Deserialize a migration batch produced by [`encode_batch`].
+pub fn decode_batch(buf: &[u8]) -> Result<Vec<NodeExport>> {
+    let mut r = BatchReader { buf, pos: 0 };
+    let n = r.u32()? as usize;
+    if n > buf.len() {
+        return Err(HmError::Backend("batch count exceeds buffer size".into()));
+    }
+    let mut out = Vec::with_capacity(n);
+    for _ in 0..n {
+        let len = r.u32()? as usize;
+        let value = NodeValue::decode(r.take(len)?)?;
+        let in_structure = r.u8()? != 0;
+        let parent = match r.u64()? {
+            0 => None,
+            p => Some(Oid(p)),
+        };
+        let children = r.oids()?;
+        let parts = r.oids()?;
+        let part_of = r.oids()?;
+        let refs_to = r.edges()?;
+        let refs_from = r.edges()?;
+        let reuse = match r.u64()? {
+            0 => None,
+            l => Some(Oid(l)),
+        };
+        out.push(NodeExport {
+            value,
+            in_structure,
+            parent,
+            children,
+            parts,
+            part_of,
+            refs_to,
+            refs_from,
+            reuse,
+        });
+    }
+    if r.pos != buf.len() {
+        return Err(HmError::Backend(
+            "trailing bytes after migration batch".into(),
+        ));
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::{Content, NodeAttrs, NodeKind};
+
+    fn export(uid: u64) -> NodeExport {
+        NodeExport {
+            value: NodeValue {
+                kind: NodeKind::INTERNAL,
+                attrs: NodeAttrs {
+                    unique_id: uid,
+                    ten: 1,
+                    hundred: 2,
+                    thousand: 3,
+                    million: 4,
+                },
+                content: Content::None,
+            },
+            in_structure: true,
+            parent: Some(Oid(9)),
+            children: vec![Oid(MIGRATE_SLOT_BASE + 1), Oid(12)],
+            parts: vec![Oid(3)],
+            part_of: vec![],
+            refs_to: vec![RefEdge {
+                target: Oid(MIGRATE_SLOT_BASE),
+                offset_from: 1,
+                offset_to: 2,
+            }],
+            refs_from: vec![],
+            reuse: Some(Oid(77)),
+        }
+    }
+
+    #[test]
+    fn batch_round_trips() {
+        let batch = vec![export(1), export(2)];
+        let bytes = encode_batch(&batch);
+        assert_eq!(decode_batch(&bytes).unwrap(), batch);
+        assert_eq!(decode_batch(&encode_batch(&[])).unwrap(), vec![]);
+    }
+
+    #[test]
+    fn slot_refs_are_recognized() {
+        assert!(is_slot_ref(Oid(MIGRATE_SLOT_BASE)));
+        assert!(is_slot_ref(Oid(MIGRATE_SLOT_BASE + 500)));
+        assert!(!is_slot_ref(Oid(1)));
+        assert!(!is_slot_ref(Oid(1 << 48))); // ghost uid space stays below
+    }
+
+    #[test]
+    fn corrupt_batches_are_rejected() {
+        let bytes = encode_batch(&[export(1)]);
+        assert!(decode_batch(&bytes[..bytes.len() - 1]).is_err());
+        assert!(decode_batch(&[]).is_err());
+        let mut trailing = bytes.clone();
+        trailing.push(0);
+        assert!(decode_batch(&trailing).is_err());
+    }
+}

@@ -49,6 +49,8 @@ pub struct ShardLoad {
     pub queued: u64,
     /// EWMA of per-job busy time on this shard's worker, in microseconds.
     pub busy_us: u64,
+    /// Nodes migrated onto or off this shard by the rebalancer.
+    pub migrated: u64,
 }
 
 /// Primitive and derived HyperModel operations over one test database.
@@ -233,6 +235,76 @@ pub trait HyperStore {
             "{} backend does not support anti-entropy import",
             self.backend_name()
         )))
+    }
+
+    // ---- node migration (shard rebalancing) ------------------------------
+    //
+    // A sharded deployment rebalances load by moving a batch of nodes to
+    // another shard. The protocol is two-step on the destination — an
+    // *inert* install (records exist but are invisible to scans, index
+    // lookups and the sequential-scan extent) followed by an *activate*
+    // (the migration's commit point) — so a crash between the two leaves
+    // the batch readable at its old placement only ("presumed old", the
+    // rebalancing analogue of 2PC's presumed abort). The source then
+    // *retires* its copies: they stay as ghost stand-ins (edges through
+    // them keep resolving) but leave every index and the scan extent.
+    // The defaults report the backend unsupported, mirroring the
+    // anti-entropy pair above.
+
+    /// Export the full relationship state of each of `oids` (edges in
+    /// this store's local id space; the migration driver rewrites them).
+    fn export_nodes(&mut self, oids: &[Oid]) -> Result<Vec<crate::migrate::NodeExport>> {
+        let _ = oids;
+        Err(crate::error::HmError::Backend(format!(
+            "{} backend does not support node migration export",
+            self.backend_name()
+        )))
+    }
+
+    /// Install a migration batch *inert*: create (or, for
+    /// [`reuse`](crate::migrate::NodeExport::reuse) entries, promote) the
+    /// records and resolve slot references, but add nothing to any index
+    /// or the scan extent. Returns the assigned local ids in batch order.
+    /// Must be deterministic: replicated mirrors install the same batch
+    /// independently and must assign identical locals.
+    fn install_nodes(&mut self, batch: &[crate::migrate::NodeExport]) -> Result<Vec<Oid>> {
+        let _ = batch;
+        Err(crate::error::HmError::Backend(format!(
+            "{} backend does not support node migration install",
+            self.backend_name()
+        )))
+    }
+
+    /// Make inert-installed records live: index their attributes and add
+    /// structure members to the scan extent. This is the migration's
+    /// commit point on the destination.
+    fn activate_nodes(&mut self, oids: &[Oid]) -> Result<()> {
+        let _ = oids;
+        Err(crate::error::HmError::Backend(format!(
+            "{} backend does not support node migration activate",
+            self.backend_name()
+        )))
+    }
+
+    /// Demote migrated-away records to ghost stand-ins: remove them from
+    /// every index and the scan extent but keep the records and their
+    /// edges, and remember `(moved_to, epoch)` so stale direct requests
+    /// can be answered with a redirect (see
+    /// [`moved_hint`](HyperStore::moved_hint)).
+    fn retire_nodes(&mut self, oids: &[Oid], moved_to: u16, epoch: u64) -> Result<()> {
+        let _ = (oids, moved_to, epoch);
+        Err(crate::error::HmError::Backend(format!(
+            "{} backend does not support node migration retire",
+            self.backend_name()
+        )))
+    }
+
+    /// Where a retired node went: `(destination shard, forwarding epoch)`
+    /// recorded by [`retire_nodes`](HyperStore::retire_nodes), or `None`
+    /// if the node was never migrated away.
+    fn moved_hint(&mut self, oid: Oid) -> Option<(u16, u64)> {
+        let _ = oid;
+        None
     }
 
     /// A short backend name for reports ("mem", "disk", "rel").

@@ -25,6 +25,7 @@ use hypermodel::error::{HmError, Result};
 use hypermodel::ext::{
     AccessControlledStore, AccessMode, DynamicSchemaStore, VersionNo, VersionedStore,
 };
+use hypermodel::migrate::{self, NodeExport};
 use hypermodel::model::{Content, NodeKind, NodeValue, Oid, RefEdge};
 use hypermodel::schema::{AttrId, Schema};
 use hypermodel::store::HyperStore;
@@ -43,6 +44,10 @@ struct NodeRecord {
     access: AccessMode,
     /// True if the node belongs to the test structure (seq-scan extent).
     in_structure: bool,
+    /// True if the node's attributes are in the uid/hundred/million
+    /// indexes. False for migration records between install and
+    /// activation, and for records retired by a migration away.
+    indexed: bool,
 }
 
 /// The in-memory HyperModel store.
@@ -60,6 +65,9 @@ pub struct MemStore {
     versions: Vec<Vec<NodeValue>>,
     dyn_attrs: BTreeMap<(u64, u32), i64>,
     commits: u64,
+    /// Migration tombstones: local oid → (destination shard, epoch),
+    /// recorded by `retire_nodes` and served by `moved_hint`.
+    moved: BTreeMap<u64, (u16, u64)>,
 }
 
 impl MemStore {
@@ -119,6 +127,7 @@ impl MemStore {
             refs_from: Vec::new(),
             access: AccessMode::default(),
             in_structure,
+            indexed: true,
         });
         self.versions.push(Vec::new());
         if in_structure {
@@ -345,6 +354,7 @@ impl HyperStore for MemStore {
                 AccessMode::NoAccess => 2,
             });
             out.push(rec.in_structure as u8);
+            out.push(rec.indexed as u8);
         }
         for chain in &self.versions {
             put_u32(&mut out, chain.len() as u32);
@@ -359,6 +369,12 @@ impl HyperStore for MemStore {
             put_u64(&mut out, oid);
             put_u32(&mut out, attr);
             put_u64(&mut out, v as u64);
+        }
+        put_u32(&mut out, self.moved.len() as u32);
+        for (&oid, &(shard, epoch)) in &self.moved {
+            put_u64(&mut out, oid);
+            put_u32(&mut out, shard as u32);
+            put_u64(&mut out, epoch);
         }
         Ok(out)
     }
@@ -396,6 +412,7 @@ impl HyperStore for MemStore {
                 other => return Err(Self::snap_err(&format!("bad access mode {other}"))),
             };
             let in_structure = r.u8()? != 0;
+            let indexed = r.u8()? != 0;
             nodes.push(NodeRecord {
                 value,
                 children,
@@ -406,6 +423,7 @@ impl HyperStore for MemStore {
                 refs_from,
                 access,
                 in_structure,
+                indexed,
             });
         }
         let mut versions = Vec::with_capacity(node_count);
@@ -426,13 +444,26 @@ impl HyperStore for MemStore {
             let v = r.u64()? as i64;
             dyn_attrs.insert((oid, attr), v);
         }
+        let n_moved = r.u32()? as usize;
+        let mut moved = BTreeMap::new();
+        for _ in 0..n_moved {
+            let oid = r.u64()?;
+            let shard = r.u32()? as u16;
+            let epoch = r.u64()?;
+            moved.insert(oid, (shard, epoch));
+        }
         r.finish()?;
 
         // Only replace state once the whole snapshot decoded cleanly.
+        // Inert and retired records (indexed = false) stay out of the
+        // attribute indexes, matching the exporter's live state.
         let mut uid_index = BTreeMap::new();
         let mut hundred_index = BTreeMap::new();
         let mut million_index = BTreeMap::new();
         for (i, rec) in nodes.iter().enumerate() {
+            if !rec.indexed {
+                continue;
+            }
             let oid = Oid(i as u64 + 1);
             uid_index.insert(rec.value.attrs.unique_id, oid);
             hundred_index.insert((rec.value.attrs.hundred, oid.0), ());
@@ -447,12 +478,194 @@ impl HyperStore for MemStore {
         self.versions = versions;
         self.dyn_attrs = dyn_attrs;
         self.commits = commits;
+        self.moved = moved;
         Ok(())
+    }
+
+    fn export_nodes(&mut self, oids: &[Oid]) -> Result<Vec<NodeExport>> {
+        oids.iter()
+            .map(|&o| {
+                let rec = self.record(o)?;
+                Ok(NodeExport {
+                    value: rec.value.clone(),
+                    in_structure: rec.in_structure,
+                    parent: rec.parent,
+                    children: rec.children.clone(),
+                    parts: rec.parts.clone(),
+                    part_of: rec.part_of.clone(),
+                    refs_to: rec.refs_to.clone(),
+                    refs_from: rec.refs_from.clone(),
+                    reuse: None,
+                })
+            })
+            .collect()
+    }
+
+    fn install_nodes(&mut self, batch: &[NodeExport]) -> Result<Vec<Oid>> {
+        // Pass 1: assign a local to every batch slot — promote the ghost
+        // stand-in where one exists (edges already pointing at it stay
+        // valid), otherwise append a fresh record. Locals depend only on
+        // the batch and prior store state, so replicated mirrors
+        // installing the same batch assign identical ids.
+        let mut locals = Vec::with_capacity(batch.len());
+        for n in batch {
+            match n.reuse {
+                Some(l) => {
+                    // Deindex the ghost being promoted; the record is
+                    // overwritten below and reindexed at activation.
+                    let (uid, h, m) = {
+                        let rec = self.record(l)?;
+                        let a = rec.value.attrs;
+                        (a.unique_id, a.hundred, a.million)
+                    };
+                    if self.uid_index.get(&uid) == Some(&l) {
+                        self.uid_index.remove(&uid);
+                    }
+                    self.hundred_index.remove(&(h, l.0));
+                    self.million_index.remove(&(m, l.0));
+                    locals.push(l);
+                }
+                None => {
+                    let oid = Oid(self.nodes.len() as u64 + 1);
+                    self.nodes.push(NodeRecord {
+                        value: n.value.clone(),
+                        children: Vec::new(),
+                        parent: None,
+                        parts: Vec::new(),
+                        part_of: Vec::new(),
+                        refs_to: Vec::new(),
+                        refs_from: Vec::new(),
+                        access: AccessMode::default(),
+                        in_structure: n.in_structure,
+                        indexed: false,
+                    });
+                    self.versions.push(Vec::new());
+                    locals.push(oid);
+                }
+            }
+        }
+        // Pass 2: resolve intra-batch slot references now that every
+        // slot has a local, then write each record's full state. The
+        // records stay inert (indexed = false, absent from `structure`)
+        // until `activate_nodes` commits the migration.
+        let resolve = |o: Oid| -> Result<Oid> {
+            if migrate::is_slot_ref(o) {
+                let i = (o.0 - migrate::MIGRATE_SLOT_BASE) as usize;
+                locals.get(i).copied().ok_or_else(|| {
+                    HmError::InvalidArgument(format!("slot ref {i} out of batch range"))
+                })
+            } else {
+                Ok(o)
+            }
+        };
+        for (n, &l) in batch.iter().zip(&locals) {
+            let parent = n.parent.map(resolve).transpose()?;
+            let children: Vec<Oid> = n
+                .children
+                .iter()
+                .map(|&c| resolve(c))
+                .collect::<Result<_>>()?;
+            let parts: Vec<Oid> = n.parts.iter().map(|&p| resolve(p)).collect::<Result<_>>()?;
+            let part_of: Vec<Oid> = n
+                .part_of
+                .iter()
+                .map(|&p| resolve(p))
+                .collect::<Result<_>>()?;
+            let map_edges = |edges: &[RefEdge]| -> Result<Vec<RefEdge>> {
+                edges
+                    .iter()
+                    .map(|e| {
+                        Ok(RefEdge {
+                            target: resolve(e.target)?,
+                            offset_from: e.offset_from,
+                            offset_to: e.offset_to,
+                        })
+                    })
+                    .collect()
+            };
+            let refs_to = map_edges(&n.refs_to)?;
+            let refs_from = map_edges(&n.refs_from)?;
+            let rec = self.record_mut(l)?;
+            rec.value = n.value.clone();
+            rec.parent = parent;
+            rec.children = children;
+            rec.parts = parts;
+            rec.part_of = part_of;
+            rec.refs_to = refs_to;
+            rec.refs_from = refs_from;
+            rec.in_structure = n.in_structure;
+            rec.indexed = false;
+        }
+        Ok(locals)
+    }
+
+    fn activate_nodes(&mut self, oids: &[Oid]) -> Result<()> {
+        for &o in oids {
+            let (uid, h, m, in_structure, already_live) = {
+                let rec = self.record(o)?;
+                let a = rec.value.attrs;
+                (
+                    a.unique_id,
+                    a.hundred,
+                    a.million,
+                    rec.in_structure,
+                    rec.indexed,
+                )
+            };
+            if already_live {
+                continue; // idempotent re-activation
+            }
+            if let Some(&other) = self.uid_index.get(&uid) {
+                if other != o {
+                    return Err(HmError::InvalidArgument(format!(
+                        "uniqueId {uid} already exists at {other}"
+                    )));
+                }
+            }
+            self.uid_index.insert(uid, o);
+            self.hundred_index.insert((h, o.0), ());
+            self.million_index.insert((m, o.0), ());
+            self.record_mut(o)?.indexed = true;
+            // A node migrated back home is live again: drop its tombstone.
+            self.moved.remove(&o.0);
+            if in_structure {
+                self.structure.push(o);
+            }
+        }
+        Ok(())
+    }
+
+    fn retire_nodes(&mut self, oids: &[Oid], moved_to: u16, epoch: u64) -> Result<()> {
+        for &o in oids {
+            let (uid, h, m) = {
+                let rec = self.record(o)?;
+                let a = rec.value.attrs;
+                (a.unique_id, a.hundred, a.million)
+            };
+            if self.uid_index.get(&uid) == Some(&o) {
+                self.uid_index.remove(&uid);
+            }
+            self.hundred_index.remove(&(h, o.0));
+            self.million_index.remove(&(m, o.0));
+            let rec = self.record_mut(o)?;
+            rec.in_structure = false;
+            rec.indexed = false;
+            self.moved.insert(o.0, (moved_to, epoch));
+        }
+        let gone: std::collections::BTreeSet<u64> = oids.iter().map(|o| o.0).collect();
+        self.structure.retain(|o| !gone.contains(&o.0));
+        Ok(())
+    }
+
+    fn moved_hint(&mut self, oid: Oid) -> Option<(u16, u64)> {
+        self.moved.get(&oid.0).copied()
     }
 }
 
 /// Snapshot wire-format version for [`MemStore::sync_export`].
-const SNAPSHOT_VERSION: u32 = 1;
+/// Version 2 added the per-record `indexed` flag and the migration
+/// tombstone map.
+const SNAPSHOT_VERSION: u32 = 2;
 
 fn put_u32(out: &mut Vec<u8>, v: u32) {
     out.extend_from_slice(&v.to_le_bytes());
@@ -1047,5 +1260,86 @@ mod tests {
         };
         store.create_node(&v).unwrap();
         assert!(store.create_node(&v).is_err());
+    }
+
+    #[test]
+    fn migration_install_activate_retire_lifecycle() {
+        let (mut store, _, oids) = loaded(&GenConfig::tiny());
+        let (a, b) = (oids[5], oids[6]);
+        let uid_a = store.unique_id_of(a).unwrap();
+        let uid_b = store.unique_id_of(b).unwrap();
+
+        // The destination holds a ghost stand-in for node `a`.
+        let mut dst = MemStore::new();
+        let ghost_uid = (1u64 << 48) + 123;
+        let ghost = dst
+            .insert_extra_node(&NodeValue {
+                kind: NodeKind::INTERNAL,
+                attrs: hypermodel::model::NodeAttrs {
+                    unique_id: ghost_uid,
+                    ten: 1,
+                    hundred: 1,
+                    thousand: 1,
+                    million: 1,
+                },
+                content: Content::None,
+            })
+            .unwrap();
+
+        // Export, then rewrite edges to intra-batch slot refs (the
+        // migration driver's job): a is b's parent, nothing else.
+        let mut batch = store.export_nodes(&[a, b]).unwrap();
+        for n in batch.iter_mut() {
+            n.parent = None;
+            n.children.clear();
+            n.parts.clear();
+            n.part_of.clear();
+            n.refs_to.clear();
+            n.refs_from.clear();
+        }
+        batch[0].children = vec![Oid(migrate::MIGRATE_SLOT_BASE + 1)];
+        batch[0].reuse = Some(ghost);
+        batch[1].parent = Some(Oid(migrate::MIGRATE_SLOT_BASE));
+
+        let locals = dst.install_nodes(&batch).unwrap();
+        assert_eq!(locals[0], ghost, "ghost stand-in is promoted in place");
+        // Inert: no index entry, no scan visibility, ghost uid gone.
+        assert!(dst.lookup_unique(uid_a).is_err());
+        assert!(dst.lookup_unique(ghost_uid).is_err());
+        assert_eq!(dst.seq_scan_ten().unwrap(), 0);
+        assert!(dst.range_hundred(0, u32::MAX).unwrap().is_empty());
+        // But slot refs already resolve to assigned locals.
+        assert_eq!(dst.children(locals[0]).unwrap(), vec![locals[1]]);
+
+        dst.activate_nodes(&locals).unwrap();
+        assert_eq!(dst.lookup_unique(uid_a).unwrap(), locals[0]);
+        assert_eq!(dst.lookup_unique(uid_b).unwrap(), locals[1]);
+        assert_eq!(dst.parent(locals[1]).unwrap(), Some(locals[0]));
+        assert_eq!(dst.seq_scan_ten().unwrap(), 2);
+        assert_eq!(dst.range_hundred(0, u32::MAX).unwrap().len(), 2);
+        // Re-activation is idempotent.
+        dst.activate_nodes(&locals).unwrap();
+        assert_eq!(dst.seq_scan_ten().unwrap(), 2);
+
+        // Retire the source copies: demoted to stand-ins, tombstoned.
+        store.retire_nodes(&[a, b], 3, 7).unwrap();
+        assert!(store.lookup_unique(uid_a).is_err());
+        assert_eq!(store.moved_hint(a), Some((3, 7)));
+        assert_eq!(store.moved_hint(oids[0]), None);
+        assert_eq!(store.seq_scan_ten().unwrap(), 29);
+        // The record survives as a stand-in: edges through it resolve.
+        assert!(store.children(a).is_ok());
+
+        // Retired/index state round-trips through the repair snapshot.
+        let snap = store.sync_export().unwrap();
+        let mut copy = MemStore::new();
+        copy.sync_import(&snap).unwrap();
+        assert!(copy.lookup_unique(uid_a).is_err());
+        assert_eq!(copy.moved_hint(a), Some((3, 7)));
+        assert_eq!(copy.seq_scan_ten().unwrap(), 29);
+        assert_eq!(
+            copy.range_hundred(0, u32::MAX).unwrap().len(),
+            store.range_hundred(0, u32::MAX).unwrap().len()
+        );
     }
 }

@@ -1,0 +1,340 @@
+//! Deterministic-scheduler model of the online subtree migration in
+//! `shard::ShardedStore`: inert install, one-step activation (the
+//! commit point), router ownership flip, and retire-as-tombstone on
+//! the source — against concurrent point reads and full scans.
+//!
+//! The two properties the protocol stakes its correctness on, asserted
+//! across every explored interleaving of migration × reader × scanner:
+//!
+//! 1. **Every read lands.** A reader routed by a stale placement must
+//!    be redirected (bounded forwarding chase) and still observe the
+//!    node's value — never a miss, never a stale copy.
+//! 2. **Scans count every node at exactly one placement.** The window
+//!    where both the source record and the activated destination copy
+//!    exist is hidden by the canonical filter (a record only counts
+//!    where the router says the node lives).
+//!
+//! The buggy variants the model exists to catch: a retire that deletes
+//! the source record instead of tombstoning it with the new placement
+//! (stale readers get a miss instead of a redirect), and a scan that
+//! skips the canonical filter (double-counts mid-migration).
+
+use sanity::dsched::{Explorer, Sim, SimSender};
+
+/// Shards in the model: node 0 stays on shard 0, the "subtree"
+/// {1, 2} migrates from shard 0 to shard 1.
+const SHARDS: usize = 2;
+const NODES: usize = 3;
+const SUBTREE: [usize; 2] = [1, 2];
+
+fn value_of(node: usize) -> u64 {
+    node as u64 * 10 + 7
+}
+
+enum ReadReply {
+    /// The node's value, served by its owning placement.
+    Value(u64),
+    /// Tombstone hit: the node moved to this shard (forwarding).
+    Moved(usize),
+    /// No record at all — the failure the tombstone exists to prevent.
+    Missing,
+}
+
+enum Job {
+    /// Point read of a node by id.
+    Read(usize, SimSender<ReadReply>),
+    /// Scan: count records this shard serves.
+    Scan(SimSender<usize>),
+    /// Export the subtree's values (migration step 1).
+    Export(Vec<usize>, SimSender<Vec<u64>>),
+    /// Install records **inert**: present but outside the scan extent.
+    Install(Vec<(usize, u64)>, SimSender<()>),
+    /// Activate installed records — the migration's commit point.
+    Activate(Vec<usize>, SimSender<()>),
+    /// Retire records: tombstone with the new placement (or, in the
+    /// buggy variant, delete outright).
+    Retire(Vec<usize>, usize, SimSender<()>),
+}
+
+#[derive(Clone, Copy)]
+struct Rec {
+    value: u64,
+    active: bool,
+    moved_to: Option<usize>,
+}
+
+/// One modeled run. `retire_deletes` and `canonical_scan` select the
+/// implementation under test: the shipped protocol is
+/// `(false, true)`; each flipped flag is a bug class a property must
+/// catch. `with_reader` / `with_scanner` pick the concurrent
+/// observers — the bug-hunting tests run only the observer whose
+/// property is under attack, so the explorer's bounded schedule
+/// budget is spent on the interleavings that matter.
+fn migration_model(
+    sim: &Sim,
+    retire_deletes: bool,
+    canonical_scan: bool,
+    with_reader: bool,
+    with_scanner: bool,
+) {
+    // The router's placement directory, shared like the real
+    // `ShardRouter` behind the store lock.
+    let router = sim.mutex([0usize; NODES]);
+
+    // --- One FIFO worker per shard, standing in for the executor.
+    let mut joins = Vec::new();
+    let mut queues = Vec::new();
+    for m in 0..SHARDS {
+        let (tx, rx) = sim.channel::<Job>(None);
+        queues.push(tx);
+        let router = router.clone();
+        joins.push(sim.spawn(move || {
+            // Shard 0 boots owning every node; shard 1 empty.
+            let mut recs: Vec<Option<Rec>> = (0..NODES)
+                .map(|n| {
+                    (m == 0).then_some(Rec {
+                        value: value_of(n),
+                        active: true,
+                        moved_to: None,
+                    })
+                })
+                .collect();
+            while let Some(job) = rx.recv() {
+                match job {
+                    Job::Read(n, reply) => {
+                        reply.send(match recs[n] {
+                            Some(Rec {
+                                moved_to: Some(d), ..
+                            }) => ReadReply::Moved(d),
+                            Some(r) if r.active => ReadReply::Value(r.value),
+                            // Inert installs are invisible to lookups.
+                            _ => ReadReply::Missing,
+                        });
+                    }
+                    Job::Scan(reply) => {
+                        let owners = *router.lock();
+                        let count = recs
+                            .iter()
+                            .enumerate()
+                            .filter(|&(n, r)| {
+                                r.is_some_and(|r| r.active) && (!canonical_scan || owners[n] == m)
+                            })
+                            .count();
+                        reply.send(count);
+                    }
+                    Job::Export(ns, reply) => {
+                        reply.send(
+                            ns.iter()
+                                .map(|&n| recs[n].expect("exporting an owned node").value)
+                                .collect(),
+                        );
+                    }
+                    Job::Install(batch, reply) => {
+                        for (n, value) in batch {
+                            recs[n] = Some(Rec {
+                                value,
+                                active: false,
+                                moved_to: None,
+                            });
+                        }
+                        reply.send(());
+                    }
+                    Job::Activate(ns, reply) => {
+                        for n in ns {
+                            if let Some(r) = recs[n].as_mut() {
+                                r.active = true;
+                            }
+                        }
+                        reply.send(());
+                    }
+                    Job::Retire(ns, dst, reply) => {
+                        for n in ns {
+                            if retire_deletes {
+                                recs[n] = None;
+                            } else if let Some(r) = recs[n].as_mut() {
+                                r.active = false;
+                                r.moved_to = Some(dst);
+                            }
+                        }
+                        reply.send(());
+                    }
+                }
+            }
+        }));
+    }
+
+    // --- The migration driver: export -> inert install -> activate
+    // (commit point) -> router flip -> retire, each step through the
+    // owning shard's FIFO exactly like `migrate_subtree`.
+    let migration = {
+        let sim = sim.clone();
+        let router = router.clone();
+        let queues: Vec<SimSender<Job>> = queues.clone();
+        sim.clone().spawn(move || {
+            let (tx, rx) = sim.channel::<Vec<u64>>(None);
+            queues[0].send(Job::Export(SUBTREE.to_vec(), tx));
+            let values = rx.recv().expect("export reply");
+
+            let (tx, rx) = sim.channel::<()>(None);
+            let batch: Vec<(usize, u64)> = SUBTREE.iter().copied().zip(values).collect();
+            queues[1].send(Job::Install(batch, tx));
+            rx.recv().expect("install reply");
+
+            let (tx, rx) = sim.channel::<()>(None);
+            queues[1].send(Job::Activate(SUBTREE.to_vec(), tx));
+            rx.recv().expect("activate reply");
+
+            {
+                let mut owners = router.lock();
+                for n in SUBTREE {
+                    owners[n] = 1;
+                }
+            }
+
+            let (tx, rx) = sim.channel::<()>(None);
+            queues[0].send(Job::Retire(SUBTREE.to_vec(), 1, tx));
+            rx.recv().expect("retire reply");
+        })
+    };
+
+    // --- A concurrent reader of the migrating node: route by the
+    // router, chase at most one redirect (the chain is one hop long —
+    // a single migration is in flight). One pass: the interleavings
+    // that matter are where the pass lands relative to the five
+    // migration steps, and more passes only blow up the schedule
+    // space past what the explorer can cover.
+    let reader = with_reader.then(|| {
+        let sim = sim.clone();
+        let router = router.clone();
+        let queues: Vec<SimSender<Job>> = queues.clone();
+        sim.clone().spawn(move || {
+            let mut target = router.lock()[1];
+            let mut hops = 0;
+            loop {
+                let (tx, rx) = sim.channel::<ReadReply>(None);
+                queues[target].send(Job::Read(1, tx));
+                match rx.recv().expect("read reply") {
+                    ReadReply::Value(v) => {
+                        assert_eq!(v, value_of(1), "read observed a wrong value");
+                        break;
+                    }
+                    ReadReply::Moved(d) => {
+                        hops += 1;
+                        assert!(hops <= 2, "forwarding chase unbounded");
+                        target = d;
+                    }
+                    ReadReply::Missing => {
+                        panic!("node 1 became unreadable: no placement served it")
+                    }
+                }
+            }
+        })
+    });
+
+    // --- A concurrent scanner: fan out to both shards, sum. Exactness
+    // is the exactly-one-placement invariant.
+    let scanner = with_scanner.then(|| {
+        let sim = sim.clone();
+        let queues: Vec<SimSender<Job>> = queues.clone();
+        sim.clone().spawn(move || {
+            let mut total = 0;
+            for q in &queues {
+                let (tx, rx) = sim.channel::<usize>(None);
+                q.send(Job::Scan(tx));
+                total += rx.recv().expect("scan reply");
+            }
+            assert_eq!(
+                total, NODES,
+                "scan must count every node at exactly one placement"
+            );
+        })
+    });
+
+    migration.join();
+    if let Some(reader) = reader {
+        reader.join();
+    }
+    if let Some(scanner) = scanner {
+        scanner.join();
+    }
+
+    // --- Final audit: the move committed, and a reader with a stale
+    // placement still lands via the tombstone.
+    let (tx, rx) = sim.channel::<ReadReply>(None);
+    queues[0].send(Job::Read(1, tx));
+    match rx.recv().expect("audit reply") {
+        ReadReply::Moved(1) => {}
+        ReadReply::Value(_) => panic!("source still serves a migrated node"),
+        _ => panic!("source lost the tombstone for a migrated node"),
+    }
+    let (tx, rx) = sim.channel::<ReadReply>(None);
+    queues[1].send(Job::Read(1, tx));
+    assert!(
+        matches!(rx.recv(), Some(ReadReply::Value(v)) if v == value_of(1)),
+        "destination must serve the migrated node"
+    );
+
+    drop(queues);
+    for j in joins {
+        j.join();
+    }
+}
+
+/// The shipped protocol: across every explored interleaving of the
+/// five migration steps with concurrent reads and scans, every read
+/// lands on the right value and every scan counts each node once.
+#[test]
+fn migration_is_invisible_to_concurrent_reads_and_scans() {
+    let report = Explorer::exhaustive()
+        .preemption_bound(1)
+        .max_schedules(8_000)
+        .explore(|sim| migration_model(sim, false, true, true, true));
+    report.assert_ok();
+    assert!(
+        report.distinct >= 100,
+        "expected a substantial schedule space, explored {}",
+        report.distinct
+    );
+}
+
+/// Bug class 1: retiring by deletion instead of tombstoning. A reader
+/// that routed before the flip arrives at the source after the retire
+/// and finds nothing — the explorer must find that schedule.
+#[test]
+fn without_tombstones_stale_readers_miss() {
+    let report = Explorer::exhaustive()
+        .preemption_bound(1)
+        .max_schedules(8_000)
+        .explore(|sim| migration_model(sim, true, true, true, false));
+    assert!(
+        !report.failures.is_empty(),
+        "explorer missed the stale-read miss ({} runs)",
+        report.runs
+    );
+    let msg = &report.failures[0].message;
+    assert!(
+        msg.contains("unreadable") || msg.contains("tombstone"),
+        "unexpected failure: {msg}"
+    );
+}
+
+/// Bug class 2: scans without the canonical filter. Between activation
+/// and retire both placements hold an active record; some interleaving
+/// runs a scan inside that window and double-counts.
+#[test]
+fn without_the_canonical_filter_scans_double_count() {
+    let report = Explorer::exhaustive()
+        .preemption_bound(1)
+        .max_schedules(8_000)
+        .explore(|sim| migration_model(sim, false, false, false, true));
+    assert!(
+        !report.failures.is_empty(),
+        "explorer missed the double-count ({} runs)",
+        report.runs
+    );
+    assert!(
+        report.failures[0].message.contains("exactly one placement"),
+        "unexpected failure: {}",
+        report.failures[0].message
+    );
+}

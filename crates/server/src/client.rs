@@ -87,6 +87,10 @@ pub struct RemoteStore {
     next_request_id: u64,
     retries: u64,
     gave_up: u64,
+    /// Placement hints learned from [`Response::Moved`] redirects:
+    /// node → `(destination shard, forwarding epoch)`. Only the highest
+    /// epoch seen per node is kept.
+    moved: std::collections::HashMap<Oid, (u16, u64)>,
 }
 
 /// What one send/receive attempt produced, before retry classification.
@@ -109,6 +113,7 @@ impl RemoteStore {
             next_request_id: 1,
             retries: 0,
             gave_up: 0,
+            moved: std::collections::HashMap::new(),
         }
     }
 
@@ -175,10 +180,26 @@ impl RemoteStore {
             _ => None,
         };
         let _span = obs::trace::span("client.call");
-        match self.policy.clone() {
+        let subject = crate::protocol::redirect_subject(&req);
+        let resp = match self.policy.clone() {
             None => self.call_blocking(req),
             Some(policy) => self.call_with_retry(req, &policy),
+        };
+        if let Ok(Response::Moved(to, epoch)) = resp {
+            // The node migrated away: remember where it went (newest
+            // epoch wins) and surface the redirect as an error the
+            // caller can act on via `moved_hint`.
+            if let Some(o) = subject {
+                let slot = self.moved.entry(o).or_insert((to, epoch));
+                if epoch >= slot.1 {
+                    *slot = (to, epoch);
+                }
+            }
+            return Err(HmError::Backend(format!(
+                "remote: node moved to shard {to} (epoch {epoch})"
+            )));
         }
+        resp
     }
 
     fn call_blocking(&mut self, req: Request) -> Result<Response> {
@@ -341,6 +362,9 @@ fn is_mutation(req: &Request) -> bool {
             | Request::CommitPrepared(_)
             | Request::AbortPrepared(_)
             | Request::InstallSubtree(_)
+            | Request::InstallNodes(_)
+            | Request::ActivateNodes(_)
+            | Request::RetireNodes(..)
     )
 }
 
@@ -710,6 +734,34 @@ impl HyperStore for RemoteStore {
     fn sync_import(&mut self, snapshot: &[u8]) -> Result<()> {
         self.expect_unit(Request::InstallSubtree(snapshot.to_vec()))
     }
+
+    // ---- online migration: the remote server is a migration endpoint --
+
+    fn export_nodes(&mut self, oids: &[Oid]) -> Result<Vec<hypermodel::migrate::NodeExport>> {
+        match self.call(Request::ExportNodes(oids.to_vec()))? {
+            Response::Subtree(b) => hypermodel::migrate::decode_batch(&b),
+            other => Err(unexpected(other)),
+        }
+    }
+
+    fn install_nodes(&mut self, batch: &[hypermodel::migrate::NodeExport]) -> Result<Vec<Oid>> {
+        let bytes = hypermodel::migrate::encode_batch(batch);
+        self.expect_oids(Request::InstallNodes(bytes))
+    }
+
+    fn activate_nodes(&mut self, oids: &[Oid]) -> Result<()> {
+        self.expect_unit(Request::ActivateNodes(oids.to_vec()))
+    }
+
+    fn retire_nodes(&mut self, oids: &[Oid], moved_to: u16, epoch: u64) -> Result<()> {
+        self.expect_unit(Request::RetireNodes(oids.to_vec(), moved_to, epoch))
+    }
+
+    /// Placement hints learned from [`Response::Moved`] redirects on
+    /// earlier calls; no extra round trip is made here.
+    fn moved_hint(&mut self, oid: Oid) -> Option<(u16, u64)> {
+        self.moved.get(&oid).copied()
+    }
 }
 
 impl std::fmt::Debug for RemoteStore {
@@ -792,6 +844,30 @@ mod tests {
 
         assert!(remote.retries() > 0, "losses must have forced retries");
         assert_eq!(remote.gave_up(), 0);
+        remote.shutdown().unwrap();
+        handle.join().unwrap();
+    }
+
+    #[test]
+    fn moved_redirects_surface_and_teach_the_client_placement() {
+        let db = TestDatabase::generate(&GenConfig::tiny());
+        let mut store = MemStore::new();
+        let report = load_database(&mut store, &db).unwrap();
+        // Retire a node exactly as a finished migration would: the
+        // server then answers direct requests about it with a redirect.
+        let gone = *report.oids.last().unwrap();
+        store.retire_nodes(&[gone], 2, 9).unwrap();
+        let (client_end, mut server_end) = ChannelTransport::pair(Duration::ZERO);
+        let handle = std::thread::spawn(move || serve(&mut store, &mut server_end).unwrap());
+        let mut remote = RemoteStore::new(Box::new(client_end), ClosureMode::ServerSide);
+
+        assert_eq!(remote.moved_hint(gone), None);
+        let err = remote.hundred_of(gone).unwrap_err();
+        assert!(err.to_string().contains("moved to shard 2"), "{err}");
+        // The redirect taught the client the new placement and epoch.
+        assert_eq!(remote.moved_hint(gone), Some((2, 9)));
+        // Nodes that never moved are served normally.
+        assert!(remote.hundred_of(report.oids[0]).is_ok());
         remote.shutdown().unwrap();
         handle.join().unwrap();
     }

@@ -134,6 +134,21 @@ pub enum Request {
     /// re-executing, so a retried mutation applies at most once even
     /// when the first response was lost in flight. Must not nest.
     Tagged(u64, Box<Request>),
+    // ---- online migration -----------------------------------------------
+    /// `export_nodes`: the relationship state of each oid, answered as
+    /// an encoded migration batch in a [`Response::Subtree`].
+    ExportNodes(Vec<Oid>),
+    /// `install_nodes`: install an encoded migration batch *inert*
+    /// (present but invisible to every index and the scan extent);
+    /// answers with the assigned local oids in batch order.
+    InstallNodes(Vec<u8>),
+    /// `activate_nodes`: make inert-installed records live — the
+    /// migration's commit point on this server.
+    ActivateNodes(Vec<Oid>),
+    /// `retire_nodes`: demote migrated-away records to ghost stand-ins,
+    /// remembering `(moved_to, epoch)` so stale direct requests can be
+    /// answered with a [`Response::Moved`] redirect.
+    RetireNodes(Vec<Oid>, u16, u64),
 }
 
 /// A server → client message.
@@ -176,9 +191,13 @@ pub enum Response {
     Stats(String),
     /// A partition snapshot (answer to [`Request::SyncSubtree`]).
     Subtree(Vec<u8>),
+    /// The addressed node was migrated away: `(destination shard,
+    /// forwarding epoch)`. The client should refresh its placement map
+    /// and re-issue the request against the destination.
+    Moved(u16, u64),
 }
 
-const REQ_TAGS: u8 = 51; // highest request tag + 1, for decode validation
+const REQ_TAGS: u8 = 55; // highest request tag + 1, for decode validation
 
 impl Request {
     fn tag(&self) -> u8 {
@@ -234,6 +253,10 @@ impl Request {
             Request::Stats => 48,
             Request::SyncSubtree => 49,
             Request::InstallSubtree(_) => 50,
+            Request::ExportNodes(_) => 51,
+            Request::InstallNodes(_) => 52,
+            Request::ActivateNodes(_) => 53,
+            Request::RetireNodes(..) => 54,
         }
     }
 
@@ -329,7 +352,15 @@ impl Request {
             | Request::PartsBatch(v)
             | Request::RefsToBatch(v)
             | Request::HundredBatch(v)
-            | Request::MillionBatch(v) => w.oids(v),
+            | Request::MillionBatch(v)
+            | Request::ExportNodes(v)
+            | Request::ActivateNodes(v) => w.oids(v),
+            Request::InstallNodes(b) => w.bytes(b),
+            Request::RetireNodes(v, to, epoch) => {
+                w.oids(v);
+                w.u16(*to);
+                w.u64(*epoch);
+            }
             Request::SetHundredBatch(v) => {
                 w.u32(v.len() as u32);
                 for (o, val) in v {
@@ -425,12 +456,53 @@ impl Request {
             48 => Request::Stats,
             49 => Request::SyncSubtree,
             50 => Request::InstallSubtree(r.bytes()?),
+            51 => Request::ExportNodes(r.oids()?),
+            52 => Request::InstallNodes(r.bytes()?),
+            53 => Request::ActivateNodes(r.oids()?),
+            54 => Request::RetireNodes(r.oids()?, r.u16()?, r.u64()?),
             _ => unreachable!("tag validated above"),
         };
         if !r.is_exhausted() {
             return Err(HmError::Backend("trailing bytes after request".into()));
         }
         Ok(req)
+    }
+}
+
+/// The single node a request is *about*, for requests the server can
+/// answer with [`Response::Moved`] when that node has been migrated
+/// away. Batches, structural mutations between two nodes and the
+/// migration internals themselves return `None`: they either have no
+/// single subject or must observe the store directly.
+pub fn redirect_subject(req: &Request) -> Option<Oid> {
+    match req {
+        Request::UniqueIdOf(o)
+        | Request::KindOf(o)
+        | Request::TenOf(o)
+        | Request::HundredOf(o)
+        | Request::MillionOf(o)
+        | Request::SetHundred(o, _)
+        | Request::Children(o)
+        | Request::Parent(o)
+        | Request::Parts(o)
+        | Request::PartOf(o)
+        | Request::RefsTo(o)
+        | Request::RefsFrom(o)
+        | Request::TextOf(o)
+        | Request::SetText(o, _)
+        | Request::FormOf(o)
+        | Request::SetForm(o, _)
+        | Request::Closure1N(o)
+        | Request::Closure1NAttSum(o)
+        | Request::Closure1NAttSet(o)
+        | Request::Closure1NPred(o, ..)
+        | Request::ClosureMN(o)
+        | Request::ClosureMNAtt(o, _)
+        | Request::ClosureMNAttLinkSum(o, _)
+        | Request::TextNodeEdit(o, ..)
+        | Request::FormNodeEdit(o, ..) => Some(*o),
+        Request::Tagged(_, inner) => redirect_subject(inner),
+        _ => None,
     }
 }
 
@@ -528,6 +600,11 @@ impl Response {
                 w.u8(17);
                 w.bytes(b);
             }
+            Response::Moved(to, epoch) => {
+                w.u8(18);
+                w.u16(*to);
+                w.u64(*epoch);
+            }
         }
         w.finish()
     }
@@ -582,6 +659,7 @@ impl Response {
             }
             16 => Response::Stats(r.string()?),
             17 => Response::Subtree(r.bytes()?),
+            18 => Response::Moved(r.u16()?, r.u64()?),
             other => {
                 return Err(HmError::Backend(format!("unknown response tag {other}")));
             }
@@ -667,6 +745,10 @@ mod tests {
             Request::AbortPrepared(902),
             Request::Tagged(555, Box::new(Request::SetHundred(Oid(42), 13))),
             Request::Stats,
+            Request::ExportNodes(vec![Oid(43), Oid(44)]),
+            Request::InstallNodes(vec![0, 0, 0, 1, 7]),
+            Request::ActivateNodes(vec![Oid(45)]),
+            Request::RetireNodes(vec![Oid(46), Oid(47)], 2, 11),
         ];
         for req in requests {
             let decoded = Request::decode(&req.encode()).unwrap();
@@ -704,6 +786,7 @@ mod tests {
             Response::U32s(vec![1, 2, 3]),
             Response::Stats("{\"counters\": {}}".into()),
             Response::Subtree(vec![9, 8, 7]),
+            Response::Moved(3, 42),
         ];
         for resp in responses {
             let decoded = Response::decode(&resp.encode()).unwrap();
@@ -720,6 +803,16 @@ mod tests {
         let mut bytes = Request::Commit.encode();
         bytes.push(0);
         assert!(Request::decode(&bytes).is_err());
+    }
+
+    #[test]
+    fn redirect_subject_sees_through_tagging() {
+        assert_eq!(redirect_subject(&Request::Children(Oid(5))), Some(Oid(5)));
+        let tagged = Request::Tagged(1, Box::new(Request::SetHundred(Oid(9), 3)));
+        assert_eq!(redirect_subject(&tagged), Some(Oid(9)));
+        assert_eq!(redirect_subject(&Request::AddChild(Oid(1), Oid(2))), None);
+        assert_eq!(redirect_subject(&Request::ExportNodes(vec![Oid(3)])), None);
+        assert_eq!(redirect_subject(&Request::SeqScanTen), None);
     }
 
     #[test]

@@ -75,6 +75,13 @@ pub(crate) fn dispatch<S: HyperStore + ?Sized>(store: &mut S, req: Request) -> R
             Err(e) => Response::Err(e.to_string()),
         }
     }
+    // A request about a node this server migrated away is answered with
+    // its new placement, not served from the retired ghost stand-in.
+    if let Some(o) = crate::protocol::redirect_subject(&req) {
+        if let Some((to, epoch)) = store.moved_hint(o) {
+            return Response::Moved(to, epoch);
+        }
+    }
     match req {
         Request::LookupUnique(uid) => ok_or_err(store.lookup_unique(uid), Response::Oid),
         Request::UniqueIdOf(o) => ok_or_err(store.unique_id_of(o), Response::U64),
@@ -146,6 +153,23 @@ pub(crate) fn dispatch<S: HyperStore + ?Sized>(store: &mut S, req: Request) -> R
         // server and installs it on a lagging one.
         Request::SyncSubtree => ok_or_err(store.sync_export(), Response::Subtree),
         Request::InstallSubtree(snap) => ok_or_err(store.sync_import(&snap), |_| Response::Unit),
+        // Online migration: export/install/activate/retire driven by a
+        // remote migration coordinator.
+        Request::ExportNodes(oids) => ok_or_err(store.export_nodes(&oids), |batch| {
+            Response::Subtree(hypermodel::migrate::encode_batch(&batch))
+        }),
+        Request::InstallNodes(bytes) => {
+            match hypermodel::migrate::decode_batch(&bytes)
+                .and_then(|batch| store.install_nodes(&batch))
+            {
+                Ok(locals) => Response::Oids(locals),
+                Err(e) => Response::Err(e.to_string()),
+            }
+        }
+        Request::ActivateNodes(oids) => ok_or_err(store.activate_nodes(&oids), |_| Response::Unit),
+        Request::RetireNodes(oids, to, epoch) => {
+            ok_or_err(store.retire_nodes(&oids, to, epoch), |_| Response::Unit)
+        }
         // Dedup is the serve loop's job; a direct dispatch just unwraps.
         // (decode rejects nested Tagged, so this recurses at most once.)
         Request::Tagged(_, inner) => dispatch(store, *inner),

@@ -22,6 +22,7 @@ use std::sync::Arc;
 use std::time::Duration;
 
 use hypermodel::error::{HmError, Result};
+use hypermodel::migrate::{NodeExport, MIGRATE_SLOT_BASE};
 use hypermodel::model::{Content, NodeAttrs, NodeKind, NodeValue, Oid, RefEdge};
 use hypermodel::store::{HyperStore, ShardLoad};
 use hypermodel::Bitmap;
@@ -149,6 +150,15 @@ pub struct ShardedStore<S> {
     /// safely drop decisions at or below `min(acked)`: every member is
     /// past them, so none can ever be in doubt about them again.
     acked: Vec<u64>,
+    /// Per *logical* shard: nodes migrated onto or off it by
+    /// [`ShardedStore::migrate_subtree`].
+    migrated: Vec<u64>,
+    /// Subtree migrations completed (ownership flipped).
+    migrations: u64,
+    /// Closure executions per start node since the last
+    /// [`ShardedStore::reset_touches`] — the traffic signal the
+    /// rebalancer uses to pick a hot subtree.
+    touches: HashMap<u64, u64>,
 }
 
 /// Flatten an executor join result into a store-level result.
@@ -207,6 +217,11 @@ impl<S: HyperStore + Send + 'static> ShardedStore<S> {
             reg.counter("shard.2pc.prepared");
             reg.counter("shard.2pc.committed");
             reg.counter("shard.2pc.aborted");
+            reg.counter("shard.rebalance.migrations");
+            reg.counter("shard.rebalance.moved_nodes");
+            reg.counter("shard.rebalance.forward_hits");
+            reg.counter("shard.rebalance.aborts");
+            reg.gauge("shard.load.imbalance");
             if k > 1 {
                 reg.counter("shard.replica.failover_reads");
                 reg.counter("shard.replica.demotions");
@@ -235,6 +250,9 @@ impl<S: HyperStore + Send + 'static> ShardedStore<S> {
             prepare_timeout: DEFAULT_PREPARE_TIMEOUT,
             checkpoint_after: DEFAULT_CHECKPOINT_AFTER,
             acked: vec![0; m],
+            migrated: vec![0; n],
+            migrations: 0,
+            touches: HashMap::new(),
         }
     }
 
@@ -990,6 +1008,302 @@ impl<S: HyperStore + Send + 'static> ShardedStore<S> {
         Ok(())
     }
 
+    // ---- online subtree migration (shard rebalancing) ------------------
+
+    /// The router's placement-map epoch: bumped once per migrated node,
+    /// never reset. Remote clients compare epochs carried in `Moved`
+    /// responses against this to discard stale placement hints.
+    pub fn router_epoch(&self) -> u64 {
+        self.router.epoch()
+    }
+
+    /// Live forwarding-table entries accumulated by migrations.
+    pub fn forward_len(&self) -> usize {
+        self.router.forward_len()
+    }
+
+    /// Path-compress the placement directory and drop the forwarding
+    /// chains. Only call at a quiesce point: no request in flight may
+    /// still hold a pre-compaction placement. (Trivially satisfied by
+    /// this store's access model — every operation takes `&mut self` —
+    /// but a server fronting multiple clients must drain them first.)
+    pub fn compact_forwards(&mut self) -> usize {
+        self.router.compact_forwards()
+    }
+
+    /// Subtree migrations completed (ownership flipped) so far.
+    pub fn migrations(&self) -> u64 {
+        self.migrations
+    }
+
+    /// Closure executions per start node since the last
+    /// [`ShardedStore::reset_touches`], hottest first — the traffic
+    /// signal the rebalancer uses to pick which subtree to move.
+    pub fn touch_counts(&self) -> Vec<(Oid, u64)> {
+        let mut v: Vec<(Oid, u64)> = self.touches.iter().map(|(&g, &c)| (Oid(g), c)).collect();
+        v.sort_by(|a, b| b.1.cmp(&a.1).then(a.0 .0.cmp(&b.0 .0)));
+        v
+    }
+
+    /// Forget the touch counters (start a fresh observation window).
+    pub fn reset_touches(&mut self) {
+        self.touches.clear();
+    }
+
+    fn touch(&mut self, start: Oid) {
+        *self.touches.entry(start.0).or_insert(0) += 1;
+    }
+
+    /// Map one source-shard-local endpoint of a migrating edge into the
+    /// destination's id space: another node of the same batch becomes a
+    /// slot reference, a node already living on the destination its
+    /// real local there, anything else a ghost stand-in (created on
+    /// demand).
+    fn migrate_endpoint(
+        &mut self,
+        src: usize,
+        l: Oid,
+        slot_of: &HashMap<u64, usize>,
+        dst: usize,
+    ) -> Result<Oid> {
+        let g = self.router.to_global(src, l)?;
+        if let Some(&i) = slot_of.get(&g.0) {
+            return Ok(Oid(MIGRATE_SLOT_BASE + i as u64));
+        }
+        let (os, ol) = self.router.to_local(g)?;
+        if os == dst {
+            return Ok(ol);
+        }
+        self.ensure_ghost(g, dst)
+    }
+
+    fn migrate_oids(
+        &mut self,
+        src: usize,
+        v: Vec<Oid>,
+        slot_of: &HashMap<u64, usize>,
+        dst: usize,
+    ) -> Result<Vec<Oid>> {
+        v.into_iter()
+            .map(|l| self.migrate_endpoint(src, l, slot_of, dst))
+            .collect()
+    }
+
+    fn migrate_edges(
+        &mut self,
+        src: usize,
+        v: Vec<RefEdge>,
+        slot_of: &HashMap<u64, usize>,
+        dst: usize,
+    ) -> Result<Vec<RefEdge>> {
+        v.into_iter()
+            .map(|e| {
+                Ok(RefEdge {
+                    target: self.migrate_endpoint(src, e.target, slot_of, dst)?,
+                    ..e
+                })
+            })
+            .collect()
+    }
+
+    /// Best-effort undo of a failed activation: retire the orphaned
+    /// destination records back toward their (still-owning) sources, so
+    /// a partially-activated batch cannot double-report in scans.
+    /// Errors are swallowed — the destination may be the very shard
+    /// that just died, and its inert records are invisible anyway.
+    fn abort_install(&mut self, moved: &[Oid], locals: &[Oid], dst: usize) {
+        let epoch = self.router.epoch();
+        let mut back: HashMap<usize, Vec<Oid>> = HashMap::new();
+        for (&g, &l) in moved.iter().zip(locals) {
+            if let Ok((s, _)) = self.router.to_local(g) {
+                back.entry(s).or_default().push(l);
+            }
+        }
+        for (src, ls) in back {
+            let _ = if self.k == 1 {
+                self.exec
+                    .with_shard(dst, |sh| sh.retire_nodes(&ls, src as u16, epoch))
+            } else {
+                self.write_group(dst, move |sh: &mut S| {
+                    sh.retire_nodes(&ls, src as u16, epoch)
+                })
+            };
+        }
+    }
+
+    /// Migrate the 1-N subtree rooted at `root` onto shard `dst`,
+    /// online: reads and writes against the old placement stay correct
+    /// throughout. The batch is installed **inert** on the destination
+    /// group (invisible to scans and index lookups), activated in one
+    /// step — the commit point — and only then does the router flip
+    /// ownership (one forwarding-table entry and epoch bump per node)
+    /// and retire the source records into ghost stand-ins.
+    ///
+    /// **Presumed old**: a failure or crash before activation aborts
+    /// with ownership untouched — there is no durable mid-flight
+    /// intent, so recovery has nothing to do and the subtree stays
+    /// readable at its old placement (the migration analogue of 2PC's
+    /// presumed abort). A failure *after* activation is reported, but
+    /// the migration itself has committed: the failed source member is
+    /// marked unhealthy and finishes retiring via repair or recovery.
+    ///
+    /// Returns the number of nodes moved (0 when the subtree already
+    /// lives wholly on `dst`).
+    pub fn migrate_subtree(&mut self, root: Oid, dst: usize) -> Result<usize> {
+        if dst >= self.router.shard_count() {
+            return Err(HmError::InvalidArgument(format!(
+                "destination shard {dst} out of range (have {})",
+                self.router.shard_count()
+            )));
+        }
+        if !self.group_healthy(dst) {
+            return Err(Self::unavailable(dst));
+        }
+        // The full 1-N closure, not counted as a touch (the rebalancer's
+        // own bookkeeping must not inflate its traffic signal).
+        let adj = self.collect_oid_adjacency(root, false)?;
+        let closure = Self::replay_preorder(root, &adj);
+        let mut moved = Vec::new();
+        for &g in &closure {
+            if self.router.to_local(g)?.0 != dst {
+                moved.push(g);
+            }
+        }
+        if moved.is_empty() {
+            return Ok(0);
+        }
+        let slot_of: HashMap<u64, usize> =
+            moved.iter().enumerate().map(|(i, &g)| (g.0, i)).collect();
+
+        // Export every moved node from its current owner: one batched
+        // request per source shard, through the owning group's FIFO so
+        // it is ordered after every write already fanned out there.
+        let mut by_src: HashMap<usize, Vec<(usize, Oid)>> = HashMap::new();
+        for (i, &g) in moved.iter().enumerate() {
+            let (s, l) = self.router.to_local(g)?;
+            by_src.entry(s).or_default().push((i, l));
+        }
+        let mut exports: Vec<Option<(usize, NodeExport)>> =
+            (0..moved.len()).map(|_| None).collect();
+        for (&src, items) in &by_src {
+            let locals: Vec<Oid> = items.iter().map(|&(_, l)| l).collect();
+            self.router.requests[src] += 1;
+            let batch = if self.k == 1 {
+                let r = self.exec.with_shard(src, |sh| sh.export_nodes(&locals));
+                self.note(src, r)?
+            } else {
+                self.read_group(src, move |sh: &mut S| sh.export_nodes(&locals))?
+            };
+            for (&(i, _), n) in items.iter().zip(batch) {
+                exports[i] = Some((src, n));
+            }
+        }
+
+        // Rewrite every edge endpoint into the destination's id space.
+        // Remember which stand-ins already existed: ghosts minted below
+        // belong to this migration and must be forgotten on abort.
+        let ghosts_before: std::collections::HashSet<u64> =
+            self.router.ghost_globals(dst).into_iter().collect();
+        let mut batch: Vec<NodeExport> = Vec::with_capacity(moved.len());
+        for (i, e) in exports.into_iter().enumerate() {
+            let Some((src, n)) = e else {
+                return Err(HmError::Backend(
+                    "migration export batch is missing a node".into(),
+                ));
+            };
+            let parent = match n.parent {
+                Some(p) => Some(self.migrate_endpoint(src, p, &slot_of, dst)?),
+                None => None,
+            };
+            batch.push(NodeExport {
+                value: n.value,
+                in_structure: n.in_structure,
+                parent,
+                children: self.migrate_oids(src, n.children, &slot_of, dst)?,
+                parts: self.migrate_oids(src, n.parts, &slot_of, dst)?,
+                part_of: self.migrate_oids(src, n.part_of, &slot_of, dst)?,
+                refs_to: self.migrate_edges(src, n.refs_to, &slot_of, dst)?,
+                refs_from: self.migrate_edges(src, n.refs_from, &slot_of, dst)?,
+                reuse: self.router.ghost_of(moved[i], dst),
+            });
+        }
+        let structural: Vec<bool> = batch.iter().map(|n| n.in_structure).collect();
+
+        // Inert install: records exist on every destination mirror (the
+        // install is deterministic, so replicas assign identical local
+        // ids) but stay invisible to scans and index lookups.
+        self.router.requests[dst] += 1;
+        let locals = if self.k == 1 {
+            let b = batch;
+            let r = self.exec.with_shard(dst, |sh| sh.install_nodes(&b));
+            self.note(dst, r)?
+        } else {
+            let b = Arc::new(batch);
+            self.write_group(dst, move |sh: &mut S| sh.install_nodes(&b))?
+        };
+
+        // Activate: the commit point. Failure here aborts presumed-old.
+        let acts = locals.clone();
+        let activated = if self.k == 1 {
+            let r = self.exec.with_shard(dst, |sh| sh.activate_nodes(&acts));
+            self.note(dst, r)
+        } else {
+            self.write_group(dst, move |sh: &mut S| sh.activate_nodes(&acts))
+        };
+        if let Err(e) = activated {
+            self.abort_install(&moved, &locals, dst);
+            // Ghosts minted for this batch are referenced only by the
+            // just-retired install — and if the destination died they
+            // never existed durably. Forget them so a retry recreates
+            // them instead of wiring edges to phantom locals.
+            for g in self.router.ghost_globals(dst) {
+                if !ghosts_before.contains(&g) {
+                    self.router.unregister_ghost(Oid(g), dst);
+                }
+            }
+            obs::incr("shard.rebalance.aborts", 1);
+            return Err(e);
+        }
+
+        // Ownership flip: stale placements now redirect through the
+        // forwarding table; the promoted destination records stop being
+        // ghosts and the superseded source records become them.
+        let mut epoch = self.router.epoch();
+        for (i, (&g, &l)) in moved.iter().zip(&locals).enumerate() {
+            let (src, _) = self.router.to_local(g)?;
+            epoch = self.router.move_node(g, dst, l)?;
+            if structural[i] {
+                self.router.nodes[src] -= 1;
+                self.router.nodes[dst] += 1;
+            }
+            self.migrated[src] += 1;
+            self.migrated[dst] += 1;
+        }
+        self.migrations += 1;
+        obs::incr("shard.rebalance.migrations", 1);
+        obs::incr("shard.rebalance.moved_nodes", moved.len() as u64);
+
+        // Retire the source records: deindexed, out of the scan extent,
+        // tombstoned with the new placement so a stale remote client
+        // probing the old local learns where the node went.
+        for (&src, items) in &by_src {
+            let ls: Vec<Oid> = items.iter().map(|&(_, l)| l).collect();
+            self.router.requests[src] += 1;
+            let retired = if self.k == 1 {
+                let d = dst as u16;
+                let r = self
+                    .exec
+                    .with_shard(src, move |sh| sh.retire_nodes(&ls, d, epoch));
+                self.note(src, r)
+            } else {
+                let d = dst as u16;
+                self.write_group(src, move |sh: &mut S| sh.retire_nodes(&ls, d, epoch))
+            };
+            retired?;
+        }
+        Ok(moved.len())
+    }
+
     /// Fan `f` out to every *healthy* shard via the executor pool,
     /// applying the [`ScanPolicy`] to dead shards and to shards that
     /// fail transiently mid-scan. Returns `(shard, value)` pairs in
@@ -1107,9 +1421,11 @@ impl<S: HyperStore + Send + 'static> ShardedStore<S> {
         let mut out = Vec::new();
         for (s, locals) in per_shard {
             for l in locals {
-                let g = self.router.to_global(s, l)?;
-                if self.router.owner_of(g) == Some(s) {
-                    out.push(g);
+                // Canonical ownership: the node's current placement must
+                // be exactly this (shard, local) — ghosts and records
+                // retired by a migration away never double-report.
+                if self.router.is_owned_local(s, l)? {
+                    out.push(self.router.to_global(s, l)?);
                 }
             }
         }
@@ -1661,6 +1977,7 @@ impl<S: HyperStore + Send + 'static> HyperStore for ShardedStore<S> {
                             .map(|m| self.exec.busy_ewma_us(m))
                             .max()
                             .unwrap_or(0),
+                        migrated: self.migrated[s],
                     }
                 })
                 .collect(),
@@ -1674,6 +1991,7 @@ impl<S: HyperStore + Send + 'static> HyperStore for ShardedStore<S> {
             && self.aborts == 0
             && dead == 0
             && self.last_scan_skipped.is_empty()
+            && self.migrations == 0
         {
             return None;
         }
@@ -1700,6 +2018,13 @@ impl<S: HyperStore + Send + 'static> HyperStore for ShardedStore<S> {
                 self.failovers,
                 self.demotions,
                 self.repairs
+            ));
+        }
+        if self.migrations > 0 {
+            out.push_str(&format!(
+                " migrations={} forwards={}",
+                self.migrations,
+                self.router.forward_len()
             ));
         }
         if !self.last_scan_skipped.is_empty() {
@@ -1812,6 +2137,7 @@ impl<S: HyperStore + Send + 'static> HyperStore for ShardedStore<S> {
     // ---- closures: level-batched frontier exchange + local replay -----
 
     fn closure_1n(&mut self, start: Oid) -> Result<Vec<Oid>> {
+        self.touch(start);
         let adj = self.collect_oid_adjacency(start, false)?;
         Ok(Self::replay_preorder(start, &adj))
     }
@@ -1836,6 +2162,7 @@ impl<S: HyperStore + Send + 'static> HyperStore for ShardedStore<S> {
     }
 
     fn closure_1n_pred(&mut self, start: Oid, lo: u32, hi: u32) -> Result<Vec<Oid>> {
+        self.touch(start);
         // BFS: fetch `million` for each level, expand only nodes outside
         // the excluded range (their subtrees are pruned, so their
         // children are never requested).
@@ -1882,11 +2209,13 @@ impl<S: HyperStore + Send + 'static> HyperStore for ShardedStore<S> {
     }
 
     fn closure_mn(&mut self, start: Oid) -> Result<Vec<Oid>> {
+        self.touch(start);
         let adj = self.collect_oid_adjacency(start, true)?;
         Ok(Self::replay_preorder(start, &adj))
     }
 
     fn closure_mnatt(&mut self, start: Oid, depth: u32) -> Result<Vec<Oid>> {
+        self.touch(start);
         let adj = self.collect_ref_adjacency(start, depth)?;
         let mut out = Vec::new();
         let mut stack = vec![(start, depth)];
@@ -1903,6 +2232,7 @@ impl<S: HyperStore + Send + 'static> HyperStore for ShardedStore<S> {
     }
 
     fn closure_mnatt_linksum(&mut self, start: Oid, depth: u32) -> Result<Vec<(Oid, u64)>> {
+        self.touch(start);
         let adj = self.collect_ref_adjacency(start, depth)?;
         let mut out = Vec::new();
         let mut stack = vec![(start, depth, 0u64)];

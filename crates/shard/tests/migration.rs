@@ -1,0 +1,219 @@
+//! Online subtree migration: oracle conformance across moves, the
+//! forwarding-table semantics (stale-route redirect, chain compaction,
+//! epoch monotonicity), and scan-extent exactness at every step.
+
+use hypermodel::config::GenConfig;
+use hypermodel::generate::TestDatabase;
+use hypermodel::load::load_database;
+use hypermodel::model::Oid;
+use hypermodel::oracle::Oracle;
+use hypermodel::store::HyperStore;
+use mem_backend::MemStore;
+use shard::{Placement, ShardedStore};
+
+fn sharded_mem(n: usize, placement: Placement) -> ShardedStore<MemStore> {
+    let shards = (0..n).map(|_| MemStore::new()).collect();
+    ShardedStore::new(shards, placement, "sharded-mem")
+}
+
+fn replicated_mem(n: usize, k: usize, placement: Placement) -> ShardedStore<MemStore> {
+    let members = (0..n * k).map(|_| MemStore::new()).collect();
+    ShardedStore::new_replicated(members, k, placement, "sharded-mem")
+}
+
+fn uids(store: &mut dyn HyperStore, oids: &[Oid]) -> Vec<u32> {
+    oids.iter()
+        .map(|&o| (store.unique_id_of(o).unwrap() - 1) as u32)
+        .collect()
+}
+
+/// Full-surface conformance sweep: scans, ranges, point navigation and
+/// every closure — the state a migration must leave untouched.
+fn assert_matches_oracle(store: &mut ShardedStore<MemStore>, oids: &[Oid], db: &TestDatabase) {
+    let oracle = Oracle::new(db);
+    assert_eq!(store.seq_scan_ten().unwrap(), oracle.seq_scan_count(), "O9");
+    for (lo, hi) in [(1u32, 10), (42, 51)] {
+        let got = store.range_hundred(lo, hi).unwrap();
+        let mut got = uids(store, &got);
+        got.sort_unstable();
+        assert_eq!(got, oracle.range_hundred(lo, hi), "O3");
+    }
+    for idx in 0..db.len() as u32 {
+        let oid = oids[idx as usize];
+        assert_eq!(
+            store.unique_id_of(oid).unwrap(),
+            idx as u64 + 1,
+            "uid of {idx}"
+        );
+        assert_eq!(
+            store.lookup_unique(idx as u64 + 1).unwrap(),
+            oid,
+            "lookup {idx}"
+        );
+        let kids = store.children(oid).unwrap();
+        assert_eq!(uids(store, &kids), oracle.children(idx), "children {idx}");
+        let parent = store.parent(oid).unwrap();
+        assert_eq!(
+            parent.map(|p| (store.unique_id_of(p).unwrap() - 1) as u32),
+            oracle.parent(idx),
+            "parent {idx}"
+        );
+    }
+    let start_level = oracle.closure_start_level();
+    for idx in db.level_indices(start_level) {
+        let start = oids[idx as usize];
+        let c = store.closure_1n(start).unwrap();
+        assert_eq!(uids(store, &c), oracle.closure_1n(idx), "O10 from {idx}");
+        let c = store.closure_mn(start).unwrap();
+        assert_eq!(uids(store, &c), oracle.closure_mn(idx), "O14 from {idx}");
+        let c = store.closure_mnatt(start, 25).unwrap();
+        assert_eq!(uids(store, &c), oracle.closure_mnatt(idx, 25), "O15");
+    }
+    // Per-shard scans still partition the structure: no node reports
+    // from two placements, none vanished.
+    let per = store.per_shard_scan().unwrap();
+    assert_eq!(per.iter().sum::<u64>(), db.len() as u64, "scan partition");
+}
+
+/// A closure-start subtree root and a shard it does not live on.
+fn pick_subtree(store: &ShardedStore<MemStore>, oids: &[Oid], db: &TestDatabase) -> (Oid, usize) {
+    let oracle = Oracle::new(db);
+    let idx = db.level_indices(oracle.closure_start_level()).start;
+    let root = oids[idx as usize];
+    let owner = store.owner_of(root).unwrap();
+    (root, (owner + 1) % store.shard_count())
+}
+
+#[test]
+fn migrated_subtree_still_matches_the_oracle() {
+    let db = TestDatabase::generate(&GenConfig::tiny());
+    for placement in [Placement::OidHash, Placement::affinity()] {
+        let mut s = sharded_mem(3, placement);
+        let r = load_database(&mut s, &db).unwrap();
+        let (root, dst) = pick_subtree(&s, &r.oids, &db);
+
+        let moved = s.migrate_subtree(root, dst).unwrap();
+        assert!(moved > 0, "{placement:?}: nothing moved");
+        assert_eq!(s.owner_of(root), Some(dst), "{placement:?}: root not moved");
+        assert_eq!(s.migrations(), 1);
+        assert!(s.forward_len() > 0, "moves must leave forwarding entries");
+        assert_matches_oracle(&mut s, &r.oids, &db);
+
+        // Balance accounting survives: every structure node still
+        // placed exactly once, and the migration is attributed.
+        let balance = s.shard_balance().unwrap();
+        assert_eq!(
+            balance.iter().map(|b| b.nodes).sum::<u64>(),
+            db.len() as u64
+        );
+        assert!(balance.iter().any(|b| b.migrated > 0));
+    }
+}
+
+#[test]
+fn repeated_moves_chain_then_compact_without_changing_resolution() {
+    let db = TestDatabase::generate(&GenConfig::tiny());
+    let mut s = sharded_mem(4, Placement::affinity());
+    let r = load_database(&mut s, &db).unwrap();
+    let (root, first) = pick_subtree(&s, &r.oids, &db);
+    let home = s.owner_of(root).unwrap();
+
+    // Epochs are strictly monotone across a chain of migrations,
+    // including the move back home (which promotes the retired
+    // records rather than minting new ones).
+    let mut last_epoch = s.router_epoch();
+    for dst in [first, (first + 1) % 4, home] {
+        if s.owner_of(root) == Some(dst) {
+            continue;
+        }
+        s.migrate_subtree(root, dst).unwrap();
+        let e = s.router_epoch();
+        assert!(e > last_epoch, "epoch must advance on every move");
+        last_epoch = e;
+    }
+    assert_eq!(s.owner_of(root), Some(home), "round trip ends at home");
+    assert!(s.forward_len() > 0);
+
+    // Stale chains compact away at a quiesce point; resolution and
+    // epoch are untouched.
+    let dropped = s.compact_forwards();
+    assert!(dropped > 0);
+    assert_eq!(s.forward_len(), 0);
+    assert_eq!(s.router_epoch(), last_epoch, "compaction is not a move");
+    assert_matches_oracle(&mut s, &r.oids, &db);
+}
+
+#[test]
+fn migration_to_the_current_owner_is_a_noop() {
+    let db = TestDatabase::generate(&GenConfig::tiny());
+    let mut s = sharded_mem(1, Placement::OidHash);
+    let r = load_database(&mut s, &db).unwrap();
+    assert_eq!(s.migrate_subtree(r.oids[0], 0).unwrap(), 0);
+    assert_eq!(s.migrations(), 0);
+    assert_eq!(s.router_epoch(), 0);
+    assert!(s.migrate_subtree(r.oids[0], 9).is_err(), "bad destination");
+}
+
+#[test]
+fn replicated_groups_migrate_in_lockstep() {
+    let db = TestDatabase::generate(&GenConfig::tiny());
+    let mut s = replicated_mem(3, 2, Placement::affinity());
+    let r = load_database(&mut s, &db).unwrap();
+    let (root, dst) = pick_subtree(&s, &r.oids, &db);
+
+    let moved = s.migrate_subtree(root, dst).unwrap();
+    assert!(moved > 0);
+    assert_eq!(s.owner_of(root), Some(dst));
+    assert_matches_oracle(&mut s, &r.oids, &db);
+    // Both mirrors of every group assigned identical locals: a commit
+    // (which runs anti-entropy checks) and another full sweep agree.
+    s.commit().unwrap();
+    assert_matches_oracle(&mut s, &r.oids, &db);
+    assert!(s.health().iter().all(|&h| h), "no member was demoted");
+}
+
+#[test]
+fn touch_counters_track_closure_traffic_and_reset() {
+    let db = TestDatabase::generate(&GenConfig::tiny());
+    let mut s = sharded_mem(2, Placement::affinity());
+    let r = load_database(&mut s, &db).unwrap();
+    let oracle = Oracle::new(&db);
+    let starts: Vec<Oid> = db
+        .level_indices(oracle.closure_start_level())
+        .map(|i| r.oids[i as usize])
+        .collect();
+
+    for _ in 0..3 {
+        s.closure_1n(starts[0]).unwrap();
+    }
+    s.closure_1n(starts[1]).unwrap();
+    let counts = s.touch_counts();
+    assert_eq!(counts[0], (starts[0], 3), "hottest first");
+    assert!(counts.contains(&(starts[1], 1)));
+
+    // The rebalancer's own closure (inside migrate_subtree) must not
+    // count as traffic.
+    let dst = (s.owner_of(starts[0]).unwrap() + 1) % 2;
+    s.migrate_subtree(starts[0], dst).unwrap();
+    assert_eq!(s.touch_counts()[0], (starts[0], 3));
+
+    s.reset_touches();
+    assert!(s.touch_counts().is_empty());
+}
+
+#[test]
+fn a_dead_destination_aborts_presumed_old() {
+    let db = TestDatabase::generate(&GenConfig::tiny());
+    let mut s = sharded_mem(3, Placement::affinity());
+    let r = load_database(&mut s, &db).unwrap();
+    let (root, dst) = pick_subtree(&s, &r.oids, &db);
+    let home = s.owner_of(root).unwrap();
+
+    s.mark_shard_down(dst);
+    assert!(s.migrate_subtree(root, dst).is_err());
+    // Presumed old: ownership untouched, nothing half-moved.
+    assert_eq!(s.owner_of(root), Some(home));
+    assert_eq!(s.migrations(), 0);
+    s.revive_shard(dst).unwrap();
+    assert_matches_oracle(&mut s, &r.oids, &db);
+}
