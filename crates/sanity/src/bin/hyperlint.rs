@@ -6,7 +6,8 @@
 //! the current directory to the first `Cargo.toml` containing a
 //! `[workspace]` section. Exit code is 0 when clean, 1 when any rule
 //! fires (findings printed as `file:line: [rule] message`), 2 on usage
-//! errors.
+//! errors. `lint:allow` markers that suppress nothing are printed as
+//! warnings; `--strict-allows` promotes them to findings.
 
 use std::path::PathBuf;
 use std::process::ExitCode;
@@ -29,6 +30,7 @@ fn workspace_root() -> Option<PathBuf> {
 fn main() -> ExitCode {
     let mut args = std::env::args().skip(1);
     let mut root: Option<PathBuf> = None;
+    let mut strict_allows = false;
     while let Some(arg) = args.next() {
         match arg.as_str() {
             "--root" => match args.next() {
@@ -38,8 +40,9 @@ fn main() -> ExitCode {
                     return ExitCode::from(2);
                 }
             },
+            "--strict-allows" => strict_allows = true,
             "--help" | "-h" => {
-                println!("hyperlint [--root <workspace root>]");
+                println!("hyperlint [--root <workspace root>] [--strict-allows]");
                 return ExitCode::SUCCESS;
             }
             other => {
@@ -56,7 +59,16 @@ fn main() -> ExitCode {
         }
     };
 
-    let (findings, scanned) = sanity::lint::lint_tree(&root);
+    let report = sanity::lint::lint_tree(&root);
+    let mut findings = report.findings;
+    if strict_allows {
+        findings.extend(report.warnings);
+    } else {
+        for w in &report.warnings {
+            eprintln!("warning: {w}");
+        }
+    }
+    let scanned = report.scanned;
     if findings.is_empty() {
         println!("hyperlint: clean ({scanned} files scanned)");
         ExitCode::SUCCESS

@@ -1,0 +1,153 @@
+//! `hyperstatic` — whole-workspace call-graph analysis for lock-order,
+//! blocking-path, and panic-path hazards.
+//!
+//! Usage: `cargo run -p sanity --bin hyperstatic [-- flags]`
+//!
+//! * `--root <path>`       workspace root (default: walk up to the
+//!   first `Cargo.toml` with a `[workspace]` section)
+//! * `--baseline <path>`   baseline file (default `hyperstatic.baseline`
+//!   at the root); only findings *not* in the baseline fail the run
+//! * `--no-baseline`       ignore any baseline; report everything
+//! * `--write-baseline`    write the current findings as the baseline
+//!   and exit 0
+//! * `--graph-json <path>` dump the static lock-order graph as JSON
+//! * `--strict-allows`     unused `lint:allow` markers become findings
+//!
+//! Exit code 0 when clean (no new findings), 1 on new findings, 2 on
+//! usage errors. Stale baseline entries are warnings.
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+use sanity::static_graph as sg;
+
+fn workspace_root() -> Option<PathBuf> {
+    let mut dir = std::env::current_dir().ok()?;
+    loop {
+        let manifest = dir.join("Cargo.toml");
+        if let Ok(text) = std::fs::read_to_string(&manifest) {
+            if text.contains("[workspace]") {
+                return Some(dir);
+            }
+        }
+        if !dir.pop() {
+            return None;
+        }
+    }
+}
+
+fn main() -> ExitCode {
+    let mut args = std::env::args().skip(1);
+    let mut root: Option<PathBuf> = None;
+    let mut baseline: Option<PathBuf> = None;
+    let mut no_baseline = false;
+    let mut write_baseline = false;
+    let mut graph_json: Option<PathBuf> = None;
+    let mut strict_allows = false;
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--root" => match args.next() {
+                Some(p) => root = Some(PathBuf::from(p)),
+                None => return usage_err("--root requires a path"),
+            },
+            "--baseline" => match args.next() {
+                Some(p) => baseline = Some(PathBuf::from(p)),
+                None => return usage_err("--baseline requires a path"),
+            },
+            "--graph-json" => match args.next() {
+                Some(p) => graph_json = Some(PathBuf::from(p)),
+                None => return usage_err("--graph-json requires a path"),
+            },
+            "--no-baseline" => no_baseline = true,
+            "--write-baseline" => write_baseline = true,
+            "--strict-allows" => strict_allows = true,
+            "--help" | "-h" => {
+                println!(
+                    "hyperstatic [--root <path>] [--baseline <path>] [--no-baseline] \
+                     [--write-baseline] [--graph-json <path>] [--strict-allows]"
+                );
+                return ExitCode::SUCCESS;
+            }
+            other => return usage_err(&format!("unknown argument `{other}`")),
+        }
+    }
+    let root = match root.or_else(workspace_root) {
+        Some(r) => r,
+        None => return usage_err("no workspace root found (pass --root)"),
+    };
+    let baseline_path = baseline.unwrap_or_else(|| root.join(sg::BASELINE_FILE));
+
+    let analysis = sg::analyze(&root);
+
+    if let Some(path) = graph_json {
+        if let Err(e) = std::fs::write(&path, sg::graph_json(&analysis.graph)) {
+            eprintln!("hyperstatic: cannot write {}: {e}", path.display());
+            return ExitCode::from(2);
+        }
+        println!(
+            "hyperstatic: wrote {} static lock-order edge(s) to {}",
+            analysis.graph.len(),
+            path.display()
+        );
+    }
+
+    if write_baseline {
+        let text = sg::render_baseline(&analysis.findings);
+        if let Err(e) = std::fs::write(&baseline_path, text) {
+            eprintln!("hyperstatic: cannot write {}: {e}", baseline_path.display());
+            return ExitCode::from(2);
+        }
+        println!(
+            "hyperstatic: wrote {} baseline entr(ies) to {}",
+            analysis.findings.len(),
+            baseline_path.display()
+        );
+        return ExitCode::SUCCESS;
+    }
+
+    let base = if no_baseline {
+        Default::default()
+    } else {
+        sg::load_baseline(&baseline_path)
+    };
+    let (new, stale) = sg::diff_baseline(&analysis.findings, &base);
+
+    for key in &stale {
+        eprintln!("warning: stale baseline entry (no longer found): {key}");
+    }
+    let mut failures = new.len();
+    for f in &new {
+        println!("{f}");
+    }
+    for (file, line, message) in &analysis.warnings {
+        if strict_allows {
+            println!("{file}:{line}: [unused-allow] {message}");
+            failures += 1;
+        } else {
+            eprintln!("warning: {file}:{line}: [unused-allow] {message}");
+        }
+    }
+
+    if failures == 0 {
+        println!(
+            "hyperstatic: clean ({} files, {} functions, {} lock edge(s), {} baselined)",
+            analysis.scanned,
+            analysis.fns.len(),
+            analysis.graph.len(),
+            analysis.findings.len()
+        );
+        ExitCode::SUCCESS
+    } else {
+        eprintln!(
+            "hyperstatic: {failures} new finding(s) ({} total, {} baselined)",
+            analysis.findings.len(),
+            analysis.findings.len() - new.len()
+        );
+        ExitCode::FAILURE
+    }
+}
+
+fn usage_err(msg: &str) -> ExitCode {
+    eprintln!("hyperstatic: {msg}");
+    ExitCode::from(2)
+}

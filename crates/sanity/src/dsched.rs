@@ -711,6 +711,12 @@ pub struct Report {
     /// True if exhaustive exploration hit the schedule cap before
     /// completing the tree.
     pub truncated: bool,
+    /// Most preemptions any single run consumed (≤ the bound).
+    pub max_preemptions: usize,
+    /// Deepest decision point any run reached: scheduling or value
+    /// choices with more than one live option. A model whose depth is
+    /// 0 never branched — the exploration was a single straight line.
+    pub max_depth: usize,
     /// At most one failure: exploration stops at the first.
     pub failures: Vec<Failure>,
 }
@@ -724,6 +730,19 @@ impl Report {
                 self.runs
             );
         }
+    }
+
+    /// One-line per-model summary for test logs (`cargo test -- --nocapture`).
+    pub fn summary(&self, name: &str) -> String {
+        format!(
+            "dsched[{name}]: {} schedule(s), {} distinct, max {} preemption(s), \
+             decision depth {}{}",
+            self.runs,
+            self.distinct,
+            self.max_preemptions,
+            self.max_depth,
+            if self.truncated { " (truncated)" } else { "" },
+        )
     }
 }
 
@@ -786,12 +805,16 @@ impl Explorer {
             runs: 0,
             distinct: 0,
             truncated: false,
+            max_preemptions: 0,
+            max_depth: 0,
             failures: Vec::new(),
         };
         loop {
             let random = matches!(self.mode, Mode::Random { .. });
             let outcome = self.run_once(&body, &mut cursor, &mut rng, random);
             report.runs += 1;
+            report.max_preemptions = report.max_preemptions.max(outcome.preemptions);
+            report.max_depth = report.max_depth.max(outcome.decisions);
             match self.mode {
                 Mode::Exhaustive => report.distinct += 1,
                 Mode::Random { .. } => {
@@ -837,6 +860,7 @@ impl Explorer {
         sim.spawn(move || body(&sim2));
 
         let mut deadlock = false;
+        let mut decisions = 0usize;
         {
             let mut st = sim.lock();
             loop {
@@ -857,6 +881,9 @@ impl Explorer {
                 // Resolve a pending value choice: token goes straight
                 // back to the asking thread — choosing is not a yield.
                 if let Some((tid, options)) = st.pending_choice.take() {
+                    if options > 1 {
+                        decisions += 1;
+                    }
                     let pick = if random {
                         (rng.next() % options as u64) as usize
                     } else {
@@ -897,6 +924,9 @@ impl Explorer {
                 }
                 if last_enabled && st.preemptions >= self.max_preemptions {
                     options.truncate(1);
+                }
+                if options.len() > 1 {
+                    decisions += 1;
                 }
                 let idx = if random {
                     (rng.next() % options.len() as u64) as usize
@@ -951,6 +981,8 @@ impl Explorer {
         RunOutcome {
             trace: st.trace.clone(),
             failure,
+            preemptions: st.preemptions,
+            decisions,
         }
     }
 }
@@ -958,6 +990,10 @@ impl Explorer {
 struct RunOutcome {
     trace: Vec<TraceStep>,
     failure: Option<Failure>,
+    /// Preemptions this run consumed.
+    preemptions: usize,
+    /// Choice points with more than one live option this run hit.
+    decisions: usize,
 }
 
 // Poison flags in models are fine as plain atomics: only one virtual

@@ -1,6 +1,6 @@
 //! Correctness tooling for the sharded HyperStore.
 //!
-//! Three independent parts, all free of external dependencies:
+//! Four independent parts, all free of external dependencies:
 //!
 //! * [`sync`] — drop-in `Mutex` / `RwLock` / `Condvar` / `mpsc` shims.
 //!   By default they are zero-cost re-exports of `parking_lot` / `std`;
@@ -20,8 +20,16 @@
 //!   outside the shim, no `unwrap`/`expect` on server request paths or
 //!   commit-log I/O, request/response variant parity between client and
 //!   dispatcher, frame-cap consistency between event loop and client).
+//! * [`static_graph`] — the engine behind the `hyperstatic` binary
+//!   (`cargo run -p sanity --bin hyperstatic`): a lightweight
+//!   item/function parser, approximate intra-workspace call graph, and
+//!   fixpoint propagation that reports static lock-order cycles, locks
+//!   held across (transitively) blocking calls, and panic sites
+//!   reachable from request dispatch — hazards the runtime detector
+//!   only sees on paths a test happens to execute.
 
 pub mod dsched;
 pub mod lint;
 pub mod order;
+pub mod static_graph;
 pub mod sync;

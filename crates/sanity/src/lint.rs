@@ -2,7 +2,9 @@
 //! for repo invariants the compiler cannot express.
 //!
 //! Rules (each suppressible per-line with a `// lint:allow(<rule>)`
-//! comment on the offending line or the line above):
+//! comment — comma lists like `lint:allow(rule1,rule2)` work — on the
+//! offending line or the line above; markers that suppress nothing are
+//! reported as warnings, promoted to errors by `--strict-allows`):
 //!
 //! * `direct-sync` — `crates/{shard,exec,server}/src` must not name
 //!   `parking_lot` or the shimmed `std::sync` primitives (`Mutex`,
@@ -64,6 +66,19 @@ pub const RULE_NO_UNWRAP: &str = "no-unwrap";
 pub const RULE_PROTOCOL_PARITY: &str = "protocol-parity";
 pub const RULE_FRAME_CAP: &str = "frame-cap";
 pub const RULE_CONDVAR_HOLD: &str = "condvar-hold";
+/// Pseudo-rule for `lint:allow` markers that suppress nothing.
+pub const RULE_UNUSED_ALLOW: &str = "unused-allow";
+
+/// Every real rule `hyperlint` owns. A `lint:allow` marker naming a
+/// rule outside this set (e.g. a `hyperstatic` rule) is someone else's
+/// business and never counts as unused here.
+pub const HYPERLINT_RULES: &[&str] = &[
+    RULE_DIRECT_SYNC,
+    RULE_NO_UNWRAP,
+    RULE_PROTOCOL_PARITY,
+    RULE_FRAME_CAP,
+    RULE_CONDVAR_HOLD,
+];
 
 // ---------------------------------------------------------------------------
 // Source preprocessing
@@ -79,21 +94,57 @@ pub struct Prepared {
     raw: Vec<String>,
     /// True for lines inside a `#[cfg(test)]` module.
     pub in_test: Vec<bool>,
+    /// Parsed `lint:allow(...)` markers: 1-based line → rule names.
+    /// Comma lists (`lint:allow(rule1,rule2)`) yield one entry per rule.
+    allows: Vec<(usize, Vec<String>)>,
 }
 
 impl Prepared {
     /// A finding for `rule` on 1-based line `n` is suppressed when that
-    /// line or the previous one carries `lint:allow(rule)`.
+    /// line or the previous one carries a `lint:allow` marker naming
+    /// `rule` (possibly inside a comma list).
     pub fn suppressed(&self, n: usize, rule: &str) -> bool {
-        let marker = format!("lint:allow({rule})");
-        let hit = |i: usize| {
-            self.raw
-                .get(i)
-                .map(|l| l.contains(&marker))
-                .unwrap_or(false)
-        };
-        hit(n - 1) || (n >= 2 && hit(n - 2))
+        self.allows
+            .iter()
+            .any(|(m, rules)| (*m == n || *m + 1 == n) && rules.iter().any(|r| r == rule))
     }
+
+    /// All `lint:allow` markers in the file: (1-based line, rule names).
+    pub fn allow_markers(&self) -> &[(usize, Vec<String>)] {
+        &self.allows
+    }
+
+    /// Raw (uncleaned) line text, for diagnostics.
+    pub fn raw_lines(&self) -> &[String] {
+        &self.raw
+    }
+}
+
+/// Parse every `lint:allow(rule[,rule...])` marker in `raw` source
+/// lines. Rule names are trimmed; empty segments are dropped.
+fn parse_allows(raw: &[String]) -> Vec<(usize, Vec<String>)> {
+    let mut out = Vec::new();
+    for (idx, line) in raw.iter().enumerate() {
+        let mut rules = Vec::new();
+        let mut from = 0;
+        while let Some(pos) = line[from..].find("lint:allow(") {
+            let at = from + pos + "lint:allow(".len();
+            let Some(close) = line[at..].find(')') else {
+                break;
+            };
+            for seg in line[at..at + close].split(',') {
+                let r = seg.trim();
+                if !r.is_empty() {
+                    rules.push(r.to_string());
+                }
+            }
+            from = at + close + 1;
+        }
+        if !rules.is_empty() {
+            out.push((idx + 1, rules));
+        }
+    }
+    out
 }
 
 /// Blank out comments and string-literal contents, preserving line
@@ -216,10 +267,12 @@ pub fn prepare(src: &str) -> Prepared {
         i += 1;
     }
 
+    let allows = parse_allows(&raw);
     Prepared {
         lines,
         raw,
         in_test,
+        allows,
     }
 }
 
@@ -243,6 +296,45 @@ fn word_hit(hay: &str, needle: &str) -> bool {
     false
 }
 
+/// Drop raw findings that a `lint:allow` marker suppresses.
+pub fn filter_suppressed(
+    p: &Prepared,
+    rule: &str,
+    raw: Vec<(usize, String)>,
+) -> Vec<(usize, String)> {
+    raw.into_iter()
+        .filter(|(n, _)| !p.suppressed(*n, rule))
+        .collect()
+}
+
+/// `lint:allow` markers in `p` that suppress nothing. `owned` is the
+/// rule namespace this binary is responsible for (markers naming other
+/// tools' rules are ignored); `raw_lines_for(rule)` yields the 1-based
+/// lines with *unsuppressed* findings for `rule` in this file. A marker
+/// at line `m` is used when a raw finding sits on `m` or `m + 1`.
+pub fn unused_allows(
+    p: &Prepared,
+    owned: &[&str],
+    mut raw_lines_for: impl FnMut(&str) -> Vec<usize>,
+) -> Vec<(usize, String)> {
+    let mut out = Vec::new();
+    for (m, rules) in p.allow_markers() {
+        for rule in rules {
+            if !owned.iter().any(|r| r == rule) {
+                continue;
+            }
+            let lines = raw_lines_for(rule);
+            if !lines.contains(m) && !lines.contains(&(m + 1)) {
+                out.push((
+                    *m,
+                    format!("lint:allow({rule}) suppresses nothing; remove it"),
+                ));
+            }
+        }
+    }
+    out
+}
+
 // ---------------------------------------------------------------------------
 // Rule: direct-sync
 // ---------------------------------------------------------------------------
@@ -262,10 +354,16 @@ const SHIMMED: &[&str] = &[
 /// Returns `(line, message)` pairs (1-based lines).
 pub fn find_direct_sync(src: &str) -> Vec<(usize, String)> {
     let p = prepare(src);
+    filter_suppressed(&p, RULE_DIRECT_SYNC, find_direct_sync_raw(&p))
+}
+
+/// As [`find_direct_sync`] but without applying `lint:allow`
+/// suppressions — the input for unused-suppression accounting.
+pub fn find_direct_sync_raw(p: &Prepared) -> Vec<(usize, String)> {
     let mut out = Vec::new();
     for (idx, line) in p.lines.iter().enumerate() {
         let n = idx + 1;
-        if p.in_test[idx] || p.suppressed(n, RULE_DIRECT_SYNC) {
+        if p.in_test[idx] {
             continue;
         }
         if word_hit(line, "parking_lot") {
@@ -310,10 +408,15 @@ const PANICKY: &[&str] = &[".unwrap()", ".unwrap_err()", ".expect(", ".expect_er
 /// Flag panicking result/option consumption in `src` outside tests.
 pub fn find_unwraps(src: &str) -> Vec<(usize, String)> {
     let p = prepare(src);
+    filter_suppressed(&p, RULE_NO_UNWRAP, find_unwraps_raw(&p))
+}
+
+/// As [`find_unwraps`] but without applying suppressions.
+pub fn find_unwraps_raw(p: &Prepared) -> Vec<(usize, String)> {
     let mut out = Vec::new();
     for (idx, line) in p.lines.iter().enumerate() {
         let n = idx + 1;
-        if p.in_test[idx] || p.suppressed(n, RULE_NO_UNWRAP) {
+        if p.in_test[idx] {
             continue;
         }
         for pat in PANICKY {
@@ -345,6 +448,11 @@ pub fn find_unwraps(src: &str) -> Vec<(usize, String)> {
 /// live is a finding.
 pub fn find_condvar_hold(src: &str) -> Vec<(usize, String)> {
     let p = prepare(src);
+    filter_suppressed(&p, RULE_CONDVAR_HOLD, find_condvar_hold_raw(&p))
+}
+
+/// As [`find_condvar_hold`] but without applying suppressions.
+pub fn find_condvar_hold_raw(p: &Prepared) -> Vec<(usize, String)> {
     let mut out = Vec::new();
     let mut depth = 0i32;
     // Depth at which the current function's body opened; None outside.
@@ -390,7 +498,7 @@ pub fn find_condvar_hold(src: &str) -> Vec<(usize, String)> {
         let waits = line.contains(".wait(")
             || line.contains(".wait_timeout(")
             || line.contains(".wait_while(");
-        if waits && guards.len() >= 2 && !p.suppressed(n, RULE_CONDVAR_HOLD) {
+        if waits && guards.len() >= 2 {
             out.push((
                 n,
                 format!(
@@ -566,13 +674,28 @@ fn missing(root: &Path, rel: &str, rule: &'static str) -> Finding {
     }
 }
 
-/// Run every rule against the workspace at `root`. Returns the findings
-/// plus the number of files scanned.
-pub fn lint_tree(root: &Path) -> (Vec<Finding>, usize) {
+/// Everything one `lint_tree` pass produced.
+pub struct LintReport {
+    /// Rule violations (fail the build).
+    pub findings: Vec<Finding>,
+    /// Unused-suppression warnings (`unused-allow`); errors only under
+    /// `--strict-allows`.
+    pub warnings: Vec<Finding>,
+    /// Number of files scanned.
+    pub scanned: usize,
+}
+
+/// Run every rule against the workspace at `root`.
+pub fn lint_tree(root: &Path) -> LintReport {
     let mut findings = Vec::new();
+    let mut warnings = Vec::new();
     let mut scanned = 0usize;
 
-    // direct-sync over the three migrated crates.
+    let unwrap_files: Vec<PathBuf> = UNWRAP_SCOPE.iter().map(|rel| root.join(rel)).collect();
+    let mut unwrap_done = vec![false; unwrap_files.len()];
+
+    // Line-based rules over the three migrated crates, one prepare per
+    // file so suppression usage can be accounted across all rules.
     for dir in SYNC_SCOPE {
         let mut files = Vec::new();
         rs_files(&root.join(dir), &mut files);
@@ -585,34 +708,67 @@ pub fn lint_tree(root: &Path) -> (Vec<Finding>, usize) {
                 continue;
             };
             scanned += 1;
-            for (line, message) in find_direct_sync(&src) {
-                findings.push(Finding {
-                    file: file.clone(),
-                    line,
-                    rule: RULE_DIRECT_SYNC,
-                    message,
-                });
+            let p = prepare(&src);
+            let raw_sync = find_direct_sync_raw(&p);
+            let raw_cv = find_condvar_hold_raw(&p);
+            let unwrap_idx = unwrap_files.iter().position(|u| *u == file);
+            let raw_uw = match unwrap_idx {
+                Some(i) => {
+                    unwrap_done[i] = true;
+                    find_unwraps_raw(&p)
+                }
+                None => Vec::new(),
+            };
+            let per_rule: &[(&'static str, &Vec<(usize, String)>)] = &[
+                (RULE_DIRECT_SYNC, &raw_sync),
+                (RULE_CONDVAR_HOLD, &raw_cv),
+                (RULE_NO_UNWRAP, &raw_uw),
+            ];
+            for (rule, raw) in per_rule {
+                for (line, message) in raw.iter() {
+                    if !p.suppressed(*line, rule) {
+                        findings.push(Finding {
+                            file: file.clone(),
+                            line: *line,
+                            rule,
+                            message: message.clone(),
+                        });
+                    }
+                }
             }
-            for (line, message) in find_condvar_hold(&src) {
-                findings.push(Finding {
+            let lines_for = |rule: &str| -> Vec<usize> {
+                per_rule
+                    .iter()
+                    .find(|(r, _)| *r == rule)
+                    .map(|(_, raw)| raw.iter().map(|(l, _)| *l).collect())
+                    .unwrap_or_default()
+            };
+            for (line, message) in unused_allows(&p, HYPERLINT_RULES, lines_for) {
+                warnings.push(Finding {
                     file: file.clone(),
                     line,
-                    rule: RULE_CONDVAR_HOLD,
+                    rule: RULE_UNUSED_ALLOW,
                     message,
                 });
             }
         }
     }
 
-    // no-unwrap over the request/commit paths.
-    for rel in UNWRAP_SCOPE {
+    // no-unwrap files that were not already covered above (normally all
+    // of them sit inside SYNC_SCOPE; a missing file still needs a
+    // finding).
+    for (i, rel) in UNWRAP_SCOPE.iter().enumerate() {
+        if unwrap_done[i] {
+            continue;
+        }
         let file = root.join(rel);
         let Ok(src) = std::fs::read_to_string(&file) else {
             findings.push(missing(root, rel, RULE_NO_UNWRAP));
             continue;
         };
         scanned += 1;
-        for (line, message) in find_unwraps(&src) {
+        let p = prepare(&src);
+        for (line, message) in filter_suppressed(&p, RULE_NO_UNWRAP, find_unwraps_raw(&p)) {
             findings.push(Finding {
                 file: file.clone(),
                 line,
@@ -698,7 +854,11 @@ pub fn lint_tree(root: &Path) -> (Vec<Finding>, usize) {
         }
     }
 
-    (findings, scanned)
+    LintReport {
+        findings,
+        warnings,
+        scanned,
+    }
 }
 
 #[cfg(test)]
@@ -839,6 +999,59 @@ mod tests {
 }
 ";
         assert!(find_condvar_hold(in_test).is_empty());
+    }
+
+    #[test]
+    fn allow_comma_list_suppresses_both_rules() {
+        let src = "\
+// lint:allow(direct-sync, no-unwrap)
+use std::sync::Mutex;
+let v = x.unwrap();
+";
+        assert!(find_direct_sync(src).is_empty());
+        // The marker sits on line 1, the unwrap on line 3 — only the
+        // direct-sync hit on line 2 is covered.
+        assert_eq!(find_unwraps(src).len(), 1);
+        let both = "use std::sync::Mutex; // lint:allow(direct-sync,no-unwrap)\nlet v = x.unwrap(); // lint:allow(no-unwrap)\n";
+        assert!(find_direct_sync(both).is_empty());
+        assert!(find_unwraps(both).is_empty());
+    }
+
+    #[test]
+    fn unused_allow_reported_only_for_owned_idle_markers() {
+        let src = "\
+// lint:allow(no-unwrap) — nothing to suppress here
+let a = 1;
+// lint:allow(static-lock-cycle) — someone else's rule
+let b = x.unwrap(); // lint:allow(no-unwrap)
+";
+        let p = prepare(src);
+        let raw = find_unwraps_raw(&p);
+        let unused = unused_allows(&p, HYPERLINT_RULES, |rule| {
+            if rule == RULE_NO_UNWRAP {
+                raw.iter().map(|(l, _)| *l).collect()
+            } else {
+                Vec::new()
+            }
+        });
+        assert_eq!(unused.len(), 1);
+        assert_eq!(unused[0].0, 1);
+        assert!(unused[0].1.contains("no-unwrap"));
+    }
+
+    #[test]
+    fn marker_above_finding_counts_as_used() {
+        let src = "\
+// lint:allow(no-unwrap) — reviewed
+let v = x.unwrap();
+";
+        let p = prepare(src);
+        assert!(find_unwraps(src).is_empty());
+        let raw = find_unwraps_raw(&p);
+        let unused = unused_allows(&p, HYPERLINT_RULES, |_| {
+            raw.iter().map(|(l, _)| *l).collect()
+        });
+        assert!(unused.is_empty());
     }
 
     #[test]

@@ -1,0 +1,289 @@
+//! End-to-end tests for the `hyperstatic` binary: the real workspace
+//! must analyze clean against its committed baseline, and a seeded
+//! violation of each static rule must fail the run with a
+//! `file:line`-addressed finding carrying the full call chain.
+
+use std::path::{Path, PathBuf};
+use std::process::Command;
+
+fn workspace_root() -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("../..")
+        .canonicalize()
+        .expect("workspace root")
+}
+
+/// A minimal seeded workspace with nothing to report.
+fn seed_tree(tag: &str) -> PathBuf {
+    let root = std::env::temp_dir().join(format!("hyperstatic-seed-{}-{tag}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&root);
+    write(&root, "Cargo.toml", "[workspace]\nmembers = []\n");
+    write(
+        &root,
+        "crates/shard/src/store.rs",
+        "pub fn get(v: Option<u32>) -> u32 {\n    v.unwrap_or(0)\n}\n",
+    );
+    root
+}
+
+fn write(root: &Path, rel: &str, body: &str) {
+    let path = root.join(rel);
+    std::fs::create_dir_all(path.parent().expect("parent")).expect("mkdir");
+    std::fs::write(path, body).expect("write seed file");
+}
+
+fn run(root: &Path, extra: &[&str]) -> (i32, String) {
+    let out = Command::new(env!("CARGO_BIN_EXE_hyperstatic"))
+        .arg("--root")
+        .arg(root)
+        .args(extra)
+        .output()
+        .expect("run hyperstatic");
+    let text = format!(
+        "{}{}",
+        String::from_utf8_lossy(&out.stdout),
+        String::from_utf8_lossy(&out.stderr)
+    );
+    (out.status.code().unwrap_or(-1), text)
+}
+
+#[test]
+fn real_workspace_is_clean_against_committed_baseline() {
+    let (code, text) = run(&workspace_root(), &[]);
+    assert_eq!(code, 0, "hyperstatic should be clean at HEAD:\n{text}");
+    assert!(
+        text.contains("hyperstatic: clean"),
+        "unexpected output:\n{text}"
+    );
+}
+
+#[test]
+fn clean_seed_tree_reports_nothing() {
+    let root = seed_tree("clean");
+    let (code, text) = run(&root, &["--no-baseline"]);
+    assert_eq!(code, 0, "clean tree must pass:\n{text}");
+}
+
+#[test]
+fn transitive_lock_across_send_is_reported_with_chain() {
+    let root = seed_tree("lock-send");
+    write(
+        &root,
+        "crates/shard/src/store.rs",
+        "pub struct Store;\n\
+         impl Store {\n\
+             pub fn outer(&self) {\n\
+                 let g = self.m.lock();\n\
+                 self.forward();\n\
+             }\n\
+             pub fn forward(&self) {\n\
+                 self.tx.send(1);\n\
+             }\n\
+         }\n",
+    );
+    let (code, text) = run(&root, &["--no-baseline"]);
+    assert_eq!(code, 1, "seeded hazard must fail:\n{text}");
+    assert!(
+        text.contains("[lock-across-blocking]"),
+        "wrong rule:\n{text}"
+    );
+    // The finding is addressed at the call site and carries the full
+    // chain down to the blocking primitive, every hop file:line'd.
+    assert!(
+        text.contains("crates/shard/src/store.rs:5"),
+        "missing call site:\n{text}"
+    );
+    assert!(
+        text.contains("lock `Store.m` (acquired at crates/shard/src/store.rs:4)"),
+        "missing acquisition site:\n{text}"
+    );
+    assert!(
+        text.contains("Store::outer -> `send` at crates/shard/src/store.rs:8"),
+        "missing blocking chain:\n{text}"
+    );
+}
+
+#[test]
+fn static_lock_order_cycle_is_reported_with_both_sites() {
+    let root = seed_tree("cycle");
+    write(
+        &root,
+        "crates/shard/src/store.rs",
+        "pub struct P;\n\
+         impl P {\n\
+             pub fn ab(&self) {\n\
+                 let g = self.a.lock();\n\
+                 let h = self.b.lock();\n\
+                 drop(h);\n\
+                 drop(g);\n\
+             }\n\
+             pub fn ba(&self) {\n\
+                 let h = self.b.lock();\n\
+                 let g = self.a.lock();\n\
+                 drop(g);\n\
+                 drop(h);\n\
+             }\n\
+         }\n",
+    );
+    let (code, text) = run(&root, &["--no-baseline"]);
+    assert_eq!(code, 1, "seeded cycle must fail:\n{text}");
+    assert!(text.contains("[static-lock-cycle]"), "wrong rule:\n{text}");
+    assert!(
+        text.contains("P.a") && text.contains("P.b"),
+        "lock names:\n{text}"
+    );
+    // Both directions are cited with their acquisition sites.
+    assert!(
+        text.contains("crates/shard/src/store.rs:5")
+            && text.contains("crates/shard/src/store.rs:11"),
+        "missing cycle leg sites:\n{text}"
+    );
+}
+
+/// The panic fixture: a dispatch root reaching an `unwrap` two calls
+/// down. Used by several tests below.
+fn panic_tree(tag: &str) -> PathBuf {
+    let root = seed_tree(tag);
+    write(
+        &root,
+        "crates/server/src/server.rs",
+        "pub fn dispatch(req: u32) -> u32 {\n\
+             helper(req)\n\
+         }\n\
+         fn helper(v: u32) -> u32 {\n\
+             decode(v).unwrap()\n\
+         }\n\
+         fn decode(v: u32) -> Option<u32> {\n\
+             Some(v)\n\
+         }\n",
+    );
+    root
+}
+
+#[test]
+fn panic_reachable_from_dispatch_is_reported_with_chain() {
+    let (code, text) = run(&panic_tree("panic"), &["--no-baseline"]);
+    assert_eq!(code, 1, "seeded panic path must fail:\n{text}");
+    assert!(text.contains("[panic-path]"), "wrong rule:\n{text}");
+    assert!(
+        text.contains("`unwrap` at crates/server/src/server.rs:5"),
+        "missing panic site:\n{text}"
+    );
+    assert!(
+        text.contains("dispatch (crates/server/src/server.rs:2) -> helper"),
+        "missing call chain:\n{text}"
+    );
+}
+
+#[test]
+fn allow_marker_suppresses_and_unused_marker_warns() {
+    let root = seed_tree("allows");
+    write(
+        &root,
+        "crates/server/src/server.rs",
+        "pub fn dispatch(req: u32) -> u32 {\n\
+             helper(req)\n\
+         }\n\
+         fn helper(v: u32) -> u32 {\n\
+             // lint:allow(panic-path)\n\
+             decode(v).unwrap()\n\
+         }\n\
+         // lint:allow(panic-path)\n\
+         fn decode(v: u32) -> Option<u32> {\n\
+             Some(v)\n\
+         }\n",
+    );
+    let (code, text) = run(&root, &["--no-baseline"]);
+    assert_eq!(code, 0, "allowed finding must not fail:\n{text}");
+    assert!(
+        text.contains("[unused-allow]") && text.contains("server.rs:8"),
+        "stray marker must warn:\n{text}"
+    );
+    let (code, text) = run(&root, &["--no-baseline", "--strict-allows"]);
+    assert_eq!(code, 1, "--strict-allows must promote the warning:\n{text}");
+}
+
+#[test]
+fn baseline_masks_known_findings_and_flags_new_ones() {
+    let root = panic_tree("baseline");
+    let (code, _) = run(&root, &["--write-baseline"]);
+    assert_eq!(code, 0);
+    let (code, text) = run(&root, &[]);
+    assert_eq!(code, 0, "baselined finding must pass:\n{text}");
+    assert!(text.contains("1 baselined"), "summary:\n{text}");
+
+    // A new hazard is reported even though the old one is baselined.
+    write(
+        &root,
+        "crates/shard/src/store.rs",
+        "pub struct Store;\n\
+         impl Store {\n\
+             pub fn outer(&self) {\n\
+                 let g = self.m.lock();\n\
+                 self.tx.send(1);\n\
+             }\n\
+         }\n",
+    );
+    let (code, text) = run(&root, &[]);
+    assert_eq!(code, 1, "new finding must fail:\n{text}");
+    assert!(text.contains("[lock-across-blocking]"), "new rule:\n{text}");
+    assert!(
+        !text.contains("[panic-path]"),
+        "old finding reappeared:\n{text}"
+    );
+
+    // Fixing the baselined hazard leaves a stale-entry warning.
+    write(
+        &root,
+        "crates/shard/src/store.rs",
+        "pub fn get(v: Option<u32>) -> u32 {\n    v.unwrap_or(0)\n}\n",
+    );
+    write(
+        &root,
+        "crates/server/src/server.rs",
+        "pub fn dispatch(req: u32) -> u32 {\n    req\n}\n",
+    );
+    let (code, text) = run(&root, &[]);
+    assert_eq!(code, 0, "stale entries are warnings, not failures:\n{text}");
+    assert!(
+        text.contains("stale baseline entry"),
+        "stale warning:\n{text}"
+    );
+}
+
+#[test]
+fn graph_json_exports_static_lock_edges() {
+    let root = seed_tree("graph");
+    write(
+        &root,
+        "crates/shard/src/store.rs",
+        "pub struct P;\n\
+         impl P {\n\
+             pub fn ab(&self) {\n\
+                 let g = self.a.lock();\n\
+                 let h = self.b.lock();\n\
+                 drop(h);\n\
+             }\n\
+         }\n",
+    );
+    let out = root.join("graph.json");
+    let (code, text) = run(
+        &root,
+        &[
+            "--no-baseline",
+            "--graph-json",
+            out.to_str().expect("utf8 path"),
+        ],
+    );
+    assert_eq!(code, 0, "acyclic nesting is not a finding:\n{text}");
+    let json = std::fs::read_to_string(&out).expect("graph json written");
+    assert!(
+        json.contains("\"from\":\"P.a\"") && json.contains("\"to\":\"P.b\""),
+        "edge missing: {json}"
+    );
+    assert!(
+        json.contains("crates/shard/src/store.rs:4")
+            && json.contains("crates/shard/src/store.rs:5"),
+        "edge sites missing: {json}"
+    );
+}

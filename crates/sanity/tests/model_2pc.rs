@@ -160,11 +160,26 @@ fn atomic_across_all_interleavings_and_crash_points() {
         .preemption_bound(2)
         .max_schedules(50_000)
         .explore(two_phase_model);
+    println!("{}", report.summary("2pc"));
     report.assert_ok();
     assert!(
         report.distinct >= 1000,
         "expected >= 1000 distinct interleavings, explored {}",
         report.distinct
+    );
+    // The model must actually be contended and branching: schedules
+    // that never preempt or never branch mean the instrumentation
+    // (schedule points, choose calls) has been edited out from under
+    // the test.
+    assert!(
+        report.max_preemptions >= 1,
+        "no schedule used a preemption: {}",
+        report.summary("2pc")
+    );
+    assert!(
+        report.max_depth >= 8,
+        "decision tree is implausibly shallow: {}",
+        report.summary("2pc")
     );
 }
 

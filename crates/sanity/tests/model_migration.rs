@@ -289,11 +289,25 @@ fn migration_is_invisible_to_concurrent_reads_and_scans() {
         .preemption_bound(1)
         .max_schedules(8_000)
         .explore(|sim| migration_model(sim, false, true, true, true));
+    println!("{}", report.summary("migration"));
     report.assert_ok();
     assert!(
         report.distinct >= 100,
         "expected a substantial schedule space, explored {}",
         report.distinct
+    );
+    // Guard the exploration itself, not just the invariants: at least
+    // one preemption must have been exercised and the decision tree
+    // must have real depth, or the model has degenerated.
+    assert!(
+        report.max_preemptions >= 1,
+        "no schedule used a preemption: {}",
+        report.summary("migration")
+    );
+    assert!(
+        report.max_depth >= 8,
+        "decision tree is implausibly shallow: {}",
+        report.summary("migration")
     );
 }
 

@@ -274,7 +274,11 @@ impl BufferPool {
                 let id = self.frames[i].id;
                 let handle = Arc::clone(&self.frames[i].page);
                 {
+                    // The page latch must stay held across the disk write
+                    // so the frame cannot be mutated mid-flush; this is a
+                    // per-page latch, not a pool-wide lock.
                     let mut page = handle.lock();
+                    // lint:allow(lock-across-blocking)
                     self.disk.write_page(&mut page)?;
                 }
                 self.frames[i].dirty = false;
