@@ -129,6 +129,24 @@ impl<T: Transport> Transport for FaultyTransport<T> {
         }
         self.inner.recv_timeout(timeout)
     }
+
+    // Forward the buffer-reusing receives so a wrapped TcpTransport
+    // keeps its zero-allocation path (the defaults would fall back to
+    // the Vec-returning recv of *this* wrapper, which is fine but
+    // slower).
+    fn recv_into(&mut self, out: &mut Vec<u8>) -> Result<bool> {
+        if self.dead {
+            return Ok(false);
+        }
+        self.inner.recv_into(out)
+    }
+
+    fn recv_timeout_into(&mut self, timeout: Duration, out: &mut Vec<u8>) -> Result<bool> {
+        if self.dead {
+            return Ok(false);
+        }
+        self.inner.recv_timeout_into(timeout, out)
+    }
 }
 
 #[cfg(test)]

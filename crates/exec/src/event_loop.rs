@@ -58,6 +58,11 @@ const IDLE_PARK: Duration = Duration::from_micros(500);
 /// Ticks of busy-spinning (with yields) before parking when idle.
 const SPIN_TICKS: u32 = 64;
 
+/// Per-syscall read size, and the dead-prefix threshold past which a
+/// connection buffer is compacted (instead of per-frame/per-reply —
+/// slicing a frame or enqueueing a reply only moves a cursor).
+const BUF_CHUNK: usize = 64 * 1024;
+
 /// One connection, identified by its listener index and an id unique
 /// for the lifetime of the loop.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -135,9 +140,14 @@ pub struct LoopStats {
 
 struct Conn {
     stream: TcpStream,
-    /// Bytes read but not yet sliced into a complete frame.
+    /// Inbound bytes; `rbuf[rpos..]` is not yet sliced into frames.
+    /// Reclaimed by cursor rewind when drained, compacted only once the
+    /// dead prefix exceeds [`BUF_CHUNK`] — never a per-frame memmove.
     rbuf: Vec<u8>,
+    rpos: usize,
     /// Encoded responses not yet fully written; `wpos` marks progress.
+    /// Both buffers keep their capacity across frames, so a settled
+    /// connection does no allocation at all.
     wbuf: Vec<u8>,
     wpos: usize,
     /// Complete frames (trace id, payload) awaiting dispatch (one in
@@ -153,8 +163,14 @@ impl Conn {
     }
 
     fn enqueue_reply(&mut self, trace: u64, payload: &[u8]) {
-        // Compact the buffer before growing it: drop the written prefix.
-        if self.wpos > 0 {
+        if self.flushed() {
+            // Everything before the cursor is written: rewind, keeping
+            // the allocation.
+            self.wbuf.clear();
+            self.wpos = 0;
+        } else if self.wpos >= BUF_CHUNK {
+            // A large written prefix under unwritten bytes: compact
+            // occasionally rather than per reply.
             self.wbuf.drain(..self.wpos);
             self.wpos = 0;
         }
@@ -162,6 +178,50 @@ impl Conn {
             .extend_from_slice(&((payload.len() + TRACE_HEADER) as u32).to_le_bytes());
         self.wbuf.extend_from_slice(&trace.to_le_bytes());
         self.wbuf.extend_from_slice(payload);
+    }
+}
+
+/// Registry handles resolved once per loop run; the per-event cost is
+/// one branch and a relaxed add. The `net.*` names are shared with the
+/// client-side transports so a process-wide scrape sees total wire
+/// traffic and write-syscall batching.
+struct LoopObs {
+    enabled: bool,
+    frames: std::sync::Arc<obs::Counter>,
+    bytes_sent: std::sync::Arc<obs::Counter>,
+    bytes_recv: std::sync::Arc<obs::Counter>,
+    write_batches: std::sync::Arc<obs::Counter>,
+}
+
+impl LoopObs {
+    fn new() -> LoopObs {
+        let reg = obs::registry();
+        LoopObs {
+            enabled: obs::enabled(),
+            frames: reg.counter("loop.frames"),
+            bytes_sent: reg.counter("net.bytes_sent"),
+            bytes_recv: reg.counter("net.bytes_recv"),
+            write_batches: reg.counter("net.write_batches"),
+        }
+    }
+
+    fn frame(&self) {
+        if self.enabled {
+            self.frames.incr();
+        }
+    }
+
+    fn wrote(&self, n: usize) {
+        if self.enabled {
+            self.bytes_sent.add(n as u64);
+            self.write_batches.incr();
+        }
+    }
+
+    fn read(&self, n: usize) {
+        if self.enabled {
+            self.bytes_recv.add(n as u64);
+        }
     }
 }
 
@@ -235,7 +295,7 @@ impl EventLoop {
         let mut dead: Vec<ConnId> = Vec::new();
         // Registry handles resolved once per loop, bumped alongside the
         // local counters so a live scrape sees the loop's state.
-        let obs_frames = obs::registry().counter("loop.frames");
+        let obs_h = LoopObs::new();
         let obs_parks = obs::registry().counter("loop.parks");
         let obs_wakeups = obs::registry().counter("loop.idle_wakeups");
         let obs_accepted = obs::registry().counter("loop.accepted");
@@ -262,6 +322,7 @@ impl EventLoop {
                                 Conn {
                                     stream,
                                     rbuf: Vec::new(),
+                                    rpos: 0,
                                     wbuf: Vec::new(),
                                     wpos: 0,
                                     queued: VecDeque::new(),
@@ -292,9 +353,10 @@ impl EventLoop {
                 }
             }
 
-            // 3. Per-connection I/O: flush, read, slice frames, dispatch.
+            // 3. Per-connection I/O: read, slice frames, dispatch, and
+            // one coalesced flush of everything enqueued this tick.
             for (&id, conn) in conns.iter_mut() {
-                match Self::step_conn(id, conn, &mut handler, &done, &mut stats, &obs_frames) {
+                match Self::step_conn(id, conn, &mut handler, &done, &mut stats, &obs_h) {
                     Ok(stepped) => progress |= stepped,
                     Err(()) => dead.push(id),
                 }
@@ -353,16 +415,125 @@ impl EventLoop {
         handler: &mut H,
         done: &Completions,
         stats: &mut LoopStats,
-        obs_frames: &obs::Counter,
+        obs_h: &LoopObs,
     ) -> std::result::Result<bool, ()> {
         let mut progress = false;
+        // Grace flag: the tick that sees the peer close still flushes
+        // but defers the drop one tick, so a completion already in the
+        // channel gets its reply written.
+        let mut peer_closed_now = false;
 
-        // Flush pending writes (never blocks).
+        if !conn.close_after_flush {
+            // Read whatever arrived.
+            let mut chunk = [0u8; BUF_CHUNK];
+            loop {
+                match conn.stream.read(&mut chunk) {
+                    Ok(0) => {
+                        // Peer closed: nothing more will arrive. Finish
+                        // what is queued for write (below), then drop.
+                        conn.close_after_flush = true;
+                        conn.queued.clear();
+                        progress = true;
+                        peer_closed_now = true;
+                        break;
+                    }
+                    Ok(n) => {
+                        conn.rbuf.extend_from_slice(&chunk[..n]);
+                        obs_h.read(n);
+                        progress = true;
+                    }
+                    Err(e) if e.kind() == ErrorKind::WouldBlock => break,
+                    Err(e) if e.kind() == ErrorKind::Interrupted => continue,
+                    Err(_) => return Err(()),
+                }
+            }
+
+            // Slice complete frames out of the read buffer, advancing a
+            // cursor instead of draining per frame.
+            loop {
+                let avail = conn.rbuf.len() - conn.rpos;
+                if avail < 4 {
+                    break;
+                }
+                let at = conn.rpos;
+                let len = u32::from_le_bytes([
+                    conn.rbuf[at],
+                    conn.rbuf[at + 1],
+                    conn.rbuf[at + 2],
+                    conn.rbuf[at + 3],
+                ]) as usize;
+                if !(TRACE_HEADER..=MAX_FRAME).contains(&len) {
+                    return Err(()); // unframeable garbage: drop the connection
+                }
+                if avail < 4 + len {
+                    break;
+                }
+                let t = at + 4;
+                let trace = u64::from_le_bytes([
+                    conn.rbuf[t],
+                    conn.rbuf[t + 1],
+                    conn.rbuf[t + 2],
+                    conn.rbuf[t + 3],
+                    conn.rbuf[t + 4],
+                    conn.rbuf[t + 5],
+                    conn.rbuf[t + 6],
+                    conn.rbuf[t + 7],
+                ]);
+                let frame = conn.rbuf[at + 4 + TRACE_HEADER..at + 4 + len].to_vec();
+                conn.rpos += 4 + len;
+                conn.queued.push_back((trace, frame));
+                progress = true;
+            }
+            // Reclaim the consumed prefix: free rewind when everything
+            // was sliced (the common case), occasional compaction when
+            // a partial frame sits behind a large dead prefix.
+            if conn.rpos == conn.rbuf.len() {
+                conn.rbuf.clear();
+                conn.rpos = 0;
+            } else if conn.rpos >= BUF_CHUNK {
+                conn.rbuf.drain(..conn.rpos);
+                conn.rpos = 0;
+            }
+
+            // Dispatch, one frame in flight at a time, inside the frame's
+            // trace (so immediate replies and executor submissions inherit
+            // the client's trace id).
+            while !conn.inflight && !conn.close_after_flush {
+                let Some((trace, frame)) = conn.queued.pop_front() else {
+                    break;
+                };
+                stats.frames += 1;
+                obs_h.frame();
+                progress = true;
+                let _trace = obs::trace::scope(trace);
+                let _span = obs::trace::span("loop.frame");
+                match handler.on_frame(id, frame, done) {
+                    FrameOutcome::Pending => conn.inflight = true,
+                    FrameOutcome::Reply(payload) => {
+                        conn.enqueue_reply(trace, &payload);
+                        stats.replies += 1;
+                    }
+                    FrameOutcome::ReplyClose(payload) => {
+                        conn.enqueue_reply(trace, &payload);
+                        stats.replies += 1;
+                        conn.close_after_flush = true;
+                        conn.queued.clear();
+                    }
+                    FrameOutcome::Close => return Err(()),
+                }
+            }
+        }
+
+        // The tick's one flush point: backlog from earlier ticks,
+        // deferred completions drained before stepping, and immediate
+        // replies produced above all leave in as few write syscalls as
+        // the socket accepts (never blocking).
         while !conn.flushed() {
             match conn.stream.write(&conn.wbuf[conn.wpos..]) {
                 Ok(0) => return Err(()),
                 Ok(n) => {
                     conn.wpos += n;
+                    obs_h.wrote(n);
                     progress = true;
                 }
                 Err(e) if e.kind() == ErrorKind::WouldBlock => break,
@@ -370,103 +541,7 @@ impl EventLoop {
                 Err(_) => return Err(()),
             }
         }
-        if conn.close_after_flush {
-            return if conn.flushed() {
-                Err(())
-            } else {
-                Ok(progress)
-            };
-        }
-
-        // Read whatever arrived.
-        let mut chunk = [0u8; 4096];
-        loop {
-            match conn.stream.read(&mut chunk) {
-                Ok(0) => {
-                    // Peer closed. Anything still queued or in flight has
-                    // no reader left worth waiting for beyond the flush.
-                    return if conn.flushed() && !conn.inflight && conn.queued.is_empty() {
-                        Err(())
-                    } else {
-                        conn.close_after_flush = true;
-                        conn.queued.clear();
-                        Ok(true)
-                    };
-                }
-                Ok(n) => {
-                    conn.rbuf.extend_from_slice(&chunk[..n]);
-                    progress = true;
-                }
-                Err(e) if e.kind() == ErrorKind::WouldBlock => break,
-                Err(e) if e.kind() == ErrorKind::Interrupted => continue,
-                Err(_) => return Err(()),
-            }
-        }
-
-        // Slice complete frames out of the read buffer.
-        loop {
-            if conn.rbuf.len() < 4 {
-                break;
-            }
-            let mut len_bytes = [0u8; 4];
-            len_bytes.copy_from_slice(&conn.rbuf[..4]);
-            let len = u32::from_le_bytes(len_bytes) as usize;
-            if !(TRACE_HEADER..=MAX_FRAME).contains(&len) {
-                return Err(()); // unframeable garbage: drop the connection
-            }
-            if conn.rbuf.len() < 4 + len {
-                break;
-            }
-            let mut trace_bytes = [0u8; TRACE_HEADER];
-            trace_bytes.copy_from_slice(&conn.rbuf[4..4 + TRACE_HEADER]);
-            let trace = u64::from_le_bytes(trace_bytes);
-            let frame = conn.rbuf[4 + TRACE_HEADER..4 + len].to_vec();
-            conn.rbuf.drain(..4 + len);
-            conn.queued.push_back((trace, frame));
-            progress = true;
-        }
-
-        // Dispatch, one frame in flight at a time, inside the frame's
-        // trace (so immediate replies and executor submissions inherit
-        // the client's trace id).
-        while !conn.inflight && !conn.close_after_flush {
-            let Some((trace, frame)) = conn.queued.pop_front() else {
-                break;
-            };
-            stats.frames += 1;
-            if obs::enabled() {
-                obs_frames.incr();
-            }
-            progress = true;
-            let _trace = obs::trace::scope(trace);
-            let _span = obs::trace::span("loop.frame");
-            match handler.on_frame(id, frame, done) {
-                FrameOutcome::Pending => conn.inflight = true,
-                FrameOutcome::Reply(payload) => {
-                    conn.enqueue_reply(trace, &payload);
-                    stats.replies += 1;
-                }
-                FrameOutcome::ReplyClose(payload) => {
-                    conn.enqueue_reply(trace, &payload);
-                    stats.replies += 1;
-                    conn.close_after_flush = true;
-                    conn.queued.clear();
-                }
-                FrameOutcome::Close => return Err(()),
-            }
-        }
-
-        // Opportunistic flush of replies produced this tick.
-        while !conn.flushed() {
-            match conn.stream.write(&conn.wbuf[conn.wpos..]) {
-                Ok(0) => return Err(()),
-                Ok(n) => conn.wpos += n,
-                Err(e) if e.kind() == ErrorKind::WouldBlock => break,
-                Err(e) if e.kind() == ErrorKind::Interrupted => continue,
-                Err(_) => return Err(()),
-            }
-        }
-        if conn.close_after_flush && conn.flushed() {
+        if conn.close_after_flush && conn.flushed() && !peer_closed_now {
             return Err(());
         }
         Ok(progress)

@@ -177,32 +177,39 @@ impl NodeValue {
     /// Serialize to the canonical little-endian record format.
     pub fn encode(&self) -> Vec<u8> {
         let mut out = Vec::with_capacity(40);
-        put_u16(&mut out, self.kind.0);
-        put_u64(&mut out, self.attrs.unique_id);
-        put_u32(&mut out, self.attrs.ten);
-        put_u32(&mut out, self.attrs.hundred);
-        put_u32(&mut out, self.attrs.thousand);
-        put_u32(&mut out, self.attrs.million);
+        self.encode_into(&mut out);
+        out
+    }
+
+    /// Serialize by appending to a caller-owned buffer — the wire path
+    /// reuses one scratch buffer across frames instead of allocating a
+    /// fresh `Vec` per value.
+    pub fn encode_into(&self, out: &mut Vec<u8>) {
+        put_u16(out, self.kind.0);
+        put_u64(out, self.attrs.unique_id);
+        put_u32(out, self.attrs.ten);
+        put_u32(out, self.attrs.hundred);
+        put_u32(out, self.attrs.thousand);
+        put_u32(out, self.attrs.million);
         match &self.content {
             Content::None => out.push(TAG_NONE),
             Content::Text(s) => {
                 out.push(TAG_TEXT);
-                put_u32(&mut out, s.len() as u32);
+                put_u32(out, s.len() as u32);
                 out.extend_from_slice(s.as_bytes());
             }
             Content::Form(bm) => {
                 out.push(TAG_FORM);
-                put_u16(&mut out, bm.width());
-                put_u16(&mut out, bm.height());
+                put_u16(out, bm.width());
+                put_u16(out, bm.height());
                 out.extend_from_slice(bm.bits());
             }
             Content::Dynamic(bytes) => {
                 out.push(TAG_DYNAMIC);
-                put_u32(&mut out, bytes.len() as u32);
+                put_u32(out, bytes.len() as u32);
                 out.extend_from_slice(bytes);
             }
         }
-        out
     }
 
     /// Deserialize from the canonical record format.

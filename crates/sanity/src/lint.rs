@@ -25,6 +25,12 @@
 //!   between `exec/src/event_loop.rs` (server side) and
 //!   `server/src/transport.rs` (client side), or one side will drop
 //!   frames the other happily produces.
+//! * `decode-cap` — in the wire-decode files (`server/src/protocol.rs`,
+//!   `server/src/codec.rs`), a `with_capacity` whose size comes from
+//!   decoded input must be clamped through `prealloc_cap` (or another
+//!   `MAX_FRAME`-derived bound). A hostile 4-byte length prefix must
+//!   never size an allocation directly. Fixed literal capacities pass:
+//!   they cannot be attacker-chosen.
 //! * `condvar-hold` — in the same crates as `direct-sync`, a
 //!   `Condvar::wait` while a *second* lock guard is live is flagged:
 //!   the wait releases only the guard it is handed, so any other held
@@ -66,6 +72,7 @@ pub const RULE_NO_UNWRAP: &str = "no-unwrap";
 pub const RULE_PROTOCOL_PARITY: &str = "protocol-parity";
 pub const RULE_FRAME_CAP: &str = "frame-cap";
 pub const RULE_CONDVAR_HOLD: &str = "condvar-hold";
+pub const RULE_DECODE_CAP: &str = "decode-cap";
 /// Pseudo-rule for `lint:allow` markers that suppress nothing.
 pub const RULE_UNUSED_ALLOW: &str = "unused-allow";
 
@@ -78,6 +85,7 @@ pub const HYPERLINT_RULES: &[&str] = &[
     RULE_PROTOCOL_PARITY,
     RULE_FRAME_CAP,
     RULE_CONDVAR_HOLD,
+    RULE_DECODE_CAP,
 ];
 
 // ---------------------------------------------------------------------------
@@ -433,6 +441,92 @@ pub fn find_unwraps_raw(p: &Prepared) -> Vec<(usize, String)> {
 }
 
 // ---------------------------------------------------------------------------
+// Rule: decode-cap
+// ---------------------------------------------------------------------------
+
+/// Flag `with_capacity` preallocations whose size argument is not
+/// clamped through `prealloc_cap` (or otherwise derived from
+/// `MAX_FRAME`). Applied to the wire-decode files only: a length prefix
+/// read off the wire must never size an allocation directly, or a
+/// hostile 4-byte header reserves gigabytes before the first payload
+/// byte arrives. Fixed numeric capacities pass — they cannot be
+/// attacker-chosen.
+pub fn find_decode_caps(src: &str) -> Vec<(usize, String)> {
+    let p = prepare(src);
+    filter_suppressed(&p, RULE_DECODE_CAP, find_decode_caps_raw(&p))
+}
+
+/// As [`find_decode_caps`] but without applying suppressions.
+pub fn find_decode_caps_raw(p: &Prepared) -> Vec<(usize, String)> {
+    let mut out = Vec::new();
+    for (idx, line) in p.lines.iter().enumerate() {
+        if p.in_test[idx] {
+            continue;
+        }
+        let mut from = 0usize;
+        while let Some(pos) = line[from..].find("with_capacity(") {
+            let open = from + pos + "with_capacity".len();
+            let arg = paren_arg(&p.lines, idx, open);
+            from = open + 1;
+            if arg.contains("prealloc_cap") || arg.contains("MAX_FRAME") || fixed_capacity(&arg) {
+                continue;
+            }
+            out.push((
+                idx + 1,
+                format!(
+                    "`with_capacity({})` sizes an allocation from decoded input; \
+                     clamp through `prealloc_cap` (MAX_FRAME-derived)",
+                    arg.trim()
+                ),
+            ));
+            break;
+        }
+    }
+    out
+}
+
+/// The argument text of the paren group opening at byte `open` of line
+/// `idx` (which must be a `(`), following the call across up to four
+/// continuation lines for rustfmt-split arguments.
+fn paren_arg(lines: &[String], idx: usize, open: usize) -> String {
+    let mut arg = String::new();
+    let mut depth = 0i32;
+    for (row, line) in lines.iter().enumerate().skip(idx).take(5) {
+        let start = if row == idx { open } else { 0 };
+        for c in line[start.min(line.len())..].chars() {
+            match c {
+                '(' => {
+                    depth += 1;
+                    if depth == 1 {
+                        continue;
+                    }
+                }
+                ')' => {
+                    depth -= 1;
+                    if depth == 0 {
+                        return arg;
+                    }
+                }
+                _ => {}
+            }
+            arg.push(c);
+        }
+        arg.push(' ');
+    }
+    arg
+}
+
+/// True when `arg` is a fixed size expression: digits and arithmetic
+/// only, no identifiers that could carry a decoded length.
+fn fixed_capacity(arg: &str) -> bool {
+    let trimmed = arg.trim();
+    !trimmed.is_empty()
+        && trimmed
+            .chars()
+            .all(|c| c.is_ascii_digit() || " \t_+-*/<>()".contains(c))
+}
+
+// ---------------------------------------------------------------------------
 // Rule: condvar-hold
 // ---------------------------------------------------------------------------
 
@@ -644,6 +738,13 @@ const UNWRAP_SCOPE: &[&str] = &[
     "crates/shard/src/store.rs",
 ];
 
+/// Wire-decode files where every length-driven preallocation must be
+/// clamped through `prealloc_cap` / `MAX_FRAME`.
+const DECODE_CAP_SCOPE: &[&str] = &[
+    "crates/server/src/protocol.rs",
+    "crates/server/src/codec.rs",
+];
+
 const PROTOCOL: &str = "crates/server/src/protocol.rs";
 const DISPATCHER: &str = "crates/server/src/server.rs";
 const CLIENT: &str = "crates/server/src/client.rs";
@@ -693,6 +794,8 @@ pub fn lint_tree(root: &Path) -> LintReport {
 
     let unwrap_files: Vec<PathBuf> = UNWRAP_SCOPE.iter().map(|rel| root.join(rel)).collect();
     let mut unwrap_done = vec![false; unwrap_files.len()];
+    let decode_files: Vec<PathBuf> = DECODE_CAP_SCOPE.iter().map(|rel| root.join(rel)).collect();
+    let mut decode_done = vec![false; decode_files.len()];
 
     // Line-based rules over the three migrated crates, one prepare per
     // file so suppression usage can be accounted across all rules.
@@ -719,10 +822,19 @@ pub fn lint_tree(root: &Path) -> LintReport {
                 }
                 None => Vec::new(),
             };
+            let decode_idx = decode_files.iter().position(|u| *u == file);
+            let raw_dc = match decode_idx {
+                Some(i) => {
+                    decode_done[i] = true;
+                    find_decode_caps_raw(&p)
+                }
+                None => Vec::new(),
+            };
             let per_rule: &[(&'static str, &Vec<(usize, String)>)] = &[
                 (RULE_DIRECT_SYNC, &raw_sync),
                 (RULE_CONDVAR_HOLD, &raw_cv),
                 (RULE_NO_UNWRAP, &raw_uw),
+                (RULE_DECODE_CAP, &raw_dc),
             ];
             for (rule, raw) in per_rule {
                 for (line, message) in raw.iter() {
@@ -773,6 +885,29 @@ pub fn lint_tree(root: &Path) -> LintReport {
                 file: file.clone(),
                 line,
                 rule: RULE_NO_UNWRAP,
+                message,
+            });
+        }
+    }
+
+    // decode-cap scope files not reached by the directory walk (a
+    // missing file still needs a finding — the rule cannot vouch for a
+    // decode path it cannot read).
+    for (i, rel) in DECODE_CAP_SCOPE.iter().enumerate() {
+        if decode_done[i] {
+            continue;
+        }
+        let file = root.join(rel);
+        let Ok(src) = std::fs::read_to_string(&file) else {
+            findings.push(missing(root, rel, RULE_DECODE_CAP));
+            continue;
+        };
+        scanned += 1;
+        for (line, message) in find_decode_caps(&src) {
+            findings.push(Finding {
+                file: file.clone(),
+                line,
+                rule: RULE_DECODE_CAP,
                 message,
             });
         }
@@ -1060,5 +1195,60 @@ let v = x.unwrap();
         let b = "const MAX_FRAME: usize = 64<<20; // bytes";
         assert_eq!(const_rhs(a, "MAX_FRAME").unwrap().1, "64<<20");
         assert_eq!(const_rhs(b, "MAX_FRAME").unwrap().1, "64<<20");
+    }
+
+    #[test]
+    fn decode_cap_flags_unclamped_length_prealloc() {
+        let src = "\
+fn decode(n: usize) -> Vec<u8> {
+    Vec::with_capacity(n.min(1 << 20))
+}
+";
+        let hits = find_decode_caps(src);
+        assert_eq!(hits.len(), 1);
+        assert_eq!(hits[0].0, 2);
+        assert!(hits[0].1.contains("prealloc_cap"), "{}", hits[0].1);
+    }
+
+    #[test]
+    fn decode_cap_passes_clamped_and_fixed_preallocs() {
+        let src = "\
+fn ok(n: usize) -> Vec<u8> {
+    let a: Vec<u8> = Vec::with_capacity(prealloc_cap(n, 8));
+    let b: Vec<u8> = Vec::with_capacity(n.min(MAX_FRAME / 8));
+    let c: Vec<u8> = Vec::with_capacity(64);
+    let d: Vec<u8> = Vec::with_capacity(2 * 1024);
+    a
+}
+";
+        assert!(find_decode_caps(src).is_empty());
+    }
+
+    #[test]
+    fn decode_cap_follows_split_arguments_and_suppressions() {
+        let split = "\
+fn ok(n: usize) -> Vec<u8> {
+    Vec::with_capacity(
+        prealloc_cap(n, 16),
+    )
+}
+";
+        assert!(find_decode_caps(split).is_empty());
+        let allowed = "\
+fn reviewed(n: usize) -> Vec<u8> {
+    // lint:allow(decode-cap) — n is a trusted local count
+    Vec::with_capacity(n)
+}
+";
+        assert!(find_decode_caps(allowed).is_empty());
+        let tests = "\
+#[cfg(test)]
+mod tests {
+    fn scratch(n: usize) -> Vec<u8> {
+        Vec::with_capacity(n)
+    }
+}
+";
+        assert!(find_decode_caps(tests).is_empty());
     }
 }

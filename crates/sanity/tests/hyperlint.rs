@@ -53,6 +53,12 @@ fn seed_tree(tag: &str) -> PathBuf {
     );
     write("crates/server/src/multi.rs", "pub fn noop() {}\n");
     write(
+        "crates/server/src/codec.rs",
+        "pub fn decode_oids(n: usize) -> Vec<u64> {\n\
+         \x20   Vec::with_capacity(prealloc_cap(n, 8))\n\
+         }\n",
+    );
+    write(
         "crates/server/src/transport.rs",
         "pub const MAX_FRAME: usize = 64 << 20;\n",
     );
@@ -226,6 +232,23 @@ fn frame_cap_drift_fails_the_lint() {
     let (code, text) = run_lint(&root);
     assert_eq!(code, 1, "expected findings:\n{text}");
     assert!(text.contains("[frame-cap]"), "output: {text}");
+    let _ = std::fs::remove_dir_all(&root);
+}
+
+#[test]
+fn unclamped_decode_prealloc_fails_the_lint() {
+    let root = seed_tree("decode-cap");
+    append(
+        &root,
+        "crates/server/src/codec.rs",
+        "pub fn decode_edges(n: usize) -> Vec<u8> {\n\
+         \x20   Vec::with_capacity(n.min(1 << 20))\n\
+         }\n",
+    );
+    let (code, text) = run_lint(&root);
+    assert_eq!(code, 1, "expected findings:\n{text}");
+    assert!(text.contains("[decode-cap]"), "output: {text}");
+    assert!(text.contains("codec.rs:5:"), "output: {text}");
     let _ = std::fs::remove_dir_all(&root);
 }
 

@@ -91,6 +91,11 @@ pub struct RemoteStore {
     /// node → `(destination shard, forwarding epoch)`. Only the highest
     /// epoch seen per node is kept.
     moved: std::collections::HashMap<Oid, (u16, u64)>,
+    /// Request-encode scratch, reused across calls so the steady-state
+    /// wire path allocates nothing on the send side.
+    scratch: Vec<u8>,
+    /// Response-frame buffer, reused across calls (receive side).
+    rframe: Vec<u8>,
 }
 
 /// What one send/receive attempt produced, before retry classification.
@@ -114,6 +119,8 @@ impl RemoteStore {
             retries: 0,
             gave_up: 0,
             moved: std::collections::HashMap::new(),
+            scratch: Vec::new(),
+            rframe: Vec::new(),
         }
     }
 
@@ -203,14 +210,15 @@ impl RemoteStore {
     }
 
     fn call_blocking(&mut self, req: Request) -> Result<Response> {
-        self.transport.send(&req.encode())?;
+        self.scratch.clear();
+        req.encode_into(&mut self.scratch);
+        self.transport.send(&self.scratch)?;
         self.round_trips += 1;
         obs::incr("client.round_trips", 1);
-        let frame = self
-            .transport
-            .recv()?
-            .ok_or_else(|| HmError::Backend("server disconnected".into()))?;
-        match Response::decode(&frame)? {
+        if !self.transport.recv_into(&mut self.rframe)? {
+            return Err(HmError::Backend("server disconnected".into()));
+        }
+        match Response::decode(&self.rframe)? {
             Response::Err(msg) => Err(HmError::Backend(format!("remote: {msg}"))),
             other => Ok(other),
         }
@@ -227,10 +235,11 @@ impl RemoteStore {
         } else {
             req
         };
-        let bytes = req.encode();
+        self.scratch.clear();
+        req.encode_into(&mut self.scratch);
         let mut retry = 0u32;
         loop {
-            match self.attempt(&bytes, policy.request_timeout) {
+            match self.attempt(policy.request_timeout) {
                 Ok(Attempt::Reply(resp)) => return Ok(resp),
                 Ok(Attempt::ServerErr(msg)) => {
                     return Err(HmError::Backend(format!("remote: {msg}")));
@@ -258,18 +267,21 @@ impl RemoteStore {
         }
     }
 
-    /// One send + bounded receive. Transport-level failures (send error,
-    /// deadline expiry, lost connection, garbled frame) are `Err` and
-    /// thus candidates for retry.
-    fn attempt(&mut self, bytes: &[u8], timeout: std::time::Duration) -> Result<Attempt> {
-        self.transport.send(bytes)?;
+    /// One send + bounded receive of the request held in `self.scratch`.
+    /// Transport-level failures (send error, deadline expiry, lost
+    /// connection, garbled frame) are `Err` and thus candidates for
+    /// retry.
+    fn attempt(&mut self, timeout: std::time::Duration) -> Result<Attempt> {
+        self.transport.send(&self.scratch)?;
         self.round_trips += 1;
         obs::incr("client.round_trips", 1);
-        let frame = self
+        if !self
             .transport
-            .recv_timeout(timeout)?
-            .ok_or_else(|| HmError::Timeout("connection closed mid-request".into()))?;
-        match Response::decode(&frame)? {
+            .recv_timeout_into(timeout, &mut self.rframe)?
+        {
+            return Err(HmError::Timeout("connection closed mid-request".into()));
+        }
+        match Response::decode(&self.rframe)? {
             Response::Err(msg) => Ok(Attempt::ServerErr(msg)),
             other => Ok(Attempt::Reply(other)),
         }

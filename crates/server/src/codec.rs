@@ -8,21 +8,41 @@ use hypermodel::error::{HmError, Result};
 use hypermodel::model::{NodeValue, Oid, RefEdge};
 use hypermodel::Bitmap;
 
-/// Append-only byte writer.
-#[derive(Debug, Default)]
-pub struct Writer {
-    buf: Vec<u8>,
+/// Element-count cap for preallocating from an untrusted length prefix.
+///
+/// No prefix can legitimately describe more than one frame's worth of
+/// payload, so clamp to the element count a maximal frame could carry
+/// before reserving. The loop below still reads exactly `n` elements —
+/// a lying prefix hits the reader's bounds check, not the allocator.
+pub fn prealloc_cap(n: usize, elem_size: usize) -> usize {
+    n.min(crate::transport::MAX_FRAME / elem_size.max(1))
 }
 
-impl Writer {
-    /// A fresh writer.
-    pub fn new() -> Writer {
-        Writer::default()
+/// Append-only byte writer over a caller-owned buffer.
+///
+/// Borrowing rather than owning lets every encode path reuse one
+/// scratch `Vec` across calls — the wire hot path allocates nothing
+/// once the buffer has grown to its high-water mark.
+#[derive(Debug)]
+pub struct Writer<'a> {
+    buf: &'a mut Vec<u8>,
+}
+
+impl<'a> Writer<'a> {
+    /// A writer appending to `buf` (existing contents are kept).
+    pub fn over(buf: &'a mut Vec<u8>) -> Writer<'a> {
+        Writer { buf }
     }
 
-    /// Take the encoded bytes.
-    pub fn finish(self) -> Vec<u8> {
-        self.buf
+    /// Write a length-prefixed sub-message: reserves the `u32` length,
+    /// runs `f`, then patches the prefix with the byte count `f` wrote.
+    /// Replaces the encode-to-temporary-then-`bytes()` pattern.
+    pub fn nested(&mut self, f: impl FnOnce(&mut Writer)) {
+        let at = self.buf.len();
+        self.buf.extend_from_slice(&[0u8; 4]);
+        f(self);
+        let n = (self.buf.len() - at - 4) as u32;
+        self.buf[at..at + 4].copy_from_slice(&n.to_le_bytes());
     }
 
     /// Write one byte.
@@ -88,7 +108,7 @@ impl Writer {
 
     /// Write an encoded node value.
     pub fn node_value(&mut self, v: &NodeValue) {
-        self.bytes(&v.encode());
+        self.nested(|w| v.encode_into(w.buf));
     }
 }
 
@@ -154,10 +174,17 @@ impl<'a> Reader<'a> {
         Ok(Oid(self.u64()?))
     }
 
+    /// Read a length-prefixed byte string as a borrow of the frame.
+    /// Prefer this over [`Reader::bytes`] when the caller only parses
+    /// or re-slices the payload — it avoids a copy per field.
+    pub fn bytes_ref(&mut self) -> Result<&'a [u8]> {
+        let n = self.u32()? as usize;
+        self.take(n)
+    }
+
     /// Read a length-prefixed byte string.
     pub fn bytes(&mut self) -> Result<Vec<u8>> {
-        let n = self.u32()? as usize;
-        Ok(self.take(n)?.to_vec())
+        Ok(self.bytes_ref()?.to_vec())
     }
 
     /// Read a length-prefixed UTF-8 string.
@@ -169,7 +196,7 @@ impl<'a> Reader<'a> {
     /// Read a vector of oids.
     pub fn oids(&mut self) -> Result<Vec<Oid>> {
         let n = self.u32()? as usize;
-        let mut v = Vec::with_capacity(n.min(1 << 20));
+        let mut v = Vec::with_capacity(prealloc_cap(n, 8));
         for _ in 0..n {
             v.push(self.oid()?);
         }
@@ -179,7 +206,7 @@ impl<'a> Reader<'a> {
     /// Read a vector of reference edges.
     pub fn edges(&mut self) -> Result<Vec<RefEdge>> {
         let n = self.u32()? as usize;
-        let mut v = Vec::with_capacity(n.min(1 << 20));
+        let mut v = Vec::with_capacity(prealloc_cap(n, 10));
         for _ in 0..n {
             v.push(RefEdge {
                 target: self.oid()?,
@@ -200,8 +227,7 @@ impl<'a> Reader<'a> {
 
     /// Read an encoded node value.
     pub fn node_value(&mut self) -> Result<NodeValue> {
-        let bytes = self.bytes()?;
-        NodeValue::decode(&bytes)
+        NodeValue::decode(self.bytes_ref()?)
     }
 }
 
@@ -212,13 +238,14 @@ mod tests {
 
     #[test]
     fn scalar_round_trip() {
-        let mut w = Writer::new();
+        let mut buf = Vec::new();
+        let mut w = Writer::over(&mut buf);
         w.u8(7);
         w.u16(300);
         w.u32(70_000);
         w.u64(u64::MAX - 1);
         w.string("hello wire");
-        let bytes = w.finish();
+        let bytes = buf;
         let mut r = Reader::new(&bytes);
         assert_eq!(r.u8().unwrap(), 7);
         assert_eq!(r.u16().unwrap(), 300);
@@ -230,7 +257,8 @@ mod tests {
 
     #[test]
     fn collections_round_trip() {
-        let mut w = Writer::new();
+        let mut buf = Vec::new();
+        let mut w = Writer::over(&mut buf);
         w.oids(&[Oid(1), Oid(99), Oid(12345)]);
         w.edges(&[RefEdge {
             target: Oid(5),
@@ -243,7 +271,7 @@ mod tests {
             b
         };
         w.bitmap(&bm);
-        let bytes = w.finish();
+        let bytes = buf;
         let mut r = Reader::new(&bytes);
         assert_eq!(r.oids().unwrap(), vec![Oid(1), Oid(99), Oid(12345)]);
         let e = r.edges().unwrap();
@@ -269,18 +297,19 @@ mod tests {
             },
             content: Content::Text("version1 words version1 tail version1".into()),
         };
-        let mut w = Writer::new();
+        let mut buf = Vec::new();
+        let mut w = Writer::over(&mut buf);
         w.node_value(&v);
-        let bytes = w.finish();
+        let bytes = buf;
         let mut r = Reader::new(&bytes);
         assert_eq!(r.node_value().unwrap(), v);
     }
 
     #[test]
     fn truncation_is_detected() {
-        let mut w = Writer::new();
-        w.string("0123456789");
-        let bytes = w.finish();
+        let mut buf = Vec::new();
+        Writer::over(&mut buf).string("0123456789");
+        let bytes = buf;
         let mut r = Reader::new(&bytes[..bytes.len() - 2]);
         assert!(r.string().is_err());
         let mut r = Reader::new(&bytes[..2]);

@@ -13,7 +13,7 @@ use hypermodel::error::{HmError, Result};
 use hypermodel::model::{NodeValue, Oid, RefEdge};
 use hypermodel::Bitmap;
 
-use crate::codec::{Reader, Writer};
+use crate::codec::{prealloc_cap, Reader, Writer};
 
 /// A client → server message.
 #[derive(Debug, Clone, PartialEq)]
@@ -262,7 +262,19 @@ impl Request {
 
     /// Encode to wire bytes.
     pub fn encode(&self) -> Vec<u8> {
-        let mut w = Writer::new();
+        let mut out = Vec::new();
+        self.encode_into(&mut out);
+        out
+    }
+
+    /// Encode by appending to a caller-owned buffer, so the hot path
+    /// (`RemoteStore`, the serving loops) reuses one scratch `Vec`
+    /// across requests instead of allocating per call.
+    pub fn encode_into(&self, out: &mut Vec<u8>) {
+        self.encode_body(&mut Writer::over(out));
+    }
+
+    fn encode_body(&self, w: &mut Writer) {
         w.u8(self.tag());
         match self {
             Request::LookupUnique(uid) => w.u64(*uid),
@@ -373,10 +385,9 @@ impl Request {
             | Request::AbortPrepared(txid) => w.u64(*txid),
             Request::Tagged(id, inner) => {
                 w.u64(*id);
-                w.bytes(&inner.encode());
+                w.nested(|w| inner.encode_body(w));
             }
         }
-        w.finish()
     }
 
     /// Decode from wire bytes.
@@ -436,7 +447,7 @@ impl Request {
             42 => Request::MillionBatch(r.oids()?),
             43 => {
                 let n = r.u32()? as usize;
-                let mut v = Vec::with_capacity(n.min(1 << 20));
+                let mut v = Vec::with_capacity(prealloc_cap(n, 12));
                 for _ in 0..n {
                     v.push((r.oid()?, r.u32()?));
                 }
@@ -447,7 +458,9 @@ impl Request {
             46 => Request::AbortPrepared(r.u64()?),
             47 => {
                 let id = r.u64()?;
-                let inner = Request::decode(&r.bytes()?)?;
+                // Borrow the envelope payload straight out of the frame;
+                // the inner decode makes its own owned fields.
+                let inner = Request::decode(r.bytes_ref()?)?;
                 if matches!(inner, Request::Tagged(..)) {
                     return Err(HmError::Backend("nested tagged request".into()));
                 }
@@ -509,7 +522,16 @@ pub fn redirect_subject(req: &Request) -> Option<Oid> {
 impl Response {
     /// Encode to wire bytes.
     pub fn encode(&self) -> Vec<u8> {
-        let mut w = Writer::new();
+        let mut out = Vec::new();
+        self.encode_into(&mut out);
+        out
+    }
+
+    /// Encode by appending to a caller-owned buffer (see
+    /// [`Request::encode_into`]).
+    pub fn encode_into(&self, out: &mut Vec<u8>) {
+        let mut w = Writer::over(out);
+        let w = &mut w;
         match self {
             Response::Unit => w.u8(0),
             Response::Oid(o) => {
@@ -606,7 +628,6 @@ impl Response {
                 w.u64(*epoch);
             }
         }
-        w.finish()
     }
 
     /// Decode from wire bytes.
@@ -626,7 +647,7 @@ impl Response {
             10 => Response::Form(r.bitmap()?),
             11 => {
                 let n = r.u32()? as usize;
-                let mut v = Vec::with_capacity(n.min(1 << 20));
+                let mut v = Vec::with_capacity(prealloc_cap(n, 16));
                 for _ in 0..n {
                     v.push((r.oid()?, r.u64()?));
                 }
@@ -635,7 +656,7 @@ impl Response {
             12 => Response::Err(r.string()?),
             13 => {
                 let n = r.u32()? as usize;
-                let mut v = Vec::with_capacity(n.min(1 << 20));
+                let mut v = Vec::with_capacity(prealloc_cap(n, 4));
                 for _ in 0..n {
                     v.push(r.oids()?);
                 }
@@ -643,7 +664,7 @@ impl Response {
             }
             14 => {
                 let n = r.u32()? as usize;
-                let mut v = Vec::with_capacity(n.min(1 << 20));
+                let mut v = Vec::with_capacity(prealloc_cap(n, 4));
                 for _ in 0..n {
                     v.push(r.edges()?);
                 }
@@ -651,7 +672,7 @@ impl Response {
             }
             15 => {
                 let n = r.u32()? as usize;
-                let mut v = Vec::with_capacity(n.min(1 << 20));
+                let mut v = Vec::with_capacity(prealloc_cap(n, 4));
                 for _ in 0..n {
                     v.push(r.u32()?);
                 }

@@ -206,10 +206,14 @@ pub fn serve_with_cache<S: HyperStore + ?Sized>(
 ) -> Result<SessionStats> {
     let mut stats = SessionStats::default();
     let mut garbage_streak = 0u32;
+    // One receive buffer and one encode scratch for the whole session:
+    // the steady-state loop allocates only inside dispatch itself.
+    let mut frame = Vec::new();
+    let mut out = Vec::new();
     loop {
-        let Some(frame) = transport.recv()? else {
+        if !transport.recv_into(&mut frame)? {
             return Ok(stats); // clean disconnect
-        };
+        }
         let req = match Request::decode(&frame) {
             Ok(r) => {
                 garbage_streak = 0;
@@ -227,19 +231,22 @@ pub fn serve_with_cache<S: HyperStore + ?Sized>(
                     );
                     return Ok(stats);
                 }
-                transport.send(&Response::Err(e.to_string()).encode())?;
+                out.clear();
+                Response::Err(e.to_string()).encode_into(&mut out);
+                transport.send(&out)?;
                 continue;
             }
         };
         if req == Request::Shutdown {
-            transport.send(&Response::Unit.encode())?;
+            out.clear();
+            Response::Unit.encode_into(&mut out);
+            transport.send(&out)?;
             return Ok(stats);
         }
         if let Request::Tagged(id, _) = &req {
             if let Some(bytes) = cache.lookup(*id) {
                 stats.replayed += 1;
-                let bytes = bytes.to_vec();
-                transport.send(&bytes)?;
+                transport.send(bytes)?;
                 continue;
             }
         }
@@ -252,11 +259,12 @@ pub fn serve_with_cache<S: HyperStore + ?Sized>(
             stats.errors += 1;
         }
         stats.requests += 1;
-        let bytes = resp.encode();
+        out.clear();
+        resp.encode_into(&mut out);
         if let Some(id) = remember_as {
-            cache.remember(id, bytes.clone());
+            cache.remember(id, out.clone());
         }
-        transport.send(&bytes)?;
+        transport.send(&out)?;
     }
 }
 

@@ -49,6 +49,235 @@ pub trait Transport: Send {
         let _ = timeout;
         self.recv()
     }
+
+    /// Receive one frame into a caller-owned buffer (cleared first),
+    /// so a looping caller reuses one allocation across frames. Returns
+    /// `false` when the peer closed. The default delegates to
+    /// [`Transport::recv`]; buffered transports override it to skip the
+    /// intermediate `Vec`.
+    fn recv_into(&mut self, out: &mut Vec<u8>) -> Result<bool> {
+        match self.recv()? {
+            Some(frame) => {
+                out.clear();
+                out.extend_from_slice(&frame);
+                Ok(true)
+            }
+            None => Ok(false),
+        }
+    }
+
+    /// [`Transport::recv_timeout`] into a caller-owned buffer; same
+    /// contract as [`Transport::recv_into`].
+    fn recv_timeout_into(&mut self, timeout: Duration, out: &mut Vec<u8>) -> Result<bool> {
+        match self.recv_timeout(timeout)? {
+            Some(frame) => {
+                out.clear();
+                out.extend_from_slice(&frame);
+                Ok(true)
+            }
+            None => Ok(false),
+        }
+    }
+}
+
+/// Cached handles for the process-wide wire-traffic counters, resolved
+/// once per connection so the hot path pays one relaxed add, not a
+/// registry lookup. All framed byte streams (client transports and the
+/// server event loop) feed the same three names.
+pub struct NetCounters {
+    handles: Option<(Arc<obs::Counter>, Arc<obs::Counter>, Arc<obs::Counter>)>,
+}
+
+impl NetCounters {
+    /// Resolve (and thereby pre-register) the counter handles.
+    pub fn new() -> NetCounters {
+        NetCounters {
+            handles: obs::enabled().then(|| {
+                let reg = obs::registry();
+                (
+                    reg.counter("net.bytes_sent"),
+                    reg.counter("net.bytes_recv"),
+                    reg.counter("net.write_batches"),
+                )
+            }),
+        }
+    }
+
+    /// Account one successful write syscall of `n` bytes.
+    pub fn wrote(&self, n: usize) {
+        if let Some((sent, _, batches)) = &self.handles {
+            sent.add(n as u64);
+            batches.incr();
+        }
+    }
+
+    /// Account one successful read syscall of `n` bytes.
+    pub fn read(&self, n: usize) {
+        if let Some((_, recv, _)) = &self.handles {
+            recv.add(n as u64);
+        }
+    }
+}
+
+impl Default for NetCounters {
+    fn default() -> NetCounters {
+        NetCounters::new()
+    }
+}
+
+/// How much to read per syscall once the stream buffer is drained.
+/// Large enough that a burst of back-to-back responses (or one mid-size
+/// batch reply) arrives in a single syscall.
+const READ_CHUNK: usize = 64 * 1024;
+
+/// Framing state for one byte-stream connection: a reusable scratch
+/// buffer that assembles `[u32 len][u64 trace][payload]` so a frame
+/// goes out in **one** write syscall, and a growable inbound buffer
+/// that large reads fill and complete frames are parsed out of — three
+/// header/body reads per frame collapse into (amortized) less than one.
+///
+/// Used by [`TcpTransport`] and shared with any framed stream (the
+/// torture tests drive it over one-byte-at-a-time readers/writers).
+pub struct FrameCodec {
+    sbuf: Vec<u8>,
+    rbuf: Vec<u8>,
+    /// `rbuf[rpos..rlen]` holds received, not-yet-parsed bytes.
+    rpos: usize,
+    rlen: usize,
+    net: NetCounters,
+}
+
+impl FrameCodec {
+    /// Fresh per-connection state.
+    pub fn new() -> FrameCodec {
+        FrameCodec {
+            sbuf: Vec::new(),
+            rbuf: Vec::new(),
+            rpos: 0,
+            rlen: 0,
+            net: NetCounters::new(),
+        }
+    }
+
+    /// Frame `payload` with its length prefix and `trace` id and write
+    /// it in a single `write_all` call.
+    pub fn send_frame<W: Write>(&mut self, w: &mut W, payload: &[u8], trace: u64) -> Result<()> {
+        self.sbuf.clear();
+        self.sbuf
+            .extend_from_slice(&(((payload.len() + TRACE_HEADER) as u32).to_le_bytes()));
+        self.sbuf.extend_from_slice(&trace.to_le_bytes());
+        self.sbuf.extend_from_slice(payload);
+        w.write_all(&self.sbuf)
+            .map_err(|e| HmError::Backend(format!("tcp send: {e}")))?;
+        self.net.wrote(self.sbuf.len());
+        Ok(())
+    }
+
+    /// True when a complete frame is already buffered (the next
+    /// `recv_frame` will not touch the stream).
+    pub fn has_buffered_frame(&self) -> bool {
+        self.peek_frame_len().ok().flatten().is_some()
+    }
+
+    /// Length (including trace header) of the buffered frame at the
+    /// cursor, if the buffer holds all of it.
+    fn peek_frame_len(&self) -> Result<Option<usize>> {
+        let avail = &self.rbuf[self.rpos..self.rlen];
+        if avail.len() < 4 {
+            return Ok(None);
+        }
+        let len = u32::from_le_bytes([avail[0], avail[1], avail[2], avail[3]]) as usize;
+        if len > MAX_FRAME {
+            return Err(HmError::Backend(format!("oversized frame: {len} bytes")));
+        }
+        if len < TRACE_HEADER {
+            return Err(HmError::Backend(format!("truncated frame: {len} bytes")));
+        }
+        Ok((avail.len() >= 4 + len).then_some(len))
+    }
+
+    /// Read the next frame's payload into `out` (cleared first) and
+    /// install its trace id. Returns `false` on clean EOF at a frame
+    /// boundary; EOF mid-frame is an error. Reads from the stream only
+    /// when the buffer does not already hold a complete frame.
+    pub fn recv_frame<R: Read>(&mut self, r: &mut R, out: &mut Vec<u8>) -> Result<bool> {
+        loop {
+            if let Some(len) = self.peek_frame_len()? {
+                let start = self.rpos + 4 + TRACE_HEADER;
+                let t = self.rpos + 4;
+                let trace = u64::from_le_bytes([
+                    self.rbuf[t],
+                    self.rbuf[t + 1],
+                    self.rbuf[t + 2],
+                    self.rbuf[t + 3],
+                    self.rbuf[t + 4],
+                    self.rbuf[t + 5],
+                    self.rbuf[t + 6],
+                    self.rbuf[t + 7],
+                ]);
+                obs::trace::set(trace);
+                out.clear();
+                out.extend_from_slice(&self.rbuf[start..self.rpos + 4 + len]);
+                self.rpos += 4 + len;
+                return Ok(true);
+            }
+            // Partial header/frame: work out how much is still missing
+            // so one read can cover it (plus slack for whatever rides
+            // behind it).
+            let avail = self.rlen - self.rpos;
+            let want = if avail >= 4 {
+                let p = self.rpos;
+                let len = u32::from_le_bytes([
+                    self.rbuf[p],
+                    self.rbuf[p + 1],
+                    self.rbuf[p + 2],
+                    self.rbuf[p + 3],
+                ]) as usize;
+                (4 + len - avail).max(READ_CHUNK)
+            } else {
+                READ_CHUNK
+            };
+            if !self.fill(r, want)? {
+                if self.rpos == self.rlen {
+                    return Ok(false); // clean close between frames
+                }
+                return Err(HmError::Backend("tcp recv: eof mid-frame".into()));
+            }
+        }
+    }
+
+    /// One read syscall into the buffer tail; `false` on EOF.
+    fn fill<R: Read>(&mut self, r: &mut R, want: usize) -> Result<bool> {
+        // Drained: rewind instead of growing forever. Otherwise compact
+        // once the dead prefix outweighs a read chunk — an occasional
+        // memmove, not a per-frame one.
+        if self.rpos == self.rlen {
+            self.rpos = 0;
+            self.rlen = 0;
+        } else if self.rpos >= READ_CHUNK {
+            self.rbuf.copy_within(self.rpos..self.rlen, 0);
+            self.rlen -= self.rpos;
+            self.rpos = 0;
+        }
+        if self.rbuf.len() < self.rlen + want {
+            self.rbuf.resize(self.rlen + want, 0);
+        }
+        match r.read(&mut self.rbuf[self.rlen..]) {
+            Ok(0) => Ok(false),
+            Ok(n) => {
+                self.rlen += n;
+                self.net.read(n);
+                Ok(true)
+            }
+            Err(e) => Err(tcp_io_err("tcp recv", e)),
+        }
+    }
+}
+
+impl Default for FrameCodec {
+    fn default() -> FrameCodec {
+        FrameCodec::new()
+    }
 }
 
 /// One end of an in-process channel transport.
@@ -146,9 +375,12 @@ impl Transport for ChannelTransport {
     }
 }
 
-/// A TCP transport (length-prefixed frames over a stream socket).
+/// A TCP transport (length-prefixed frames over a stream socket),
+/// buffered on both sides through a [`FrameCodec`]: one write syscall
+/// per outgoing frame, large chunked reads on the inbound side.
 pub struct TcpTransport {
     stream: TcpStream,
+    codec: FrameCodec,
 }
 
 impl TcpTransport {
@@ -158,58 +390,49 @@ impl TcpTransport {
         stream
             .set_nodelay(true)
             .map_err(|e| HmError::Backend(format!("set_nodelay: {e}")))?;
-        Ok(TcpTransport { stream })
+        Ok(TcpTransport {
+            stream,
+            codec: FrameCodec::new(),
+        })
     }
 }
 
 impl Transport for TcpTransport {
     fn send(&mut self, frame: &[u8]) -> Result<()> {
-        let len = ((frame.len() + TRACE_HEADER) as u32).to_le_bytes();
-        let trace = obs::trace::current().to_le_bytes();
-        self.stream
-            .write_all(&len)
-            .and_then(|_| self.stream.write_all(&trace))
-            .and_then(|_| self.stream.write_all(frame))
-            .map_err(|e| HmError::Backend(format!("tcp send: {e}")))
+        self.codec
+            .send_frame(&mut self.stream, frame, obs::trace::current())
     }
 
     fn recv(&mut self) -> Result<Option<Vec<u8>>> {
-        let mut len_buf = [0u8; 4];
-        match self.stream.read_exact(&mut len_buf) {
-            Ok(()) => {}
-            Err(e) if e.kind() == std::io::ErrorKind::UnexpectedEof => return Ok(None),
-            Err(e) => return Err(tcp_io_err("tcp recv", e)),
-        }
-        let len = u32::from_le_bytes(len_buf) as usize;
-        if len > MAX_FRAME {
-            return Err(HmError::Backend(format!("oversized frame: {len} bytes")));
-        }
-        if len < TRACE_HEADER {
-            return Err(HmError::Backend(format!("truncated frame: {len} bytes")));
-        }
-        let mut trace_buf = [0u8; TRACE_HEADER];
-        self.stream
-            .read_exact(&mut trace_buf)
-            .map_err(|e| tcp_io_err("tcp recv trace", e))?;
-        obs::trace::set(u64::from_le_bytes(trace_buf));
-        let mut frame = vec![0u8; len - TRACE_HEADER];
-        self.stream
-            .read_exact(&mut frame)
-            .map_err(|e| tcp_io_err("tcp recv body", e))?;
-        Ok(Some(frame))
+        let mut out = Vec::new();
+        Ok(self.recv_into(&mut out)?.then_some(out))
     }
 
     fn recv_timeout(&mut self, timeout: Duration) -> Result<Option<Vec<u8>>> {
+        let mut out = Vec::new();
+        Ok(self.recv_timeout_into(timeout, &mut out)?.then_some(out))
+    }
+
+    fn recv_into(&mut self, out: &mut Vec<u8>) -> Result<bool> {
+        self.codec.recv_frame(&mut self.stream, out)
+    }
+
+    fn recv_timeout_into(&mut self, timeout: Duration, out: &mut Vec<u8>) -> Result<bool> {
+        // A buffered frame answers without touching the socket (and
+        // without the two timeout fcntls).
+        if self.codec.has_buffered_frame() {
+            return self.codec.recv_frame(&mut self.stream, out);
+        }
         // A zero Duration means "no timeout" to the OS; clamp up.
         let timeout = timeout.max(Duration::from_millis(1));
         self.stream
             .set_read_timeout(Some(timeout))
             .map_err(|e| HmError::Backend(format!("set_read_timeout: {e}")))?;
-        let out = self.recv();
+        let got = self.codec.recv_frame(&mut self.stream, out);
         self.stream
             .set_read_timeout(None)
             .map_err(|e| HmError::Backend(format!("clear_read_timeout: {e}")))?;
-        out
+        got
     }
 }
 

@@ -1,0 +1,251 @@
+//! Wire-path equivalence and torture tests: `encode_into` must produce
+//! byte-identical output to the allocating `encode`, and the buffered
+//! [`FrameCodec`] must survive a transport that delivers one byte per
+//! syscall in either direction.
+
+use std::io::{Cursor, Read, Result as IoResult, Write};
+
+use proptest::prelude::*;
+use server::protocol::{Request, Response};
+use server::transport::FrameCodec;
+
+mod arb {
+    use hypermodel::model::{Content, NodeAttrs, NodeKind, NodeValue, Oid, RefEdge};
+    use hypermodel::Bitmap;
+    use proptest::prelude::*;
+    use server::protocol::{Request, Response};
+
+    pub fn oid() -> impl Strategy<Value = Oid> {
+        (0u64..1 << 55).prop_map(Oid)
+    }
+
+    pub fn node_value() -> impl Strategy<Value = NodeValue> {
+        (
+            any::<u64>(),
+            1u32..=10,
+            1u32..=100,
+            1u32..=1000,
+            1u32..=1_000_000,
+            prop_oneof![Just(0u8), Just(1u8), Just(2u8)],
+            "[a-z ]{0,80}",
+            1u16..60,
+            1u16..60,
+        )
+            .prop_map(|(uid, ten, hundred, thousand, million, sel, text, w, h)| {
+                let (kind, content) = match sel {
+                    0 => (NodeKind::INTERNAL, Content::None),
+                    1 => (NodeKind::TEXT, Content::Text(text)),
+                    _ => (NodeKind::FORM, Content::Form(Bitmap::white(w, h))),
+                };
+                NodeValue {
+                    kind,
+                    attrs: NodeAttrs {
+                        unique_id: uid,
+                        ten,
+                        hundred,
+                        thousand,
+                        million,
+                    },
+                    content,
+                }
+            })
+    }
+
+    pub fn request() -> impl Strategy<Value = Request> {
+        prop_oneof![
+            any::<u64>().prop_map(Request::LookupUnique),
+            oid().prop_map(Request::HundredOf),
+            (oid(), any::<u32>()).prop_map(|(o, v)| Request::SetHundred(o, v)),
+            node_value().prop_map(Request::CreateNode),
+            (oid(), oid(), 0u8..10, 0u8..10).prop_map(|(a, b, f, t)| Request::AddRef(a, b, f, t)),
+            (oid(), 1u32..100).prop_map(|(o, d)| Request::ClosureMNAtt(o, d)),
+            Just(Request::Commit),
+        ]
+    }
+
+    pub fn response() -> impl Strategy<Value = Response> {
+        prop_oneof![
+            Just(Response::Unit),
+            oid().prop_map(Response::Oid),
+            (any::<u64>(), any::<u64>()).prop_map(|(s, c)| Response::SumCount(s, c)),
+            proptest::collection::vec(oid(), 0..50).prop_map(Response::Oids),
+            proptest::collection::vec((oid(), 0u8..10, 0u8..10), 0..20).prop_map(|v| {
+                Response::Edges(
+                    v.into_iter()
+                        .map(|(target, offset_from, offset_to)| RefEdge {
+                            target,
+                            offset_from,
+                            offset_to,
+                        })
+                        .collect(),
+                )
+            }),
+            "[ -~]{0,200}".prop_map(Response::Text),
+            proptest::collection::vec((oid(), any::<u64>()), 0..30).prop_map(Response::Pairs),
+        ]
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    // `encode_into` appends to whatever is already in the buffer and
+    // its output is byte-for-byte what `encode` allocates — the
+    // zero-copy send path cannot drift from the canonical encoding.
+    #[test]
+    fn request_encode_into_matches_encode(req in arb::request()) {
+        let canonical = req.encode();
+        let mut buf = vec![0xAAu8, 0xBB, 0xCC];
+        req.encode_into(&mut buf);
+        prop_assert_eq!(&buf[..3], &[0xAA, 0xBB, 0xCC][..]);
+        prop_assert_eq!(&buf[3..], &canonical[..]);
+        prop_assert_eq!(Request::decode(&buf[3..]).unwrap(), req);
+    }
+
+    #[test]
+    fn response_encode_into_matches_encode(resp in arb::response()) {
+        let canonical = resp.encode();
+        let mut buf = vec![0x42u8];
+        resp.encode_into(&mut buf);
+        prop_assert_eq!(&buf[1..], &canonical[..]);
+        prop_assert_eq!(Response::decode(&buf[1..]).unwrap(), resp);
+    }
+
+    // Reusing one scratch buffer across many messages (the client and
+    // serve-loop pattern: clear, encode_into, send) never leaks bytes
+    // from an earlier, longer message into a later one.
+    #[test]
+    fn scratch_reuse_is_clean(reqs in proptest::collection::vec(arb::request(), 1..8)) {
+        let mut scratch = Vec::new();
+        for req in &reqs {
+            scratch.clear();
+            req.encode_into(&mut scratch);
+            prop_assert_eq!(&scratch[..], &req.encode()[..]);
+        }
+    }
+}
+
+/// A writer that accepts at most one byte per `write` call — the worst
+/// legal short-write behavior a stream can exhibit.
+struct TrickleWriter {
+    bytes: Vec<u8>,
+}
+
+impl Write for TrickleWriter {
+    fn write(&mut self, buf: &[u8]) -> IoResult<usize> {
+        if buf.is_empty() {
+            return Ok(0);
+        }
+        self.bytes.push(buf[0]);
+        Ok(1)
+    }
+
+    fn flush(&mut self) -> IoResult<()> {
+        Ok(())
+    }
+}
+
+/// A reader that yields at most one byte per `read` call.
+struct TrickleReader {
+    inner: Cursor<Vec<u8>>,
+}
+
+impl Read for TrickleReader {
+    fn read(&mut self, buf: &mut [u8]) -> IoResult<usize> {
+        if buf.is_empty() {
+            return Ok(0);
+        }
+        self.inner.read(&mut buf[..1])
+    }
+}
+
+#[test]
+fn frame_codec_survives_one_byte_at_a_time_io() {
+    let payloads: Vec<Vec<u8>> = vec![vec![], vec![7], (0..=255u8).collect(), vec![0x5A; 3000]];
+
+    // Send side: write_all inside send_frame must loop through the
+    // trickle without corrupting or reordering anything.
+    let mut sender = FrameCodec::new();
+    let mut wire = TrickleWriter { bytes: Vec::new() };
+    for (i, p) in payloads.iter().enumerate() {
+        sender.send_frame(&mut wire, p, 1000 + i as u64).unwrap();
+    }
+
+    // Receive side: every fill() returns a single byte, so the codec
+    // crosses every possible partial-header and partial-payload state.
+    let mut receiver = FrameCodec::new();
+    let mut stream = TrickleReader {
+        inner: Cursor::new(wire.bytes),
+    };
+    let mut out = Vec::new();
+    for (i, p) in payloads.iter().enumerate() {
+        assert!(receiver.recv_frame(&mut stream, &mut out).unwrap());
+        assert_eq!(&out, p, "frame {i} corrupted");
+        assert_eq!(obs::trace::current(), 1000 + i as u64, "trace id lost");
+    }
+    // Clean EOF exactly at a frame boundary is a close, not an error.
+    assert!(!receiver.recv_frame(&mut stream, &mut out).unwrap());
+}
+
+#[test]
+fn frame_codec_rejects_eof_mid_frame_and_oversized_headers() {
+    // A frame truncated mid-payload must be an error, not a clean close.
+    let mut sender = FrameCodec::new();
+    let mut wire = TrickleWriter { bytes: Vec::new() };
+    sender.send_frame(&mut wire, &[1, 2, 3, 4], 7).unwrap();
+    wire.bytes.truncate(wire.bytes.len() - 2);
+    let mut receiver = FrameCodec::new();
+    let mut stream = TrickleReader {
+        inner: Cursor::new(wire.bytes),
+    };
+    let mut out = Vec::new();
+    let err = receiver.recv_frame(&mut stream, &mut out).unwrap_err();
+    assert!(err.to_string().contains("eof mid-frame"), "{err}");
+
+    // A length prefix beyond MAX_FRAME is rejected from the header
+    // alone — no allocation, no draining gigabytes off the socket.
+    let mut huge = (u32::MAX).to_le_bytes().to_vec();
+    huge.extend_from_slice(&[0u8; 32]);
+    let mut receiver = FrameCodec::new();
+    let mut stream = TrickleReader {
+        inner: Cursor::new(huge),
+    };
+    let err = receiver.recv_frame(&mut stream, &mut out).unwrap_err();
+    assert!(err.to_string().contains("oversized frame"), "{err}");
+
+    // A length prefix too small to hold the trace header is garbage.
+    let mut tiny = 3u32.to_le_bytes().to_vec();
+    tiny.extend_from_slice(&[0u8; 16]);
+    let mut receiver = FrameCodec::new();
+    let mut stream = TrickleReader {
+        inner: Cursor::new(tiny),
+    };
+    let err = receiver.recv_frame(&mut stream, &mut out).unwrap_err();
+    assert!(err.to_string().contains("truncated frame"), "{err}");
+}
+
+#[test]
+fn frame_codec_parses_many_frames_from_one_buffered_read() {
+    // All frames arrive in one read; only the first recv may touch the
+    // stream. has_buffered_frame() lets recv_timeout skip fcntl twiddling.
+    let mut sender = FrameCodec::new();
+    let mut wire = TrickleWriter { bytes: Vec::new() };
+    for i in 0..10u8 {
+        sender.send_frame(&mut wire, &[i; 5], i as u64).unwrap();
+    }
+    let mut receiver = FrameCodec::new();
+    let mut stream = Cursor::new(wire.bytes);
+    let mut out = Vec::new();
+    assert!(receiver.recv_frame(&mut stream, &mut out).unwrap());
+    assert_eq!(out, [0u8; 5]);
+    for i in 1..10u8 {
+        assert!(
+            receiver.has_buffered_frame(),
+            "frame {i} should be buffered"
+        );
+        assert!(receiver.recv_frame(&mut stream, &mut out).unwrap());
+        assert_eq!(out, [i; 5]);
+    }
+    assert!(!receiver.has_buffered_frame());
+    assert!(!receiver.recv_frame(&mut stream, &mut out).unwrap());
+}
